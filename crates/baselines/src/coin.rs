@@ -1,0 +1,160 @@
+//! A common coin simulated from hashes.
+//!
+//! Real deployments of FIN-style protocols obtain common coins from
+//! threshold cryptography (or hash-based beacons à la HashRand). Standing
+//! one up is out of scope for a performance reproduction, so this module
+//! keeps exactly the parts the evaluation can observe:
+//!
+//! - **message pattern**: every node broadcasts one `COIN-SHARE` per
+//!   `(instance, round)`, and the coin value is available only after
+//!   `t + 1` distinct shares arrive — one message delay, `n²` messages per
+//!   flip;
+//! - **commonness**: every node reconstructs the same bit, derived as
+//!   `HMAC(seed, instance ‖ round) mod 2`;
+//! - **verification cost**: callers charge the simulator's CPU model per
+//!   share, calibrated to hash verification (FIN is likewise hash-based).
+//!
+//! What it does *not* provide is cryptographic unpredictability against an
+//! adversary who knows `seed` — see DESIGN.md §5 for why that is
+//! irrelevant to the latency/bandwidth claims under reproduction.
+
+use delphi_crypto::hmac_sha256;
+use delphi_primitives::{NodeBitSet, NodeId};
+
+/// Tracks share collection and reconstructs coin values.
+///
+/// One `CoinKeeper` serves all `(instance, round)` coins of a protocol
+/// run; state is kept per flip.
+///
+/// # Example
+///
+/// ```
+/// use delphi_baselines::CoinKeeper;
+/// use delphi_primitives::NodeId;
+///
+/// let mut keeper = CoinKeeper::new(b"deployment-seed", 4, 1);
+/// assert_eq!(keeper.value(7, 1), None); // no shares yet
+/// keeper.add_share(7, 1, NodeId(0));
+/// keeper.add_share(7, 1, NodeId(2)); // t + 1 = 2 shares
+/// let coin = keeper.value(7, 1).expect("reconstructed");
+/// // Every node with the same seed reconstructs the same bit.
+/// let mut other = CoinKeeper::new(b"deployment-seed", 4, 1);
+/// other.add_share(7, 1, NodeId(1));
+/// other.add_share(7, 1, NodeId(3));
+/// assert_eq!(other.value(7, 1), Some(coin));
+/// ```
+#[derive(Debug)]
+pub struct CoinKeeper {
+    seed: Vec<u8>,
+    n: usize,
+    t: usize,
+    flips: Vec<(u64, NodeBitSet)>,
+}
+
+impl CoinKeeper {
+    /// Creates a keeper for an `n`-node system tolerating `t` faults.
+    pub fn new(seed: &[u8], n: usize, t: usize) -> CoinKeeper {
+        CoinKeeper { seed: seed.to_vec(), n, t, flips: Vec::new() }
+    }
+
+    fn key(instance: u16, round: u16) -> u64 {
+        (u64::from(instance) << 16) | u64::from(round)
+    }
+
+    /// Records a share from `from` for coin `(instance, round)`.
+    /// Returns `true` if this share completed the reconstruction
+    /// threshold (the coin value just became available).
+    pub fn add_share(&mut self, instance: u16, round: u16, from: NodeId) -> bool {
+        let key = Self::key(instance, round);
+        let n = self.n;
+        let idx = match self.flips.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.flips.push((key, NodeBitSet::new(n)));
+                self.flips.len() - 1
+            }
+        };
+        let set = &mut self.flips[idx].1;
+        let before = set.len();
+        set.insert(from);
+        before < self.t + 1 && set.len() >= self.t + 1
+    }
+
+    /// The coin value, once `t + 1` shares have been collected.
+    pub fn value(&self, instance: u16, round: u16) -> Option<bool> {
+        let key = Self::key(instance, round);
+        let set = &self.flips.iter().find(|(k, _)| *k == key)?.1;
+        if set.len() >= self.t + 1 {
+            Some(self.toss(instance, round))
+        } else {
+            None
+        }
+    }
+
+    /// The underlying pseudorandom bit (available to tests; protocol code
+    /// must go through [`CoinKeeper::value`] to model share latency).
+    pub fn toss(&self, instance: u16, round: u16) -> bool {
+        let mut msg = [0u8; 4];
+        msg[..2].copy_from_slice(&instance.to_be_bytes());
+        msg[2..].copy_from_slice(&round.to_be_bytes());
+        hmac_sha256(&self.seed, &msg)[0] & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gating() {
+        let mut k = CoinKeeper::new(b"s", 7, 2);
+        assert!(!k.add_share(0, 1, NodeId(0)));
+        assert!(!k.add_share(0, 1, NodeId(1)));
+        assert_eq!(k.value(0, 1), None);
+        assert!(k.add_share(0, 1, NodeId(2)), "t+1-th share completes");
+        assert!(k.value(0, 1).is_some());
+        // Further shares change nothing.
+        assert!(!k.add_share(0, 1, NodeId(3)));
+    }
+
+    #[test]
+    fn duplicate_shares_dont_count() {
+        let mut k = CoinKeeper::new(b"s", 4, 1);
+        assert!(!k.add_share(3, 2, NodeId(1)));
+        assert!(!k.add_share(3, 2, NodeId(1)));
+        assert_eq!(k.value(3, 2), None);
+    }
+
+    #[test]
+    fn coins_are_common_across_nodes_and_vary() {
+        let a = CoinKeeper::new(b"seed", 4, 1);
+        let b = CoinKeeper::new(b"seed", 4, 1);
+        let mut values = Vec::new();
+        for inst in 0..8 {
+            for round in 1..8 {
+                assert_eq!(a.toss(inst, round), b.toss(inst, round));
+                values.push(a.toss(inst, round));
+            }
+        }
+        assert!(values.iter().any(|&v| v), "some heads");
+        assert!(values.iter().any(|&v| !v), "some tails");
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = CoinKeeper::new(b"seed-1", 4, 1);
+        let b = CoinKeeper::new(b"seed-2", 4, 1);
+        let differs = (0..64u16).any(|i| a.toss(i, 1) != b.toss(i, 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn distinct_flips_independent() {
+        let mut k = CoinKeeper::new(b"s", 4, 1);
+        k.add_share(1, 1, NodeId(0));
+        k.add_share(1, 1, NodeId(1));
+        assert!(k.value(1, 1).is_some());
+        assert_eq!(k.value(1, 2), None);
+        assert_eq!(k.value(2, 1), None);
+    }
+}

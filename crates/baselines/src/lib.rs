@@ -1,0 +1,39 @@
+//! Baseline protocols the Delphi paper compares against (§VI-C/D).
+//!
+//! Everything here is built from scratch on the same sans-io
+//! [`Protocol`](delphi_primitives::Protocol) abstraction as Delphi itself,
+//! so the evaluation harness can run all contenders through identical
+//! simulated testbeds and meter identical byte counts:
+//!
+//! - [`rbc`]: **Bracha Reliable Broadcast** — the `O(n²)`-message primitive
+//!   whose unavoidability is, per §III-A, the reason all prior `n = 3t+1`
+//!   approximate-agreement protocols pay `O(n³)` per round.
+//! - [`coin`]: a **common coin** simulated from hashes (share collection
+//!   with a `t + 1` reconstruction threshold). DESIGN.md §5 documents why
+//!   this substitution preserves the baselines' performance envelope.
+//! - [`aba`]: **signature-free asynchronous binary agreement** in the
+//!   style of Mostéfaoui–Moumen–Raynal (the paper's [43]), with the
+//!   standard decided-gossip termination gadget.
+//! - [`acs`]: a **FIN-style asynchronous common subset**: `n` parallel
+//!   RBCs + `n` parallel ABAs (BKR composition), median output — the
+//!   "FIN" contender of Fig. 6, matching its signature-free `O(κn³)`-bit
+//!   profile.
+//! - [`aad`]: **Abraham–Amit–Dolev approximate agreement** (the paper's
+//!   [1]): per-round reliable broadcast + witness collection + trimmed
+//!   midpoint updates, `O(log(δ/ε))` rounds — the "Abraham et al."
+//!   contender of Fig. 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aad;
+pub mod aba;
+pub mod acs;
+pub mod coin;
+pub mod rbc;
+
+pub use aad::AadNode;
+pub use aba::AbaNode;
+pub use acs::AcsNode;
+pub use coin::CoinKeeper;
+pub use rbc::RbcNode;

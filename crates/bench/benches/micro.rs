@@ -1,0 +1,95 @@
+//! Micro-benchmarks for the per-component costs behind Table I's
+//! computation column: hashing, MAC, wire codec, and the BinAA quorum
+//! machine's hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use delphi_core::{DelphiBundle, EchoKind, Section};
+use delphi_crypto::{hmac_sha256, sha256, Keychain};
+use delphi_primitives::wire::{Decode, Encode};
+use delphi_primitives::{Dyadic, NodeId, Round};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data_1k = vec![0xa5u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data_1k))));
+    group.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| hmac_sha256(black_box(b"channel-key"), black_box(&data_1k)))
+    });
+    group.finish();
+
+    c.bench_function("keychain_derive_n160", |b| {
+        b.iter(|| Keychain::derive(black_box(b"seed"), NodeId(0), 160))
+    });
+}
+
+fn realistic_bundle() -> DelphiBundle {
+    let mut bundle = DelphiBundle::new();
+    for level in 0..11u8 {
+        let mut s = Section::new(level, Round(12), EchoKind::Echo1);
+        s.background = Some(Dyadic::ZERO);
+        s.exclude = vec![20_000, 20_001, 20_002];
+        s.entries = (0..6)
+            .map(|i| (19_998 + i, Dyadic::new(1 + 2 * i as u64, 12)))
+            .collect();
+        bundle.sections.push(s);
+    }
+    bundle
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let bundle = realistic_bundle();
+    let bytes = bundle.to_bytes();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_delphi_bundle", |b| b.iter(|| black_box(&bundle).to_bytes()));
+    group.bench_function("decode_delphi_bundle", |b| {
+        b.iter(|| DelphiBundle::from_bytes(black_box(&bytes)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_bv_round(c: &mut Criterion) {
+    use delphi_core::bv::BvRound;
+    let n = 160;
+    let t = 53;
+    c.bench_function("bv_round_full_quorum_n160", |b| {
+        b.iter_batched(
+            || {
+                let mut bv = BvRound::new(NodeId(0), n, t);
+                let _ = bv.set_input(Dyadic::ONE);
+                bv
+            },
+            |mut bv| {
+                // A full wave of echoes from every peer.
+                for i in 1..n as u16 {
+                    let _ = bv.on_echo1(NodeId(i), Dyadic::ONE);
+                }
+                for i in 1..n as u16 {
+                    let _ = bv.on_echo2(NodeId(i), Dyadic::ONE);
+                }
+                assert!(bv.is_terminated());
+                bv
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dyadic(c: &mut Criterion) {
+    let a = Dyadic::new(123_456_789, 30);
+    let b_val = Dyadic::new(987_654_321, 31);
+    c.bench_function("dyadic_midpoint", |b| {
+        b.iter(|| black_box(a).midpoint(black_box(b_val)))
+    });
+    c.bench_function("dyadic_cmp", |b| b.iter(|| black_box(a).cmp(&black_box(b_val))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_crypto, bench_wire, bench_bv_round, bench_dyadic
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end protocol benchmarks (wall-clock cost of simulating one
+//! agreement instance per protocol — the basis of the Fig. 6 sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use delphi_bench::{oracle_config, run_aad, run_acs, run_delphi, spread_inputs};
+use delphi_sim::Topology;
+
+fn bench_protocols(c: &mut Criterion) {
+    let n = 10;
+    let inputs = spread_inputs(n, 40_000.0, 20.0);
+    let cfg = oracle_config(n, 10.0);
+
+    let mut group = c.benchmark_group("end_to_end_n10");
+    group.sample_size(10);
+    group.bench_function("delphi", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_delphi(&cfg, Topology::lan(n), &inputs, seed)
+        })
+    });
+    group.bench_function("fin_acs", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_acs(n, Topology::lan(n), &inputs, seed)
+        })
+    });
+    group.bench_function("abraham_et_al", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_aad(n, Topology::lan(n), &inputs, 10, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

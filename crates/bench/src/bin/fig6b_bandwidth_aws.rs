@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 6b**: network bandwidth vs `n` on AWS — Delphi is
+//! an order of magnitude below FIN and Abraham et al. and grows slower.
+//!
+//! Configuration per the figure caption: `ρ0 = ε = 2$, Δ = 2000$`.
+//!
+//! `cargo run --release -p delphi-bench --bin fig6b_bandwidth_aws [--quick]`
+
+use delphi_bench::{
+    growth_exponent, oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs,
+    TextTable,
+};
+use delphi_sim::Topology;
+
+fn main() {
+    let ns: &[usize] = if quick_mode() { &[16, 64] } else { &[16, 64, 112, 160] };
+    let center = 40_000.0;
+    println!("== Fig. 6b: bandwidth vs n on AWS (MiB per agreement, all nodes) ==\n");
+
+    let mut table = TextTable::new(&["n", "Delphi d=20$", "Delphi d=180$", "FIN", "Abraham et al."]);
+    let mut delphi_pts = Vec::new();
+    let mut fin_pts = Vec::new();
+    let mut aad_pts = Vec::new();
+    let mut rows: Vec<[f64; 4]> = Vec::new();
+    for &n in ns {
+        let cfg = oracle_config(n, 2.0);
+        let d20 = run_delphi(&cfg, Topology::aws_geo(n), &spread_inputs(n, center, 20.0), 6101);
+        let d180 = run_delphi(&cfg, Topology::aws_geo(n), &spread_inputs(n, center, 180.0), 6102);
+        let fin = run_acs(n, Topology::aws_geo(n), &spread_inputs(n, center, 20.0), 6103);
+        let aad = run_aad(n, Topology::aws_geo(n), &spread_inputs(n, center, 20.0), 10, 6104);
+        table.row(&[
+            n.to_string(),
+            format!("{:.2}", d20.wire_mib),
+            format!("{:.2}", d180.wire_mib),
+            format!("{:.2}", fin.wire_mib),
+            format!("{:.2}", aad.wire_mib),
+        ]);
+        delphi_pts.push((n as f64, d20.wire_mib));
+        fin_pts.push((n as f64, fin.wire_mib));
+        aad_pts.push((n as f64, aad.wire_mib));
+        rows.push([d20.wire_mib, d180.wire_mib, fin.wire_mib, aad.wire_mib]);
+        eprintln!("  n={n} done");
+    }
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+
+    let last = rows.last().expect("rows");
+    println!("shape checks:");
+    println!(
+        "  Delphi lighter than FIN at n = {}: {} ({:.1}x)",
+        ns[ns.len() - 1],
+        last[0] < last[2],
+        last[2] / last[0]
+    );
+    println!(
+        "  Delphi lighter than Abraham et al.: {} ({:.1}x)",
+        last[0] < last[3],
+        last[3] / last[0]
+    );
+    println!(
+        "  growth exponents (bytes ~ n^k): Delphi {:.2}, FIN {:.2}, AAD {:.2}",
+        growth_exponent(&delphi_pts),
+        growth_exponent(&fin_pts),
+        growth_exponent(&aad_pts)
+    );
+    println!(
+        "  Delphi grows slower than both: {}",
+        growth_exponent(&delphi_pts) < growth_exponent(&fin_pts)
+            && growth_exponent(&delphi_pts) < growth_exponent(&aad_pts)
+    );
+}

@@ -1,0 +1,125 @@
+//! Regenerates **Fig. 7**: Delphi runtime heatmaps over the agreement
+//! ratio `Δ/ε` (controls round count) and the range ratio `δ/ρ0`
+//! (controls per-round communication), on both testbeds.
+//!
+//! Expected shape: on AWS (n = 64) runtime varies mostly **down the
+//! columns** (round count dominates); on CPS (n = 85) it varies mostly
+//! **across the rows** (per-round volume dominates).
+//!
+//! `cargo run --release -p delphi-bench --bin fig7_heatmap [--quick]`
+
+use delphi_bench::{quick_mode, run_delphi, spread_inputs, TextTable};
+use delphi_core::DelphiConfig;
+use delphi_sim::Topology;
+
+/// Runs one heatmap cell; `None` when δ would exceed Δ (the blank cells
+/// of the paper's heatmaps).
+fn cell(n: usize, topology: Topology, agreement_ratio: f64, range_ratio: f64, seed: u64) -> Option<f64> {
+    let epsilon = 1.0;
+    let rho0 = 1.0;
+    let delta_max = agreement_ratio * epsilon;
+    let delta = range_ratio * rho0;
+    if delta > delta_max {
+        return None;
+    }
+    let cfg = DelphiConfig::builder(n)
+        .space(0.0, 1_000_000.0)
+        .rho0(rho0)
+        .delta_max(delta_max)
+        .epsilon(epsilon)
+        .build()
+        .ok()?;
+    let inputs = spread_inputs(n, 500_000.0, delta);
+    Some(run_delphi(&cfg, topology, &inputs, seed).runtime_ms / 1000.0)
+}
+
+fn heatmap(
+    name: &str,
+    n: usize,
+    topology: impl Fn() -> Topology,
+    agreement_ratios: &[f64],
+    range_ratios: &[f64],
+    seed0: u64,
+) -> Vec<Vec<Option<f64>>> {
+    println!("-- {name} (n = {n}; cells in seconds; rows: Δ/ε, cols: δ/ρ0) --");
+    let mut header = vec!["agr\\range".to_string()];
+    header.extend(range_ratios.iter().map(|r| format!("{r}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    let mut grid = Vec::new();
+    for (i, &ar) in agreement_ratios.iter().enumerate() {
+        let mut row_cells = vec![format!("{ar}")];
+        let mut row = Vec::new();
+        for (j, &rr) in range_ratios.iter().enumerate() {
+            let v = cell(n, topology(), ar, rr, seed0 + (i * 16 + j) as u64);
+            row_cells.push(match v {
+                Some(s) => format!("{s:.2}"),
+                None => "-".to_string(),
+            });
+            row.push(v);
+        }
+        table.row(&row_cells);
+        grid.push(row);
+        eprintln!("  {name}: Δ/ε = {ar} done");
+    }
+    println!("{}", table.render());
+    grid
+}
+
+/// Mean relative variation down columns (round-count axis) vs across
+/// rows (volume axis) over defined cells.
+fn axis_sensitivities(grid: &[Vec<Option<f64>>]) -> (f64, f64) {
+    let col_var = {
+        let mut ratios = Vec::new();
+        for j in 0..grid[0].len() {
+            let col: Vec<f64> = grid.iter().filter_map(|r| r[j]).collect();
+            if col.len() >= 2 {
+                let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                ratios.push(hi / lo);
+            }
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    let row_var = {
+        let mut ratios = Vec::new();
+        for row in grid {
+            let cells: Vec<f64> = row.iter().flatten().copied().collect();
+            if cells.len() >= 2 {
+                let lo = cells.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = cells.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                ratios.push(hi / lo);
+            }
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    (col_var, row_var)
+}
+
+fn main() {
+    println!("== Fig. 7: Delphi runtime patterns on AWS and CPS ==\n");
+    let quick = quick_mode();
+
+    // Paper axes — AWS: Δ/ε ∈ {20..2000}, δ/ρ0 ∈ {1..90}.
+    let (n_aws, n_cps) = if quick { (16, 30) } else { (64, 85) };
+    let aws_agreement: &[f64] = &[20.0, 100.0, 400.0, 2000.0];
+    let aws_range: &[f64] = &[1.0, 4.0, 20.0, 90.0];
+    let aws = heatmap("AWS", n_aws, || Topology::aws_geo(n_aws), aws_agreement, aws_range, 7001);
+
+    // CPS: Δ/ε ∈ {100..100000}, δ/ρ0 ∈ {1..1000}.
+    let cps_agreement: &[f64] = &[100.0, 1_000.0, 10_000.0, 100_000.0];
+    let cps_range: &[f64] = &[1.0, 10.0, 100.0, 1_000.0];
+    let cps = heatmap("CPS", n_cps, || Topology::cps(n_cps, 15), cps_agreement, cps_range, 7002);
+
+    let (aws_rounds_axis, aws_volume_axis) = axis_sensitivities(&aws);
+    let (cps_rounds_axis, cps_volume_axis) = axis_sensitivities(&cps);
+    println!("shape checks:");
+    println!(
+        "  AWS: round-count axis variation {aws_rounds_axis:.2}x vs volume axis {aws_volume_axis:.2}x — rounds dominate: {}",
+        aws_rounds_axis > aws_volume_axis
+    );
+    println!(
+        "  CPS: round-count axis variation {cps_rounds_axis:.2}x vs volume axis {cps_volume_axis:.2}x — volume dominates: {}",
+        cps_volume_axis > cps_rounds_axis
+    );
+}

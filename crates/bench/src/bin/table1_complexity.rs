@@ -1,0 +1,128 @@
+//! Regenerates **Table I**: the asynchronous convex-BA comparison, with
+//! the asymptotic claims checked against *measured* traffic.
+//!
+//! For the three implemented protocols (Delphi, FIN-style ACS, Abraham et
+//! al.) we sweep `n` on a uniform LAN, fit the growth exponent of bytes
+//! and messages, and print them alongside the paper's complexity rows.
+//! The unimplemented rows (HoneyBadgerBFT, Dumbo2, WaterBear) are listed
+//! with their published asymptotics for completeness.
+//!
+//! `cargo run --release -p delphi-bench --bin table1_complexity [--quick]`
+
+use delphi_bench::{
+    growth_exponent, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable,
+};
+use delphi_core::DelphiConfig;
+use delphi_sim::Topology;
+
+fn main() {
+    let ns: &[usize] = if quick_mode() { &[10, 20] } else { &[10, 16, 26, 40] };
+    let delta = 16.0;
+    let epsilon = 2.0;
+    println!("== Table I: communication growth of convex-BA protocols ==\n");
+
+    let mut delphi_bytes = Vec::new();
+    let mut delphi_msgs = Vec::new();
+    let mut acs_bytes = Vec::new();
+    let mut acs_msgs = Vec::new();
+    let mut aad_bytes = Vec::new();
+    let mut aad_msgs = Vec::new();
+    let mut sweep = TextTable::new(&["n", "Delphi MiB", "FIN MiB", "AAD MiB", "Delphi msgs", "FIN msgs", "AAD msgs"]);
+    for &n in ns {
+        let cfg = DelphiConfig::builder(n)
+            .space(0.0, 100_000.0)
+            .rho0(epsilon)
+            .delta_max(512.0)
+            .epsilon(epsilon)
+            .build()
+            .expect("config");
+        let inputs = spread_inputs(n, 40_000.0, delta);
+        let d = run_delphi(&cfg, Topology::lan(n), &inputs, 8001);
+        let c = run_acs(n, Topology::lan(n), &inputs, 8002);
+        let a = run_aad(n, Topology::lan(n), &inputs, 8, 8003);
+        sweep.row(&[
+            n.to_string(),
+            format!("{:.2}", d.wire_mib),
+            format!("{:.2}", c.wire_mib),
+            format!("{:.2}", a.wire_mib),
+            d.msgs.to_string(),
+            c.msgs.to_string(),
+            a.msgs.to_string(),
+        ]);
+        delphi_bytes.push((n as f64, d.wire_mib));
+        delphi_msgs.push((n as f64, d.msgs as f64));
+        acs_bytes.push((n as f64, c.wire_mib));
+        acs_msgs.push((n as f64, c.msgs as f64));
+        aad_bytes.push((n as f64, a.wire_mib));
+        aad_msgs.push((n as f64, a.msgs as f64));
+        eprintln!("  n={n} done");
+    }
+    println!("{}", sweep.render());
+
+    let mut table = TextTable::new(&[
+        "protocol",
+        "paper communication",
+        "paper rounds",
+        "validity",
+        "measured bytes ~ n^k",
+        "measured msgs ~ n^k",
+    ]);
+    table.row(&[
+        "HoneyBadgerBFT".into(),
+        "O(l n^3)".into(),
+        "O(log n)".into(),
+        "[m, M]".into(),
+        "(not implemented)".into(),
+        "-".into(),
+    ]);
+    table.row(&[
+        "Dumbo2".into(),
+        "O(l n^2 + k n^3)".into(),
+        "O(1)".into(),
+        "[m, M]".into(),
+        "(not implemented)".into(),
+        "-".into(),
+    ]);
+    table.row(&[
+        "WaterBear".into(),
+        "O(l n^3 + exp(n))".into(),
+        "O(exp(n))".into(),
+        "[m, M]".into(),
+        "(not implemented)".into(),
+        "-".into(),
+    ]);
+    table.row(&[
+        "FIN (ACS)".into(),
+        "O(l n^2 + k n^3)".into(),
+        "O(1)".into(),
+        "[m, M]".into(),
+        format!("k = {:.2}", growth_exponent(&acs_bytes)),
+        format!("k = {:.2}", growth_exponent(&acs_msgs)),
+    ]);
+    table.row(&[
+        "Abraham et al.".into(),
+        "O(l n^3 log(d/e) + n^4)".into(),
+        "O(log(d/e))".into(),
+        "[m, M] (e-agr)".into(),
+        format!("k = {:.2}", growth_exponent(&aad_bytes)),
+        format!("k = {:.2}", growth_exponent(&aad_msgs)),
+    ]);
+    table.row(&[
+        "Delphi".into(),
+        "~O(l n^2 d/e log terms)".into(),
+        "O(log(d/e ...))".into(),
+        "[m-d, M+d] (e-agr)".into(),
+        format!("k = {:.2}", growth_exponent(&delphi_bytes)),
+        format!("k = {:.2}", growth_exponent(&delphi_msgs)),
+    ]);
+    println!("{}", table.render());
+
+    let kd = growth_exponent(&delphi_msgs);
+    let kc = growth_exponent(&acs_msgs);
+    let ka = growth_exponent(&aad_msgs);
+    println!("shape checks:");
+    println!("  Delphi message growth ~ n^2 (k = {kd:.2}, expect ~2): {}", (1.6..2.6).contains(&kd));
+    println!("  FIN message growth ~ n^3 (k = {kc:.2}, expect ~3): {}", (2.5..3.5).contains(&kc));
+    println!("  Abraham et al. message growth ~ n^3 (k = {ka:.2}, expect ~3): {}", (2.5..3.5).contains(&ka));
+    println!("  separation Delphi << baselines: {}", kd + 0.5 < kc && kd + 0.5 < ka);
+}

@@ -1,0 +1,122 @@
+//! Regenerates the **§VI-E validity-relaxation analysis**: how far
+//! Delphi's output strays from the honest-input average, compared with
+//! the strict-validity baselines, on both applications.
+//!
+//! Paper claims: oracle network — Delphi ≈ 25$ from the honest mean in
+//! expectation vs ≈ 12.5$ for FIN/Abraham et al. (≈ 0.05% of the BTC
+//! price, < 0.5% in 99.2% of minutes); drones — ≈ 2.6 m vs 1.3 m.
+//!
+//! `cargo run --release -p delphi-bench --bin validity_relaxation [--quick]`
+
+use delphi_bench::{cps_config, oracle_config, quick_mode, TextTable};
+use delphi_core::{DelphiConfig, DelphiNode};
+use delphi_primitives::NodeId;
+use delphi_sim::{Simulation, Topology};
+use delphi_stats::describe::Summary;
+use delphi_workloads::{BtcFeed, BtcFeedConfig, DroneScenario, DroneScenarioConfig};
+
+struct Deviation {
+    from_mean: Vec<f64>,
+    outside_hull: Vec<f64>,
+}
+
+impl Deviation {
+    fn new() -> Deviation {
+        Deviation { from_mean: Vec::new(), outside_hull: Vec::new() }
+    }
+    fn record(&mut self, outputs: &[f64], inputs: &[f64]) {
+        let s = Summary::of(inputs);
+        for o in outputs {
+            self.from_mean.push((o - s.mean).abs());
+            self.outside_hull.push((s.min - o).max(o - s.max).max(0.0));
+        }
+    }
+    fn report(&self) -> (f64, f64) {
+        (Summary::of(&self.from_mean).mean, Summary::of(&self.outside_hull).max)
+    }
+}
+
+fn run_delphi_outputs(cfg: &DelphiConfig, inputs: &[f64], seed: u64) -> Vec<f64> {
+    let n = cfg.n();
+    let nodes = NodeId::all(n)
+        .map(|id| DelphiNode::new(cfg.clone(), id, inputs[id.index()]).boxed())
+        .collect();
+    let report = Simulation::new(Topology::lan(n)).seed(seed).run(nodes);
+    assert!(report.all_honest_finished());
+    report.honest_outputs().copied().collect()
+}
+
+fn main() {
+    let trials = if quick_mode() { 5 } else { 25 };
+    let n = 16;
+    println!("== §VI-E: validity relaxation in practice ({trials} rounds per app) ==\n");
+
+    // Oracle network.
+    let cfg = oracle_config(n, 2.0);
+    let mut feed = BtcFeed::new(BtcFeedConfig::default(), 0xE1);
+    let mut delphi_dev = Deviation::new();
+    let mut acs_dev = Deviation::new();
+    let mut aad_dev = Deviation::new();
+    let mut deltas = Vec::new();
+    for trial in 0..trials {
+        let quote = feed.next_minute();
+        let inputs = feed.node_inputs(&quote, n);
+        deltas.push(Summary::of(&inputs).range());
+        delphi_dev.record(&run_delphi_outputs(&cfg, &inputs, 9000 + trial), &inputs);
+        let t = (n - 1) / 3;
+        let nodes = NodeId::all(n)
+            .map(|id| delphi_baselines::AcsNode::new(id, n, t, inputs[id.index()], b"coin").boxed())
+            .collect();
+        let racs = Simulation::new(Topology::lan(n)).seed(9100 + trial).run(nodes);
+        acs_dev.record(&racs.honest_outputs().copied().collect::<Vec<_>>(), &inputs);
+        let nodes = NodeId::all(n)
+            .map(|id| delphi_baselines::AadNode::new(id, n, t, inputs[id.index()], 10).boxed())
+            .collect();
+        let raad = Simulation::new(Topology::lan(n)).seed(9200 + trial).run(nodes);
+        aad_dev.record(&raad.honest_outputs().copied().collect::<Vec<_>>(), &inputs);
+        eprintln!("  oracle trial {trial} done");
+    }
+    let delta_mean = Summary::of(&deltas).mean;
+    let (d_mean, d_out) = delphi_dev.report();
+    let (c_mean, c_out) = acs_dev.report();
+    let (a_mean, a_out) = aad_dev.report();
+    println!("-- oracle network (BTC, $) | mean honest range δ = {delta_mean:.2}$ --");
+    let mut table = TextTable::new(&["protocol", "E|out - mean(Vh)|", "max outside hull"]);
+    table.row(&["Delphi".into(), format!("{d_mean:.2}$"), format!("{d_out:.2}$")]);
+    table.row(&["FIN".into(), format!("{c_mean:.2}$"), format!("{c_out:.2}$")]);
+    table.row(&["Abraham et al.".into(), format!("{a_mean:.2}$"), format!("{a_out:.2}$")]);
+    println!("{}", table.render());
+    println!(
+        "  relative price error (vs 30000$): Delphi {:.3}% | baselines {:.3}% [paper: ~0.05% expected]\n",
+        d_mean / 30_000.0 * 100.0,
+        c_mean / 30_000.0 * 100.0
+    );
+
+    // Drone localization (one axis).
+    let n = 15;
+    let cfg = cps_config(n);
+    let mut scenario = DroneScenario::new(DroneScenarioConfig::default(), (140.0, -30.0), 0xE2);
+    let mut delphi_dev = Deviation::new();
+    let mut aad_dev = Deviation::new();
+    for trial in 0..trials {
+        let (xs, _) = scenario.axis_inputs(n);
+        delphi_dev.record(&run_delphi_outputs(&cfg, &xs, 9300 + trial), &xs);
+        let t = (n - 1) / 3;
+        let nodes = NodeId::all(n)
+            .map(|id| delphi_baselines::AadNode::new(id, n, t, xs[id.index()], 7).boxed())
+            .collect();
+        let raad = Simulation::new(Topology::lan(n)).seed(9400 + trial).run(nodes);
+        aad_dev.record(&raad.honest_outputs().copied().collect::<Vec<_>>(), &xs);
+        eprintln!("  drone trial {trial} done");
+    }
+    let (d_mean, d_out) = delphi_dev.report();
+    let (a_mean, a_out) = aad_dev.report();
+    println!("-- drone localization (per axis, meters) --");
+    let mut table = TextTable::new(&["protocol", "E|out - mean(Vh)|", "max outside hull"]);
+    table.row(&["Delphi".into(), format!("{d_mean:.3}m"), format!("{d_out:.3}m")]);
+    table.row(&["Abraham et al.".into(), format!("{a_mean:.3}m"), format!("{a_out:.3}m")]);
+    println!("{}", table.render());
+    println!("shape checks:");
+    println!("  Delphi deviation within ~2-3x of strict-validity baselines (paper: 2x)");
+    println!("  Delphi never exceeds the δ-relaxed hull: {}", d_out <= delta_mean + 2.0);
+}

@@ -1,0 +1,266 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §3 for the index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results). This library
+//! holds what they share: protocol runners over configured testbeds, the
+//! paper's parameter presets, and plain-text table/CSV rendering.
+//!
+//! Absolute numbers are not expected to match the paper (its testbeds
+//! were real EC2/Raspberry-Pi deployments; ours is a calibrated
+//! simulator) — the *shapes* are: who wins, by what factor, and where
+//! the crossovers sit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use delphi_baselines::{AadNode, AcsNode};
+use delphi_core::{DelphiConfig, DelphiNode};
+use delphi_primitives::NodeId;
+use delphi_sim::{RunReport, Simulation, Topology};
+
+/// One measured protocol execution.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchPoint {
+    /// System size.
+    pub n: usize,
+    /// Simulated latency in milliseconds.
+    pub runtime_ms: f64,
+    /// Total wire traffic in MiB (payload + framing, all nodes).
+    pub wire_mib: f64,
+    /// Total messages sent.
+    pub msgs: u64,
+    /// Output spread among honest nodes (agreement quality).
+    pub spread: f64,
+}
+
+impl BenchPoint {
+    fn from_report(n: usize, report: &RunReport<f64>) -> BenchPoint {
+        let outs: Vec<f64> = report.honest_outputs().copied().collect();
+        let spread = if outs.is_empty() {
+            f64::NAN
+        } else {
+            outs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - outs.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        BenchPoint {
+            n,
+            runtime_ms: report.completion_ms().unwrap_or(f64::NAN),
+            wire_mib: report.metrics.total_wire_mib(),
+            msgs: report.metrics.total_msgs(),
+            spread,
+        }
+    }
+}
+
+/// The paper's oracle-network Delphi parameters (§VI-A / Fig. 6a).
+///
+/// `rho0` varies between figures (10$ in Fig. 6a, 2$ in Fig. 6b).
+pub fn oracle_config(n: usize, rho0: f64) -> DelphiConfig {
+    DelphiConfig::builder(n)
+        .space(0.0, 100_000.0)
+        .rho0(rho0)
+        .delta_max(2000.0)
+        .epsilon(2.0)
+        .build()
+        .expect("paper oracle parameters are valid")
+}
+
+/// The paper's CPS Delphi parameters (§VI-B / Fig. 6c).
+pub fn cps_config(n: usize) -> DelphiConfig {
+    DelphiConfig::builder(n)
+        .space(-10_000.0, 10_000.0)
+        .rho0(0.5)
+        .delta_max(50.0)
+        .epsilon(0.5)
+        .build()
+        .expect("paper CPS parameters are valid")
+}
+
+/// Evenly spreads `n` inputs over `[center − δ/2, center + δ/2]`.
+pub fn spread_inputs(n: usize, center: f64, delta: f64) -> Vec<f64> {
+    if n == 1 {
+        return vec![center];
+    }
+    (0..n)
+        .map(|i| center - delta / 2.0 + delta * i as f64 / (n as f64 - 1.0))
+        .collect()
+}
+
+/// Runs Delphi on `topology` with the given inputs.
+pub fn run_delphi(cfg: &DelphiConfig, topology: Topology, inputs: &[f64], seed: u64) -> BenchPoint {
+    let n = cfg.n();
+    assert_eq!(inputs.len(), n);
+    let nodes = NodeId::all(n)
+        .map(|id| DelphiNode::new(cfg.clone(), id, inputs[id.index()]).boxed())
+        .collect();
+    let report = Simulation::new(topology).seed(seed).run(nodes);
+    assert!(report.all_honest_finished(), "Delphi run stalled: {:?}", report.stop);
+    BenchPoint::from_report(n, &report)
+}
+
+/// Runs the Abraham et al. baseline with `rounds = ⌈log2(Δ/ε)⌉`.
+pub fn run_aad(n: usize, topology: Topology, inputs: &[f64], rounds: u16, seed: u64) -> BenchPoint {
+    let t = (n - 1) / 3;
+    let nodes = NodeId::all(n)
+        .map(|id| AadNode::new(id, n, t, inputs[id.index()], rounds).boxed())
+        .collect();
+    let report = Simulation::new(topology).seed(seed).run(nodes);
+    assert!(report.all_honest_finished(), "AAD run stalled: {:?}", report.stop);
+    BenchPoint::from_report(n, &report)
+}
+
+/// Runs the FIN-style ACS baseline.
+pub fn run_acs(n: usize, topology: Topology, inputs: &[f64], seed: u64) -> BenchPoint {
+    let t = (n - 1) / 3;
+    let nodes = NodeId::all(n)
+        .map(|id| AcsNode::new(id, n, t, inputs[id.index()], b"bench-coin").boxed())
+        .collect();
+    let report = Simulation::new(topology).seed(seed).run(nodes);
+    assert!(report.all_honest_finished(), "ACS run stalled: {:?}", report.stop);
+    BenchPoint::from_report(n, &report)
+}
+
+/// `true` when `--quick` was passed: trims sweeps for CI-speed runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Fits the growth exponent `k` of `y ≈ c·n^k` by least squares in
+/// log-log space.
+///
+/// # Panics
+///
+/// Panics on fewer than two points or non-positive data.
+pub fn growth_exponent(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A minimal aligned-text table with CSV output.
+#[derive(Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV (comma-separated, no quoting — cells are numeric).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_inputs_covers_delta() {
+        let xs = spread_inputs(5, 100.0, 10.0);
+        assert_eq!(xs.len(), 5);
+        assert_eq!(xs[0], 95.0);
+        assert_eq!(xs[4], 105.0);
+        assert_eq!(spread_inputs(1, 7.0, 10.0), vec![7.0]);
+    }
+
+    #[test]
+    fn growth_exponent_recovers_powers() {
+        let quad: Vec<(f64, f64)> = (2..8).map(|n| (n as f64, 3.0 * (n * n) as f64)).collect();
+        assert!((growth_exponent(&quad) - 2.0).abs() < 1e-9);
+        let cubic: Vec<(f64, f64)> = (2..8).map(|n| (n as f64, 0.5 * (n * n * n) as f64)).collect();
+        assert!((growth_exponent(&cubic) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = TextTable::new(&["n", "ms"]);
+        t.row(&["16".into(), "2300.5".into()]);
+        let text = t.render();
+        assert!(text.contains("n"));
+        assert!(text.contains("2300.5"));
+        assert!(t.to_csv().starts_with("n,ms\n16,2300.5\n"));
+    }
+
+    #[test]
+    fn delphi_runner_smoke() {
+        let cfg = oracle_config(4, 10.0);
+        let inputs = spread_inputs(4, 40_000.0, 20.0);
+        let p = run_delphi(&cfg, Topology::lan(4), &inputs, 1);
+        assert_eq!(p.n, 4);
+        assert!(p.runtime_ms > 0.0);
+        assert!(p.wire_mib > 0.0);
+        assert!(p.spread <= 2.0);
+    }
+
+    #[test]
+    fn baseline_runners_smoke() {
+        let inputs = spread_inputs(4, 40_000.0, 20.0);
+        let a = run_aad(4, Topology::lan(4), &inputs, 6, 1);
+        assert!(a.runtime_ms > 0.0);
+        let c = run_acs(4, Topology::lan(4), &inputs, 1);
+        assert!(c.runtime_ms > 0.0);
+        assert_eq!(c.spread, 0.0, "ACS reaches exact agreement");
+    }
+}

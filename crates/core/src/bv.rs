@@ -1,0 +1,485 @@
+//! One round of weak Binary-Value broadcast (Definition II.2).
+//!
+//! Every BinAA round is an instance of this quorum machine (Algorithm 1,
+//! lines 4–25):
+//!
+//! - each node `ECHO1`s its value;
+//! - a value echoed by `t + 1` nodes is *amplified* (Bracha amplification,
+//!   line 10–11): the node `ECHO1`s it too, so Byzantine-only values (at
+//!   most `t` echoes) can never gain support;
+//! - the first value with `n − t` `ECHO1`s triggers the node's single
+//!   `ECHO2` (lines 12–14);
+//! - the round *terminates* when either **(1)** two values each have
+//!   `n − t` `ECHO1`s (output set `{b1, b2}`), or **(2)** one value has
+//!   `n − t` `ECHO2`s (output set `{b}`).
+//!
+//! [`BvRound`] is a pure state machine: callers feed echoes in and carry
+//! the returned [`BvAction`]s to the network. Sent echoes are applied to
+//! the local state immediately (the paper's line 6 self-insertion), and
+//! amplification keeps running even after the round has terminated so slow
+//! peers still receive help.
+
+use delphi_primitives::{Dyadic, NodeBitSet, NodeId};
+
+/// Per-sender cap on distinct `ECHO1` values tracked.
+///
+/// Honest nodes send at most two distinct `ECHO1` values per round (their
+/// own plus one amplification — honest round values form an adjacent pair).
+/// Tracking only the first two per sender bounds memory against Byzantine
+/// value-flooding without affecting any honest quorum.
+pub const MAX_ECHO1_VALUES_PER_SENDER: usize = 2;
+
+/// An echo the caller must broadcast on behalf of this round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BvAction {
+    /// Broadcast `ECHO1(value)` for this round.
+    Echo1(Dyadic),
+    /// Broadcast `ECHO2(value)` for this round.
+    Echo2(Dyadic),
+}
+
+/// Terminated-round outcome: the weak BV-broadcast output set `B_i`
+/// (one or two values) plus the BinAA state update derived from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BvOutcome {
+    low: Dyadic,
+    high: Dyadic,
+}
+
+impl BvOutcome {
+    fn single(b: Dyadic) -> BvOutcome {
+        BvOutcome { low: b, high: b }
+    }
+
+    fn pair(a: Dyadic, b: Dyadic) -> BvOutcome {
+        BvOutcome { low: a.min(b), high: a.max(b) }
+    }
+
+    /// The output set `B_i`, sorted ascending (one or two values).
+    pub fn set(&self) -> Vec<Dyadic> {
+        if self.low == self.high {
+            vec![self.low]
+        } else {
+            vec![self.low, self.high]
+        }
+    }
+
+    /// The next-round BinAA value: the single value for a singleton set,
+    /// the exact midpoint for a pair (Algorithm 1 lines 20 and 24).
+    pub fn next_value(&self) -> Dyadic {
+        if self.low == self.high {
+            self.low
+        } else {
+            self.low.midpoint(self.high)
+        }
+    }
+}
+
+/// State of one node's participation in one weak BV-broadcast round.
+#[derive(Clone, Debug)]
+pub struct BvRound {
+    me: NodeId,
+    n: usize,
+    t: usize,
+    /// `ECHO1` senders per value; bounded by per-sender caps.
+    e1: Vec<(Dyadic, NodeBitSet)>,
+    /// `ECHO2` senders per value.
+    e2: Vec<(Dyadic, NodeBitSet)>,
+    /// Distinct `ECHO1` values counted per sender.
+    e1_count: Vec<u8>,
+    /// Values we have already `ECHO1`d.
+    sent_e1: Vec<Dyadic>,
+    /// Whether we have sent our (single) `ECHO2`.
+    sent_e2: bool,
+    outcome: Option<BvOutcome>,
+}
+
+impl BvRound {
+    /// Creates the round state for node `me` of an `n`-node, `t`-fault
+    /// system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3t + 1` (the protocol's resilience bound) or `me` is
+    /// out of range.
+    pub fn new(me: NodeId, n: usize, t: usize) -> BvRound {
+        assert!(n >= 3 * t + 1, "weak BV broadcast requires n >= 3t + 1");
+        assert!(me.index() < n, "node id out of range");
+        BvRound {
+            me,
+            n,
+            t,
+            e1: Vec::new(),
+            e2: Vec::new(),
+            e1_count: vec![0; n],
+            sent_e1: Vec::new(),
+            sent_e2: false,
+            outcome: None,
+        }
+    }
+
+    /// Feeds this node's own input for the round (Algorithm 1 lines 4–7).
+    /// Returns the echoes to broadcast.
+    pub fn set_input(&mut self, value: Dyadic) -> Vec<BvAction> {
+        let mut actions = Vec::new();
+        self.send_echo1(value, &mut actions);
+        self.progress(&mut actions);
+        actions
+    }
+
+    /// Handles `ECHO1(value)` from `from`. Returns echoes to broadcast.
+    pub fn on_echo1(&mut self, from: NodeId, value: Dyadic) -> Vec<BvAction> {
+        let mut actions = Vec::new();
+        self.insert_e1(from, value);
+        self.progress(&mut actions);
+        actions
+    }
+
+    /// Handles `ECHO2(value)` from `from`. Returns echoes to broadcast.
+    pub fn on_echo2(&mut self, from: NodeId, value: Dyadic) -> Vec<BvAction> {
+        let mut actions = Vec::new();
+        self.insert_e2(from, value);
+        self.progress(&mut actions);
+        actions
+    }
+
+    /// The round's outcome, once one of the two termination conditions
+    /// holds.
+    pub fn outcome(&self) -> Option<&BvOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Whether the round has terminated at this node.
+    pub fn is_terminated(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    fn insert_e1(&mut self, from: NodeId, value: Dyadic) {
+        if from.index() >= self.n {
+            return;
+        }
+        if let Some((_, set)) = self.e1.iter_mut().find(|(v, _)| *v == value) {
+            set.insert(from);
+            return;
+        }
+        // New value for this sender: enforce the per-sender cap.
+        if usize::from(self.e1_count[from.index()]) >= MAX_ECHO1_VALUES_PER_SENDER {
+            return;
+        }
+        self.e1_count[from.index()] += 1;
+        let mut set = NodeBitSet::new(self.n);
+        set.insert(from);
+        self.e1.push((value, set));
+    }
+
+    fn insert_e2(&mut self, from: NodeId, value: Dyadic) {
+        if from.index() >= self.n {
+            return;
+        }
+        // One ECHO2 per sender: ignore if this sender already echoed any value.
+        if self.e2.iter().any(|(_, set)| set.contains(from)) {
+            return;
+        }
+        if let Some((_, set)) = self.e2.iter_mut().find(|(v, _)| *v == value) {
+            set.insert(from);
+            return;
+        }
+        let mut set = NodeBitSet::new(self.n);
+        set.insert(from);
+        self.e2.push((value, set));
+    }
+
+    fn send_echo1(&mut self, value: Dyadic, actions: &mut Vec<BvAction>) {
+        if self.sent_e1.contains(&value) {
+            return;
+        }
+        self.sent_e1.push(value);
+        self.insert_e1(self.me, value);
+        actions.push(BvAction::Echo1(value));
+    }
+
+    fn send_echo2(&mut self, value: Dyadic, actions: &mut Vec<BvAction>) {
+        if self.sent_e2 {
+            return;
+        }
+        self.sent_e2 = true;
+        self.insert_e2(self.me, value);
+        actions.push(BvAction::Echo2(value));
+    }
+
+    /// Runs the amplification/echo2 triggers to a fixed point, then checks
+    /// the termination conditions.
+    fn progress(&mut self, actions: &mut Vec<BvAction>) {
+        loop {
+            // Amplify: t + 1 ECHO1s for a value we have not echoed yet.
+            let amplify = self
+                .e1
+                .iter()
+                .find(|(v, set)| set.len() >= self.t + 1 && !self.sent_e1.contains(v))
+                .map(|(v, _)| *v);
+            if let Some(v) = amplify {
+                self.send_echo1(v, actions);
+                continue;
+            }
+            // ECHO2: n − t ECHO1s for a value, once per round.
+            if !self.sent_e2 {
+                let ready = self
+                    .e1
+                    .iter()
+                    .find(|(_, set)| set.len() >= self.n - self.t)
+                    .map(|(v, _)| *v);
+                if let Some(v) = ready {
+                    self.send_echo2(v, actions);
+                    continue;
+                }
+            }
+            break;
+        }
+        if self.outcome.is_none() {
+            // Condition (1): two values with n − t ECHO1s each.
+            let quorum1: Vec<Dyadic> = self
+                .e1
+                .iter()
+                .filter(|(_, set)| set.len() >= self.n - self.t)
+                .map(|(v, _)| *v)
+                .collect();
+            if quorum1.len() >= 2 {
+                self.outcome = Some(BvOutcome::pair(quorum1[0], quorum1[1]));
+                return;
+            }
+            // Condition (2): one value with n − t ECHO2s.
+            if let Some((v, _)) = self.e2.iter().find(|(_, set)| set.len() >= self.n - self.t) {
+                self.outcome = Some(BvOutcome::single(*v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ZERO: Dyadic = Dyadic::ZERO;
+    const ONE: Dyadic = Dyadic::ONE;
+
+    /// Runs a full mesh of `n` BvRounds with the given inputs, delivering
+    /// all actions until quiescence, in a fixed round-robin order.
+    fn run_mesh(inputs: &[Dyadic], t: usize) -> Vec<BvRound> {
+        let n = inputs.len();
+        let mut rounds: Vec<BvRound> =
+            (0..n).map(|i| BvRound::new(NodeId(i as u16), n, t)).collect();
+        // (from, action) queue.
+        let mut queue: Vec<(NodeId, BvAction)> = Vec::new();
+        for (i, &input) in inputs.iter().enumerate() {
+            for a in rounds[i].set_input(input) {
+                queue.push((NodeId(i as u16), a));
+            }
+        }
+        while let Some((from, action)) = queue.pop() {
+            for i in 0..n {
+                if i == from.index() {
+                    continue;
+                }
+                let acts = match action {
+                    BvAction::Echo1(v) => rounds[i].on_echo1(from, v),
+                    BvAction::Echo2(v) => rounds[i].on_echo2(from, v),
+                };
+                for a in acts {
+                    queue.push((NodeId(i as u16), a));
+                }
+            }
+        }
+        rounds
+    }
+
+    #[test]
+    fn unanimous_input_terminates_with_that_value() {
+        let rounds = run_mesh(&[ONE, ONE, ONE, ONE], 1);
+        for r in &rounds {
+            let out = r.outcome().expect("terminated");
+            assert_eq!(out.set(), vec![ONE]);
+            assert_eq!(out.next_value(), ONE);
+        }
+    }
+
+    #[test]
+    fn split_inputs_satisfy_weak_uniformity_and_justification() {
+        let rounds = run_mesh(&[ZERO, ZERO, ONE, ONE], 1);
+        for r in &rounds {
+            let out = r.outcome().expect("terminated");
+            // Justification: only honest inputs appear.
+            for v in out.set() {
+                assert!(v == ZERO || v == ONE);
+            }
+        }
+        // Weak uniformity: pairwise non-empty intersection.
+        for a in &rounds {
+            for b in &rounds {
+                let sa = a.outcome().unwrap().set();
+                let sb = b.outcome().unwrap().set();
+                assert!(sa.iter().any(|v| sb.contains(v)), "{sa:?} vs {sb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_value_is_midpoint_for_pairs() {
+        let out = BvOutcome::pair(ONE, ZERO);
+        assert_eq!(out.set(), vec![ZERO, ONE]);
+        assert_eq!(out.next_value(), Dyadic::new(1, 1));
+        let single = BvOutcome::single(Dyadic::new(3, 2));
+        assert_eq!(single.next_value(), Dyadic::new(3, 2));
+    }
+
+    #[test]
+    fn lone_minority_value_cannot_terminate_alone() {
+        // n = 4, t = 1: a single ECHO1 for a value never reaches t+1 = 2
+        // from Byzantine alone; with honest unanimity on 0 the round
+        // terminates on 0 regardless of a Byzantine 1.
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        let _ = r.on_echo1(NodeId(3), ONE); // Byzantine
+        let _ = r.on_echo1(NodeId(1), ZERO);
+        let _ = r.on_echo1(NodeId(2), ZERO);
+        // ECHO2s from the others complete condition (2) for 0.
+        let _ = r.on_echo2(NodeId(1), ZERO);
+        let acts = r.on_echo2(NodeId(2), ZERO);
+        let _ = acts;
+        let out = r.outcome().expect("terminated");
+        assert_eq!(out.set(), vec![ZERO]);
+    }
+
+    #[test]
+    fn amplification_requires_t_plus_one() {
+        let mut r = BvRound::new(NodeId(0), 7, 2);
+        let _ = r.set_input(ZERO);
+        // Two Byzantine echoes for 1: t = 2, not enough to amplify.
+        let a1 = r.on_echo1(NodeId(5), ONE);
+        let a2 = r.on_echo1(NodeId(6), ONE);
+        assert!(a1.is_empty() && a2.is_empty());
+        // A third echo (t + 1 = 3) triggers amplification.
+        let a3 = r.on_echo1(NodeId(4), ONE);
+        assert_eq!(a3, vec![BvAction::Echo1(ONE)]);
+    }
+
+    #[test]
+    fn echo2_sent_once_per_round() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        let mut all = Vec::new();
+        all.extend(r.on_echo1(NodeId(1), ZERO));
+        all.extend(r.on_echo1(NodeId(2), ZERO)); // n - t = 3 reached
+        let echo2s: Vec<_> = all.iter().filter(|a| matches!(a, BvAction::Echo2(_))).collect();
+        assert_eq!(echo2s.len(), 1);
+        // Even if the other value later reaches n - t, no second ECHO2.
+        let mut more = Vec::new();
+        more.extend(r.on_echo1(NodeId(1), ONE));
+        more.extend(r.on_echo1(NodeId(2), ONE));
+        more.extend(r.on_echo1(NodeId(3), ONE));
+        assert!(more.iter().all(|a| !matches!(a, BvAction::Echo2(_))));
+    }
+
+    #[test]
+    fn condition_one_two_echo1_quorums() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        let _ = r.on_echo1(NodeId(1), ZERO);
+        let _ = r.on_echo1(NodeId(2), ZERO); // 0 has n-t
+        let _ = r.on_echo1(NodeId(1), ONE);
+        let _ = r.on_echo1(NodeId(2), ONE);
+        let _ = r.on_echo1(NodeId(3), ONE); // 1 has n-t
+        let out = r.outcome().expect("condition (1)");
+        assert_eq!(out.set(), vec![ZERO, ONE]);
+        assert_eq!(out.next_value(), Dyadic::new(1, 1));
+    }
+
+    #[test]
+    fn duplicate_echoes_do_not_inflate_quorums() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        for _ in 0..10 {
+            let _ = r.on_echo1(NodeId(1), ZERO);
+        }
+        // Only 2 distinct senders (me + node 1) so far: below n - t = 3.
+        assert!(!r.is_terminated());
+        assert!(!r.sent_e2);
+    }
+
+    #[test]
+    fn per_sender_value_flood_is_bounded() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        // Byzantine node 3 floods distinct values; only the first 2 stick.
+        for i in 0..100u64 {
+            let _ = r.on_echo1(NodeId(3), Dyadic::new(i, 10));
+        }
+        assert!(r.e1.len() <= 3, "tracked values stay bounded: {}", r.e1.len());
+        // Honest traffic still works fine afterwards.
+        let _ = r.on_echo1(NodeId(1), ZERO);
+        let _ = r.on_echo1(NodeId(2), ZERO);
+        let _ = r.on_echo2(NodeId(1), ZERO);
+        let _ = r.on_echo2(NodeId(2), ZERO);
+        assert!(r.is_terminated());
+    }
+
+    #[test]
+    fn one_echo2_per_sender_counted() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        // Byzantine node 3 tries ECHO2 on two values.
+        let _ = r.on_echo2(NodeId(3), ZERO);
+        let _ = r.on_echo2(NodeId(3), ONE);
+        assert_eq!(r.e2.len(), 1, "second ECHO2 from same sender ignored");
+    }
+
+    #[test]
+    fn out_of_range_sender_ignored() {
+        let mut r = BvRound::new(NodeId(0), 4, 1);
+        let _ = r.set_input(ZERO);
+        let _ = r.on_echo1(NodeId(100), ZERO);
+        let _ = r.on_echo2(NodeId(100), ZERO);
+        // Only our own echo counts.
+        assert_eq!(r.e1[0].1.len(), 1);
+    }
+
+    #[test]
+    fn amplification_continues_after_termination() {
+        let n = 4;
+        let mut r = BvRound::new(NodeId(0), n, 1);
+        let _ = r.set_input(ZERO);
+        let _ = r.on_echo1(NodeId(1), ZERO);
+        let _ = r.on_echo1(NodeId(2), ZERO);
+        let _ = r.on_echo2(NodeId(1), ZERO);
+        let _ = r.on_echo2(NodeId(2), ZERO);
+        assert!(r.is_terminated());
+        // Value 1 reaches t + 1 only now: we must still help.
+        let _ = r.on_echo1(NodeId(1), ONE);
+        let acts = r.on_echo1(NodeId(2), ONE);
+        assert_eq!(acts, vec![BvAction::Echo1(ONE)]);
+        // Outcome remains frozen.
+        assert_eq!(r.outcome().unwrap().set(), vec![ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3t + 1")]
+    fn resilience_bound_enforced() {
+        let _ = BvRound::new(NodeId(0), 3, 1);
+    }
+
+    #[test]
+    fn larger_mesh_with_byzantine_flood_still_terminates() {
+        // 7 honest of n = 7 (t = 2 tolerated, none actually faulty),
+        // mixed inputs.
+        let inputs = [ZERO, ONE, ZERO, ONE, ZERO, ONE, ZERO];
+        let rounds = run_mesh(&inputs, 2);
+        for r in &rounds {
+            assert!(r.is_terminated());
+        }
+    }
+}

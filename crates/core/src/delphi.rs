@@ -1,0 +1,906 @@
+//! The Delphi protocol node (Algorithm 2).
+//!
+//! Each node runs one BinAA instance per checkpoint per level — but almost
+//! all of those instances are identical: every checkpoint far from every
+//! honest input sees only 0-votes. The implementation therefore keeps, per
+//! level,
+//!
+//! - one **background** instance standing for every *undistinguished*
+//!   checkpoint of the level, and
+//! - a sparse map of **distinguished** (active) instances: the checkpoints
+//!   some node has voted 1 for, or otherwise explicitly mentioned.
+//!
+//! A checkpoint is *forked* off the background the first time any message
+//! mentions it; the fork inherits the background's entire quorum history,
+//! which is sound because until that moment every received echo concerning
+//! the checkpoint was background-scoped. This is the §III-C zero-run
+//! optimization made concrete, and it is what turns "one BinAA per point
+//! of a 50 000-checkpoint space" into a handful of live instances and
+//! `O(n²)` bundle messages per round.
+//!
+//! # Flood resistance
+//!
+//! A Byzantine sender could mention unboundedly many checkpoints to force
+//! unbounded forking. Each sender therefore has a per-level *introduction
+//! budget* ([`INTRO_BUDGET_PER_LEVEL`]); mentions beyond it do not fork
+//! (the checkpoint stays represented by the background). Honest nodes
+//! introduce at most 3 checkpoints per level themselves, so the budget
+//! never constrains honest-only executions. Under a combined
+//! flooding-plus-reordering attack a refused mention could in principle
+//! discard an honest echo; the paper does not treat flood resistance at
+//! all, and we prefer bounded memory with this documented, narrow caveat.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use delphi_primitives::wire::{Decode, Encode};
+use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
+
+use crate::aggregate::{combine_levels, level_summary, LevelSummary};
+use crate::bv::{BvAction, BvRound};
+use crate::messages::{DelphiBundle, EchoKind, Section};
+use crate::params::DelphiConfig;
+
+/// Per-sender, per-level cap on checkpoint introductions (see module docs).
+pub const INTRO_BUDGET_PER_LEVEL: u8 = 8;
+
+/// One BinAA instance: either the background of a level or one
+/// distinguished checkpoint.
+#[derive(Clone, Debug)]
+struct Instance {
+    /// Round states, indexed by `round − 1`, allocated on first touch.
+    rounds: Vec<Option<BvRound>>,
+    /// State value entering the level's current round.
+    value: Dyadic,
+}
+
+impl Instance {
+    fn new(r_max: u16, input: Dyadic) -> Instance {
+        Instance {
+            rounds: std::iter::repeat_with(|| None).take(usize::from(r_max)).collect(),
+            value: input,
+        }
+    }
+
+    fn round_mut(&mut self, round: Round, me: NodeId, n: usize, t: usize) -> &mut BvRound {
+        self.rounds[round.index()].get_or_insert_with(|| BvRound::new(me, n, t))
+    }
+
+    fn outcome_at(&self, round: Round) -> Option<Dyadic> {
+        self.rounds[round.index()].as_ref()?.outcome().map(|o| o.next_value())
+    }
+}
+
+/// Per-level protocol state.
+#[derive(Clone, Debug)]
+struct LevelState {
+    level: u8,
+    k_min: i64,
+    k_max: i64,
+    /// Current round (1-based); `r_max + 1` once the level has finished.
+    round: u16,
+    background: Instance,
+    actives: BTreeMap<i64, Instance>,
+    /// Remaining introduction budget per sender.
+    intro_budget: Vec<u8>,
+    /// Final `(µ, weight)` pairs once the level completes all rounds.
+    summary: Option<LevelSummary>,
+}
+
+/// Outgoing-echo collector: groups per-instance echoes into [`Section`]s.
+#[derive(Debug, Default)]
+struct Collector {
+    sections: Vec<Section>,
+}
+
+impl Collector {
+    /// The level-advance burst: background plus every active echoes its
+    /// round input simultaneously.
+    fn initial(&mut self, level: u8, round: Round, bg: Dyadic, entries: Vec<(i64, Dyadic)>) {
+        self.sections.push(Section {
+            level,
+            round,
+            kind: EchoKind::Echo1,
+            background: Some(bg),
+            exclude: Vec::new(),
+            entries,
+        });
+    }
+
+    /// A trigger-driven echo for one distinguished checkpoint.
+    fn entry(&mut self, level: u8, round: Round, kind: EchoKind, k: i64, v: Dyadic) {
+        if let Some(s) = self.sections.iter_mut().find(|s| {
+            s.level == level && s.round == round && s.kind == kind && s.background.is_none()
+        }) {
+            s.entries.push((k, v));
+            return;
+        }
+        let mut s = Section::new(level, round, kind);
+        s.entries.push((k, v));
+        self.sections.push(s);
+    }
+
+    /// A trigger-driven background echo; `exclude` is the emit-time
+    /// snapshot of distinguished checkpoints.
+    fn background(&mut self, level: u8, round: Round, kind: EchoKind, v: Dyadic, exclude: Vec<i64>) {
+        let mut s = Section::new(level, round, kind);
+        s.background = Some(v);
+        s.exclude = exclude;
+        self.sections.push(s);
+    }
+
+    fn into_bundle(self) -> DelphiBundle {
+        DelphiBundle { sections: self.sections }
+    }
+}
+
+/// A Delphi protocol node.
+///
+/// See the [crate docs](crate) for a runnable quickstart; construction
+/// takes the shared [`DelphiConfig`], this node's identity, and its
+/// measured input value (clamped into the configured space).
+#[derive(Debug)]
+pub struct DelphiNode {
+    cfg: DelphiConfig,
+    me: NodeId,
+    input: f64,
+    levels: Vec<LevelState>,
+    output: Option<f64>,
+}
+
+impl DelphiNode {
+    /// Creates a node with input `value` (clamped into `[s, e]`; NaN is
+    /// mapped to `s` rather than poisoning the protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for the configured system size.
+    pub fn new(cfg: DelphiConfig, me: NodeId, value: f64) -> DelphiNode {
+        assert!(me.index() < cfg.n(), "node id out of range");
+        let input = if value.is_nan() { cfg.s() } else { cfg.clamp_input(value) };
+        let levels = (0..=cfg.l_max())
+            .map(|level| {
+                let (k_min, k_max) = cfg.checkpoint_range(level);
+                LevelState {
+                    level,
+                    k_min,
+                    k_max,
+                    round: 1,
+                    background: Instance::new(cfg.r_max(), Dyadic::ZERO),
+                    actives: BTreeMap::new(),
+                    intro_budget: vec![INTRO_BUDGET_PER_LEVEL; cfg.n()],
+                    summary: None,
+                }
+            })
+            .collect();
+        DelphiNode { cfg, me, input, levels, output: None }
+    }
+
+    /// Boxes the node for use with heterogeneous drivers.
+    pub fn boxed(self) -> Box<dyn Protocol<Output = f64>> {
+        Box::new(self)
+    }
+
+    /// The configuration this node runs under.
+    pub fn config(&self) -> &DelphiConfig {
+        &self.cfg
+    }
+
+    /// The (clamped) input value this node contributes.
+    pub fn input(&self) -> f64 {
+        self.input
+    }
+
+    /// Number of distinguished checkpoints currently tracked at `level`
+    /// (diagnostics; the paper's `min(δ/ρ_l, n)` communication term).
+    pub fn active_checkpoints(&self, level: u8) -> usize {
+        self.levels.get(usize::from(level)).map_or(0, |l| l.actives.len())
+    }
+
+    /// A value is plausible for `round` iff it lies in `[0, 1]` on the
+    /// grid `j / 2^{r−1}`.
+    fn plausible(value: Dyadic, round: Round) -> bool {
+        value.in_unit_interval() && u16::from(value.log_den()) < round.0
+    }
+
+    /// Forks checkpoint `k` off the background of `level` if it is not yet
+    /// distinguished, charging `sponsor`'s introduction budget. Returns
+    /// whether the checkpoint is distinguished after the call.
+    fn distinguish(level: &mut LevelState, k: i64, sponsor: NodeId) -> bool {
+        if k < level.k_min || k > level.k_max {
+            return false;
+        }
+        if level.actives.contains_key(&k) {
+            return true;
+        }
+        let budget = &mut level.intro_budget[sponsor.index()];
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let fork = level.background.clone();
+        level.actives.insert(k, fork);
+        true
+    }
+
+    /// Applies one echo to one instance, translating its actions into
+    /// collector output.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_echo(
+        cfg: &DelphiConfig,
+        me: NodeId,
+        instance: &mut Instance,
+        scope: Option<i64>,
+        level: u8,
+        round: Round,
+        kind: EchoKind,
+        from: NodeId,
+        value: Dyadic,
+        out: &mut Collector,
+        deferred_bg: &mut Vec<(u8, Round, EchoKind, Dyadic)>,
+    ) {
+        let bv = instance.round_mut(round, me, cfg.n(), cfg.t());
+        let actions = match kind {
+            EchoKind::Echo1 => bv.on_echo1(from, value),
+            EchoKind::Echo2 => bv.on_echo2(from, value),
+        };
+        for action in actions {
+            let (k2, v2) = match action {
+                BvAction::Echo1(v) => (EchoKind::Echo1, v),
+                BvAction::Echo2(v) => (EchoKind::Echo2, v),
+            };
+            match scope {
+                Some(k) => out.entry(level, round, k2, k, v2),
+                // Background echoes need an exclude snapshot of the whole
+                // level; defer so the caller can take it without aliasing.
+                None => deferred_bg.push((level, round, k2, v2)),
+            }
+        }
+    }
+
+    /// Processes one decoded section, collecting any triggered echoes.
+    fn process_section(&mut self, from: NodeId, section: &Section, out: &mut Collector) {
+        let level_idx = usize::from(section.level);
+        if level_idx >= self.levels.len() {
+            return;
+        }
+        if section.round.0 < 1 || section.round.0 > self.cfg.r_max() {
+            return;
+        }
+        if let Some(bg) = section.background {
+            if !Self::plausible(bg, section.round) {
+                return;
+            }
+        }
+
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        let level = &mut self.levels[level_idx];
+        let mut deferred_bg: Vec<(u8, Round, EchoKind, Dyadic)> = Vec::new();
+
+        // 1. Every mentioned checkpoint becomes distinguished (fork).
+        for &k in section.exclude.iter().chain(section.entries.iter().map(|(k, _)| k)) {
+            let _ = Self::distinguish(level, k, from);
+        }
+
+        // 2. Explicit per-checkpoint echoes.
+        for &(k, value) in &section.entries {
+            if !Self::plausible(value, section.round) {
+                continue;
+            }
+            if let Some(instance) = level.actives.get_mut(&k) {
+                Self::apply_echo(
+                    &cfg,
+                    me,
+                    instance,
+                    Some(k),
+                    section.level,
+                    section.round,
+                    section.kind,
+                    from,
+                    value,
+                    out,
+                    &mut deferred_bg,
+                );
+            }
+        }
+
+        // 3. Background echo: applies to the background instance and every
+        //    distinguished checkpoint the sender did not mention.
+        if let Some(bg_value) = section.background {
+            let mentioned = |k: i64| {
+                section.exclude.contains(&k) || section.entries.iter().any(|&(ek, _)| ek == k)
+            };
+            let keys: Vec<i64> = level.actives.keys().copied().filter(|&k| !mentioned(k)).collect();
+            for k in keys {
+                let instance = level.actives.get_mut(&k).expect("key just listed");
+                Self::apply_echo(
+                    &cfg,
+                    me,
+                    instance,
+                    Some(k),
+                    section.level,
+                    section.round,
+                    section.kind,
+                    from,
+                    bg_value,
+                    out,
+                    &mut deferred_bg,
+                );
+            }
+            Self::apply_echo(
+                &cfg,
+                me,
+                &mut level.background,
+                None,
+                section.level,
+                section.round,
+                section.kind,
+                from,
+                bg_value,
+                out,
+                &mut deferred_bg,
+            );
+        }
+
+        // 4. Flush deferred background echoes with an exclude snapshot.
+        for (lvl, round, kind, value) in deferred_bg {
+            let exclude: Vec<i64> = level.actives.keys().copied().collect();
+            out.background(lvl, round, kind, value, exclude);
+        }
+    }
+
+    /// Advances every level through any rounds whose outcomes are complete,
+    /// emitting initial bursts; finalizes levels and the overall output.
+    fn advance(&mut self, out: &mut Collector) {
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        for level in &mut self.levels {
+            'rounds: while level.round <= cfg.r_max() {
+                let round = Round(level.round);
+                // The level advances when the background and every
+                // distinguished checkpoint have terminated the round.
+                let Some(bg_next) = level.background.outcome_at(round) else { break 'rounds };
+                let mut nexts: Vec<(i64, Dyadic)> = Vec::with_capacity(level.actives.len());
+                for (&k, inst) in &level.actives {
+                    let Some(next) = inst.outcome_at(round) else { break 'rounds };
+                    nexts.push((k, next));
+                }
+                level.background.value = bg_next;
+                for (k, next) in &nexts {
+                    level.actives.get_mut(k).expect("listed above").value = *next;
+                }
+                level.round += 1;
+                if level.round > cfg.r_max() {
+                    // Level complete: final values are the weights.
+                    let eps_prime = cfg.eps_prime();
+                    let checkpoints: Vec<(f64, f64)> = level
+                        .actives
+                        .iter()
+                        .map(|(&k, inst)| {
+                            (cfg.checkpoint_value(level.level, k), inst.value.to_f64())
+                        })
+                        .collect();
+                    // The background weight is provably 0 at honest nodes
+                    // (its honest inputs are all 0); it carries no mass.
+                    debug_assert!(level.background.value.is_zero());
+                    let own = cfg.clamp_input(self.input);
+                    level.summary = Some(level_summary(&checkpoints, own, eps_prime));
+                    break 'rounds;
+                }
+                // Initial burst for the next round.
+                let next_round = Round(level.round);
+                let mut deferred: Vec<(u8, Round, EchoKind, Dyadic)> = Vec::new();
+                let mut entries: Vec<(i64, Dyadic)> = Vec::new();
+                let keys: Vec<i64> = level.actives.keys().copied().collect();
+                for k in keys {
+                    let inst = level.actives.get_mut(&k).expect("key just listed");
+                    let value = inst.value;
+                    let actions = inst.round_mut(next_round, me, cfg.n(), cfg.t()).set_input(value);
+                    entries.push((k, value));
+                    for action in actions {
+                        match action {
+                            // The initial Echo1 is carried by the burst
+                            // entry itself.
+                            BvAction::Echo1(v) if v == value => {}
+                            BvAction::Echo1(v) => out.entry(level.level, next_round, EchoKind::Echo1, k, v),
+                            BvAction::Echo2(v) => out.entry(level.level, next_round, EchoKind::Echo2, k, v),
+                        }
+                    }
+                }
+                let bg_value = level.background.value;
+                let bg_actions = level
+                    .background
+                    .round_mut(next_round, me, cfg.n(), cfg.t())
+                    .set_input(bg_value);
+                out.initial(level.level, next_round, bg_value, entries);
+                for action in bg_actions {
+                    match action {
+                        BvAction::Echo1(v) if v == bg_value => {}
+                        BvAction::Echo1(v) => deferred.push((level.level, next_round, EchoKind::Echo1, v)),
+                        BvAction::Echo2(v) => deferred.push((level.level, next_round, EchoKind::Echo2, v)),
+                    }
+                }
+                for (lvl, round, kind, value) in deferred {
+                    let exclude: Vec<i64> = level.actives.keys().copied().collect();
+                    out.background(lvl, round, kind, value, exclude);
+                }
+            }
+        }
+        if self.output.is_none() && self.levels.iter().all(|l| l.summary.is_some()) {
+            let summaries: Vec<LevelSummary> =
+                self.levels.iter().map(|l| l.summary.expect("checked")).collect();
+            self.output = Some(combine_levels(&summaries));
+        }
+    }
+
+    fn flush(&self, out: Collector) -> Vec<Envelope> {
+        let bundle = out.into_bundle();
+        if bundle.is_empty() {
+            Vec::new()
+        } else {
+            vec![Envelope::to_all(Bytes::from(bundle.to_bytes()))]
+        }
+    }
+}
+
+impl Protocol for DelphiNode {
+    type Output = f64;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n()
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        let mut out = Collector::default();
+        for level in &mut self.levels {
+            // Our own 1-checkpoints become distinguished with input 1
+            // (charged against our own introduction budget).
+            for k in cfg.one_checkpoints(level.level, self.input) {
+                if Self::distinguish(level, k, me) {
+                    level.actives.get_mut(&k).expect("just distinguished").value = Dyadic::ONE;
+                }
+            }
+            // Round-1 initial burst.
+            let round = Round(1);
+            let mut entries = Vec::new();
+            let keys: Vec<i64> = level.actives.keys().copied().collect();
+            for k in keys {
+                let inst = level.actives.get_mut(&k).expect("key just listed");
+                let value = inst.value;
+                let actions = inst.round_mut(round, me, cfg.n(), cfg.t()).set_input(value);
+                entries.push((k, value));
+                for action in actions {
+                    match action {
+                        BvAction::Echo1(v) if v == value => {}
+                        BvAction::Echo1(v) => out.entry(level.level, round, EchoKind::Echo1, k, v),
+                        BvAction::Echo2(v) => out.entry(level.level, round, EchoKind::Echo2, k, v),
+                    }
+                }
+            }
+            let bg_actions = level.background.round_mut(round, me, cfg.n(), cfg.t()).set_input(Dyadic::ZERO);
+            out.initial(level.level, round, Dyadic::ZERO, entries);
+            for action in bg_actions {
+                match action {
+                    BvAction::Echo1(v) if v.is_zero() => {}
+                    BvAction::Echo1(v) => {
+                        let exclude: Vec<i64> = level.actives.keys().copied().collect();
+                        out.background(level.level, round, EchoKind::Echo1, v, exclude);
+                    }
+                    BvAction::Echo2(v) => {
+                        let exclude: Vec<i64> = level.actives.keys().copied().collect();
+                        out.background(level.level, round, EchoKind::Echo2, v, exclude);
+                    }
+                }
+            }
+        }
+        self.advance(&mut out);
+        self.flush(out)
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
+        if from == self.me || from.index() >= self.cfg.n() {
+            return Vec::new();
+        }
+        let Ok(bundle) = DelphiBundle::from_bytes(payload) else {
+            return Vec::new(); // malformed: Byzantine, drop
+        };
+        let mut out = Collector::default();
+        for section in &bundle.sections {
+            self.process_section(from, section, &mut out);
+        }
+        self.advance(&mut out);
+        self.flush(out)
+    }
+
+    fn output(&self) -> Option<f64> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::InputRule;
+    use delphi_sim::adversary::{Crash, GarbageSpammer, SilentAfter};
+    use delphi_sim::{Simulation, Topology};
+    use proptest::prelude::*;
+
+    fn small_cfg(n: usize) -> DelphiConfig {
+        DelphiConfig::builder(n)
+            .space(0.0, 1000.0)
+            .rho0(1.0)
+            .delta_max(32.0)
+            .epsilon(1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn run_delphi(
+        cfg: &DelphiConfig,
+        inputs: &[f64],
+        faulty: &[usize],
+        make_faulty: impl Fn(NodeId) -> Box<dyn Protocol<Output = f64>>,
+        seed: u64,
+    ) -> Vec<f64> {
+        let n = cfg.n();
+        assert_eq!(inputs.len(), n);
+        let nodes: Vec<Box<dyn Protocol<Output = f64>>> = NodeId::all(n)
+            .map(|id| {
+                if faulty.contains(&id.index()) {
+                    make_faulty(id)
+                } else {
+                    DelphiNode::new(cfg.clone(), id, inputs[id.index()]).boxed()
+                }
+            })
+            .collect();
+        let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
+        let report = Simulation::new(Topology::lan(n))
+            .seed(seed)
+            .faulty(&faulty_ids)
+            .run(nodes);
+        assert!(
+            report.all_honest_finished(),
+            "Delphi did not terminate (seed {seed}, stop {:?})",
+            report.stop
+        );
+        report.honest_outputs().copied().collect()
+    }
+
+    fn assert_agreement_validity(outputs: &[f64], honest_inputs: &[f64], cfg: &DelphiConfig) {
+        let m = honest_inputs.iter().copied().fold(f64::INFINITY, f64::min);
+        let big_m = honest_inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let delta = big_m - m;
+        let relax = cfg.rho0().max(delta);
+        for a in outputs {
+            assert!(
+                *a >= m - relax - 1e-9 && *a <= big_m + relax + 1e-9,
+                "validity: output {a} outside [{} - {relax}, {} + {relax}]",
+                m,
+                big_m
+            );
+            for b in outputs {
+                assert!(
+                    (a - b).abs() <= cfg.epsilon() + 1e-9,
+                    "agreement: |{a} - {b}| > ε = {}",
+                    cfg.epsilon()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_inputs_output_close_to_input() {
+        let cfg = small_cfg(4);
+        let inputs = [500.0; 4];
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 1);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+        for o in &outs {
+            assert!((o - 500.0).abs() <= cfg.rho0() + 1e-9, "output {o} near input 500");
+        }
+    }
+
+    #[test]
+    fn clustered_inputs_reach_agreement() {
+        let cfg = small_cfg(4);
+        let inputs = [499.2, 500.1, 500.9, 499.7];
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 2);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+    }
+
+    #[test]
+    fn spread_inputs_still_agree_within_epsilon() {
+        let cfg = small_cfg(4);
+        // δ = 20 spans many level-0 checkpoints, exercising higher levels.
+        let inputs = [490.0, 495.0, 505.0, 510.0];
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 3);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+    }
+
+    #[test]
+    fn seven_nodes_mixed_inputs() {
+        let cfg = small_cfg(7);
+        let inputs = [100.0, 101.0, 99.5, 100.2, 102.0, 98.9, 100.7];
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 4);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+    }
+
+    #[test]
+    fn tolerates_crash_fault() {
+        let cfg = small_cfg(4);
+        let inputs = [200.0, 201.0, 199.0, 0.0];
+        let outs = run_delphi(&cfg, &inputs, &[3], |id| Box::new(Crash::new(id, 4)), 5);
+        assert_agreement_validity(&outs, &inputs[..3], &cfg);
+    }
+
+    #[test]
+    fn tolerates_mid_protocol_crash() {
+        let cfg = small_cfg(4);
+        let inputs = [200.0, 201.0, 199.0, 200.5];
+        let outs = run_delphi(
+            &cfg,
+            &inputs,
+            &[1],
+            |id| {
+                Box::new(SilentAfter::new(
+                    DelphiNode::new(small_cfg(4), id, 201.0),
+                    40,
+                ))
+            },
+            6,
+        );
+        let honest_inputs = [200.0, 199.0, 200.5];
+        assert_agreement_validity(&outs, &honest_inputs, &cfg);
+    }
+
+    #[test]
+    fn tolerates_garbage_spammer() {
+        let cfg = small_cfg(4);
+        let inputs = [300.0, 300.5, 299.5, 0.0];
+        let outs = run_delphi(
+            &cfg,
+            &inputs,
+            &[3],
+            |id| Box::new(GarbageSpammer::new(id, 4, 3, 2, 200, 60)),
+            7,
+        );
+        assert_agreement_validity(&outs, &inputs[..3], &cfg);
+    }
+
+    #[test]
+    fn byzantine_outlier_input_cannot_drag_output() {
+        // A Byzantine node participates *honestly* in the protocol but
+        // with an absurd input. Validity must hold w.r.t. honest inputs
+        // plus the relaxation.
+        let cfg = small_cfg(4);
+        let inputs = [100.0, 101.0, 100.5, 900.0];
+        let outs = run_delphi(
+            &cfg,
+            &inputs,
+            &[3],
+            |id| DelphiNode::new(small_cfg(4), id, 900.0).boxed(),
+            8,
+        );
+        // Validity for honest inputs [100, 101]: relax = max(ρ0, δ) = 1.
+        for o in &outs {
+            assert!(
+                (99.0 - 1e-9..=102.0 + 1e-9).contains(o),
+                "Byzantine outlier dragged output to {o}"
+            );
+        }
+        assert_agreement_validity(&outs, &inputs[..3], &cfg);
+    }
+
+    #[test]
+    fn works_at_sixteen_nodes() {
+        let cfg = small_cfg(16);
+        let inputs: Vec<f64> = (0..16).map(|i| 400.0 + (i as f64) * 0.3).collect();
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 9);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+    }
+
+    #[test]
+    fn within_rho_input_rule_also_works() {
+        let cfg = DelphiConfig::builder(4)
+            .space(0.0, 1000.0)
+            .rho0(1.0)
+            .delta_max(32.0)
+            .epsilon(1.0)
+            .input_rule(InputRule::WithinRho)
+            .build()
+            .unwrap();
+        let inputs = [250.0, 250.4, 249.8, 250.2];
+        let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), 10);
+        assert_agreement_validity(&outs, &inputs, &cfg);
+    }
+
+    #[test]
+    fn inputs_clamped_to_space() {
+        let cfg = small_cfg(4);
+        let node = DelphiNode::new(cfg.clone(), NodeId(0), -123.0);
+        assert_eq!(node.input(), 0.0);
+        let node = DelphiNode::new(cfg.clone(), NodeId(0), f64::NAN);
+        assert_eq!(node.input(), 0.0);
+        let node = DelphiNode::new(cfg, NodeId(0), 1e9);
+        assert_eq!(node.input(), 1000.0);
+    }
+
+    #[test]
+    fn malformed_messages_ignored() {
+        let cfg = small_cfg(4);
+        let mut node = DelphiNode::new(cfg, NodeId(0), 500.0);
+        let _ = node.start();
+        assert!(node.on_message(NodeId(1), b"\xff\xff\xff").is_empty());
+        assert!(node.on_message(NodeId(1), b"").is_empty());
+        // Message claiming to be from ourselves is dropped.
+        assert!(node.on_message(NodeId(0), b"").is_empty());
+    }
+
+    #[test]
+    fn intro_budget_bounds_active_set() {
+        let cfg = small_cfg(4);
+        let mut node = DelphiNode::new(cfg, NodeId(0), 500.0);
+        let _ = node.start();
+        let before = node.active_checkpoints(0);
+        // A Byzantine sender mentions many distinct checkpoints at level 0.
+        for wave in 0..20i64 {
+            let mut s = Section::new(0, Round(1), EchoKind::Echo1);
+            s.entries = (0..10).map(|i| (wave * 10 + i, Dyadic::ONE)).collect();
+            let bundle = DelphiBundle { sections: vec![s] };
+            let _ = node.on_message(NodeId(3), &bundle.to_bytes());
+        }
+        let after = node.active_checkpoints(0);
+        assert!(
+            after <= before + usize::from(INTRO_BUDGET_PER_LEVEL),
+            "flood created {after} actives (budget {INTRO_BUDGET_PER_LEVEL})"
+        );
+    }
+
+    #[test]
+    fn out_of_range_checkpoints_ignored() {
+        let cfg = small_cfg(4);
+        let mut node = DelphiNode::new(cfg, NodeId(0), 500.0);
+        let _ = node.start();
+        let before = node.active_checkpoints(0);
+        let mut s = Section::new(0, Round(1), EchoKind::Echo1);
+        s.entries = vec![(-5, Dyadic::ONE), (10_000, Dyadic::ONE)];
+        let bundle = DelphiBundle { sections: vec![s] };
+        let _ = node.on_message(NodeId(2), &bundle.to_bytes());
+        assert_eq!(node.active_checkpoints(0), before);
+    }
+
+    /// A schema-aware Byzantine node: sends *different* initial votes to
+    /// different peers (vote 1 on far-apart checkpoints per recipient),
+    /// the strongest single-node equivocation against Delphi's level 0.
+    struct SectionEquivocator {
+        me: NodeId,
+        cfg: DelphiConfig,
+    }
+
+    impl Protocol for SectionEquivocator {
+        type Output = f64;
+        fn node_id(&self) -> NodeId {
+            self.me
+        }
+        fn n(&self) -> usize {
+            self.cfg.n()
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            let mut out = Vec::new();
+            for dest in 0..self.cfg.n() {
+                if dest == self.me.index() {
+                    continue;
+                }
+                let mut bundle = DelphiBundle::new();
+                for level in 0..=self.cfg.l_max() {
+                    let (k_min, k_max) = self.cfg.checkpoint_range(level);
+                    // Vote 1 somewhere different per destination.
+                    let k = (k_min + (dest as i64 * 17) % (k_max - k_min).max(1)).clamp(k_min, k_max);
+                    let mut s = Section::new(level, Round(1), EchoKind::Echo1);
+                    s.background = Some(Dyadic::ZERO);
+                    s.entries = vec![(k, Dyadic::ONE), (k + 1, Dyadic::ONE)];
+                    bundle.sections.push(s);
+                }
+                out.push(Envelope::to_one(
+                    NodeId(dest as u16),
+                    bytes::Bytes::from(bundle.to_bytes()),
+                ));
+            }
+            out
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            Vec::new()
+        }
+        fn output(&self) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn tolerates_section_level_equivocation() {
+        for seed in 0..4 {
+            let cfg = small_cfg(4);
+            let inputs = [600.0, 600.5, 601.0, 0.0];
+            let outs = run_delphi(
+                &cfg,
+                &inputs,
+                &[3],
+                |id| Box::new(SectionEquivocator { me: id, cfg: small_cfg(4) }),
+                40 + seed,
+            );
+            assert_agreement_validity(&outs, &inputs[..3], &cfg);
+        }
+    }
+
+    /// Byzantine sender claiming weights for rounds ahead of everyone
+    /// (future-round flooding) must neither stall nor skew the run.
+    #[test]
+    fn tolerates_future_round_flooding() {
+        let cfg = small_cfg(4);
+        let inputs = [700.0, 700.4, 700.8, 0.0];
+        let make_flooder = |id: NodeId| -> Box<dyn Protocol<Output = f64>> {
+            struct Flooder {
+                me: NodeId,
+                cfg: DelphiConfig,
+            }
+            impl Protocol for Flooder {
+                type Output = f64;
+                fn node_id(&self) -> NodeId {
+                    self.me
+                }
+                fn n(&self) -> usize {
+                    self.cfg.n()
+                }
+                fn start(&mut self) -> Vec<Envelope> {
+                    let mut bundle = DelphiBundle::new();
+                    for round in (1..=self.cfg.r_max()).rev() {
+                        let mut s = Section::new(0, Round(round), EchoKind::Echo2);
+                        s.entries = vec![(700, Dyadic::new(1, (round - 1).min(60) as u8))];
+                        bundle.sections.push(s);
+                    }
+                    vec![Envelope::to_all(bytes::Bytes::from(bundle.to_bytes()))]
+                }
+                fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+                    Vec::new()
+                }
+                fn output(&self) -> Option<f64> {
+                    None
+                }
+            }
+            Box::new(Flooder { me: id, cfg: small_cfg(4) })
+        };
+        let outs = run_delphi(&cfg, &inputs, &[3], make_flooder, 50);
+        assert_agreement_validity(&outs, &inputs[..3], &cfg);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_agreement_and_validity(
+            n in 4usize..8,
+            base in 100.0..900.0f64,
+            spreads in proptest::collection::vec(0.0..1.0f64, 8),
+            delta in 0.5..24.0f64,
+            seed in 0u64..u64::MAX,
+        ) {
+            let cfg = small_cfg(n);
+            let inputs: Vec<f64> = (0..n).map(|i| base + spreads[i] * delta).collect();
+            let outs = run_delphi(&cfg, &inputs, &[], |_| unreachable!(), seed);
+            let m = inputs.iter().copied().fold(f64::INFINITY, f64::min);
+            let big_m = inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let relax = cfg.rho0().max(big_m - m);
+            for a in &outs {
+                prop_assert!(*a >= m - relax - 1e-9 && *a <= big_m + relax + 1e-9);
+                for b in &outs {
+                    prop_assert!((a - b).abs() <= cfg.epsilon() + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Wire formats for BinAA and Delphi traffic.
+//!
+//! Delphi's `O(n²)` communication relies on *bundling*: every checkpoint of
+//! every level runs its own BinAA instance, but one network message carries
+//! the echoes of arbitrarily many instances (§III-C). A [`Section`] is the
+//! unit of bundling — all echoes of one `(level, round, kind)` — and uses
+//! the zero-run optimization: a single optional *background* value stands
+//! for "every checkpoint of this level that nobody has distinguished",
+//! while `entries` carry the handful of checkpoints near honest inputs.
+
+use delphi_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use delphi_primitives::{Dyadic, Round};
+
+/// Maximum sections per bundle accepted from the wire.
+pub(crate) const MAX_SECTIONS: usize = 4096;
+/// Maximum explicit checkpoint ids per section accepted from the wire.
+pub(crate) const MAX_IDS: usize = 16_384;
+
+/// Which quorum message an echo is (Algorithm 1 / Definition II.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EchoKind {
+    /// First-phase echo (`ECHO1`).
+    Echo1,
+    /// Second-phase echo (`ECHO2`).
+    Echo2,
+}
+
+impl Encode for EchoKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw_u8(match self {
+            EchoKind::Echo1 => 0,
+            EchoKind::Echo2 => 1,
+        });
+    }
+}
+
+impl Decode for EchoKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_raw_u8()? {
+            0 => Ok(EchoKind::Echo1),
+            1 => Ok(EchoKind::Echo2),
+            d => Err(WireError::InvalidDiscriminant(u64::from(d))),
+        }
+    }
+}
+
+/// A standalone BinAA message: one echo for one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinAaMsg {
+    /// BinAA round the echo belongs to.
+    pub round: Round,
+    /// Echo phase.
+    pub kind: EchoKind,
+    /// The echoed value.
+    pub value: Dyadic,
+}
+
+impl Encode for BinAaMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.round);
+        w.put(&self.kind);
+        w.put(&self.value);
+    }
+}
+
+impl Decode for BinAaMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BinAaMsg { round: r.get()?, kind: r.get()?, value: r.get()? })
+    }
+}
+
+/// All echoes of one `(level, round, kind)` in one Delphi bundle.
+///
+/// Scope rules (the §III-C zero-run optimization):
+///
+/// - each `(k, value)` in `entries` is an echo for checkpoint `k`;
+/// - if `background` is `Some(v)`, the sender additionally echoes `v` for
+///   *every* checkpoint of the level **except** those listed in `entries`
+///   or `exclude` (the sender's currently distinguished checkpoints);
+/// - any checkpoint id mentioned anywhere makes the checkpoint
+///   "distinguished" at the receiver (it is forked off the background
+///   instance before the message is applied).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Section {
+    /// Level index (`0..=l_max`).
+    pub level: u8,
+    /// BinAA round within the level.
+    pub round: Round,
+    /// Echo phase.
+    pub kind: EchoKind,
+    /// Echo applying to every unlisted checkpoint of the level, if any.
+    pub background: Option<Dyadic>,
+    /// Checkpoints explicitly **not** covered by `background`.
+    pub exclude: Vec<i64>,
+    /// Per-checkpoint echoes.
+    pub entries: Vec<(i64, Dyadic)>,
+}
+
+impl Section {
+    /// Creates an empty section for `(level, round, kind)`.
+    pub fn new(level: u8, round: Round, kind: EchoKind) -> Section {
+        Section { level, round, kind, background: None, exclude: Vec::new(), entries: Vec::new() }
+    }
+
+    /// Whether the section carries no echo at all.
+    pub fn is_empty(&self) -> bool {
+        self.background.is_none() && self.entries.is_empty()
+    }
+}
+
+impl Encode for Section {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw_u8(self.level);
+        w.put(&self.round);
+        w.put(&self.kind);
+        match self.background {
+            Some(v) => {
+                w.put_bool(true);
+                w.put(&v);
+                w.put_seq(&self.exclude);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_seq(&self.entries);
+    }
+}
+
+impl Decode for Section {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let level = r.get_raw_u8()?;
+        let round = r.get::<Round>()?;
+        let kind = r.get::<EchoKind>()?;
+        let (background, exclude) = if r.get_bool()? {
+            let v = r.get::<Dyadic>()?;
+            let exclude = r.get_seq::<i64>(MAX_IDS)?;
+            (Some(v), exclude)
+        } else {
+            (None, Vec::new())
+        };
+        let entries = r.get_seq::<(i64, Dyadic)>(MAX_IDS)?;
+        Ok(Section { level, round, kind, background, exclude, entries })
+    }
+}
+
+/// A Delphi network message: one or more bundled sections.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DelphiBundle {
+    /// The bundled sections.
+    pub sections: Vec<Section>,
+}
+
+impl DelphiBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> DelphiBundle {
+        DelphiBundle::default()
+    }
+
+    /// Whether no section carries any echo.
+    pub fn is_empty(&self) -> bool {
+        self.sections.iter().all(Section::is_empty)
+    }
+}
+
+impl Encode for DelphiBundle {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.sections);
+    }
+}
+
+impl Decode for DelphiBundle {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DelphiBundle { sections: r.get_seq(MAX_SECTIONS)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_primitives::wire::roundtrip;
+
+    #[test]
+    fn binaa_msg_roundtrip() {
+        let msg = BinAaMsg {
+            round: Round(7),
+            kind: EchoKind::Echo2,
+            value: Dyadic::new(5, 3),
+        };
+        assert_eq!(roundtrip(&msg).unwrap(), msg);
+    }
+
+    #[test]
+    fn echo_kind_rejects_unknown_discriminant() {
+        assert!(matches!(
+            EchoKind::from_bytes(&[7]),
+            Err(WireError::InvalidDiscriminant(7))
+        ));
+    }
+
+    #[test]
+    fn section_roundtrip_with_background() {
+        let s = Section {
+            level: 3,
+            round: Round(2),
+            kind: EchoKind::Echo1,
+            background: Some(Dyadic::ZERO),
+            exclude: vec![-5, 40_000],
+            entries: vec![(19_999, Dyadic::ONE), (20_000, Dyadic::new(1, 2))],
+        };
+        assert_eq!(roundtrip(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn section_roundtrip_without_background_drops_exclude() {
+        let s = Section {
+            level: 0,
+            round: Round(1),
+            kind: EchoKind::Echo2,
+            background: None,
+            exclude: Vec::new(),
+            entries: vec![(7, Dyadic::ONE)],
+        };
+        assert_eq!(roundtrip(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn bundle_roundtrip_and_emptiness() {
+        let mut b = DelphiBundle::new();
+        assert!(b.is_empty());
+        b.sections.push(Section::new(0, Round(1), EchoKind::Echo1));
+        assert!(b.is_empty(), "section without echoes is empty");
+        b.sections[0].background = Some(Dyadic::ZERO);
+        assert!(!b.is_empty());
+        assert_eq!(roundtrip(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn oversized_sequences_rejected() {
+        use delphi_primitives::wire::Writer;
+        let mut w = Writer::new();
+        w.put_usize(MAX_SECTIONS + 1);
+        assert!(DelphiBundle::from_bytes(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn truncated_section_rejected() {
+        let s = Section {
+            level: 1,
+            round: Round(1),
+            kind: EchoKind::Echo1,
+            background: Some(Dyadic::ONE),
+            exclude: vec![1, 2, 3],
+            entries: vec![(9, Dyadic::ONE)],
+        };
+        let bytes = s.to_bytes();
+        for cut in 1..bytes.len() {
+            assert!(Section::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bundle_wire_size_is_compact() {
+        // A realistic per-round bundle: 11 levels, background + 4 entries
+        // each. Should be well under 1 KiB.
+        let mut b = DelphiBundle::new();
+        for level in 0..11u8 {
+            let mut s = Section::new(level, Round(12), EchoKind::Echo1);
+            s.background = Some(Dyadic::ZERO);
+            s.exclude = vec![20_000, 20_001];
+            s.entries = vec![
+                (19_999, Dyadic::new(123, 20)),
+                (20_000, Dyadic::new(124, 20)),
+                (20_001, Dyadic::ONE),
+                (20_002, Dyadic::ZERO),
+            ];
+            b.sections.push(s);
+        }
+        let len = b.to_bytes().len();
+        assert!(len < 1024, "bundle is {len} bytes");
+    }
+}

@@ -1,0 +1,212 @@
+//! Pairwise symmetric keys and message authentication.
+//!
+//! The paper's system model assumes "pairwise authenticated channels". A
+//! real deployment provisions a shared symmetric key per node pair; here a
+//! [`Keychain`] derives the whole matrix from one deployment seed so test
+//! clusters and examples need a single secret. Key derivation is
+//! `HMAC(seed, "delphi-channel" || min(i,j) || max(i,j))`, so both
+//! endpoints derive the same key and no pair shares a key with any other
+//! pair.
+
+use std::error::Error;
+use std::fmt;
+
+use delphi_primitives::NodeId;
+
+use crate::hmac::{ct_eq, hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// Length of a channel MAC tag in bytes (full SHA-256 width).
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// Shared symmetric key for one unordered node pair.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChannelKey([u8; DIGEST_LEN]);
+
+impl ChannelKey {
+    /// Computes the MAC tag for `message` under this key.
+    pub fn tag(&self, message: &[u8]) -> [u8; TAG_LEN] {
+        hmac_sha256(&self.0, message)
+    }
+
+    /// Computes the tag for a message provided in segments (avoids
+    /// concatenation in the transport hot path).
+    pub fn tag_segments(&self, segments: &[&[u8]]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(&self.0);
+        for segment in segments {
+            mac.update(segment);
+        }
+        mac.finalize()
+    }
+
+    /// Verifies `tag` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError`] if the tag does not verify.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> Result<(), MacError> {
+        if ct_eq(&self.tag(message), tag) {
+            Ok(())
+        } else {
+            Err(MacError)
+        }
+    }
+}
+
+impl fmt::Debug for ChannelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "ChannelKey(..)")
+    }
+}
+
+/// Authentication failure: the MAC tag did not verify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacError;
+
+impl fmt::Display for MacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "message authentication failed")
+    }
+}
+
+impl Error for MacError {}
+
+/// One node's view of the pairwise key matrix.
+///
+/// # Example
+///
+/// ```
+/// use delphi_crypto::Keychain;
+/// use delphi_primitives::NodeId;
+///
+/// let alice = Keychain::derive(b"deployment-seed", NodeId(0), 4);
+/// let bob = Keychain::derive(b"deployment-seed", NodeId(1), 4);
+///
+/// let tag = alice.channel(NodeId(1)).tag(b"hello");
+/// assert!(bob.channel(NodeId(0)).verify(b"hello", &tag).is_ok());
+/// assert!(bob.channel(NodeId(2)).verify(b"hello", &tag).is_err());
+/// ```
+#[derive(Clone)]
+pub struct Keychain {
+    me: NodeId,
+    keys: Vec<ChannelKey>,
+}
+
+impl Keychain {
+    /// Derives node `me`'s keys for an `n`-node deployment from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a valid id for an `n`-node system.
+    pub fn derive(seed: &[u8], me: NodeId, n: usize) -> Keychain {
+        assert!(me.index() < n, "node id {me} out of range for n={n}");
+        let keys = (0..n as u16)
+            .map(|peer| {
+                let (lo, hi) = if me.0 <= peer { (me.0, peer) } else { (peer, me.0) };
+                let mut mac = HmacSha256::new(seed);
+                mac.update(b"delphi-channel");
+                mac.update(&lo.to_be_bytes());
+                mac.update(&hi.to_be_bytes());
+                ChannelKey(mac.finalize())
+            })
+            .collect();
+        Keychain { me, keys }
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the deployment.
+    pub fn n(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The shared key for the channel between this node and `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is out of range.
+    pub fn channel(&self, peer: NodeId) -> &ChannelKey {
+        &self.keys[peer.index()]
+    }
+}
+
+impl fmt::Debug for Keychain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Keychain")
+            .field("me", &self.me)
+            .field("n", &self.keys.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_symmetry() {
+        let a = Keychain::derive(b"seed", NodeId(0), 4);
+        let b = Keychain::derive(b"seed", NodeId(3), 4);
+        assert_eq!(a.channel(NodeId(3)), b.channel(NodeId(0)));
+        assert_eq!(a.n(), 4);
+        assert_eq!(a.node_id(), NodeId(0));
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_keys() {
+        let a = Keychain::derive(b"seed", NodeId(0), 4);
+        assert_ne!(a.channel(NodeId(1)), a.channel(NodeId(2)));
+        let b = Keychain::derive(b"seed", NodeId(1), 4);
+        assert_ne!(a.channel(NodeId(2)), b.channel(NodeId(2)));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let a1 = Keychain::derive(b"seed-1", NodeId(0), 2);
+        let a2 = Keychain::derive(b"seed-2", NodeId(0), 2);
+        assert_ne!(a1.channel(NodeId(1)), a2.channel(NodeId(1)));
+    }
+
+    #[test]
+    fn tag_verify_roundtrip_and_rejection() {
+        let kc = Keychain::derive(b"seed", NodeId(0), 3);
+        let key = kc.channel(NodeId(1));
+        let tag = key.tag(b"payload");
+        assert!(key.verify(b"payload", &tag).is_ok());
+        assert_eq!(key.verify(b"payloae", &tag), Err(MacError));
+        assert_eq!(key.verify(b"payload", &tag[..31]), Err(MacError));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert_eq!(key.verify(b"payload", &bad), Err(MacError));
+    }
+
+    #[test]
+    fn tag_segments_equals_concatenation() {
+        let kc = Keychain::derive(b"seed", NodeId(0), 2);
+        let key = kc.channel(NodeId(1));
+        assert_eq!(key.tag_segments(&[b"head", b"body"]), key.tag(b"headbody"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn derive_rejects_out_of_range_id() {
+        let _ = Keychain::derive(b"seed", NodeId(5), 5);
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let kc = Keychain::derive(b"seed", NodeId(1), 2);
+        let dbg = format!("{kc:?} {:?}", kc.channel(NodeId(0)));
+        assert!(dbg.contains("ChannelKey(..)"));
+        assert!(!dbg.contains("seed"));
+    }
+
+    #[test]
+    fn mac_error_display() {
+        assert_eq!(MacError.to_string(), "message authentication failed");
+    }
+}

@@ -1,0 +1,31 @@
+//! The Distributed Oracle Agreement (DORA) layer over Delphi (§V).
+//!
+//! An oracle network must hand the blockchain a *succinctly attested*
+//! value, not just reach internal agreement. The paper's extension:
+//!
+//! 1. run Delphi; 2. round the output to the closest multiple of `ε`;
+//! 3. broadcast a signature over the rounded value; 4. aggregate `t + 1`
+//! signatures on one value into a certificate for the SMR channel.
+//!
+//! Because Delphi guarantees ε-agreement, the rounded outputs of honest
+//! nodes land on **at most two adjacent multiples** of `ε`, so at least
+//! one multiple gathers `t + 1` honest signatures and no third value can
+//! ever be certified. The rounding costs one extra `ε` of validity
+//! relaxation (Table III's validity column).
+//!
+//! - [`round_to_epsilon`]: the rounding rule;
+//! - [`DoraNode`]: a [`Protocol`](delphi_primitives::Protocol) wrapper
+//!   that runs an inner Delphi node and then the attestation exchange,
+//!   counting signature operations for the Table III comparison;
+//! - [`Certificate`]: the aggregate the SMR channel verifies;
+//! - [`SmrChannel`]: a simulated total-order ledger that accepts the
+//!   first valid certificate(s).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attest;
+mod smr;
+
+pub use attest::{round_to_epsilon, Certificate, DoraMsg, DoraNode, OpCounts};
+pub use smr::SmrChannel;

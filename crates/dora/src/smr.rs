@@ -1,0 +1,121 @@
+//! A simulated SMR (blockchain) channel.
+//!
+//! The paper models the blockchain as an SMR channel that totally orders
+//! submissions and lets smart contracts consume the *first* valid
+//! certificate per oracle round (§V, Table III). This mirror keeps just
+//! the properties the DORA analysis needs: total order, validity
+//! filtering, and first-wins consumption.
+
+use delphi_crypto::signing::Verifier;
+
+use crate::attest::Certificate;
+
+/// A simulated total-order ledger for oracle certificates.
+///
+/// # Example
+///
+/// ```
+/// use delphi_crypto::signing::{SigningKey, Verifier};
+/// use delphi_dora::{Certificate, SmrChannel};
+/// use delphi_primitives::NodeId;
+///
+/// let mut smr = SmrChannel::new(b"seed", 4, 1);
+/// let msg = Certificate::message_for(21, 2.0);
+/// let sigs = (0..2u16).map(|i| SigningKey::derive(b"seed", NodeId(i)).sign(&msg)).collect();
+/// let cert = Certificate { k: 21, epsilon: 2.0, signatures: sigs };
+/// assert!(smr.submit(cert));
+/// assert_eq!(smr.consumed().unwrap().value(), 42.0);
+/// ```
+#[derive(Debug)]
+pub struct SmrChannel {
+    verifier: Verifier,
+    n: usize,
+    t: usize,
+    ledger: Vec<Certificate>,
+    rejected: u64,
+}
+
+impl SmrChannel {
+    /// Creates a channel that verifies against the deployment `seed`.
+    pub fn new(seed: &[u8], n: usize, t: usize) -> SmrChannel {
+        SmrChannel { verifier: Verifier::new(seed), n, t, ledger: Vec::new(), rejected: 0 }
+    }
+
+    /// Submits a certificate; returns whether it was accepted (valid and
+    /// appended in order).
+    pub fn submit(&mut self, cert: Certificate) -> bool {
+        if cert.verify(&self.verifier, self.n, self.t) {
+            self.ledger.push(cert);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// All accepted certificates in submission (total) order.
+    pub fn ledger(&self) -> &[Certificate] {
+        &self.ledger
+    }
+
+    /// Number of rejected submissions.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The certificate a consumer contract would use: the first accepted
+    /// one (§V "The external blockchain orders them and consumes the
+    /// first output").
+    pub fn consumed(&self) -> Option<&Certificate> {
+        self.ledger.first()
+    }
+
+    /// Distinct attested values on the ledger; DORA over Delphi
+    /// guarantees at most two, and they are adjacent ε-multiples.
+    pub fn distinct_values(&self) -> Vec<i64> {
+        let mut ks: Vec<i64> = self.ledger.iter().map(|c| c.k).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_crypto::signing::SigningKey;
+    use delphi_primitives::NodeId;
+
+    fn cert(seed: &[u8], k: i64, signers: &[u16]) -> Certificate {
+        let msg = Certificate::message_for(k, 1.0);
+        let signatures =
+            signers.iter().map(|&i| SigningKey::derive(seed, NodeId(i)).sign(&msg)).collect();
+        Certificate { k, epsilon: 1.0, signatures }
+    }
+
+    #[test]
+    fn accepts_valid_rejects_invalid() {
+        let mut smr = SmrChannel::new(b"seed", 4, 1);
+        assert!(smr.submit(cert(b"seed", 10, &[0, 1])));
+        assert!(!smr.submit(cert(b"seed", 11, &[0]))); // too few signers
+        assert!(!smr.submit(cert(b"bad-seed", 12, &[0, 1]))); // bad sigs
+        assert_eq!(smr.ledger().len(), 1);
+        assert_eq!(smr.rejected(), 2);
+    }
+
+    #[test]
+    fn first_wins_consumption() {
+        let mut smr = SmrChannel::new(b"seed", 4, 1);
+        assert!(smr.submit(cert(b"seed", 10, &[0, 1])));
+        assert!(smr.submit(cert(b"seed", 11, &[2, 3])));
+        assert_eq!(smr.consumed().unwrap().k, 10);
+        assert_eq!(smr.distinct_values(), vec![10, 11]);
+    }
+
+    #[test]
+    fn empty_channel() {
+        let smr = SmrChannel::new(b"seed", 4, 1);
+        assert!(smr.consumed().is_none());
+        assert!(smr.distinct_values().is_empty());
+    }
+}

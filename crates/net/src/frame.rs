@@ -1,0 +1,175 @@
+//! Authenticated wire frames.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! [u32 rest_len][u16 sender][payload ...][32-byte HMAC tag]
+//! ```
+//!
+//! The tag is `HMAC-SHA256(key(sender, receiver), sender_be ‖ payload)`,
+//! so a frame is bound to its claimed sender *and* to the receiving
+//! channel: replaying it to a different receiver fails verification.
+//! `rest_len` counts everything after the length word. The 4 + 2 + 32 + 2
+//! bytes of overhead match the simulator's
+//! [`WIRE_OVERHEAD_BYTES`](delphi_sim::WIRE_OVERHEAD_BYTES) budget, which
+//! is what keeps simulated bandwidth equal to TCP bandwidth.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use delphi_crypto::{Keychain, TAG_LEN};
+use delphi_primitives::NodeId;
+
+/// Maximum payload bytes accepted in one frame (16 MiB).
+pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Frame decoding / authentication failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame is shorter than the fixed header + tag.
+    Truncated,
+    /// The declared payload exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge,
+    /// The sender id is outside the deployment.
+    UnknownSender,
+    /// The HMAC tag did not verify.
+    BadTag,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::TooLarge => write!(f, "frame exceeds maximum payload"),
+            FrameError::UnknownSender => write!(f, "frame sender unknown"),
+            FrameError::BadTag => write!(f, "frame authentication failed"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Encodes an authenticated frame from `keychain.node_id()` to `to`.
+///
+/// The result includes the leading length word and is ready to write to a
+/// socket.
+pub fn encode_frame(keychain: &Keychain, to: NodeId, payload: &[u8]) -> Bytes {
+    let me = keychain.node_id();
+    let sender_be = me.0.to_be_bytes();
+    let tag = keychain.channel(to).tag_segments(&[&sender_be, payload]);
+    let rest_len = 2 + payload.len() + TAG_LEN;
+    let mut buf = BytesMut::with_capacity(4 + rest_len);
+    buf.put_u32(rest_len as u32);
+    buf.put_u16(me.0);
+    buf.put_slice(payload);
+    buf.put_slice(&tag);
+    buf.freeze()
+}
+
+/// Decodes and authenticates one frame body (everything *after* the
+/// length word) arriving at `keychain.node_id()`.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on malformed, oversized, or forged frames;
+/// callers drop such frames.
+pub fn decode_frame(keychain: &Keychain, body: &[u8]) -> Result<(NodeId, Bytes), FrameError> {
+    if body.len() < 2 + TAG_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let sender = NodeId(u16::from_be_bytes([body[0], body[1]]));
+    if sender.index() >= keychain.n() {
+        return Err(FrameError::UnknownSender);
+    }
+    let payload = &body[2..body.len() - TAG_LEN];
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::TooLarge);
+    }
+    let tag = &body[body.len() - TAG_LEN..];
+    let sender_be = sender.0.to_be_bytes();
+    let expect = keychain.channel(sender).tag_segments(&[&sender_be, payload]);
+    if expect != tag {
+        return Err(FrameError::BadTag);
+    }
+    Ok((sender, Bytes::copy_from_slice(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Keychain, Keychain) {
+        (Keychain::derive(b"seed", NodeId(0), 3), Keychain::derive(b"seed", NodeId(1), 3))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (alice, bob) = pair();
+        let frame = encode_frame(&alice, NodeId(1), b"hello");
+        // Strip the length word, as the reader does.
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (sender, payload) = decode_frame(&bob, &frame[4..]).unwrap();
+        assert_eq!(sender, NodeId(0));
+        assert_eq!(&payload[..], b"hello");
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (alice, bob) = pair();
+        let frame = encode_frame(&alice, NodeId(1), b"hello");
+        let mut body = frame[4..].to_vec();
+        body[3] ^= 1; // flip a payload bit
+        assert_eq!(decode_frame(&bob, &body), Err(FrameError::BadTag));
+    }
+
+    #[test]
+    fn forged_sender_rejected() {
+        let (alice, bob) = pair();
+        let frame = encode_frame(&alice, NodeId(1), b"hello");
+        let mut body = frame[4..].to_vec();
+        body[1] = 2; // claim sender 2
+        assert_eq!(decode_frame(&bob, &body), Err(FrameError::BadTag));
+    }
+
+    #[test]
+    fn misdirected_frame_rejected() {
+        // A frame addressed to node 1 replayed at node 2 fails: the tag
+        // is under key (0,1), not (0,2).
+        let (alice, _) = pair();
+        let carol = Keychain::derive(b"seed", NodeId(2), 3);
+        let frame = encode_frame(&alice, NodeId(1), b"hello");
+        assert_eq!(decode_frame(&carol, &frame[4..]), Err(FrameError::BadTag));
+    }
+
+    #[test]
+    fn unknown_sender_rejected() {
+        let (_, bob) = pair();
+        let mut body = vec![0xff, 0xff]; // sender 65535
+        body.extend_from_slice(&[0u8; TAG_LEN]);
+        assert_eq!(decode_frame(&bob, &body), Err(FrameError::UnknownSender));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let (_, bob) = pair();
+        assert_eq!(decode_frame(&bob, &[0, 1, 2]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let (alice, bob) = pair();
+        let frame = encode_frame(&alice, NodeId(1), b"");
+        let (sender, payload) = decode_frame(&bob, &frame[4..]).unwrap();
+        assert_eq!(sender, NodeId(0));
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [FrameError::Truncated, FrameError::TooLarge, FrameError::UnknownSender, FrameError::BadTag] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Tokio TCP runtime for Delphi protocol state machines.
+//!
+//! The paper's artifact runs on tokio over HMAC-authenticated channels
+//! (§VI-C); this crate is that deployment path. The same sans-io
+//! [`Protocol`](delphi_primitives::Protocol) state machines that run under
+//! the simulator run here over real sockets:
+//!
+//! - [`frame`]: length-prefixed frames carrying `(sender, payload, tag)`
+//!   with an HMAC-SHA256 tag under the pairwise channel key — the
+//!   authenticated-channel assumption made concrete. Tampered or
+//!   misdirected frames are dropped, never surfaced to the protocol.
+//! - [`run_node`]: a full-mesh node runner — binds a listener, dials every
+//!   peer (with retry), drives the protocol to its output, and lingers
+//!   briefly so slower peers still receive our help messages.
+//!
+//! # Example
+//!
+//! See `examples/tcp_cluster.rs` at the workspace root, which runs a
+//! Delphi cluster over localhost TCP. The loopback integration test in
+//! this crate does the same with 4 BinAA nodes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+mod runner;
+
+pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_PAYLOAD};
+pub use runner::{run_node, NetError, NetStats, RunOptions};

@@ -1,0 +1,389 @@
+//! The full-mesh TCP node runner.
+
+use std::error::Error;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use delphi_crypto::Keychain;
+use delphi_primitives::{NodeId, Protocol, Recipient};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+use crate::frame::{decode_frame, encode_frame, MAX_FRAME_PAYLOAD};
+
+/// Network runner failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Listener could not be bound or a socket operation failed fatally.
+    Io(std::io::Error),
+    /// The address list does not match the keychain's deployment size.
+    Config(String),
+    /// The protocol did not produce an output within the deadline.
+    Timeout,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network io error: {e}"),
+            NetError::Config(msg) => write!(f, "invalid network configuration: {msg}"),
+            NetError::Timeout => write!(f, "protocol did not finish before the deadline"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Byte counters observed by the runner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames sent (after broadcast expansion).
+    pub sent_frames: u64,
+    /// Total bytes written to sockets (frames incl. headers).
+    pub sent_bytes: u64,
+    /// Frames received and authenticated.
+    pub recv_frames: u64,
+    /// Frames dropped by authentication or framing checks.
+    pub dropped_frames: u64,
+}
+
+/// Tuning knobs for [`run_node`].
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// How long to keep serving peers after our own output is ready.
+    ///
+    /// Asynchronous BFT protocols routinely need messages from already-
+    /// finished nodes (quorum amplification); killing the process at
+    /// output time can stall slower peers.
+    pub linger: Duration,
+    /// Delay between reconnection attempts while dialing peers.
+    pub reconnect_delay: Duration,
+    /// Overall deadline for producing an output.
+    pub deadline: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            linger: Duration::from_millis(500),
+            reconnect_delay: Duration::from_millis(50),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    sent_frames: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv_frames: AtomicU64,
+    dropped_frames: AtomicU64,
+}
+
+/// Runs `protocol` over a full TCP mesh until it produces an output.
+///
+/// `addrs[i]` is the listen address of node `i`; this node binds
+/// `addrs[keychain.node_id()]` and dials every other address (retrying
+/// until peers come up). All traffic is HMAC-authenticated with the
+/// pairwise keys in `keychain`; frames that fail authentication are
+/// counted and dropped.
+///
+/// # Errors
+///
+/// Returns [`NetError::Config`] on a mismatched address list,
+/// [`NetError::Io`] if the listener cannot be bound, and
+/// [`NetError::Timeout`] if no output appears within the deadline.
+pub async fn run_node<P>(
+    mut protocol: P,
+    keychain: Keychain,
+    addrs: Vec<SocketAddr>,
+    opts: RunOptions,
+) -> Result<(P::Output, NetStats), NetError>
+where
+    P: Protocol + Send + 'static,
+{
+    let me = keychain.node_id();
+    let n = keychain.n();
+    if addrs.len() != n {
+        return Err(NetError::Config(format!("{} addresses for {n} nodes", addrs.len())));
+    }
+    if protocol.n() != n || protocol.node_id() != me {
+        return Err(NetError::Config("protocol identity mismatch".into()));
+    }
+
+    let counters = Arc::new(Counters::default());
+    let keychain = Arc::new(keychain);
+
+    // Inbound: listener -> reader tasks -> this channel.
+    let (in_tx, mut in_rx) = mpsc::channel::<(NodeId, Bytes)>(1024);
+    let listener = TcpListener::bind(addrs[me.index()]).await?;
+    let accept_kc = keychain.clone();
+    let accept_counters = counters.clone();
+    let accept_task = tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else { break };
+            let kc = accept_kc.clone();
+            let tx = in_tx.clone();
+            let counters = accept_counters.clone();
+            tokio::spawn(async move {
+                let _ = read_loop(stream, kc, tx, counters).await;
+            });
+        }
+    });
+
+    // Outbound: one dialer/writer task per peer.
+    let mut peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>> = Vec::with_capacity(n);
+    let mut writer_tasks = Vec::new();
+    for peer in NodeId::all(n) {
+        if peer == me {
+            peer_tx.push(None);
+            continue;
+        }
+        let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+        peer_tx.push(Some(tx));
+        let addr = addrs[peer.index()];
+        let delay = opts.reconnect_delay;
+        let counters = counters.clone();
+        writer_tasks.push(tokio::spawn(async move {
+            let _ = write_loop(addr, rx, delay, counters).await;
+        }));
+    }
+
+    let send =
+        |protocol_out: Vec<delphi_primitives::Envelope>,
+         peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
+         kc: &Keychain| {
+            for env in protocol_out {
+                match env.to {
+                    Recipient::All => {
+                        for (i, tx) in peer_tx.iter().enumerate() {
+                            if let Some(tx) = tx {
+                                let frame = encode_frame(kc, NodeId(i as u16), &env.payload);
+                                let _ = tx.send(frame);
+                            }
+                        }
+                    }
+                    Recipient::One(dest) => {
+                        if let Some(Some(tx)) = peer_tx.get(dest.index()) {
+                            let frame = encode_frame(kc, dest, &env.payload);
+                            let _ = tx.send(frame);
+                        }
+                    }
+                }
+            }
+        };
+
+    // Drive the protocol.
+    let deadline = tokio::time::Instant::now() + opts.deadline;
+    send(protocol.start(), &peer_tx, &keychain);
+    let output = loop {
+        if let Some(out) = protocol.output() {
+            break out;
+        }
+        let msg = tokio::select! {
+            m = in_rx.recv() => m,
+            _ = tokio::time::sleep_until(deadline) => None,
+        };
+        match msg {
+            Some((from, payload)) => {
+                send(protocol.on_message(from, &payload), &peer_tx, &keychain);
+            }
+            None => {
+                abort_all(accept_task, writer_tasks);
+                return Err(NetError::Timeout);
+            }
+        }
+    };
+
+    // Linger: keep answering peers so they can finish too.
+    let linger_end = tokio::time::Instant::now() + opts.linger;
+    loop {
+        let msg = tokio::select! {
+            m = in_rx.recv() => m,
+            _ = tokio::time::sleep_until(linger_end) => None,
+        };
+        match msg {
+            Some((from, payload)) => {
+                send(protocol.on_message(from, &payload), &peer_tx, &keychain);
+            }
+            None => break,
+        }
+    }
+
+    // Give writers a moment to flush queued frames, then stop.
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    abort_all(accept_task, writer_tasks);
+
+    let stats = NetStats {
+        sent_frames: counters.sent_frames.load(Ordering::Relaxed),
+        sent_bytes: counters.sent_bytes.load(Ordering::Relaxed),
+        recv_frames: counters.recv_frames.load(Ordering::Relaxed),
+        dropped_frames: counters.dropped_frames.load(Ordering::Relaxed),
+    };
+    Ok((output, stats))
+}
+
+fn abort_all(accept: tokio::task::JoinHandle<()>, writers: Vec<tokio::task::JoinHandle<()>>) {
+    accept.abort();
+    for w in writers {
+        w.abort();
+    }
+}
+
+async fn read_loop(
+    mut stream: TcpStream,
+    keychain: Arc<Keychain>,
+    tx: mpsc::Sender<(NodeId, Bytes)>,
+    counters: Arc<Counters>,
+) -> std::io::Result<()> {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).await.is_err() {
+            return Ok(()); // peer closed
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len < 2 || len > MAX_FRAME_PAYLOAD + 64 {
+            counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // framing is broken beyond recovery: drop link
+        }
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).await.is_err() {
+            return Ok(());
+        }
+        match decode_frame(&keychain, &body) {
+            Ok((from, payload)) => {
+                counters.recv_frames.fetch_add(1, Ordering::Relaxed);
+                if tx.send((from, payload)).await.is_err() {
+                    return Ok(()); // main loop gone
+                }
+            }
+            Err(_) => {
+                counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+async fn write_loop(
+    addr: SocketAddr,
+    mut rx: mpsc::UnboundedReceiver<Bytes>,
+    reconnect_delay: Duration,
+    counters: Arc<Counters>,
+) -> std::io::Result<()> {
+    let mut pending: Option<Bytes> = None;
+    'reconnect: loop {
+        let mut stream = loop {
+            match TcpStream::connect(addr).await {
+                Ok(s) => break s,
+                Err(_) => tokio::time::sleep(reconnect_delay).await,
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        loop {
+            let frame = match pending.take() {
+                Some(f) => f,
+                None => match rx.recv().await {
+                    Some(f) => f,
+                    None => return Ok(()), // runner finished
+                },
+            };
+            if stream.write_all(&frame).await.is_err() {
+                pending = Some(frame); // retry on a fresh connection
+                continue 'reconnect;
+            }
+            counters.sent_frames.fetch_add(1, Ordering::Relaxed);
+            counters.sent_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_core::BinAaNode;
+    use delphi_primitives::Dyadic;
+
+    async fn free_addrs(n: usize) -> Vec<SocketAddr> {
+        // Bind ephemeral listeners to reserve distinct ports, then free
+        // them; the runner re-binds moments later.
+        let mut addrs = Vec::with_capacity(n);
+        let mut holders = Vec::new();
+        for _ in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            addrs.push(l.local_addr().unwrap());
+            holders.push(l);
+        }
+        drop(holders);
+        addrs
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn binaa_cluster_over_loopback() {
+        let n = 4;
+        let addrs = free_addrs(n).await;
+        let inputs = [true, false, true, true];
+        let mut handles = Vec::new();
+        for id in NodeId::all(n) {
+            let keychain = Keychain::derive(b"net-test", id, n);
+            let node = BinAaNode::new(id, n, 1, inputs[id.index()], 6);
+            let addrs = addrs.clone();
+            handles.push(tokio::spawn(async move {
+                run_node(node, keychain, addrs, RunOptions::default()).await
+            }));
+        }
+        let mut outputs: Vec<Dyadic> = Vec::new();
+        for h in handles {
+            let (out, stats) = h.await.unwrap().expect("node finished");
+            assert!(stats.sent_frames > 0);
+            assert!(stats.recv_frames > 0);
+            assert_eq!(stats.dropped_frames, 0);
+            outputs.push(out);
+        }
+        let tol = Dyadic::new(1, 6);
+        for a in &outputs {
+            for b in &outputs {
+                assert!(a.abs_diff(*b) <= tol, "|{a} - {b}| over TCP");
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn config_mismatch_rejected() {
+        let keychain = Keychain::derive(b"x", NodeId(0), 4);
+        let node = BinAaNode::new(NodeId(0), 4, 1, true, 4);
+        let err = run_node(node, keychain, vec!["127.0.0.1:1".parse().unwrap()], RunOptions::default())
+            .await
+            .unwrap_err();
+        assert!(matches!(err, NetError::Config(_)), "{err}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn timeout_when_peers_missing() {
+        let n = 4;
+        let addrs = free_addrs(n).await;
+        let keychain = Keychain::derive(b"x", NodeId(0), n);
+        let node = BinAaNode::new(NodeId(0), n, 1, true, 4);
+        let opts = RunOptions { deadline: Duration::from_millis(300), ..RunOptions::default() };
+        let err = run_node(node, keychain, addrs, opts).await.unwrap_err();
+        assert!(matches!(err, NetError::Timeout), "{err}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NetError::Timeout.to_string().contains("deadline"));
+        assert!(NetError::Config("x".into()).to_string().contains("x"));
+        let io = NetError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Compact sender sets for quorum counting.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// A set of node ids with `O(1)` insert/contains and popcount-based size.
+///
+/// Every quorum rule in this workspace (`t + 1` amplification, `n − t`
+/// quorums, `2t + 1` witness counts) reduces to "how many *distinct* nodes
+/// sent X". `NodeBitSet` makes those counts cheap and duplicate-proof: a
+/// Byzantine node replaying a message a thousand times still contributes a
+/// single bit.
+///
+/// # Example
+///
+/// ```
+/// use delphi_primitives::{NodeBitSet, NodeId};
+///
+/// let mut quorum = NodeBitSet::new(4);
+/// assert!(quorum.insert(NodeId(1)));
+/// assert!(!quorum.insert(NodeId(1))); // duplicates don't count
+/// quorum.insert(NodeId(3));
+/// assert_eq!(quorum.len(), 2);
+/// assert!(quorum.contains(NodeId(3)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl NodeBitSet {
+    /// Creates an empty set over an `n`-node system.
+    pub fn new(n: usize) -> NodeBitSet {
+        NodeBitSet { words: vec![0; n.div_ceil(64)], n }
+    }
+
+    /// The system size this set was created for.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `id`, returning `true` if it was not already present.
+    ///
+    /// Ids at or beyond the system size are ignored (returns `false`):
+    /// out-of-range ids can only come from malformed input and must not
+    /// grow quorums.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let i = id.index();
+        if i >= self.n {
+            return false;
+        }
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        let newly = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        newly
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = id.index();
+        i < self.n && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of distinct ids in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all ids.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Adds every id present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were created for different system sizes.
+    pub fn union_with(&mut self, other: &NodeBitSet) {
+        assert_eq!(self.n, other.n, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Number of ids present in both sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets were created for different system sizes.
+    pub fn intersection_len(&self, other: &NodeBitSet) -> usize {
+        assert_eq!(self.n, other.n, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the ids in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(NodeId((wi * 64 + tz as usize) as u16))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for NodeBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|id| id.0)).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeBitSet {
+    /// Collects ids into a set sized for the largest id seen.
+    ///
+    /// Mostly a test convenience; protocol code sizes sets from the
+    /// configuration instead.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        let mut set = NodeBitSet::new(n);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeBitSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = NodeBitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(64)));
+        assert!(s.insert(NodeId(129)));
+        assert!(!s.insert(NodeId(129)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId(64)));
+        assert!(!s.contains(NodeId(63)));
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        let mut s = NodeBitSet::new(4);
+        assert!(!s.insert(NodeId(4)));
+        assert!(!s.insert(NodeId(1000)));
+        assert!(!s.contains(NodeId(1000)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_sorted_ids() {
+        let mut s = NodeBitSet::new(200);
+        for id in [190, 3, 64, 65, 0] {
+            s.insert(NodeId(id));
+        }
+        let got: Vec<u16> = s.iter().map(|id| id.0).collect();
+        assert_eq!(got, [0, 3, 64, 65, 190]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = NodeBitSet::new(10);
+        let mut b = NodeBitSet::new(10);
+        a.extend([NodeId(1), NodeId(2), NodeId(3)]);
+        b.extend([NodeId(3), NodeId(4)]);
+        assert_eq!(a.intersection_len(&b), 1);
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NodeBitSet::new(8);
+        s.extend([NodeId(1), NodeId(7)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_id() {
+        let s: NodeBitSet = [NodeId(2), NodeId(9)].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.len(), 2);
+        let empty: NodeBitSet = std::iter::empty().collect();
+        assert_eq!(empty.capacity(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: NodeBitSet = [NodeId(1)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+        let empty = NodeBitSet::new(3);
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_set(ops in proptest::collection::vec((0u16..150, any::<bool>()), 0..200)) {
+            let mut ours = NodeBitSet::new(150);
+            let mut reference = std::collections::BTreeSet::new();
+            for (id, _probe) in &ops {
+                let newly = ours.insert(NodeId(*id));
+                let ref_newly = reference.insert(*id);
+                prop_assert_eq!(newly, ref_newly);
+            }
+            prop_assert_eq!(ours.len(), reference.len());
+            let got: Vec<u16> = ours.iter().map(|i| i.0).collect();
+            let expect: Vec<u16> = reference.iter().copied().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Byte- and message-accurate run metrics.
+
+use std::fmt;
+
+/// Traffic counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Messages sent (after broadcast expansion: one per destination).
+    pub sent_msgs: u64,
+    /// Payload bytes sent.
+    pub sent_payload_bytes: u64,
+    /// Payload + framing bytes sent (what the NIC carries).
+    pub sent_wire_bytes: u64,
+    /// Messages received and processed.
+    pub recv_msgs: u64,
+    /// Payload bytes received.
+    pub recv_payload_bytes: u64,
+}
+
+/// Aggregated metrics for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Per-node counters, indexed by node id.
+    pub per_node: Vec<NodeMetrics>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Metrics {
+        Metrics { per_node: vec![NodeMetrics::default(); n] }
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_node.iter().map(|m| m.sent_msgs).sum()
+    }
+
+    /// Total payload bytes sent across all nodes.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.per_node.iter().map(|m| m.sent_payload_bytes).sum()
+    }
+
+    /// Total wire bytes (payload + framing) sent across all nodes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_node.iter().map(|m| m.sent_wire_bytes).sum()
+    }
+
+    /// Total wire traffic in mebibytes, the unit of Fig. 6b.
+    pub fn total_wire_mib(&self) -> f64 {
+        self.total_wire_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The largest per-node wire-byte count (load imbalance indicator).
+    pub fn max_node_wire_bytes(&self) -> u64 {
+        self.per_node.iter().map(|m| m.sent_wire_bytes).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msgs={} payload={}B wire={}B ({:.2} MiB)",
+            self.total_msgs(),
+            self.total_payload_bytes(),
+            self.total_wire_bytes(),
+            self.total_wire_mib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_node() {
+        let mut m = Metrics::new(2);
+        m.per_node[0].sent_msgs = 3;
+        m.per_node[0].sent_wire_bytes = 100;
+        m.per_node[1].sent_msgs = 4;
+        m.per_node[1].sent_wire_bytes = 200;
+        m.per_node[1].sent_payload_bytes = 150;
+        assert_eq!(m.total_msgs(), 7);
+        assert_eq!(m.total_wire_bytes(), 300);
+        assert_eq!(m.total_payload_bytes(), 150);
+        assert_eq!(m.max_node_wire_bytes(), 200);
+        assert!((m.total_wire_mib() - 300.0 / 1048576.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Metrics::new(1);
+        let s = m.to_string();
+        assert!(s.contains("msgs=0"));
+        assert!(s.contains("MiB"));
+    }
+}

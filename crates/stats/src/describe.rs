@@ -1,0 +1,114 @@
+//! Summary statistics.
+
+/// Basic descriptive statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Standard deviation (`variance.sqrt()`).
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Median (lower median for even sizes).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`, ignoring non-finite entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` contains no finite values.
+    pub fn of(data: &[f64]) -> Summary {
+        let mut xs: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        assert!(!xs.is_empty(), "summary of empty/non-finite data");
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: xs[0],
+            max: xs[n - 1],
+            median: xs[(n - 1) / 2],
+        }
+    }
+
+    /// The range `max − min` — the paper's `δ` when applied to honest
+    /// inputs.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// The `p`-quantile of `data` (nearest-rank on a sorted copy).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p ∉ [0, 1]`.
+pub fn quantile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut xs: Vec<f64> = data.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let idx = ((xs.len() - 1) as f64 * p).round() as usize;
+    xs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0); // lower median
+        assert_eq!(s.range(), 3.0);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = Summary::of(&[f64::NAN]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 0.5), 3.0);
+        assert_eq!(quantile(&data, 1.0), 5.0);
+    }
+}

@@ -1,0 +1,662 @@
+//! Continuous probability distributions.
+//!
+//! Every law the paper's analysis touches (§IV-D, Figs. 4–5), implemented
+//! from scratch: density, distribution function, quantile, mean, and
+//! seeded sampling. Construction validates parameters and returns
+//! [`DistError`] on nonsense ([C-VALIDATE]).
+//!
+//! [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::special::{erf, gamma, inv_std_normal_cdf, ln_gamma, reg_lower_gamma};
+
+/// Invalid distribution parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistError {
+    param: &'static str,
+    value: f64,
+}
+
+impl DistError {
+    fn new(param: &'static str, value: f64) -> DistError {
+        DistError { param, value }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter {} = {}", self.param, self.value)
+    }
+}
+
+impl Error for DistError {}
+
+fn require_positive(param: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(DistError::new(param, value))
+    }
+}
+
+fn require_finite(param: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(DistError::new(param, value))
+    }
+}
+
+/// A continuous probability distribution.
+///
+/// Implementations guarantee: `cdf` is monotone from 0 to 1, `quantile`
+/// inverts it (up to numeric tolerance), and `sample` draws values whose
+/// law matches `cdf` (checked by Kolmogorov–Smirnov tests in this crate).
+pub trait ContinuousDist {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// The `p`-quantile (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+    /// Expected value (NaN if undefined for the parameters).
+    fn mean(&self) -> f64;
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64
+    where
+        Self: Sized;
+}
+
+fn check_p(p: f64) {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1), got {p}");
+}
+
+/// Draws a standard normal via Box–Muller.
+fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `mu` is not finite or `sigma ≤ 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Normal, DistError> {
+        Ok(Normal { mu: require_finite("mu", mu)?, sigma: require_positive("sigma", sigma)? })
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (std::f64::consts::TAU).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.mu + self.sigma * inv_std_normal_cdf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * std_normal(rng)
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lognormal {
+    norm: Normal,
+}
+
+impl Lognormal {
+    /// Creates the law of `exp(N(mu, sigma²))`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Lognormal, DistError> {
+        Ok(Lognormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl ContinuousDist for Lognormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.norm.pdf(x.ln()) / x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.norm.cdf(x.ln())
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.norm.quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.norm.mu + self.norm.sigma * self.norm.sigma / 2.0).exp()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless both parameters are finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, DistError> {
+        Ok(Gamma {
+            shape: require_positive("shape", shape)?,
+            scale: require_positive("scale", scale)?,
+        })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Marsaglia–Tsang sampling for shape ≥ 1.
+    fn sample_shape_ge1<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = std_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let ln_pdf = (k - 1.0) * x.ln() - x / self.scale - ln_gamma(k) - k * self.scale.ln();
+        ln_pdf.exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_lower_gamma(self.shape, x / self.scale)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        // Bisection on the CDF: robust and plenty fast for our use.
+        let mut lo = 0.0;
+        let mut hi = self.mean() + 1.0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e300 {
+                return hi;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape >= 1.0 {
+            Self::sample_shape_ge1(self.shape, rng) * self.scale
+        } else {
+            // Boost: Gamma(k) = Gamma(k + 1) · U^{1/k}.
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            Self::sample_shape_ge1(self.shape + 1.0, rng) * u.powf(1.0 / self.shape) * self.scale
+        }
+    }
+}
+
+/// Pareto distribution with scale `x_m` (minimum) and shape `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    x_m: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates `Pareto(x_m, alpha)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless both parameters are finite and
+    /// positive.
+    pub fn new(x_m: f64, alpha: f64) -> Result<Pareto, DistError> {
+        Ok(Pareto { x_m: require_positive("x_m", x_m)?, alpha: require_positive("alpha", alpha)? })
+    }
+
+    /// Tail (shape) parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.x_m {
+            return 0.0;
+        }
+        self.alpha * self.x_m.powf(self.alpha) / x.powf(self.alpha + 1.0)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_m {
+            return 0.0;
+        }
+        1.0 - (self.x_m / x).powf(self.alpha)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.x_m / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::NAN
+        } else {
+            self.alpha * self.x_m / (self.alpha - 1.0)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        self.quantile((1.0 - u).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON))
+    }
+}
+
+/// Gumbel (type-I extreme value) distribution: the law of maxima/ranges of
+/// thin-tailed samples (§IV-D).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gumbel {
+    loc: f64,
+    scale: f64,
+}
+
+impl Gumbel {
+    /// Creates `Gumbel(loc, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `loc` is not finite or `scale ≤ 0`.
+    pub fn new(loc: f64, scale: f64) -> Result<Gumbel, DistError> {
+        Ok(Gumbel { loc: require_finite("loc", loc)?, scale: require_positive("scale", scale)? })
+    }
+
+    /// Location parameter `µ`.
+    pub fn loc(&self) -> f64 {
+        self.loc
+    }
+
+    /// Scale parameter `β`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Gumbel {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.loc) / self.scale;
+        ((-z - (-z).exp()).exp()) / self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        (-(-(x - self.loc) / self.scale).exp()).exp()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.loc - self.scale * (-p.ln()).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.loc + self.scale * crate::special::EULER_GAMMA
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        self.quantile(u)
+    }
+}
+
+/// Fréchet (type-II extreme value) distribution: the law of maxima of
+/// fat-tailed samples; the paper fits `Fréchet(α = 4.41, s = 29.3)` to
+/// the BTC price range (Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Frechet {
+    loc: f64,
+    scale: f64,
+    alpha: f64,
+}
+
+impl Frechet {
+    /// Creates `Fréchet(loc, scale, alpha)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `loc` is finite and `scale`, `alpha`
+    /// are finite and positive.
+    pub fn new(loc: f64, scale: f64, alpha: f64) -> Result<Frechet, DistError> {
+        Ok(Frechet {
+            loc: require_finite("loc", loc)?,
+            scale: require_positive("scale", scale)?,
+            alpha: require_positive("alpha", alpha)?,
+        })
+    }
+
+    /// Tail (shape) parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Frechet {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= self.loc {
+            return 0.0;
+        }
+        let z = (x - self.loc) / self.scale;
+        (self.alpha / self.scale) * z.powf(-1.0 - self.alpha) * (-z.powf(-self.alpha)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.loc {
+            return 0.0;
+        }
+        let z = (x - self.loc) / self.scale;
+        (-z.powf(-self.alpha)).exp()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.loc + self.scale * (-p.ln()).powf(-1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::NAN
+        } else {
+            self.loc + self.scale * gamma(1.0 - 1.0 / self.alpha)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        self.quantile(u)
+    }
+}
+
+/// Log-gamma distribution: the law of `exp(G)` for `G ~ Gamma` — the
+/// fat-tailed input model the paper infers for BTC prices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogGamma {
+    gamma: Gamma,
+}
+
+impl LogGamma {
+    /// Creates the law of `exp(Gamma(shape, scale))`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gamma::new`].
+    pub fn new(shape: f64, scale: f64) -> Result<LogGamma, DistError> {
+        Ok(LogGamma { gamma: Gamma::new(shape, scale)? })
+    }
+}
+
+impl ContinuousDist for LogGamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 1.0 {
+            return 0.0;
+        }
+        self.gamma.pdf(x.ln()) / x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 1.0 {
+            return 0.0;
+        }
+        self.gamma.cdf(x.ln())
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        check_p(p);
+        self.gamma.quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        // E[exp(G)] = (1 - scale)^{-shape} for scale < 1, else infinite.
+        if self.gamma.scale() < 1.0 {
+            (1.0 - self.gamma.scale()).powf(-self.gamma.shape())
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.gamma.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    fn sample_n<D: ContinuousDist>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    /// Quantile must invert the CDF for every distribution.
+    fn check_quantile_inverts<D: ContinuousDist>(d: &D, tol: f64) {
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(p);
+            close(d.cdf(x), p, tol);
+        }
+    }
+
+    /// Empirical mean of samples must approach the analytic mean.
+    fn check_sample_mean<D: ContinuousDist>(d: &D, tol: f64, seed: u64) {
+        let samples = sample_n(d, 20_000, seed);
+        let s = Summary::of(&samples);
+        close(s.mean, d.mean(), tol);
+    }
+
+    #[test]
+    fn normal_quantile_cdf_mean() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        check_quantile_inverts(&d, 1e-6);
+        check_sample_mean(&d, 0.05, 1);
+        close(d.pdf(5.0), 1.0 / (2.0 * std::f64::consts::TAU.sqrt()), 1e-12);
+        assert_eq!(d.sigma(), 2.0);
+    }
+
+    #[test]
+    fn lognormal_quantile_cdf_mean() {
+        let d = Lognormal::new(0.5, 0.4).unwrap();
+        check_quantile_inverts(&d, 1e-6);
+        check_sample_mean(&d, 0.05, 2);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_quantile_cdf_mean() {
+        // The paper's IoU model: Gamma(shape 30.77, scale 0.18)? That is
+        // the *error* model of §VI-B; exercise similar parameters.
+        let d = Gamma::new(30.77, 0.18).unwrap();
+        check_quantile_inverts(&d, 1e-9);
+        check_sample_mean(&d, 0.05, 3);
+        close(d.mean(), 5.5386, 1e-3);
+        // Small-shape branch.
+        let d = Gamma::new(0.5, 1.0).unwrap();
+        check_quantile_inverts(&d, 1e-9);
+        check_sample_mean(&d, 0.05, 4);
+    }
+
+    #[test]
+    fn pareto_quantile_cdf_mean() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        check_quantile_inverts(&d, 1e-12);
+        check_sample_mean(&d, 0.05, 5);
+        close(d.mean(), 1.5, 1e-12);
+        assert!(Pareto::new(1.0, 0.5).unwrap().mean().is_nan());
+    }
+
+    #[test]
+    fn gumbel_quantile_cdf_mean() {
+        let d = Gumbel::new(3.0, 2.0).unwrap();
+        check_quantile_inverts(&d, 1e-12);
+        check_sample_mean(&d, 0.08, 6);
+        close(d.mean(), 3.0 + 2.0 * crate::special::EULER_GAMMA, 1e-12);
+    }
+
+    #[test]
+    fn frechet_quantile_cdf_mean() {
+        // The paper's Fig. 4 fit: α = 4.41, scale = 29.3.
+        let d = Frechet::new(0.0, 29.3, 4.41).unwrap();
+        check_quantile_inverts(&d, 1e-12);
+        check_sample_mean(&d, 1.0, 7);
+        // Mean = s·Γ(1 − 1/α) ≈ 29.3 · Γ(0.773).
+        close(d.mean(), 29.3 * gamma(1.0 - 1.0 / 4.41), 1e-9);
+        assert!(d.mean() > 29.3, "Fréchet mean above scale");
+    }
+
+    #[test]
+    fn loggamma_quantile_cdf_sample() {
+        let d = LogGamma::new(2.0, 0.3).unwrap();
+        check_quantile_inverts(&d, 1e-9);
+        check_sample_mean(&d, 0.05, 8);
+        close(d.mean(), (1.0f64 - 0.3).powf(-2.0), 1e-12);
+        assert_eq!(d.cdf(0.5), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Gumbel::new(0.0, -2.0).is_err());
+        assert!(Frechet::new(0.0, 1.0, f64::INFINITY).is_err());
+        let err = Normal::new(0.0, -1.0).unwrap_err();
+        assert!(err.to_string().contains("sigma"));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Gamma::new(2.0, 1.5).unwrap();
+        assert_eq!(sample_n(&d, 10, 42), sample_n(&d, 10, 42));
+        assert_ne!(sample_n(&d, 10, 42), sample_n(&d, 10, 43));
+    }
+
+    /// One-sample KS test of each sampler against its own CDF: the
+    /// statistic for 2 000 samples should be well below 0.04 (the 1%
+    /// critical value is ≈ 0.0364).
+    #[test]
+    fn samplers_match_their_cdfs() {
+        fn ks_self<D: ContinuousDist>(d: &D, seed: u64) -> f64 {
+            let mut xs = sample_n(d, 2_000, seed);
+            xs.sort_by(f64::total_cmp);
+            crate::ks::ks_statistic_sorted(&xs, |x| d.cdf(x))
+        }
+        assert!(ks_self(&Normal::new(0.0, 1.0).unwrap(), 11) < 0.04);
+        assert!(ks_self(&Lognormal::new(0.0, 0.5).unwrap(), 12) < 0.04);
+        assert!(ks_self(&Gamma::new(3.0, 2.0).unwrap(), 13) < 0.04);
+        assert!(ks_self(&Gamma::new(0.7, 1.0).unwrap(), 14) < 0.04);
+        assert!(ks_self(&Pareto::new(2.0, 2.5).unwrap(), 15) < 0.04);
+        assert!(ks_self(&Gumbel::new(1.0, 3.0).unwrap(), 16) < 0.04);
+        assert!(ks_self(&Frechet::new(0.0, 29.3, 4.41).unwrap(), 17) < 0.04);
+        assert!(ks_self(&LogGamma::new(2.0, 0.2).unwrap(), 18) < 0.04);
+    }
+}

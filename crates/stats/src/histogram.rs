@@ -1,0 +1,193 @@
+//! Fixed-bin histograms with CSV and ASCII rendering.
+//!
+//! The figure binaries (Fig. 4's BTC range histogram, Fig. 5's IoU
+//! histogram) print both machine-readable CSV and a terminal bar chart.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// # Example
+///
+/// ```
+/// use delphi_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 7.0, 9.9, -3.0, 42.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(0), 2);   // 1.0, 1.5
+/// assert_eq!(h.underflow(), 1); // -3.0
+/// assert_eq!(h.overflow(), 1);  // 42.0
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the range is empty/non-finite or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram, String> {
+        if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(format!("invalid histogram range [{lo}, {hi})"));
+        }
+        if bins == 0 {
+            return Err("histogram needs at least one bin".to_string());
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Adds a sample (non-finite values count as overflow).
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every sample of a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound (plus non-finite ones).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `[start, end)` interval of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i as f64 + 1.0))
+    }
+
+    /// CSV rows: `bin_start,bin_end,count`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bin_start,bin_end,count\n");
+        for i in 0..self.bins() {
+            let (a, b) = self.bin_range(i);
+            out.push_str(&format!("{a},{b},{}\n", self.counts[i]));
+        }
+        out
+    }
+
+    /// ASCII bar chart, `width` characters for the tallest bin.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for i in 0..self.bins() {
+            let (a, b) = self.bin_range(i);
+            let bar_len = (self.counts[i] as usize * width) / max as usize;
+            out.push_str(&format!(
+                "[{a:>10.2}, {b:>10.2}) |{:<width$}| {}\n",
+                "#".repeat(bar_len),
+                self.counts[i],
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0); // first bin, inclusive lower edge
+        h.add(9.999); // last bin
+        h.add(10.0); // overflow (exclusive upper edge)
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn bin_ranges_partition_the_interval() {
+        let h = Histogram::new(-5.0, 5.0, 4).unwrap();
+        assert_eq!(h.bin_range(0), (-5.0, -2.5));
+        assert_eq!(h.bin_range(3), (2.5, 5.0));
+        assert_eq!(h.bins(), 4);
+    }
+
+    #[test]
+    fn non_finite_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.extend(&[f64::NAN, f64::INFINITY, 0.5]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend(&[0.5, 1.5, 1.6]);
+        let csv = h.to_csv();
+        assert!(csv.contains("bin_start,bin_end,count"));
+        assert!(csv.contains("0,1,1"));
+        assert!(csv.contains("1,2,2"));
+        let ascii = h.to_ascii(10);
+        assert!(ascii.contains('#'));
+        assert_eq!(h.to_string(), h.to_ascii(40));
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(Histogram::new(1.0, 1.0, 3).is_err());
+        assert!(Histogram::new(0.0, f64::NAN, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The oracle-network workload: a multi-exchange BTC price feed (§VI-A).
+//!
+//! Every simulated minute has a ground-truth price following a geometric
+//! random walk; the ten exchanges quote prices whose *range* (max − min)
+//! follows the Fréchet(α = 4.41, scale = 29.3) law the paper fit to two
+//! weeks of real feeds (Fig. 4). Each oracle node samples one or more
+//! exchanges and inputs the median of what it sees — the paper's node
+//! behaviour.
+
+use delphi_stats::dist::{ContinuousDist, Frechet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic feed.
+#[derive(Clone, Debug)]
+pub struct BtcFeedConfig {
+    /// Number of exchanges quoting prices (paper: 10).
+    pub exchanges: usize,
+    /// Starting ground-truth price in USD (paper era: ≈ 30 000$).
+    pub start_price: f64,
+    /// Per-minute log-return volatility of the truth walk.
+    pub volatility: f64,
+    /// Fréchet shape of the per-minute quote range (paper: 4.41).
+    pub range_alpha: f64,
+    /// Fréchet scale of the per-minute quote range in USD (paper: 29.3).
+    pub range_scale: f64,
+    /// Exchanges each node queries (input = their median; paper: ≥ 1).
+    pub feeds_per_node: usize,
+}
+
+impl Default for BtcFeedConfig {
+    fn default() -> Self {
+        BtcFeedConfig {
+            exchanges: 10,
+            start_price: 30_000.0,
+            volatility: 0.0006,
+            range_alpha: 4.41,
+            range_scale: 29.3,
+            feeds_per_node: 3,
+        }
+    }
+}
+
+/// One minute of quotes.
+#[derive(Clone, Debug)]
+pub struct MinuteQuote {
+    /// The latent true price this minute.
+    pub truth: f64,
+    /// One quote per exchange.
+    pub exchange_prices: Vec<f64>,
+}
+
+impl MinuteQuote {
+    /// The quote range `δ = max − min` — the quantity Fig. 4 histograms.
+    pub fn range(&self) -> f64 {
+        let lo = self.exchange_prices.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.exchange_prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    }
+}
+
+/// The synthetic feed generator.
+///
+/// # Example
+///
+/// ```
+/// use delphi_workloads::{BtcFeed, BtcFeedConfig};
+///
+/// let mut feed = BtcFeed::new(BtcFeedConfig::default(), 7);
+/// let quote = feed.next_minute();
+/// assert_eq!(quote.exchange_prices.len(), 10);
+/// let inputs = feed.node_inputs(&quote, 16);
+/// assert_eq!(inputs.len(), 16);
+/// // Node inputs are medians of exchange quotes: inside the quote hull.
+/// assert!(inputs.iter().all(|v| *v >= quote.truth - quote.range()
+///     && *v <= quote.truth + quote.range()));
+/// ```
+#[derive(Debug)]
+pub struct BtcFeed {
+    cfg: BtcFeedConfig,
+    rng: StdRng,
+    price: f64,
+    range_dist: Frechet,
+}
+
+impl BtcFeed {
+    /// Creates a feed with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no exchanges,
+    /// non-positive price/volatility, invalid Fréchet parameters).
+    pub fn new(cfg: BtcFeedConfig, seed: u64) -> BtcFeed {
+        assert!(cfg.exchanges >= 2, "need at least two exchanges");
+        assert!(cfg.start_price > 0.0 && cfg.start_price.is_finite());
+        assert!(cfg.volatility >= 0.0 && cfg.volatility.is_finite());
+        assert!(cfg.feeds_per_node >= 1, "nodes query at least one exchange");
+        let range_dist =
+            Frechet::new(0.0, cfg.range_scale, cfg.range_alpha).expect("valid Fréchet parameters");
+        BtcFeed { price: cfg.start_price, cfg, rng: StdRng::seed_from_u64(seed), range_dist }
+    }
+
+    /// The current ground-truth price.
+    pub fn truth(&self) -> f64 {
+        self.price
+    }
+
+    /// Advances one minute and returns the exchanges' quotes.
+    pub fn next_minute(&mut self) -> MinuteQuote {
+        // Geometric random walk for the truth.
+        let z: f64 = {
+            let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = self.rng.random();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        self.price *= (self.cfg.volatility * z).exp();
+
+        // Quote range for this minute, then quotes spanning exactly it.
+        let delta = self.range_dist.sample(&mut self.rng);
+        let m = self.cfg.exchanges;
+        let mut offsets: Vec<f64> = (0..m).map(|_| self.rng.random::<f64>()).collect();
+        // Force the offsets to span [0, 1] so the realized range is δ.
+        offsets[0] = 0.0;
+        offsets[1] = 1.0;
+        let exchange_prices = offsets
+            .iter()
+            .map(|o| self.price - delta / 2.0 + o * delta)
+            .collect();
+        MinuteQuote { truth: self.price, exchange_prices }
+    }
+
+    /// Draws the inputs of `n` oracle nodes for a quote: each node
+    /// queries `feeds_per_node` random exchanges and takes the median.
+    pub fn node_inputs(&mut self, quote: &MinuteQuote, n: usize) -> Vec<f64> {
+        let m = quote.exchange_prices.len();
+        let k = self.cfg.feeds_per_node.min(m);
+        (0..n)
+            .map(|_| {
+                let mut picks: Vec<f64> = (0..k)
+                    .map(|_| quote.exchange_prices[self.rng.random_range(0..m)])
+                    .collect();
+                picks.sort_by(f64::total_cmp);
+                picks[(picks.len() - 1) / 2]
+            })
+            .collect()
+    }
+
+    /// Generates `minutes` of per-minute ranges — the Fig. 4 dataset.
+    pub fn range_series(&mut self, minutes: usize) -> Vec<f64> {
+        (0..minutes).map(|_| self.next_minute().range()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_stats::describe::Summary;
+    use delphi_stats::fit;
+
+    #[test]
+    fn quotes_span_the_sampled_range() {
+        let mut feed = BtcFeed::new(BtcFeedConfig::default(), 1);
+        for _ in 0..50 {
+            let q = feed.next_minute();
+            assert_eq!(q.exchange_prices.len(), 10);
+            assert!(q.range() > 0.0);
+            // Quotes centred on the truth.
+            let lo = q.exchange_prices.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = q.exchange_prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert!((lo - (q.truth - q.range() / 2.0)).abs() < 1e-6);
+            assert!((hi - (q.truth + q.range() / 2.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn range_statistics_match_the_paper() {
+        // Two weeks of minutes: 20 160 samples. The paper observes
+        // δ < 100$ for ~99.2% of minutes and a mean around 25–35$.
+        let mut feed = BtcFeed::new(BtcFeedConfig::default(), 2);
+        let ranges = feed.range_series(20_160);
+        let s = Summary::of(&ranges);
+        assert!((25.0..45.0).contains(&s.mean), "mean range {}", s.mean);
+        let below_100 = ranges.iter().filter(|&&r| r < 100.0).count() as f64 / ranges.len() as f64;
+        assert!(below_100 > 0.985, "P(δ < 100$) = {below_100}");
+    }
+
+    #[test]
+    fn refitting_recovers_the_frechet_law() {
+        let mut feed = BtcFeed::new(BtcFeedConfig::default(), 3);
+        let ranges = feed.range_series(20_160);
+        let f = fit::frechet_log_moments(&ranges).unwrap();
+        assert!((f.alpha() - 4.41).abs() < 0.5, "alpha {}", f.alpha());
+        assert!((f.scale() - 29.3).abs() < 2.0, "scale {}", f.scale());
+    }
+
+    #[test]
+    fn node_inputs_are_medians_within_hull() {
+        let mut feed = BtcFeed::new(BtcFeedConfig::default(), 4);
+        let q = feed.next_minute();
+        let inputs = feed.node_inputs(&q, 64);
+        assert_eq!(inputs.len(), 64);
+        let lo = q.exchange_prices.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = q.exchange_prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in inputs {
+            assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn truth_walks_but_slowly() {
+        let mut feed = BtcFeed::new(BtcFeedConfig::default(), 5);
+        let p0 = feed.truth();
+        let _ = feed.range_series(1000);
+        let p1 = feed.truth();
+        assert_ne!(p0, p1);
+        assert!((p1 / p0 - 1.0).abs() < 0.2, "walk drifted {p0} -> {p1}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = BtcFeed::new(BtcFeedConfig::default(), 9);
+        let mut b = BtcFeed::new(BtcFeedConfig::default(), 9);
+        assert_eq!(a.next_minute().exchange_prices, b.next_minute().exchange_prices);
+    }
+
+    #[test]
+    #[should_panic(expected = "two exchanges")]
+    fn rejects_single_exchange() {
+        let cfg = BtcFeedConfig { exchanges: 1, ..BtcFeedConfig::default() };
+        let _ = BtcFeed::new(cfg, 1);
+    }
+}

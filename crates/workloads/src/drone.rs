@@ -1,0 +1,203 @@
+//! The CPS workload: drone-based object localization (§VI-B).
+//!
+//! Each drone photographs a car, runs an object detector, and estimates
+//! the car's 2D position as `detector bounding-box center + own GPS
+//! position`. The paper characterizes the two error sources:
+//!
+//! - **detector**: IoU of detections follows a thin-tailed Gamma law with
+//!   mean ≈ 0.87, and `IoU < 0.6` in only ≈ 0.37% of cases (Fig. 5);
+//!   the per-axis position error is bounded by `(1 − IoU) · l_diag` with
+//!   `l_diag ≈ 5.3 m` for a standard car;
+//! - **GPS**: per the FAA report, error ≤ 5 m in 99.99% of samples with
+//!   mean ≈ 1.3 m; the paper upper-bounds it with a Gamma law.
+//!
+//! This generator samples both laws and composes them into per-drone
+//! position estimates; Fig. 5 and the §VI-B `Δ = 50 m`, `ρ0 = ε = 0.5 m`
+//! derivations reproduce from it.
+
+use delphi_stats::dist::{ContinuousDist, Gamma};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the drone-detection scenario.
+#[derive(Clone, Debug)]
+pub struct DroneScenarioConfig {
+    /// IoU model: `IoU = clamp(1 − G, 0, 1)` with
+    /// `G ~ Gamma(iou_gap_shape, iou_gap_scale)`. Defaults give mean IoU
+    /// ≈ 0.87 and `P(IoU < 0.6) ≈ 0.4%`, matching Fig. 5.
+    pub iou_gap_shape: f64,
+    /// Scale of the IoU gap Gamma.
+    pub iou_gap_scale: f64,
+    /// Diagonal of the ground-truth bounding box in meters
+    /// (paper: 5.3 m for a 5 m × 2 m car).
+    pub l_diag: f64,
+    /// GPS error model `Gamma(gps_shape, gps_scale)`; defaults give mean
+    /// 1.3 m with a ≤ 5 m 99.99% envelope, matching the FAA report.
+    pub gps_shape: f64,
+    /// Scale of the GPS Gamma.
+    pub gps_scale: f64,
+}
+
+impl Default for DroneScenarioConfig {
+    fn default() -> Self {
+        DroneScenarioConfig {
+            iou_gap_shape: 3.2,
+            iou_gap_scale: 0.0406,
+            l_diag: 5.3,
+            gps_shape: 4.0,
+            gps_scale: 0.325,
+        }
+    }
+}
+
+/// One drone's estimate of the target position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// Estimated x coordinate (meters).
+    pub x: f64,
+    /// Estimated y coordinate (meters).
+    pub y: f64,
+    /// The IoU of the underlying detection.
+    pub iou: f64,
+}
+
+/// The drone swarm scenario generator.
+///
+/// # Example
+///
+/// ```
+/// use delphi_workloads::{DroneScenario, DroneScenarioConfig};
+///
+/// let mut scenario = DroneScenario::new(DroneScenarioConfig::default(), (120.0, 80.0), 3);
+/// let obs = scenario.observe(15);
+/// assert_eq!(obs.len(), 15);
+/// // Estimates cluster near the true position.
+/// for o in &obs {
+///     assert!((o.x - 120.0).abs() < 20.0 && (o.y - 80.0).abs() < 20.0);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct DroneScenario {
+    cfg: DroneScenarioConfig,
+    truth: (f64, f64),
+    rng: StdRng,
+    iou_gap: Gamma,
+    gps: Gamma,
+}
+
+impl DroneScenario {
+    /// Creates a scenario with a target at `truth` (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured Gamma parameters are invalid.
+    pub fn new(cfg: DroneScenarioConfig, truth: (f64, f64), seed: u64) -> DroneScenario {
+        let iou_gap = Gamma::new(cfg.iou_gap_shape, cfg.iou_gap_scale).expect("valid IoU model");
+        let gps = Gamma::new(cfg.gps_shape, cfg.gps_scale).expect("valid GPS model");
+        DroneScenario { cfg, truth, rng: StdRng::seed_from_u64(seed), iou_gap, gps }
+    }
+
+    /// The target's true position.
+    pub fn truth(&self) -> (f64, f64) {
+        self.truth
+    }
+
+    /// Samples one detection IoU.
+    pub fn sample_iou(&mut self) -> f64 {
+        (1.0 - self.iou_gap.sample(&mut self.rng)).clamp(0.0, 1.0)
+    }
+
+    /// Samples `count` IoU values — the Fig. 5 dataset.
+    pub fn sample_ious(&mut self, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.sample_iou()).collect()
+    }
+
+    /// Produces one position estimate per drone.
+    pub fn observe(&mut self, drones: usize) -> Vec<Observation> {
+        (0..drones)
+            .map(|_| {
+                let iou = self.sample_iou();
+                // Detector error: up to (1 − IoU)·l_diag, random direction.
+                let det_mag = (1.0 - iou) * self.cfg.l_diag * self.rng.random::<f64>();
+                let det_dir = self.rng.random::<f64>() * std::f64::consts::TAU;
+                // GPS error: Gamma magnitude, random direction.
+                let gps_mag = self.gps.sample(&mut self.rng);
+                let gps_dir = self.rng.random::<f64>() * std::f64::consts::TAU;
+                Observation {
+                    x: self.truth.0 + det_mag * det_dir.cos() + gps_mag * gps_dir.cos(),
+                    y: self.truth.1 + det_mag * det_dir.sin() + gps_mag * gps_dir.sin(),
+                    iou,
+                }
+            })
+            .collect()
+    }
+
+    /// Per-axis inputs for the two Delphi instances the paper runs
+    /// (one per coordinate).
+    pub fn axis_inputs(&mut self, drones: usize) -> (Vec<f64>, Vec<f64>) {
+        let obs = self.observe(drones);
+        (obs.iter().map(|o| o.x).collect(), obs.iter().map(|o| o.y).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_stats::describe::Summary;
+    use delphi_stats::{fit, ks};
+
+    #[test]
+    fn iou_statistics_match_the_paper() {
+        let mut s = DroneScenario::new(DroneScenarioConfig::default(), (0.0, 0.0), 1);
+        let ious = s.sample_ious(80_000);
+        let summary = Summary::of(&ious);
+        assert!((summary.mean - 0.87).abs() < 0.01, "mean IoU {}", summary.mean);
+        let below_06 = ious.iter().filter(|&&x| x < 0.6).count() as f64 / ious.len() as f64;
+        assert!(below_06 < 0.012, "P(IoU < 0.6) = {below_06}");
+        assert!(below_06 > 0.0001, "tail not degenerate: {below_06}");
+        assert!(ious.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn gamma_fits_iou_better_than_frechet() {
+        // The Fig. 5 comparison: Gamma is the best fit for IoU.
+        let mut s = DroneScenario::new(DroneScenarioConfig::default(), (0.0, 0.0), 2);
+        let ious = s.sample_ious(20_000);
+        let gamma = fit::gamma_mle(&ious).unwrap();
+        let frechet = fit::frechet_log_moments(&ious).unwrap();
+        let d_gamma = ks::ks_statistic(&ious, |x| gamma.cdf(x));
+        let d_frechet = ks::ks_statistic(&ious, |x| frechet.cdf(x));
+        assert!(d_gamma < d_frechet, "Gamma {d_gamma} vs Fréchet {d_frechet}");
+    }
+
+    #[test]
+    fn gps_error_envelope_matches_faa() {
+        let cfg = DroneScenarioConfig::default();
+        let gps = Gamma::new(cfg.gps_shape, cfg.gps_scale).unwrap();
+        assert!((gps.mean() - 1.3).abs() < 0.01, "mean GPS error {}", gps.mean());
+        // ≤ 5 m at the 99.99th percentile, per the FAA report.
+        assert!(gps.quantile(0.9999) <= 6.0, "q99.99 = {}", gps.quantile(0.9999));
+    }
+
+    #[test]
+    fn observations_cluster_near_truth() {
+        let mut s = DroneScenario::new(DroneScenarioConfig::default(), (50.0, -20.0), 3);
+        let obs = s.observe(2000);
+        let xs: Vec<f64> = obs.iter().map(|o| o.x).collect();
+        let summary = Summary::of(&xs);
+        assert!((summary.mean - 50.0).abs() < 0.2, "x mean {}", summary.mean);
+        // Per-axis error should stay well within the paper's Δ = 50 m.
+        assert!(summary.range() < 50.0, "x range {}", summary.range());
+        // Per-axis spread of a realistic swarm (n ≈ 15) is a few meters.
+        let (x15, _) = s.axis_inputs(15);
+        let r = Summary::of(&x15).range();
+        assert!(r < 20.0, "15-drone range {r}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = DroneScenario::new(DroneScenarioConfig::default(), (1.0, 2.0), 7);
+        let mut b = DroneScenario::new(DroneScenarioConfig::default(), (1.0, 2.0), 7);
+        assert_eq!(a.observe(5), b.observe(5));
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic oracle workloads matching the paper's two applications
+//! (§VI-A, §VI-B).
+//!
+//! The paper configures Delphi from *measured* data: two weeks of BTC
+//! price feeds from ten exchanges, and 80 000 object detections from a
+//! drone-mounted EfficientDet. Neither dataset is redistributable, but
+//! the paper reduces each to a fitted distribution — a Fréchet law for
+//! the per-minute price range, a Gamma law for detection IoU plus a
+//! Gamma-approximated GPS error. These generators sample from exactly
+//! those laws, so every analysis downstream of the raw data (Figs. 4–5,
+//! the Δ/ρ0/ε derivations, the §VI-E validity numbers) can be reproduced.
+//! DESIGN.md §5 records the substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btc;
+pub mod drone;
+
+pub use btc::{BtcFeed, BtcFeedConfig, MinuteQuote};
+pub use drone::{DroneScenario, DroneScenarioConfig, Observation};

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the full Delphi reproduction workspace.
+pub use delphi_baselines as baselines;
+pub use delphi_core as core;
+pub use delphi_crypto as crypto;
+pub use delphi_dora as dora;
+pub use delphi_net as net;
+pub use delphi_primitives as primitives;
+pub use delphi_sim as sim;
+pub use delphi_stats as stats;
+pub use delphi_workloads as workloads;

@@ -1,0 +1,56 @@
+//! Integration: the full Delphi protocol over real TCP sockets.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use delphi::core::{DelphiConfig, DelphiNode};
+use delphi::crypto::Keychain;
+use delphi::net::{run_node, RunOptions};
+use delphi::primitives::NodeId;
+
+const SEED: &[u8] = b"tokio-delphi-test";
+
+async fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let mut addrs = Vec::with_capacity(n);
+    let mut holders = Vec::new();
+    for _ in 0..n {
+        let l = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        addrs.push(l.local_addr().expect("addr"));
+        holders.push(l);
+    }
+    addrs
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn delphi_cluster_over_tcp() {
+    let n = 4;
+    let cfg = DelphiConfig::builder(n)
+        .space(0.0, 1000.0)
+        .rho0(1.0)
+        .delta_max(32.0)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let inputs = [500.4, 500.9, 499.8, 500.2];
+    let addrs = free_addrs(n).await;
+
+    let mut handles = Vec::new();
+    for id in NodeId::all(n) {
+        let keychain = Keychain::derive(SEED, id, n);
+        let node = DelphiNode::new(cfg.clone(), id, inputs[id.index()]);
+        let addrs = addrs.clone();
+        let opts = RunOptions { deadline: Duration::from_secs(30), ..RunOptions::default() };
+        handles.push(tokio::spawn(async move { run_node(node, keychain, addrs, opts).await }));
+    }
+
+    let mut outputs = Vec::new();
+    for h in handles {
+        let (out, stats) = h.await.expect("join").expect("run");
+        assert_eq!(stats.dropped_frames, 0, "no authentication failures among honest nodes");
+        outputs.push(out);
+    }
+    let lo = outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi - lo <= cfg.epsilon() + 1e-9, "ε-agreement over TCP: spread {}", hi - lo);
+    assert!(lo >= 498.0 && hi <= 502.0, "validity over TCP: [{lo}, {hi}]");
+}
