@@ -188,7 +188,7 @@ impl AadNode {
     /// Panics if `n < 3t + 1`, `me` is out of range, or
     /// `rounds ∉ 1..=`[`MAX_AAD_ROUNDS`].
     pub fn new(me: NodeId, n: usize, t: usize, value: f64, rounds: u16) -> AadNode {
-        assert!(n >= 3 * t + 1, "AAD requires n >= 3t + 1");
+        assert!(n > 3 * t, "AAD requires n >= 3t + 1");
         assert!(me.index() < n, "node id out of range");
         assert!((1..=MAX_AAD_ROUNDS).contains(&rounds), "rounds must be in 1..={MAX_AAD_ROUNDS}");
         let value = if value.is_finite() { value } else { 0.0 };
@@ -254,9 +254,11 @@ impl AadNode {
                 let was = st.rbcs[me.index()].delivered().is_some();
                 let actions = st.rbcs[me.index()].broadcast(w.into_bytes());
                 Self::absorb_delivery(st, me.index(), was);
-                out.extend(
-                    actions.into_iter().map(|inner| AadMsg::Rbc { round, broadcaster: me, inner }),
-                );
+                out.extend(actions.into_iter().map(|inner| AadMsg::Rbc {
+                    round,
+                    broadcaster: me,
+                    inner,
+                }));
             }
 
             // Witness after n − t deliveries.
@@ -289,9 +291,7 @@ impl AadNode {
     }
 
     fn envelopes(msgs: Vec<AadMsg>) -> Vec<Envelope> {
-        msgs.into_iter()
-            .map(|m| Envelope::to_all(Bytes::from(m.to_bytes())))
-            .collect()
+        msgs.into_iter().map(|m| Envelope::to_all(m.to_bytes())).collect()
     }
 }
 
@@ -330,9 +330,11 @@ impl Protocol for AadNode {
                 let was = st.rbcs[b].delivered().is_some();
                 let actions = st.rbcs[b].on_message(from, &inner);
                 Self::absorb_delivery(st, b, was);
-                out.extend(
-                    actions.into_iter().map(|inner| AadMsg::Rbc { round, broadcaster, inner }),
-                );
+                out.extend(actions.into_iter().map(|inner| AadMsg::Rbc {
+                    round,
+                    broadcaster,
+                    inner,
+                }));
             }
             AadMsg::Witness { round, ids } => {
                 if round < 1 || round > self.total_rounds || ids.len() > self.n {
@@ -372,7 +374,14 @@ mod tests {
         assert_eq!(roundtrip(&m).unwrap(), m);
     }
 
-    fn run_aad(n: usize, t: usize, inputs: &[f64], rounds: u16, faulty: &[usize], seed: u64) -> Vec<f64> {
+    fn run_aad(
+        n: usize,
+        t: usize,
+        inputs: &[f64],
+        rounds: u16,
+        faulty: &[usize],
+        seed: u64,
+    ) -> Vec<f64> {
         let nodes: Vec<Box<dyn Protocol<Output = f64>>> = NodeId::all(n)
             .map(|id| {
                 if faulty.contains(&id.index()) {
@@ -383,10 +392,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(report.all_honest_finished(), "AAD stalled: {:?} seed {seed}", report.stop);
         report.honest_outputs().copied().collect()
     }
@@ -440,10 +446,8 @@ mod tests {
                     AadNode::new(id, n, 1, v, 6).boxed()
                 })
                 .collect();
-            let report = Simulation::new(Topology::lan(n))
-                .seed(seed)
-                .faulty(&[NodeId(3)])
-                .run(nodes);
+            let report =
+                Simulation::new(Topology::lan(n)).seed(seed).faulty(&[NodeId(3)]).run(nodes);
             assert!(report.all_honest_finished());
             for o in report.honest_outputs() {
                 assert!(

@@ -10,7 +10,6 @@
 //! [`AbaInstance`] is embeddable (the ACS runs `n` in parallel);
 //! [`AbaNode`] wraps one instance as a standalone [`Protocol`].
 
-use bytes::Bytes;
 use delphi_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
 use delphi_primitives::{Envelope, NodeBitSet, NodeId, Protocol, Round};
 
@@ -130,7 +129,7 @@ impl AbaInstance {
     ///
     /// Panics if `n < 3t + 1` or `me` is out of range.
     pub fn new(me: NodeId, n: usize, t: usize, id: u16) -> AbaInstance {
-        assert!(n >= 3 * t + 1, "ABA requires n >= 3t + 1");
+        assert!(n > 3 * t, "ABA requires n >= 3t + 1");
         assert!(me.index() < n, "node id out of range");
         AbaInstance {
             me,
@@ -191,7 +190,13 @@ impl AbaInstance {
     }
 
     /// Handles one message; returns messages to broadcast.
-    pub fn on_message(&mut self, from: NodeId, round: Round, kind: AbaKind, coins: &mut CoinKeeper) -> Vec<AbaMsg> {
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        round: Round,
+        kind: AbaKind,
+        coins: &mut CoinKeeper,
+    ) -> Vec<AbaMsg> {
         let mut out = Vec::new();
         if self.halted || from.index() >= self.n {
             return out;
@@ -207,11 +212,11 @@ impl AbaInstance {
                 let st = self.round_mut(round);
                 st.bval_recv[usize::from(v)].insert(from);
                 let count = st.bval_recv[usize::from(v)].len();
-                if count >= t + 1 && !st.bval_sent[usize::from(v)] {
+                if count > t && !st.bval_sent[usize::from(v)] {
                     self.send_bval(round, v, &mut out);
                 }
                 let st = self.round_mut(round);
-                if st.bval_recv[usize::from(v)].len() >= 2 * t + 1 {
+                if st.bval_recv[usize::from(v)].len() > 2 * t {
                     st.bin_values[usize::from(v)] = true;
                 }
             }
@@ -243,7 +248,7 @@ impl AbaInstance {
     fn check_done(&mut self, out: &mut Vec<AbaMsg>) {
         for v in [false, true] {
             let count = self.done_recv[usize::from(v)].len();
-            if count >= self.t + 1 && !self.done_sent {
+            if count > self.t && !self.done_sent {
                 self.decided.get_or_insert(v);
                 self.send_done(v, out);
             }
@@ -291,7 +296,7 @@ impl AbaInstance {
             }
             // bin_values updates can come from our own BVALs too.
             for v in [false, true] {
-                if st.bval_recv[usize::from(v)].len() >= 2 * t + 1 {
+                if st.bval_recv[usize::from(v)].len() > 2 * t {
                     st.bin_values[usize::from(v)] = true;
                 }
             }
@@ -403,9 +408,7 @@ impl AbaNode {
     }
 
     fn envelopes(msgs: Vec<AbaMsg>) -> Vec<Envelope> {
-        msgs.into_iter()
-            .map(|m| Envelope::to_all(Bytes::from(m.to_bytes())))
-            .collect()
+        msgs.into_iter().map(|m| Envelope::to_all(m.to_bytes())).collect()
     }
 }
 
@@ -454,7 +457,9 @@ mod tests {
 
     #[test]
     fn msg_roundtrips() {
-        for kind in [AbaKind::Bval(true), AbaKind::Aux(false), AbaKind::CoinShare, AbaKind::Done(true)] {
+        for kind in
+            [AbaKind::Bval(true), AbaKind::Aux(false), AbaKind::CoinShare, AbaKind::Done(true)]
+        {
             let m = AbaMsg { instance: 3, round: Round(2), kind };
             assert_eq!(roundtrip(&m).unwrap(), m);
         }
@@ -472,10 +477,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(report.all_honest_finished(), "ABA stalled: {:?} seed {seed}", report.stop);
         report.honest_outputs().copied().collect()
     }
@@ -513,16 +515,14 @@ mod tests {
         let nodes: Vec<Box<dyn Protocol<Output = bool>>> = NodeId::all(n)
             .map(|id| {
                 if id.index() == 2 {
-                    Box::new(GarbageSpammer::new(id, n, 4, 2, 32, 40)) as Box<dyn Protocol<Output = bool>>
+                    Box::new(GarbageSpammer::new(id, n, 4, 2, 32, 40))
+                        as Box<dyn Protocol<Output = bool>>
                 } else {
                     AbaNode::new(id, n, 1, id.index() == 0, b"coin").boxed()
                 }
             })
             .collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(6)
-            .faulty(&[NodeId(2)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(6).faulty(&[NodeId(2)]).run(nodes);
         assert!(report.all_honest_finished());
         let outs: Vec<bool> = report.honest_outputs().copied().collect();
         assert!(outs.windows(2).all(|w| w[0] == w[1]));

@@ -131,9 +131,7 @@ impl AcsNode {
 
     /// The agreed core-set values, once decided (sorted).
     pub fn core_values(&self) -> Option<Vec<f64>> {
-        if self.output.is_none() {
-            return None;
-        }
+        self.output?;
         let mut vals: Vec<f64> = (0..self.n)
             .filter(|&j| self.abas[j].decision() == Some(true))
             .filter_map(|j| self.values[j])
@@ -214,9 +212,7 @@ impl AcsNode {
     }
 
     fn envelopes(msgs: Vec<AcsMsg>) -> Vec<Envelope> {
-        msgs.into_iter()
-            .map(|m| Envelope::to_all(Bytes::from(m.to_bytes())))
-            .collect()
+        msgs.into_iter().map(|m| Envelope::to_all(m.to_bytes())).collect()
     }
 }
 
@@ -237,10 +233,8 @@ impl Protocol for AcsNode {
         let me = self.me.index();
         let was = self.rbcs[me].delivered().is_some();
         let actions = self.rbcs[me].broadcast(payload.into_bytes());
-        let mut msgs: Vec<AcsMsg> = actions
-            .into_iter()
-            .map(|inner| AcsMsg::Rbc { broadcaster: self.me, inner })
-            .collect();
+        let mut msgs: Vec<AcsMsg> =
+            actions.into_iter().map(|inner| AcsMsg::Rbc { broadcaster: self.me, inner }).collect();
         self.after_rbc(me, was, &mut msgs);
         Self::envelopes(msgs)
     }
@@ -294,10 +288,8 @@ mod tests {
 
     #[test]
     fn msg_roundtrip() {
-        let m = AcsMsg::Rbc {
-            broadcaster: NodeId(2),
-            inner: RbcMsg::Echo(Bytes::from_static(b"v")),
-        };
+        let m =
+            AcsMsg::Rbc { broadcaster: NodeId(2), inner: RbcMsg::Echo(Bytes::from_static(b"v")) };
         assert_eq!(roundtrip(&m).unwrap(), m);
         let m = AcsMsg::Aba(AbaMsg {
             instance: 1,
@@ -318,10 +310,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(report.all_honest_finished(), "ACS stalled: {:?} seed {seed}", report.stop);
         report.honest_outputs().copied().collect()
     }
@@ -355,10 +344,8 @@ mod tests {
                     AcsNode::new(id, n, 1, v, b"coin").boxed()
                 })
                 .collect();
-            let report = Simulation::new(Topology::lan(n))
-                .seed(seed)
-                .faulty(&[NodeId(3)])
-                .run(nodes);
+            let report =
+                Simulation::new(Topology::lan(n)).seed(seed).faulty(&[NodeId(3)]).run(nodes);
             assert!(report.all_honest_finished());
             for o in report.honest_outputs() {
                 assert!((100.0..=102.0).contains(o), "median dragged to {o} at seed {seed}");
@@ -387,7 +374,7 @@ mod tests {
                     broadcaster: self.me,
                     inner: RbcMsg::Send(Bytes::from_static(b"zz")),
                 };
-                vec![Envelope::to_all(Bytes::from(msg.to_bytes()))]
+                vec![Envelope::to_all(msg.to_bytes())]
             }
             fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
                 Vec::new()
@@ -406,10 +393,7 @@ mod tests {
                 }
             })
             .collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(3)
-            .faulty(&[NodeId(0)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(3).faulty(&[NodeId(0)]).run(nodes);
         assert!(report.all_honest_finished());
         for o in report.honest_outputs() {
             assert!((51.0..=53.0).contains(o));
@@ -422,16 +406,14 @@ mod tests {
         let nodes: Vec<Box<dyn Protocol<Output = f64>>> = NodeId::all(n)
             .map(|id| {
                 if id.index() == 1 {
-                    Box::new(GarbageSpammer::new(id, n, 7, 2, 48, 60)) as Box<dyn Protocol<Output = f64>>
+                    Box::new(GarbageSpammer::new(id, n, 7, 2, 48, 60))
+                        as Box<dyn Protocol<Output = f64>>
                 } else {
                     AcsNode::new(id, n, 1, 9.0, b"coin").boxed()
                 }
             })
             .collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(8)
-            .faulty(&[NodeId(1)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(8).faulty(&[NodeId(1)]).run(nodes);
         assert!(report.all_honest_finished());
         for o in report.honest_outputs() {
             assert_eq!(*o, 9.0);

@@ -77,14 +77,14 @@ impl CoinKeeper {
         let set = &mut self.flips[idx].1;
         let before = set.len();
         set.insert(from);
-        before < self.t + 1 && set.len() >= self.t + 1
+        before < self.t + 1 && set.len() > self.t
     }
 
     /// The coin value, once `t + 1` shares have been collected.
     pub fn value(&self, instance: u16, round: u16) -> Option<bool> {
         let key = Self::key(instance, round);
         let set = &self.flips.iter().find(|(k, _)| *k == key)?.1;
-        if set.len() >= self.t + 1 {
+        if set.len() > self.t {
             Some(self.toss(instance, round))
         } else {
             None

@@ -115,7 +115,7 @@ impl RbcInstance {
     ///
     /// Panics if `n < 3t + 1` or an id is out of range.
     pub fn new(me: NodeId, n: usize, t: usize, broadcaster: NodeId) -> RbcInstance {
-        assert!(n >= 3 * t + 1, "Bracha RBC requires n >= 3t + 1");
+        assert!(n > 3 * t, "Bracha RBC requires n >= 3t + 1");
         assert!(me.index() < n && broadcaster.index() < n, "id out of range");
         RbcInstance {
             me,
@@ -222,7 +222,7 @@ impl RbcInstance {
         }
         // READY amplification on t + 1 READYs.
         if !self.sent_ready {
-            if let Some(t) = self.readies.iter().find(|t| t.senders.len() >= self.t + 1) {
+            if let Some(t) = self.readies.iter().find(|t| t.senders.len() > self.t) {
                 let payload = t.payload.clone();
                 self.sent_ready = true;
                 self.record_ready(self.me, payload.clone());
@@ -231,7 +231,7 @@ impl RbcInstance {
         }
         // Deliver on 2t + 1 READYs.
         if self.delivered.is_none() {
-            if let Some(t) = self.readies.iter().find(|t| t.senders.len() >= 2 * self.t + 1) {
+            if let Some(t) = self.readies.iter().find(|t| t.senders.len() > 2 * self.t) {
                 self.delivered = Some(t.payload.clone());
             }
         }
@@ -275,7 +275,13 @@ impl RbcNode {
     ///
     /// Panics on id/threshold violations (see [`RbcInstance::new`]) or if
     /// `payload` presence does not match the role.
-    pub fn new(me: NodeId, n: usize, t: usize, broadcaster: NodeId, payload: Option<Bytes>) -> RbcNode {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        t: usize,
+        broadcaster: NodeId,
+        payload: Option<Bytes>,
+    ) -> RbcNode {
         assert_eq!(payload.is_some(), me == broadcaster, "payload iff broadcaster");
         RbcNode { instance: RbcInstance::new(me, n, t, broadcaster), to_send: payload }
     }
@@ -286,10 +292,7 @@ impl RbcNode {
     }
 
     fn envelopes(actions: Vec<RbcAction>) -> Vec<Envelope> {
-        actions
-            .into_iter()
-            .map(|m| Envelope::to_all(Bytes::from(m.to_bytes())))
-            .collect()
+        actions.into_iter().map(|m| Envelope::to_all(m.to_bytes())).collect()
     }
 }
 
@@ -361,10 +364,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(report.all_honest_finished(), "RBC stalled: {:?}", report.stop);
         report.honest_outputs().cloned().collect()
     }
@@ -405,7 +405,7 @@ mod tests {
                 .map(|d| {
                     let payload = if d % 2 == 0 { b"AAAA".as_slice() } else { b"BBBB".as_slice() };
                     let msg = RbcMsg::Send(Bytes::copy_from_slice(payload));
-                    Envelope::to_one(NodeId(d as u16), Bytes::from(msg.to_bytes()))
+                    Envelope::to_one(NodeId(d as u16), msg.to_bytes())
                 })
                 .collect()
         }
@@ -432,10 +432,8 @@ mod tests {
                     }
                 })
                 .collect();
-            let report = Simulation::new(Topology::lan(n))
-                .seed(seed)
-                .faulty(&[NodeId(0)])
-                .run(nodes);
+            let report =
+                Simulation::new(Topology::lan(n)).seed(seed).faulty(&[NodeId(0)]).run(nodes);
             let delivered: Vec<&Bytes> = report.outputs[1..].iter().flatten().collect();
             for a in &delivered {
                 for b in &delivered {
@@ -465,10 +463,7 @@ mod tests {
                 }
             })
             .collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(5)
-            .faulty(&[NodeId(0)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(5).faulty(&[NodeId(0)]).run(nodes);
         assert!(report.all_honest_finished());
         for o in report.honest_outputs() {
             assert_eq!(&o[..], b"once");

@@ -31,9 +31,7 @@ fn realistic_bundle() -> DelphiBundle {
         let mut s = Section::new(level, Round(12), EchoKind::Echo1);
         s.background = Some(Dyadic::ZERO);
         s.exclude = vec![20_000, 20_001, 20_002];
-        s.entries = (0..6)
-            .map(|i| (19_998 + i, Dyadic::new(1 + 2 * i as u64, 12)))
-            .collect();
+        s.entries = (0..6).map(|i| (19_998 + i, Dyadic::new(1 + 2 * i as u64, 12))).collect();
         bundle.sections.push(s);
     }
     bundle
@@ -81,9 +79,7 @@ fn bench_bv_round(c: &mut Criterion) {
 fn bench_dyadic(c: &mut Criterion) {
     let a = Dyadic::new(123_456_789, 30);
     let b_val = Dyadic::new(987_654_321, 31);
-    c.bench_function("dyadic_midpoint", |b| {
-        b.iter(|| black_box(a).midpoint(black_box(b_val)))
-    });
+    c.bench_function("dyadic_midpoint", |b| b.iter(|| black_box(a).midpoint(black_box(b_val))));
     c.bench_function("dyadic_cmp", |b| b.iter(|| black_box(a).cmp(&black_box(b_val))));
 }
 

@@ -13,7 +13,7 @@ use delphi_workloads::{BtcFeed, BtcFeedConfig};
 fn main() {
     // Two weeks at one reading per minute, as in the paper.
     let minutes = 14 * 24 * 60;
-    let mut feed = BtcFeed::new(BtcFeedConfig::default(), 0xF16_4);
+    let mut feed = BtcFeed::new(BtcFeedConfig::default(), 0xF164);
     let ranges = feed.range_series(minutes);
     let summary = Summary::of(&ranges);
 
@@ -43,14 +43,23 @@ fn main() {
 
     let below_100 = ranges.iter().filter(|&&r| r < 100.0).count() as f64 / ranges.len() as f64;
     let below_300 = ranges.iter().filter(|&&r| r < 300.0).count() as f64 / ranges.len() as f64;
-    println!("mean δ = {:.1}$   P(δ < 100$) = {:.2}%   P(δ < 300$) = {:.2}%", summary.mean, below_100 * 100.0, below_300 * 100.0);
+    println!(
+        "mean δ = {:.1}$   P(δ < 100$) = {:.2}%   P(δ < 300$) = {:.2}%",
+        summary.mean,
+        below_100 * 100.0,
+        below_300 * 100.0
+    );
 
     let delta30 = evt::frechet_tail_bound(&frechet, 30);
     println!("derived Δ (λ = 30 bits): {delta30:.0}$   [paper: 2000$]");
 
     println!("\nshape checks:");
     println!("  Fréchet better than Gumbel: {}", d_frechet < d_gumbel);
-    println!("  α near 4.41: {} (measured {:.2})", (frechet.alpha() - 4.41).abs() < 0.6, frechet.alpha());
+    println!(
+        "  α near 4.41: {} (measured {:.2})",
+        (frechet.alpha() - 4.41).abs() < 0.6,
+        frechet.alpha()
+    );
     println!("  Δ within [1000, 4000]$: {}", (1000.0..4000.0).contains(&delta30));
     assert!(d_frechet < d_gumbel, "Fig. 4 shape: Fréchet must beat Gumbel");
 }

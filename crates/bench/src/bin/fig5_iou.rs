@@ -13,11 +13,13 @@ use delphi_workloads::{DroneScenario, DroneScenarioConfig};
 fn main() {
     // The paper's test set: 80 000 detections.
     let detections = 80_000;
-    let mut scenario = DroneScenario::new(DroneScenarioConfig::default(), (0.0, 0.0), 0xF16_5);
+    let mut scenario = DroneScenario::new(DroneScenarioConfig::default(), (0.0, 0.0), 0xF165);
     let ious = scenario.sample_ious(detections);
     let summary = Summary::of(&ious);
 
-    println!("== Fig. 5: IoU histogram for drone-based object detection ({detections} detections) ==\n");
+    println!(
+        "== Fig. 5: IoU histogram for drone-based object detection ({detections} detections) ==\n"
+    );
     let mut hist = Histogram::new(0.4, 1.0, 24).expect("histogram range");
     hist.extend(&ious);
     println!("{}", hist.to_ascii(44));
@@ -42,7 +44,11 @@ fn main() {
     println!("{}", table.render());
 
     let below_06 = ious.iter().filter(|&&x| x < 0.6).count() as f64 / ious.len() as f64;
-    println!("mean IoU = {:.3}   P(IoU < 0.6) = {:.2}%   [paper: 0.87 / 0.37%]", summary.mean, below_06 * 100.0);
+    println!(
+        "mean IoU = {:.3}   P(IoU < 0.6) = {:.2}%   [paper: 0.87 / 0.37%]",
+        summary.mean,
+        below_06 * 100.0
+    );
 
     // §VI-B: per-axis error ≤ (1 − IoU)·l_diag plus GPS; a 15-drone swarm
     // stays within a few meters, so Δ = 50 m is a generous λ-bound.
@@ -55,7 +61,11 @@ fn main() {
 
     println!("\nshape checks:");
     println!("  Gamma better than Fréchet: {}", d_gamma < d_frechet);
-    println!("  mean IoU near 0.87: {} (measured {:.3})", (summary.mean - 0.87).abs() < 0.02, summary.mean);
+    println!(
+        "  mean IoU near 0.87: {} (measured {:.3})",
+        (summary.mean - 0.87).abs() < 0.02,
+        summary.mean
+    );
     println!("  spread << Δ = 50 m: {}", axis.range() < 50.0);
     assert!(d_gamma < d_frechet, "Fig. 5 shape: Gamma must beat Fréchet");
     assert!(axis.range() < 50.0, "Δ = 50 m must bound the swarm spread");

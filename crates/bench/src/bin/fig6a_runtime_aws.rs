@@ -8,7 +8,9 @@
 //!
 //! `cargo run --release -p delphi-bench --bin fig6a_runtime_aws [--quick]`
 
-use delphi_bench::{oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable};
+use delphi_bench::{
+    oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable,
+};
 use delphi_sim::Topology;
 
 fn main() {
@@ -16,13 +18,8 @@ fn main() {
     let center = 40_000.0;
     println!("== Fig. 6a: runtime vs n on AWS (ms, simulated geo testbed) ==\n");
 
-    let mut table = TextTable::new(&[
-        "n",
-        "Delphi d=20$",
-        "Delphi d=180$",
-        "FIN",
-        "Abraham et al.",
-    ]);
+    let mut table =
+        TextTable::new(&["n", "Delphi d=20$", "Delphi d=180$", "FIN", "Abraham et al."]);
     let mut rows: Vec<[f64; 4]> = Vec::new();
     for &n in ns {
         let cfg = oracle_config(n, 10.0);

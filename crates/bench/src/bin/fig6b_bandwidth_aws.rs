@@ -16,7 +16,8 @@ fn main() {
     let center = 40_000.0;
     println!("== Fig. 6b: bandwidth vs n on AWS (MiB per agreement, all nodes) ==\n");
 
-    let mut table = TextTable::new(&["n", "Delphi d=20$", "Delphi d=180$", "FIN", "Abraham et al."]);
+    let mut table =
+        TextTable::new(&["n", "Delphi d=20$", "Delphi d=180$", "FIN", "Abraham et al."]);
     let mut delphi_pts = Vec::new();
     let mut fin_pts = Vec::new();
     let mut aad_pts = Vec::new();

@@ -9,7 +9,9 @@
 //!
 //! `cargo run --release -p delphi-bench --bin fig6c_runtime_cps [--quick]`
 
-use delphi_bench::{cps_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable};
+use delphi_bench::{
+    cps_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable,
+};
 use delphi_sim::Topology;
 
 const HOSTS: usize = 15;
@@ -42,10 +44,7 @@ fn main() {
 
     let last = rows.last().expect("rows");
     println!("shape checks:");
-    println!(
-        "  Delphi beats FIN at every n: {}",
-        rows.iter().all(|r| r[0] < r[2])
-    );
+    println!("  Delphi beats FIN at every n: {}", rows.iter().all(|r| r[0] < r[2]));
     println!(
         "  large n speedup vs FIN: {:.1}x, vs Abraham et al.: {:.1}x",
         last[2] / last[0],

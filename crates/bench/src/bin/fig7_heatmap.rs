@@ -14,7 +14,13 @@ use delphi_sim::Topology;
 
 /// Runs one heatmap cell; `None` when δ would exceed Δ (the blank cells
 /// of the paper's heatmaps).
-fn cell(n: usize, topology: Topology, agreement_ratio: f64, range_ratio: f64, seed: u64) -> Option<f64> {
+fn cell(
+    n: usize,
+    topology: Topology,
+    agreement_ratio: f64,
+    range_ratio: f64,
+    seed: u64,
+) -> Option<f64> {
     let epsilon = 1.0;
     let rho0 = 1.0;
     let delta_max = agreement_ratio * epsilon;

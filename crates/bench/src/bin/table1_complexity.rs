@@ -27,7 +27,15 @@ fn main() {
     let mut acs_msgs = Vec::new();
     let mut aad_bytes = Vec::new();
     let mut aad_msgs = Vec::new();
-    let mut sweep = TextTable::new(&["n", "Delphi MiB", "FIN MiB", "AAD MiB", "Delphi msgs", "FIN msgs", "AAD msgs"]);
+    let mut sweep = TextTable::new(&[
+        "n",
+        "Delphi MiB",
+        "FIN MiB",
+        "AAD MiB",
+        "Delphi msgs",
+        "FIN msgs",
+        "AAD msgs",
+    ]);
     for &n in ns {
         let cfg = DelphiConfig::builder(n)
             .space(0.0, 100_000.0)
@@ -121,8 +129,14 @@ fn main() {
     let kc = growth_exponent(&acs_msgs);
     let ka = growth_exponent(&aad_msgs);
     println!("shape checks:");
-    println!("  Delphi message growth ~ n^2 (k = {kd:.2}, expect ~2): {}", (1.6..2.6).contains(&kd));
+    println!(
+        "  Delphi message growth ~ n^2 (k = {kd:.2}, expect ~2): {}",
+        (1.6..2.6).contains(&kd)
+    );
     println!("  FIN message growth ~ n^3 (k = {kc:.2}, expect ~3): {}", (2.5..3.5).contains(&kc));
-    println!("  Abraham et al. message growth ~ n^3 (k = {ka:.2}, expect ~3): {}", (2.5..3.5).contains(&ka));
+    println!(
+        "  Abraham et al. message growth ~ n^3 (k = {ka:.2}, expect ~3): {}",
+        (2.5..3.5).contains(&ka)
+    );
     println!("  separation Delphi << baselines: {}", kd + 0.5 < kc && kd + 0.5 < ka);
 }

@@ -29,16 +29,19 @@ fn main() {
     let inputs = spread_inputs(n, 40_000.0, 20.0);
     let seed = b"table3";
 
-    let mut nodes: Vec<DoraNode> = NodeId::all(n)
-        .map(|id| DoraNode::new(cfg.clone(), id, inputs[id.index()], seed))
-        .collect();
+    let mut nodes: Vec<DoraNode> =
+        NodeId::all(n).map(|id| DoraNode::new(cfg.clone(), id, inputs[id.index()], seed)).collect();
 
     // Deterministic in-process mesh: FIFO queue of (from, recipient, bytes).
     let mut queue: std::collections::VecDeque<(NodeId, Recipient, bytes::Bytes)> =
         std::collections::VecDeque::new();
     let mut attest_msgs = 0u64;
     let mut attest_bytes = 0u64;
-    let push = |queue: &mut std::collections::VecDeque<_>, from: NodeId, envs: Vec<Envelope>, attest_msgs: &mut u64, attest_bytes: &mut u64| {
+    let push = |queue: &mut std::collections::VecDeque<_>,
+                from: NodeId,
+                envs: Vec<Envelope>,
+                attest_msgs: &mut u64,
+                attest_bytes: &mut u64| {
         for env in envs {
             if let Ok(DoraMsg::Attest { .. }) = DoraMsg::from_bytes(&env.payload) {
                 *attest_msgs += u64::from(env.to == Recipient::All) * (n as u64 - 1);
@@ -47,8 +50,8 @@ fn main() {
             queue.push_back((from, env.to, env.payload));
         }
     };
-    for i in 0..n {
-        let envs = nodes[i].start();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let envs = node.start();
         push(&mut queue, NodeId(i as u16), envs, &mut attest_msgs, &mut attest_bytes);
     }
     let mut deliveries = 0u64;
@@ -57,10 +60,16 @@ fn main() {
         assert!(deliveries < 50_000_000, "mesh did not quiesce");
         match to {
             Recipient::All => {
-                for j in 0..n {
+                for (j, node) in nodes.iter_mut().enumerate() {
                     if j != from.index() {
-                        let envs = nodes[j].on_message(from, &payload);
-                        push(&mut queue, NodeId(j as u16), envs, &mut attest_msgs, &mut attest_bytes);
+                        let envs = node.on_message(from, &payload);
+                        push(
+                            &mut queue,
+                            NodeId(j as u16),
+                            envs,
+                            &mut attest_msgs,
+                            &mut attest_bytes,
+                        );
                     }
                 }
             }
@@ -131,11 +140,7 @@ fn main() {
 
     println!("shape checks:");
     println!("  1 signature per node: {}", total_signs == n as u64);
-    println!(
-        "  verifications O(n) per node (≤ 2n = {}): {}",
-        2 * n,
-        max_verifs <= 2 * n as u64
-    );
+    println!("  verifications O(n) per node (≤ 2n = {}): {}", 2 * n, max_verifs <= 2 * n as u64);
     println!("  at most two candidate outputs: {} ({candidates:?})", candidates.len() <= 2);
     println!(
         "  consumed value within relaxed hull: {}",

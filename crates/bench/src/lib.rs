@@ -82,9 +82,7 @@ pub fn spread_inputs(n: usize, center: f64, delta: f64) -> Vec<f64> {
     if n == 1 {
         return vec![center];
     }
-    (0..n)
-        .map(|i| center - delta / 2.0 + delta * i as f64 / (n as f64 - 1.0))
-        .collect()
+    (0..n).map(|i| center - delta / 2.0 + delta * i as f64 / (n as f64 - 1.0)).collect()
 }
 
 /// Runs Delphi on `topology` with the given inputs.
@@ -182,12 +180,7 @@ impl TextTable {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');

@@ -12,7 +12,6 @@
 //! inside Delphi the same [`BvRound`] machinery runs once per checkpoint,
 //! with messages bundled (see [`crate::delphi`]).
 
-use bytes::Bytes;
 use delphi_primitives::wire::{Decode, Encode};
 use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
 
@@ -66,7 +65,7 @@ impl BinAaNode {
     /// Panics if `n < 3t + 1`, `me` is out of range, or
     /// `r_max ∉ 1..=`[`MAX_ROUNDS`].
     pub fn new(me: NodeId, n: usize, t: usize, input: bool, r_max: u16) -> BinAaNode {
-        assert!(n >= 3 * t + 1, "BinAA requires n >= 3t + 1");
+        assert!(n > 3 * t, "BinAA requires n >= 3t + 1");
         assert!(me.index() < n, "node id out of range");
         assert!((1..=MAX_ROUNDS).contains(&r_max), "r_max must be in 1..={MAX_ROUNDS}");
         BinAaNode {
@@ -135,7 +134,7 @@ impl BinAaNode {
                     BvAction::Echo1(v) => (EchoKind::Echo1, v),
                     BvAction::Echo2(v) => (EchoKind::Echo2, v),
                 };
-                Envelope::to_all(Bytes::from(BinAaMsg { round, kind, value }.to_bytes()))
+                Envelope::to_all(BinAaMsg { round, kind, value }.to_bytes())
             })
             .collect()
     }
@@ -220,10 +219,7 @@ mod tests {
                     let value = Dyadic::from_bit(dest % 2 == 0);
                     for kind in [EchoKind::Echo1, EchoKind::Echo2] {
                         let msg = BinAaMsg { round: Round(round), kind, value };
-                        out.push(Envelope::to_one(
-                            NodeId(dest as u16),
-                            Bytes::from(msg.to_bytes()),
-                        ));
+                        out.push(Envelope::to_one(NodeId(dest as u16), msg.to_bytes()));
                     }
                 }
             }
@@ -256,10 +252,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(
             report.all_honest_finished(),
             "BinAA did not terminate (seed {seed}, stop {:?})",

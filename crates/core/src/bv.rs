@@ -103,7 +103,7 @@ impl BvRound {
     /// Panics if `n < 3t + 1` (the protocol's resilience bound) or `me` is
     /// out of range.
     pub fn new(me: NodeId, n: usize, t: usize) -> BvRound {
-        assert!(n >= 3 * t + 1, "weak BV broadcast requires n >= 3t + 1");
+        assert!(n > 3 * t, "weak BV broadcast requires n >= 3t + 1");
         assert!(me.index() < n, "node id out of range");
         BvRound {
             me,
@@ -215,7 +215,7 @@ impl BvRound {
             let amplify = self
                 .e1
                 .iter()
-                .find(|(v, set)| set.len() >= self.t + 1 && !self.sent_e1.contains(v))
+                .find(|(v, set)| set.len() > self.t && !self.sent_e1.contains(v))
                 .map(|(v, _)| *v);
             if let Some(v) = amplify {
                 self.send_echo1(v, actions);
@@ -223,11 +223,8 @@ impl BvRound {
             }
             // ECHO2: n − t ECHO1s for a value, once per round.
             if !self.sent_e2 {
-                let ready = self
-                    .e1
-                    .iter()
-                    .find(|(_, set)| set.len() >= self.n - self.t)
-                    .map(|(v, _)| *v);
+                let ready =
+                    self.e1.iter().find(|(_, set)| set.len() >= self.n - self.t).map(|(v, _)| *v);
                 if let Some(v) = ready {
                     self.send_echo2(v, actions);
                     continue;
@@ -276,13 +273,13 @@ mod tests {
             }
         }
         while let Some((from, action)) = queue.pop() {
-            for i in 0..n {
+            for (i, round) in rounds.iter_mut().enumerate() {
                 if i == from.index() {
                     continue;
                 }
                 let acts = match action {
-                    BvAction::Echo1(v) => rounds[i].on_echo1(from, v),
-                    BvAction::Echo2(v) => rounds[i].on_echo2(from, v),
+                    BvAction::Echo1(v) => round.on_echo1(from, v),
+                    BvAction::Echo2(v) => round.on_echo2(from, v),
                 };
                 for a in acts {
                     queue.push((NodeId(i as u16), a));

@@ -17,7 +17,6 @@
 //! behaviourally interchangeable with [`BinAaNode`](crate::BinAaNode);
 //! the benches compare their bandwidth.
 
-use bytes::Bytes;
 use delphi_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
 use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
 
@@ -175,7 +174,12 @@ impl SenderChain {
     }
 
     /// Resolves an echo code against the sender's trajectory, or buffers it.
-    fn resolve_echo(&mut self, round: Round, kind: EchoKind, code: i8) -> Option<(Round, EchoKind, Dyadic)> {
+    fn resolve_echo(
+        &mut self,
+        round: Round,
+        kind: EchoKind,
+        code: i8,
+    ) -> Option<(Round, EchoKind, Dyadic)> {
         if self.poisoned {
             return None;
         }
@@ -247,7 +251,7 @@ impl CompactBinAaNode {
     /// Panics if `n < 3t + 1`, `me` is out of range, or
     /// `r_max ∉ 1..=`[`MAX_ROUNDS`].
     pub fn new(me: NodeId, n: usize, t: usize, input: bool, r_max: u16) -> CompactBinAaNode {
-        assert!(n >= 3 * t + 1, "BinAA requires n >= 3t + 1");
+        assert!(n > 3 * t, "BinAA requires n >= 3t + 1");
         assert!(me.index() < n, "node id out of range");
         assert!((1..=MAX_ROUNDS).contains(&r_max), "r_max must be in 1..={MAX_ROUNDS}");
         CompactBinAaNode {
@@ -318,7 +322,13 @@ impl CompactBinAaNode {
         }
     }
 
-    fn feed(&mut self, from: NodeId, round: Round, kind: EchoKind, value: Dyadic) -> Vec<(Round, BvAction)> {
+    fn feed(
+        &mut self,
+        from: NodeId,
+        round: Round,
+        kind: EchoKind,
+        value: Dyadic,
+    ) -> Vec<(Round, BvAction)> {
         if u16::from(value.log_den()) >= round.0 || !value.in_unit_interval() {
             return Vec::new();
         }
@@ -330,7 +340,11 @@ impl CompactBinAaNode {
         actions.into_iter().map(|a| (round, a)).collect()
     }
 
-    fn finish_step(&mut self, mut msgs: Vec<CompactMsg>, mut extra: Vec<(Round, BvAction)>) -> Vec<Envelope> {
+    fn finish_step(
+        &mut self,
+        mut msgs: Vec<CompactMsg>,
+        mut extra: Vec<(Round, BvAction)>,
+    ) -> Vec<Envelope> {
         // Actions triggered by quorums; advancing can trigger more actions
         // and vice versa, so iterate to quiescence.
         loop {
@@ -352,9 +366,7 @@ impl CompactBinAaNode {
                 break;
             }
         }
-        msgs.into_iter()
-            .map(|m| Envelope::to_all(Bytes::from(m.to_bytes())))
-            .collect()
+        msgs.into_iter().map(|m| Envelope::to_all(m.to_bytes())).collect()
     }
 }
 
@@ -396,7 +408,8 @@ impl Protocol for CompactBinAaNode {
                 }
             }
             CompactKind::Echo1 | CompactKind::Echo2 => {
-                let kind = if msg.kind == CompactKind::Echo1 { EchoKind::Echo1 } else { EchoKind::Echo2 };
+                let kind =
+                    if msg.kind == CompactKind::Echo1 { EchoKind::Echo1 } else { EchoKind::Echo2 };
                 if let Some((round, kind, value)) =
                     self.chains[from.index()].resolve_echo(msg.round, kind, msg.code)
                 {
@@ -459,10 +472,7 @@ mod tests {
         // Out-of-order: round 4 before round 3.
         assert!(c.add_code(Round(4), 0).is_empty());
         let r34 = c.add_code(Round(3), 1);
-        assert_eq!(
-            r34,
-            vec![(Round(3), Dyadic::new(3, 2)), (Round(4), Dyadic::new(3, 2))]
-        );
+        assert_eq!(r34, vec![(Round(3), Dyadic::new(3, 2)), (Round(4), Dyadic::new(3, 2))]);
     }
 
     #[test]
@@ -535,10 +545,7 @@ mod tests {
                 }
             })
             .collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(8)
-            .faulty(&[NodeId(6)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(8).faulty(&[NodeId(6)]).run(nodes);
         assert!(report.all_honest_finished());
         let outs: Vec<Dyadic> = report.honest_outputs().copied().collect();
         let tol = Dyadic::new(1, 8);

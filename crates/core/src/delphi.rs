@@ -32,7 +32,6 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use delphi_primitives::wire::{Decode, Encode};
 use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
 
@@ -122,7 +121,14 @@ impl Collector {
 
     /// A trigger-driven background echo; `exclude` is the emit-time
     /// snapshot of distinguished checkpoints.
-    fn background(&mut self, level: u8, round: Round, kind: EchoKind, v: Dyadic, exclude: Vec<i64>) {
+    fn background(
+        &mut self,
+        level: u8,
+        round: Round,
+        kind: EchoKind,
+        v: Dyadic,
+        exclude: Vec<i64>,
+    ) {
         let mut s = Section::new(level, round, kind);
         s.background = Some(v);
         s.exclude = exclude;
@@ -403,8 +409,12 @@ impl DelphiNode {
                             // The initial Echo1 is carried by the burst
                             // entry itself.
                             BvAction::Echo1(v) if v == value => {}
-                            BvAction::Echo1(v) => out.entry(level.level, next_round, EchoKind::Echo1, k, v),
-                            BvAction::Echo2(v) => out.entry(level.level, next_round, EchoKind::Echo2, k, v),
+                            BvAction::Echo1(v) => {
+                                out.entry(level.level, next_round, EchoKind::Echo1, k, v)
+                            }
+                            BvAction::Echo2(v) => {
+                                out.entry(level.level, next_round, EchoKind::Echo2, k, v)
+                            }
                         }
                     }
                 }
@@ -417,8 +427,12 @@ impl DelphiNode {
                 for action in bg_actions {
                     match action {
                         BvAction::Echo1(v) if v == bg_value => {}
-                        BvAction::Echo1(v) => deferred.push((level.level, next_round, EchoKind::Echo1, v)),
-                        BvAction::Echo2(v) => deferred.push((level.level, next_round, EchoKind::Echo2, v)),
+                        BvAction::Echo1(v) => {
+                            deferred.push((level.level, next_round, EchoKind::Echo1, v))
+                        }
+                        BvAction::Echo2(v) => {
+                            deferred.push((level.level, next_round, EchoKind::Echo2, v))
+                        }
                     }
                 }
                 for (lvl, round, kind, value) in deferred {
@@ -439,7 +453,7 @@ impl DelphiNode {
         if bundle.is_empty() {
             Vec::new()
         } else {
-            vec![Envelope::to_all(Bytes::from(bundle.to_bytes()))]
+            vec![Envelope::to_all(bundle.to_bytes())]
         }
     }
 }
@@ -484,7 +498,8 @@ impl Protocol for DelphiNode {
                     }
                 }
             }
-            let bg_actions = level.background.round_mut(round, me, cfg.n(), cfg.t()).set_input(Dyadic::ZERO);
+            let bg_actions =
+                level.background.round_mut(round, me, cfg.n(), cfg.t()).set_input(Dyadic::ZERO);
             out.initial(level.level, round, Dyadic::ZERO, entries);
             for action in bg_actions {
                 match action {
@@ -561,10 +576,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(
             report.all_honest_finished(),
             "Delphi did not terminate (seed {seed}, stop {:?})",
@@ -647,12 +659,7 @@ mod tests {
             &cfg,
             &inputs,
             &[1],
-            |id| {
-                Box::new(SilentAfter::new(
-                    DelphiNode::new(small_cfg(4), id, 201.0),
-                    40,
-                ))
-            },
+            |id| Box::new(SilentAfter::new(DelphiNode::new(small_cfg(4), id, 201.0), 40)),
             6,
         );
         let honest_inputs = [200.0, 199.0, 200.5];
@@ -801,16 +808,14 @@ mod tests {
                 for level in 0..=self.cfg.l_max() {
                     let (k_min, k_max) = self.cfg.checkpoint_range(level);
                     // Vote 1 somewhere different per destination.
-                    let k = (k_min + (dest as i64 * 17) % (k_max - k_min).max(1)).clamp(k_min, k_max);
+                    let k =
+                        (k_min + (dest as i64 * 17) % (k_max - k_min).max(1)).clamp(k_min, k_max);
                     let mut s = Section::new(level, Round(1), EchoKind::Echo1);
                     s.background = Some(Dyadic::ZERO);
                     s.entries = vec![(k, Dyadic::ONE), (k + 1, Dyadic::ONE)];
                     bundle.sections.push(s);
                 }
-                out.push(Envelope::to_one(
-                    NodeId(dest as u16),
-                    bytes::Bytes::from(bundle.to_bytes()),
-                ));
+                out.push(Envelope::to_one(NodeId(dest as u16), bundle.to_bytes()));
             }
             out
         }
@@ -864,7 +869,7 @@ mod tests {
                         s.entries = vec![(700, Dyadic::new(1, (round - 1).min(60) as u8))];
                         bundle.sections.push(s);
                     }
-                    vec![Envelope::to_all(bytes::Bytes::from(bundle.to_bytes()))]
+                    vec![Envelope::to_all(bundle.to_bytes())]
                 }
                 fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
                     Vec::new()

@@ -180,20 +180,13 @@ mod tests {
 
     #[test]
     fn binaa_msg_roundtrip() {
-        let msg = BinAaMsg {
-            round: Round(7),
-            kind: EchoKind::Echo2,
-            value: Dyadic::new(5, 3),
-        };
+        let msg = BinAaMsg { round: Round(7), kind: EchoKind::Echo2, value: Dyadic::new(5, 3) };
         assert_eq!(roundtrip(&msg).unwrap(), msg);
     }
 
     #[test]
     fn echo_kind_rejects_unknown_discriminant() {
-        assert!(matches!(
-            EchoKind::from_bytes(&[7]),
-            Err(WireError::InvalidDiscriminant(7))
-        ));
+        assert!(matches!(EchoKind::from_bytes(&[7]), Err(WireError::InvalidDiscriminant(7))));
     }
 
     #[test]

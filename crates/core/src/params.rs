@@ -255,10 +255,7 @@ impl DelphiConfig {
                 (from..=to).collect()
             }
         };
-        let mut ks: Vec<i64> = candidates
-            .into_iter()
-            .map(|k| k.clamp(k_min, k_max))
-            .collect();
+        let mut ks: Vec<i64> = candidates.into_iter().map(|k| k.clamp(k_min, k_max)).collect();
         ks.dedup();
         ks
     }
@@ -323,7 +320,9 @@ impl DelphiConfigBuilder {
         if n == 0 {
             return Err(ConfigError::ZeroNodes);
         }
-        for (name, v) in [("s", s), ("e", e), ("rho0", rho0), ("delta_max", delta_max), ("epsilon", epsilon)] {
+        for (name, v) in
+            [("s", s), ("e", e), ("rho0", rho0), ("delta_max", delta_max), ("epsilon", epsilon)]
+        {
             if !v.is_finite() {
                 return Err(ConfigError::NonFinite(name));
             }
@@ -415,7 +414,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.l_max(), 7); // ceil(log2(100))
-        // ε' = 0.5/(4·50·7·169) = 2.11e-6 -> r_M = ceil(log2(473200)) = 19.
+                                    // ε' = 0.5/(4·50·7·169) = 2.11e-6 -> r_M = ceil(log2(473200)) = 19.
         assert_eq!(cfg.r_max(), 19);
     }
 
@@ -499,16 +498,14 @@ mod tests {
 
     #[test]
     fn rejects_invalid_parameters() {
-        let base = || DelphiConfig::builder(4).space(0.0, 100.0).rho0(1.0).delta_max(10.0).epsilon(1.0);
+        let base =
+            || DelphiConfig::builder(4).space(0.0, 100.0).rho0(1.0).delta_max(10.0).epsilon(1.0);
         assert_eq!(DelphiConfig::builder(0).build().unwrap_err(), ConfigError::ZeroNodes);
         assert_eq!(
             base().epsilon(f64::NAN).build().unwrap_err(),
             ConfigError::NonFinite("epsilon")
         );
-        assert_eq!(
-            base().rho0(0.0).build().unwrap_err(),
-            ConfigError::NonPositive("rho0")
-        );
+        assert_eq!(base().rho0(0.0).build().unwrap_err(), ConfigError::NonPositive("rho0"));
         assert_eq!(
             base().space(5.0, 5.0).build().unwrap_err(),
             ConfigError::EmptySpace { s: 5.0, e: 5.0 }

@@ -99,20 +99,14 @@ mod tests {
     fn rfc4231_case_1() {
         let key = [0x0b; 20];
         let tag = hmac_sha256(&key, b"Hi There");
-        assert_eq!(
-            hex(&tag),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-        );
+        assert_eq!(hex(&tag), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
     }
 
     // RFC 4231 test case 2: short key ("Jefe").
     #[test]
     fn rfc4231_case_2() {
         let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(
-            hex(&tag),
-            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
-        );
+        assert_eq!(hex(&tag), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
     }
 
     // RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
@@ -121,10 +115,7 @@ mod tests {
         let key = [0xaa; 20];
         let data = [0xdd; 50];
         let tag = hmac_sha256(&key, &data);
-        assert_eq!(
-            hex(&tag),
-            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
-        );
+        assert_eq!(hex(&tag), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
     }
 
     // RFC 4231 test case 4: 25-byte incrementing key, 50-byte 0xcd data.
@@ -133,10 +124,7 @@ mod tests {
         let key: Vec<u8> = (1..=25).collect();
         let data = [0xcd; 50];
         let tag = hmac_sha256(&key, &data);
-        assert_eq!(
-            hex(&tag),
-            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
-        );
+        assert_eq!(hex(&tag), "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
     }
 
     // RFC 4231 test case 6: 131-byte key (forces key hashing).
@@ -144,10 +132,7 @@ mod tests {
     fn rfc4231_case_6_long_key() {
         let key = [0xaa; 131];
         let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
-        assert_eq!(
-            hex(&tag),
-            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
-        );
+        assert_eq!(hex(&tag), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
     }
 
     // RFC 4231 test case 7: long key and long data.
@@ -156,10 +141,7 @@ mod tests {
         let key = [0xaa; 131];
         let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
         let tag = hmac_sha256(&key, data);
-        assert_eq!(
-            hex(&tag),
-            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
-        );
+        assert_eq!(hex(&tag), "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
     }
 
     #[test]

@@ -136,10 +136,7 @@ impl Keychain {
 
 impl fmt::Debug for Keychain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Keychain")
-            .field("me", &self.me)
-            .field("n", &self.keys.len())
-            .finish()
+        f.debug_struct("Keychain").field("me", &self.me).field("n", &self.keys.len()).finish()
     }
 }
 

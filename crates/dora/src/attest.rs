@@ -65,7 +65,7 @@ impl Certificate {
                 valid += 1;
             }
         }
-        valid >= t + 1
+        valid > t
     }
 }
 
@@ -227,7 +227,7 @@ impl DoraNode {
             .into_iter()
             .map(|env| {
                 let msg = DoraMsg::Inner(env.payload);
-                Envelope { to: env.to, payload: Bytes::from(msg.to_bytes()) }
+                Envelope { to: env.to, payload: msg.to_bytes() }
             })
             .collect()
     }
@@ -268,12 +268,9 @@ impl DoraNode {
         if entry.2.insert(sig.signer) {
             entry.1.push(sig);
         }
-        if entry.1.len() >= self.t + 1 {
-            self.certificate = Some(Certificate {
-                k,
-                epsilon: self.epsilon,
-                signatures: entry.1.clone(),
-            });
+        if entry.1.len() > self.t {
+            self.certificate =
+                Some(Certificate { k, epsilon: self.epsilon, signatures: entry.1.clone() });
         }
     }
 
@@ -295,9 +292,7 @@ impl DoraNode {
         for (pk, psig) in std::mem::take(&mut self.pending) {
             self.record_attestation(pk, psig);
         }
-        vec![Envelope::to_all(Bytes::from(
-            DoraMsg::Attest { k, sig }.to_bytes(),
-        ))]
+        vec![Envelope::to_all(DoraMsg::Attest { k, sig }.to_bytes())]
     }
 }
 
@@ -380,9 +375,8 @@ mod tests {
         let n = 4;
         let t = 1;
         let msg = Certificate::message_for(42, 1.0);
-        let sigs: Vec<Signature> = (0..2u16)
-            .map(|i| SigningKey::derive(b"seed", NodeId(i)).sign(&msg))
-            .collect();
+        let sigs: Vec<Signature> =
+            (0..2u16).map(|i| SigningKey::derive(b"seed", NodeId(i)).sign(&msg)).collect();
         let cert = Certificate { k: 42, epsilon: 1.0, signatures: sigs };
         assert_eq!(roundtrip(&cert).unwrap(), cert);
         assert_eq!(cert.value(), 42.0);
@@ -423,10 +417,7 @@ mod tests {
             })
             .collect();
         let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
-        let report = Simulation::new(Topology::lan(n))
-            .seed(seed)
-            .faulty(&faulty_ids)
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
         assert!(report.all_honest_finished(), "DORA stalled: {:?}", report.stop);
         report.honest_outputs().cloned().collect()
     }

@@ -5,7 +5,7 @@
 //!
 //! 1. run Delphi; 2. round the output to the closest multiple of `ε`;
 //! 3. broadcast a signature over the rounded value; 4. aggregate `t + 1`
-//! signatures on one value into a certificate for the SMR channel.
+//!    signatures on one value into a certificate for the SMR channel.
 //!
 //! Because Delphi guarantees ε-agreement, the rounded outputs of honest
 //! nodes land on **at most two adjacent multiples** of `ε`, so at least

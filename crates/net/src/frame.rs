@@ -168,7 +168,12 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-        for e in [FrameError::Truncated, FrameError::TooLarge, FrameError::UnknownSender, FrameError::BadTag] {
+        for e in [
+            FrameError::Truncated,
+            FrameError::TooLarge,
+            FrameError::UnknownSender,
+            FrameError::BadTag,
+        ] {
             assert!(!e.to_string().is_empty());
         }
     }

@@ -160,29 +160,28 @@ where
         }));
     }
 
-    let send =
-        |protocol_out: Vec<delphi_primitives::Envelope>,
-         peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
-         kc: &Keychain| {
-            for env in protocol_out {
-                match env.to {
-                    Recipient::All => {
-                        for (i, tx) in peer_tx.iter().enumerate() {
-                            if let Some(tx) = tx {
-                                let frame = encode_frame(kc, NodeId(i as u16), &env.payload);
-                                let _ = tx.send(frame);
-                            }
-                        }
-                    }
-                    Recipient::One(dest) => {
-                        if let Some(Some(tx)) = peer_tx.get(dest.index()) {
-                            let frame = encode_frame(kc, dest, &env.payload);
+    let send = |protocol_out: Vec<delphi_primitives::Envelope>,
+                peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
+                kc: &Keychain| {
+        for env in protocol_out {
+            match env.to {
+                Recipient::All => {
+                    for (i, tx) in peer_tx.iter().enumerate() {
+                        if let Some(tx) = tx {
+                            let frame = encode_frame(kc, NodeId(i as u16), &env.payload);
                             let _ = tx.send(frame);
                         }
                     }
                 }
+                Recipient::One(dest) => {
+                    if let Some(Some(tx)) = peer_tx.get(dest.index()) {
+                        let frame = encode_frame(kc, dest, &env.payload);
+                        let _ = tx.send(frame);
+                    }
+                }
             }
-        };
+        }
+    };
 
     // Drive the protocol.
     let deadline = tokio::time::Instant::now() + opts.deadline;
@@ -253,7 +252,7 @@ async fn read_loop(
             return Ok(()); // peer closed
         }
         let len = u32::from_be_bytes(len_buf) as usize;
-        if len < 2 || len > MAX_FRAME_PAYLOAD + 64 {
+        if !(2..=MAX_FRAME_PAYLOAD + 64).contains(&len) {
             counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
             return Ok(()); // framing is broken beyond recovery: drop link
         }
@@ -362,9 +361,10 @@ mod tests {
     async fn config_mismatch_rejected() {
         let keychain = Keychain::derive(b"x", NodeId(0), 4);
         let node = BinAaNode::new(NodeId(0), 4, 1, true, 4);
-        let err = run_node(node, keychain, vec!["127.0.0.1:1".parse().unwrap()], RunOptions::default())
-            .await
-            .unwrap_err();
+        let err =
+            run_node(node, keychain, vec!["127.0.0.1:1".parse().unwrap()], RunOptions::default())
+                .await
+                .unwrap_err();
         assert!(matches!(err, NetError::Config(_)), "{err}");
     }
 

@@ -97,11 +97,7 @@ impl NodeBitSet {
     /// Panics if the sets were created for different system sizes.
     pub fn intersection_len(&self, other: &NodeBitSet) -> usize {
         assert_eq!(self.n, other.n, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Iterates over the ids in the set, in increasing order.

@@ -383,9 +383,7 @@ mod tests {
     }
 
     fn arb_unit_dyadic(max_exp: u8) -> impl Strategy<Value = Dyadic> {
-        (0..=max_exp).prop_flat_map(|e| {
-            (0..=(1u64 << e)).prop_map(move |num| Dyadic::new(num, e))
-        })
+        (0..=max_exp).prop_flat_map(|e| (0..=(1u64 << e)).prop_map(move |num| Dyadic::new(num, e)))
     }
 
     proptest! {

@@ -62,10 +62,7 @@ impl Envelope {
 
 impl fmt::Debug for Envelope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Envelope")
-            .field("to", &self.to)
-            .field("len", &self.payload.len())
-            .finish()
+        f.debug_struct("Envelope").field("to", &self.to).field("len", &self.payload.len()).finish()
     }
 }
 

@@ -118,7 +118,14 @@ impl<O> GarbageSpammer<O> {
     /// Creates a spammer that sends `burst` random messages (each up to
     /// `max_len` bytes) at start and per received message, up to `budget`
     /// messages total.
-    pub fn new(id: NodeId, n: usize, seed: u64, burst: usize, max_len: usize, budget: usize) -> Self {
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        seed: u64,
+        burst: usize,
+        max_len: usize,
+        budget: usize,
+    ) -> Self {
         GarbageSpammer {
             id,
             n,
@@ -188,7 +195,7 @@ impl<P> ByteMutator<P> {
                 if !env.payload.is_empty() && self.rng.random::<f64>() < self.corrupt_prob {
                     let mut bytes = env.payload.to_vec();
                     let idx = self.rng.random_range(0..bytes.len());
-                    bytes[idx] ^= 1 << self.rng.random_range(0..8);
+                    bytes[idx] ^= 1u8 << self.rng.random_range(0..8);
                     Envelope { to: env.to, payload: Bytes::from(bytes) }
                 } else {
                     env
@@ -333,11 +340,8 @@ mod tests {
         assert_eq!(out.len(), 1);
         let corrupted = &out[0].payload;
         assert_eq!(corrupted.len(), 11);
-        let diff: u32 = corrupted
-            .iter()
-            .zip(b"hello-world")
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let diff: u32 =
+            corrupted.iter().zip(b"hello-world").map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(diff, 1);
         // With probability 0 nothing changes.
         let mut m = ByteMutator::new(Echo { id: NodeId(0) }, 1, 0.0);

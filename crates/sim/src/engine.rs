@@ -50,11 +50,7 @@ impl<O> RunReport<O> {
     /// Whether every honest node produced an output.
     pub fn all_honest_finished(&self) -> bool {
         self.stop == StopReason::AllHonestFinished
-            || self
-                .honest
-                .iter()
-                .zip(&self.outputs)
-                .all(|(&h, o)| !h || o.is_some())
+            || self.honest.iter().zip(&self.outputs).all(|(&h, o)| !h || o.is_some())
     }
 
     /// Outputs of honest nodes only.
@@ -360,10 +356,7 @@ mod tests {
         // 5 nodes broadcast to 4 peers each.
         assert_eq!(report.metrics.total_msgs(), 20);
         assert_eq!(report.metrics.total_payload_bytes(), 40);
-        assert_eq!(
-            report.metrics.total_wire_bytes(),
-            20 * (2 + WIRE_OVERHEAD_BYTES as u64)
-        );
+        assert_eq!(report.metrics.total_wire_bytes(), 20 * (2 + WIRE_OVERHEAD_BYTES as u64));
         assert!(report.completion_ns().unwrap() > 0);
     }
 
@@ -383,10 +376,7 @@ mod tests {
         let mut nodes = gossip_nodes(n);
         nodes[3] = Box::new(crate::adversary::Crash::new(NodeId(3), n));
         // Node 3 never speaks: honest nodes wait for n-1 greetings forever.
-        let report = Simulation::new(Topology::lan(n))
-            .seed(5)
-            .faulty(&[NodeId(3)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(5).faulty(&[NodeId(3)]).run(nodes);
         assert_eq!(report.stop, StopReason::Drained);
         assert!(!report.all_honest_finished());
         assert_eq!(report.outputs[0], None);
@@ -423,10 +413,7 @@ mod tests {
             })
             .collect();
         nodes[0] = Box::new(crate::adversary::Crash::new(NodeId(0), n));
-        let report = Simulation::new(Topology::lan(n))
-            .seed(5)
-            .faulty(&[NodeId(0)])
-            .run(nodes);
+        let report = Simulation::new(Topology::lan(n)).seed(5).faulty(&[NodeId(0)]).run(nodes);
         assert_eq!(report.stop, StopReason::AllHonestFinished);
         assert_eq!(report.honest_outputs().count(), 3);
     }
@@ -500,7 +487,9 @@ mod tests {
         // High jitter would reorder without FIFO clamping.
         let topo = Topology::lan(2).with_fifo(true);
         let nodes: Vec<Box<dyn Protocol<Output = Vec<u8>>>> = NodeId::all(2)
-            .map(|id| Box::new(Seq { id, n: 2, got: Vec::new() }) as Box<dyn Protocol<Output = Vec<u8>>>)
+            .map(|id| {
+                Box::new(Seq { id, n: 2, got: Vec::new() }) as Box<dyn Protocol<Output = Vec<u8>>>
+            })
             .collect();
         let report = Simulation::new(topo).seed(11).faulty(&[NodeId(0)]).run(nodes);
         let got = report.outputs[1].clone().unwrap();

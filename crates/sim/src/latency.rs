@@ -92,11 +92,7 @@ impl LatencyMatrix {
                 }
             }
         }
-        if count == 0 {
-            0
-        } else {
-            (sum / count) as u64
-        }
+        sum.checked_div(count).map_or(0, |v| v as u64)
     }
 }
 

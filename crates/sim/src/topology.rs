@@ -121,11 +121,9 @@ impl Topology {
                 500_000 // 0.5 ms through the switch
             }
         });
-        let procs_on_host =
-            |h: usize| (n / hosts) + usize::from(h < n % hosts);
-        let egress_bps = (0..n)
-            .map(|i| 100_000_000 / procs_on_host(host(i)).max(1) as u64)
-            .collect();
+        let procs_on_host = |h: usize| (n / hosts) + usize::from(h < n % hosts);
+        let egress_bps =
+            (0..n).map(|i| 100_000_000 / procs_on_host(host(i)).max(1) as u64).collect();
         Topology {
             latency,
             jitter: Jitter::Uniform { spread: 0.3 },
@@ -136,7 +134,12 @@ impl Topology {
     }
 
     /// Builds a fully custom topology.
-    pub fn custom(latency: LatencyMatrix, jitter: Jitter, egress_bps: Vec<u64>, cost: CostModel) -> Topology {
+    pub fn custom(
+        latency: LatencyMatrix,
+        jitter: Jitter,
+        egress_bps: Vec<u64>,
+        cost: CostModel,
+    ) -> Topology {
         assert_eq!(latency.n(), egress_bps.len(), "egress vector size mismatch");
         Topology { latency, jitter, egress_bps, cost, fifo: false }
     }
@@ -218,9 +221,9 @@ mod tests {
 
     #[test]
     fn aws_matrix_is_symmetric_and_regional() {
-        for a in 0..8 {
-            for b in 0..8 {
-                assert_eq!(AWS_REGION_LATENCY_MS[a][b], AWS_REGION_LATENCY_MS[b][a]);
+        for (a, row) in AWS_REGION_LATENCY_MS.iter().enumerate() {
+            for (b, &ms) in row.iter().enumerate() {
+                assert_eq!(ms, AWS_REGION_LATENCY_MS[b][a]);
             }
         }
         let t = Topology::aws_geo(16);

@@ -176,10 +176,7 @@ mod tests {
         // gives Δ ≈ 2000$. Our bound should land in that ballpark.
         let f = Frechet::new(0.0, 29.3, 4.41).unwrap();
         let delta = frechet_tail_bound(&f, 30);
-        assert!(
-            (1000.0..4000.0).contains(&delta),
-            "Δ = {delta} should be near the paper's 2000$"
-        );
+        assert!((1000.0..4000.0).contains(&delta), "Δ = {delta} should be near the paper's 2000$");
     }
 
     #[test]

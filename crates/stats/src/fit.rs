@@ -4,8 +4,8 @@
 //! the same way the paper fit them to measured data (Fig. 4: Fréchet vs
 //! Gumbel on BTC ranges; Fig. 5: Gamma vs Fréchet on IoU values).
 
-use crate::dist::{DistError, Frechet, Gamma, Gumbel, Normal, Pareto};
 use crate::describe::Summary;
+use crate::dist::{DistError, Frechet, Gamma, Gumbel, Normal, Pareto};
 use crate::special::EULER_GAMMA;
 
 /// Fitting failure: not enough data or degenerate input.

@@ -12,10 +12,7 @@
 /// Panics if `sorted` is empty or not ascending.
 pub fn ks_statistic_sorted(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
     assert!(!sorted.is_empty(), "KS of empty sample");
-    assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
-        "KS input must be sorted ascending"
-    );
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "KS input must be sorted ascending");
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {

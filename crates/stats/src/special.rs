@@ -22,14 +22,14 @@ pub fn erf(x: f64) -> f64 {
 /// (g = 7, n = 9; |ε| < 10⁻¹⁰ over the positive reals).
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -51,14 +51,22 @@ pub fn gamma(x: f64) -> f64 {
     if x <= 0.0 && x.fract() == 0.0 {
         return f64::NAN; // poles at non-positive integers
     }
-    ln_gamma(x).exp() * if x < 0.5 && (x.floor() as i64) % 2 != 0 { 1.0 } else { 1.0 }
+    if x < 0.5 {
+        // Reflection on the value itself (not `ln Γ`, whose reflection
+        // formula loses the sign for negative arguments where Γ(x) < 0):
+        // Γ(x) = π / (sin(πx) · Γ(1−x)).
+        let pi = std::f64::consts::PI;
+        pi / ((pi * x).sin() * gamma(1.0 - x))
+    } else {
+        ln_gamma(x).exp()
+    }
 }
 
 /// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`,
 /// computed by series expansion for `x < a + 1` and by the continued
 /// fraction of the complement otherwise (Numerical Recipes `gammp`).
 pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
-    if !(a > 0.0) || x < 0.0 {
+    if a.is_nan() || a <= 0.0 || x < 0.0 {
         return f64::NAN;
     }
     if x == 0.0 {
@@ -197,6 +205,18 @@ mod tests {
         close(ln_gamma(10.0), 362880.0f64.ln(), 1e-8);
         // Non-integer: Γ(4.41) via Γ(x) = (x-1)Γ(x-1) chain from tables.
         close(gamma(4.41), 3.41 * 2.41 * 1.41 * gamma(1.41), 1e-6);
+    }
+
+    #[test]
+    fn gamma_negative_arguments() {
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        // Γ(-1/2) = -2√π and Γ(-3/2) = 4√π/3: the sign must alternate.
+        close(gamma(-0.5), -2.0 * sqrt_pi, 1e-9);
+        close(gamma(-1.5), 4.0 * sqrt_pi / 3.0, 1e-9);
+        close(gamma(-2.5), -8.0 * sqrt_pi / 15.0, 1e-9);
+        // Poles at non-positive integers.
+        assert!(gamma(0.0).is_nan());
+        assert!(gamma(-3.0).is_nan());
     }
 
     #[test]

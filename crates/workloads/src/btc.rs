@@ -122,10 +122,8 @@ impl BtcFeed {
         // Force the offsets to span [0, 1] so the realized range is δ.
         offsets[0] = 0.0;
         offsets[1] = 1.0;
-        let exchange_prices = offsets
-            .iter()
-            .map(|o| self.price - delta / 2.0 + o * delta)
-            .collect();
+        let exchange_prices =
+            offsets.iter().map(|o| self.price - delta / 2.0 + o * delta).collect();
         MinuteQuote { truth: self.price, exchange_prices }
     }
 
@@ -136,9 +134,8 @@ impl BtcFeed {
         let k = self.cfg.feeds_per_node.min(m);
         (0..n)
             .map(|_| {
-                let mut picks: Vec<f64> = (0..k)
-                    .map(|_| quote.exchange_prices[self.rng.random_range(0..m)])
-                    .collect();
+                let mut picks: Vec<f64> =
+                    (0..k).map(|_| quote.exchange_prices[self.rng.random_range(0..m)]).collect();
                 picks.sort_by(f64::total_cmp);
                 picks[(picks.len() - 1) / 2]
             })

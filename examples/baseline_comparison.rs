@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quote.truth,
         quote.range()
     );
-    println!(
-        "{:<22} {:>12} {:>13} {:>17}",
-        "protocol", "latency", "traffic", "messages"
-    );
+    println!("{:<22} {:>12} {:>13} {:>17}", "protocol", "latency", "traffic", "messages");
 
     // Delphi, with the paper's Fig. 6a configuration.
     let cfg = DelphiConfig::builder(n)
@@ -56,9 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     summarize("Delphi", &inputs, &report);
 
     // Abraham et al.: log2(Δ/ε) = 10 rounds of RBC + witnesses.
-    let nodes = NodeId::all(n)
-        .map(|id| AadNode::new(id, n, t, inputs[id.index()], 10).boxed())
-        .collect();
+    let nodes =
+        NodeId::all(n).map(|id| AadNode::new(id, n, t, inputs[id.index()], 10).boxed()).collect();
     let report = Simulation::new(Topology::aws_geo(n)).seed(1).run(nodes);
     summarize("Abraham et al. (AAA)", &inputs, &report);
 

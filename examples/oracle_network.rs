@@ -86,7 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  candidate outputs on chain: {candidates:?} (DORA guarantees ≤ 2)");
         assert!(candidates.len() <= 2);
         assert!(
-            (consumed.value() - quote.truth).abs() <= quote.range() + cfg.epsilon() * 2.0 + cfg.rho0(),
+            (consumed.value() - quote.truth).abs()
+                <= quote.range() + cfg.epsilon() * 2.0 + cfg.rho0(),
             "certified price strayed from the quotes"
         );
         // Anyone holding the deployment seed can audit the ledger.

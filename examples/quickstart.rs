@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulated runtime: {:.2} ms", report.completion_ms().ok_or("did not finish")?);
     println!("network traffic:   {}", report.metrics);
     for (id, output) in report.outputs.iter().enumerate() {
-        println!("sensor {id}: input {:>6.2} °C -> output {:>8.4} °C", readings[id], output.ok_or("missing output")?);
+        println!(
+            "sensor {id}: input {:>6.2} °C -> output {:>8.4} °C",
+            readings[id],
+            output.ok_or("missing output")?
+        );
     }
 
     let outputs: Vec<f64> = report.honest_outputs().copied().collect();

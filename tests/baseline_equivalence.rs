@@ -48,9 +48,8 @@ fn all_three_respect_the_honest_hull() {
     }
 
     // Abraham et al.: strict hull validity.
-    let nodes = NodeId::all(n)
-        .map(|id| AadNode::new(id, n, t, inputs[id.index()], 10).boxed())
-        .collect();
+    let nodes =
+        NodeId::all(n).map(|id| AadNode::new(id, n, t, inputs[id.index()], 10).boxed()).collect();
     let aad = run_protocol(nodes, n, 1);
     for o in aad.honest_outputs() {
         assert!(*o >= lo - 1e-9 && *o <= hi + 1e-9, "AAD output {o}");
@@ -101,9 +100,8 @@ fn delphi_message_growth_is_quadratic_not_cubic() {
         .iter()
         .map(|&n| {
             let t = (n - 1) / 3;
-            let nodes = NodeId::all(n)
-                .map(|id| AadNode::new(id, n, t, 40_000.0, 8).boxed())
-                .collect();
+            let nodes =
+                NodeId::all(n).map(|id| AadNode::new(id, n, t, 40_000.0, 8).boxed()).collect();
             run_protocol(nodes, n, 3).metrics.total_msgs()
         })
         .collect();

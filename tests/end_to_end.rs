@@ -60,9 +60,8 @@ fn drone_workload_on_cps_topology() {
         .expect("valid CPS config");
     let mut scenario = DroneScenario::new(DroneScenarioConfig::default(), (57.0, -3.0), 2);
     let (xs, _) = scenario.axis_inputs(n);
-    let nodes = NodeId::all(n)
-        .map(|id| DelphiNode::new(cfg.clone(), id, xs[id.index()]).boxed())
-        .collect();
+    let nodes =
+        NodeId::all(n).map(|id| DelphiNode::new(cfg.clone(), id, xs[id.index()]).boxed()).collect();
     let report = Simulation::new(Topology::cps(n, 15)).seed(2).run(nodes);
     assert!(report.all_honest_finished());
     let outs: Vec<f64> = report.honest_outputs().copied().collect();
@@ -81,19 +80,14 @@ fn survives_maximum_fault_mix() {
         .map(|id| match id.index() {
             1 => Box::new(Crash::new(id, n)) as Box<_>,
             4 => Box::new(GarbageSpammer::new(id, n, 44, 3, 256, 120)) as Box<_>,
-            7 => Box::new(ByteMutator::new(
-                DelphiNode::new(cfg.clone(), id, base + 7.0),
-                7,
-                0.4,
-            )) as Box<_>,
+            7 => Box::new(ByteMutator::new(DelphiNode::new(cfg.clone(), id, base + 7.0), 7, 0.4))
+                as Box<_>,
             10 => Box::new(Replayer::new(id, n, 200)) as Box<_>,
             _ => DelphiNode::new(cfg.clone(), id, inputs[id.index()]).boxed(),
         })
         .collect();
-    let honest_inputs: Vec<f64> = (0..n)
-        .filter(|i| !faulty.iter().any(|f| f.index() == *i))
-        .map(|i| inputs[i])
-        .collect();
+    let honest_inputs: Vec<f64> =
+        (0..n).filter(|i| !faulty.iter().any(|f| f.index() == *i)).map(|i| inputs[i]).collect();
     let report = Simulation::new(Topology::lan(n)).seed(3).faulty(&faulty).run(nodes);
     assert!(report.all_honest_finished(), "stalled: {:?}", report.stop);
     let outs: Vec<f64> = report.honest_outputs().copied().collect();
@@ -119,10 +113,8 @@ fn mid_protocol_crashes_tolerated() {
             }
         })
         .collect();
-    let honest_inputs: Vec<f64> = (0..n)
-        .filter(|i| !faulty.iter().any(|f| f.index() == *i))
-        .map(|i| inputs[i])
-        .collect();
+    let honest_inputs: Vec<f64> =
+        (0..n).filter(|i| !faulty.iter().any(|f| f.index() == *i)).map(|i| inputs[i]).collect();
     let report = Simulation::new(Topology::lan(n)).seed(4).faulty(&faulty).run(nodes);
     assert!(report.all_honest_finished(), "stalled: {:?}", report.stop);
     let outs: Vec<f64> = report.honest_outputs().copied().collect();

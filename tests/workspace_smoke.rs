@@ -1,0 +1,59 @@
+//! Workspace smoke test: the `examples/quickstart.rs` flow as a CI-run test.
+//!
+//! Exercises the full primitives → core → sim stack end-to-end — config
+//! construction, one `DelphiNode` per party, a deterministic simulated
+//! network — so a regression anywhere in that pipeline fails `cargo test`
+//! even if the narrower unit tests miss it.
+
+use delphi::core::{DelphiConfig, DelphiNode};
+use delphi::primitives::NodeId;
+use delphi::sim::{Simulation, Topology};
+
+/// n = 4 (t = 1) Delphi round-trip under `delphi-sim`, seed-pinned.
+#[test]
+fn quickstart_n4_delphi_round_trip() {
+    let readings = [21.28, 21.35, 21.31, 21.24];
+    let n = readings.len();
+    let cfg = DelphiConfig::builder(n)
+        .space(-40.0, 60.0)
+        .rho0(0.1)
+        .delta_max(4.0)
+        .epsilon(0.1)
+        .build()
+        .expect("valid config");
+    assert_eq!(cfg.t(), 1, "n = 4 tolerates exactly one fault");
+
+    let nodes = NodeId::all(n)
+        .map(|id| DelphiNode::new(cfg.clone(), id, readings[id.index()]).boxed())
+        .collect();
+    let report = Simulation::new(Topology::lan(n)).seed(42).run(nodes);
+
+    // Liveness: every node terminated with an output.
+    assert!(report.completion_ms().is_some(), "protocol did not finish");
+    let outputs: Vec<f64> =
+        report.outputs.iter().map(|o| o.expect("every honest node outputs")).collect();
+    assert_eq!(outputs.len(), n);
+
+    // ε-agreement: outputs within ε of each other.
+    let lo = outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi - lo <= cfg.epsilon() + 1e-12, "spread {} > ε", hi - lo);
+
+    // Validity: outputs inside the range of honest inputs (all honest here).
+    let in_lo = readings.iter().copied().fold(f64::INFINITY, f64::min);
+    let in_hi = readings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        lo >= in_lo - cfg.epsilon() && hi <= in_hi + cfg.epsilon(),
+        "outputs [{lo}, {hi}] escape honest input range [{in_lo}, {in_hi}] + ε",
+    );
+
+    // Determinism: same seed, same everything.
+    let nodes2 = NodeId::all(n)
+        .map(|id| DelphiNode::new(cfg.clone(), id, readings[id.index()]).boxed())
+        .collect();
+    let report2 = Simulation::new(Topology::lan(n)).seed(42).run(nodes2);
+    let outputs2: Vec<f64> =
+        report2.outputs.iter().map(|o| o.expect("deterministic rerun outputs")).collect();
+    assert_eq!(outputs, outputs2, "simulation is not deterministic under a fixed seed");
+    assert_eq!(report.completion_ms(), report2.completion_ms());
+}

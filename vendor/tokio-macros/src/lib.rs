@@ -1,0 +1,74 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Rewrites `async fn` items so their bodies run under the vendored tokio
+//! stub's block-on executor. Attribute arguments such as
+//! `flavor = "multi_thread"` and `worker_threads = N` are accepted and
+//! ignored: the stub runtime is thread-per-task, so there is no worker pool
+//! to size.
+//!
+//! Implemented without `syn`/`quote` (no crates.io access): the input token
+//! stream is edited directly — the `async` keyword is dropped and the final
+//! brace-delimited group (the function body) is wrapped in
+//! `tokio::runtime::Runtime::new().unwrap().block_on(async move { .. })`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Marks an `async fn` as a test, run to completion on the stub runtime.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    let mut out: TokenStream = "#[::core::prelude::v1::test]".parse().expect("test attr");
+    out.extend(rewrite_async_fn(item));
+    out
+}
+
+/// Runs an `async fn main` to completion on the stub runtime.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite_async_fn(item)
+}
+
+fn rewrite_async_fn(item: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Drop the top-level `async` keyword (the one immediately before `fn`,
+    // possibly separated by `unsafe`/ABI tokens — in practice, adjacent).
+    let mut sig: Vec<TokenTree> = Vec::with_capacity(tokens.len());
+    let mut dropped_async = false;
+    for tt in tokens {
+        if !dropped_async {
+            if let TokenTree::Ident(ident) = &tt {
+                if ident.to_string() == "async" {
+                    dropped_async = true;
+                    continue;
+                }
+            }
+        }
+        sig.push(tt);
+    }
+    assert!(dropped_async, "#[tokio::main]/#[tokio::test] requires an `async fn`");
+
+    // The last brace group is the function body.
+    let body = match sig.pop() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected a function body, found {other:?}"),
+    };
+
+    let wrapped_src =
+        format!("{{ ::tokio::runtime::Runtime::new().unwrap().block_on(async move {}) }}", body,);
+    let wrapped: TokenStream = wrapped_src.parse().expect("wrapped body parses");
+
+    let mut out = TokenStream::new();
+    out.extend(sig);
+    out.extend(std::iter::once(TokenTree::Group(Group::new(
+        Delimiter::Brace,
+        wrapped.into_iter().next().map(group_inner).expect("brace group"),
+    ))));
+    out
+}
+
+fn group_inner(tt: TokenTree) -> TokenStream {
+    match tt {
+        TokenTree::Group(g) => g.stream(),
+        other => panic!("expected a group, found {other:?}"),
+    }
+}

@@ -1,0 +1,767 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the subset its TCP runner uses: [`spawn`] / [`task::JoinHandle`],
+//! [`sync::mpsc`] channels, [`time`] sleeps, [`net`] TCP types, the
+//! [`io::AsyncReadExt`]/[`io::AsyncWriteExt`] method pair, the [`select!`]
+//! macro, and the `#[tokio::main]`/`#[tokio::test]` attributes.
+//!
+//! # Execution model
+//!
+//! This is a **thread-per-task** runtime: [`spawn`] starts an OS thread that
+//! drives its future with a park/unpark block-on loop. Channel and timer
+//! futures are genuinely pollable (they register wakers), which is what
+//! [`select!`] needs; socket operations instead perform the blocking syscall
+//! eagerly and return an already-ready future. That trade-off is sound here
+//! because the workspace's runner never puts socket I/O inside `select!` —
+//! sockets are owned by dedicated reader/writer tasks, each of which has its
+//! own thread to block.
+//!
+//! [`task::JoinHandle::abort`] is cooperative: it stops the task at its next
+//! yield point. A task blocked in `accept()`/`connect()` ends with the
+//! process instead — acceptable for the short-lived test clusters and
+//! examples this workspace runs.
+
+pub use tokio_macros::{main, test};
+
+pub use task::{spawn, JoinHandle};
+
+/// Task spawning and join handles.
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Error returned by awaiting a [`JoinHandle`] whose task was aborted or
+    /// panicked.
+    #[derive(Debug)]
+    pub struct JoinError {
+        cancelled: bool,
+    }
+
+    impl JoinError {
+        /// Whether the task was cancelled via [`JoinHandle::abort`].
+        #[must_use]
+        pub fn is_cancelled(&self) -> bool {
+            self.cancelled
+        }
+
+        /// Whether the task panicked.
+        #[must_use]
+        pub fn is_panic(&self) -> bool {
+            !self.cancelled
+        }
+    }
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            if self.cancelled {
+                write!(f, "task was cancelled")
+            } else {
+                write!(f, "task panicked")
+            }
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    struct TaskState<T> {
+        result: Mutex<Option<Result<T, JoinError>>>,
+        join_waker: Mutex<Option<Waker>>,
+        aborted: AtomicBool,
+        task_thread: Mutex<Option<std::thread::Thread>>,
+    }
+
+    /// An owned permission to await or abort a spawned task.
+    pub struct JoinHandle<T> {
+        state: Arc<TaskState<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Requests cooperative cancellation: the task stops at its next
+        /// yield point and awaiting the handle yields a cancelled
+        /// [`JoinError`].
+        pub fn abort(&self) {
+            self.state.aborted.store(true, Ordering::SeqCst);
+            if let Some(t) = self.state.task_thread.lock().unwrap().as_ref() {
+                t.unpark();
+            }
+        }
+
+        /// Whether the task has finished (completed, panicked, or aborted).
+        #[must_use]
+        pub fn is_finished(&self) -> bool {
+            self.state.result.lock().unwrap().is_some()
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut slot = self.state.result.lock().unwrap();
+            if let Some(r) = slot.take() {
+                return Poll::Ready(r);
+            }
+            drop(slot);
+            *self.state.join_waker.lock().unwrap() = Some(cx.waker().clone());
+            // Re-check: the task may have finished between the lock drops.
+            if let Some(r) = self.state.result.lock().unwrap().take() {
+                return Poll::Ready(r);
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Spawns `future` onto its own thread and returns a handle to await it.
+    pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state: Arc<TaskState<F::Output>> = Arc::new(TaskState {
+            result: Mutex::new(None),
+            join_waker: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            task_thread: Mutex::new(None),
+        });
+        let task_state = state.clone();
+        std::thread::Builder::new()
+            .name("tokio-stub-task".into())
+            .spawn(move || {
+                *task_state.task_thread.lock().unwrap() = Some(std::thread::current());
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::runtime::block_on_until(future, || {
+                        task_state.aborted.load(Ordering::SeqCst)
+                    })
+                }));
+                let outcome = match result {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(JoinError { cancelled: true }),
+                    Err(_) => Err(JoinError { cancelled: false }),
+                };
+                *task_state.result.lock().unwrap() = Some(outcome);
+                if let Some(w) = task_state.join_waker.lock().unwrap().take() {
+                    w.wake();
+                }
+            })
+            .expect("spawn task thread");
+        JoinHandle { state }
+    }
+}
+
+/// The block-on executor behind `#[tokio::main]`/`#[tokio::test]`.
+pub mod runtime {
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct ThreadWaker(std::thread::Thread);
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Drives `future` on the current thread, parking between polls.
+    /// Returns `None` if `cancelled()` reports true at a yield point.
+    pub(crate) fn block_on_until<F: Future>(
+        future: F,
+        cancelled: impl Fn() -> bool,
+    ) -> Option<F::Output> {
+        let mut future = pin!(future);
+        let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            if cancelled() {
+                return None;
+            }
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return Some(v),
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// Minimal stand-in for `tokio::runtime::Runtime`.
+    #[derive(Debug, Default)]
+    pub struct Runtime;
+
+    impl Runtime {
+        /// Creates the runtime (infallible here; `Result` for API parity).
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime)
+        }
+
+        /// Runs `future` to completion on the current thread.
+        pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+            block_on_until(future, || false).expect("block_on future cannot be cancelled")
+        }
+    }
+}
+
+/// Asynchronous-looking TCP built on eager blocking syscalls.
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// TCP listener (wraps `std::net::TcpListener`).
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to the first resolvable address.
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            Ok(TcpListener { inner: std::net::TcpListener::bind(addr)? })
+        }
+
+        /// Accepts one inbound connection (blocks this task's thread).
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, addr) = self.inner.accept()?;
+            Ok((TcpStream { inner: stream }, addr))
+        }
+
+        /// The local address this listener is bound to.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    /// TCP stream (wraps `std::net::TcpStream`).
+    #[derive(Debug)]
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to the first resolvable address (blocks this task's
+        /// thread; loopback refusals return immediately).
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            Ok(TcpStream { inner: std::net::TcpStream::connect(addr)? })
+        }
+
+        /// Sets `TCP_NODELAY`.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// The local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+}
+
+/// `AsyncReadExt`/`AsyncWriteExt` with eager blocking semantics.
+pub mod io {
+    use std::future::{ready, Ready};
+    use std::io::{Read, Write};
+
+    /// Read methods. The returned futures are already complete: the blocking
+    /// read happens at call time, on the calling task's dedicated thread.
+    pub trait AsyncReadExt {
+        /// Reads exactly `buf.len()` bytes.
+        fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>>;
+    }
+
+    /// Write methods. Same eager semantics as [`AsyncReadExt`].
+    pub trait AsyncWriteExt {
+        /// Writes the entire buffer.
+        fn write_all(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>>;
+    }
+
+    impl AsyncReadExt for crate::net::TcpStream {
+        fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>> {
+            ready(self.inner.read_exact(buf).map(|()| buf.len()))
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::TcpStream {
+        fn write_all(&mut self, buf: &[u8]) -> Ready<std::io::Result<()>> {
+            ready(self.inner.write_all(buf))
+        }
+    }
+}
+
+/// Timers: genuinely pollable, so they compose with [`select!`].
+pub mod time {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+    use std::time::Duration;
+
+    pub use std::time::Instant;
+
+    /// Future returned by [`sleep`]/[`sleep_until`].
+    pub struct Sleep {
+        deadline: Instant,
+        waker_slot: Arc<Mutex<Option<Waker>>>,
+        timer_started: bool,
+    }
+
+    /// Sleeps for `duration`.
+    pub fn sleep(duration: Duration) -> Sleep {
+        sleep_until(Instant::now() + duration)
+    }
+
+    /// Sleeps until `deadline`.
+    pub fn sleep_until(deadline: Instant) -> Sleep {
+        Sleep { deadline, waker_slot: Arc::new(Mutex::new(None)), timer_started: false }
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let now = Instant::now();
+            if now >= self.deadline {
+                return Poll::Ready(());
+            }
+            *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
+            if !self.timer_started {
+                self.timer_started = true;
+                let slot = self.waker_slot.clone();
+                let remaining = self.deadline - now;
+                std::thread::Builder::new()
+                    .name("tokio-stub-timer".into())
+                    .spawn(move || {
+                        std::thread::sleep(remaining);
+                        if let Some(w) = slot.lock().unwrap().take() {
+                            w.wake();
+                        }
+                    })
+                    .expect("spawn timer thread");
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Synchronization primitives.
+pub mod sync {
+    /// Multi-producer, single-consumer channels with pollable `recv`/`send`.
+    pub mod mpsc {
+        use std::collections::VecDeque;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        /// Error returned when sending into a channel whose receiver is gone.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+        struct Shared<T> {
+            queue: VecDeque<T>,
+            capacity: Option<usize>,
+            rx_alive: bool,
+            tx_count: usize,
+            rx_waker: Option<Waker>,
+            tx_wakers: Vec<Waker>,
+        }
+
+        impl<T> Shared<T> {
+            fn wake_rx(&mut self) {
+                if let Some(w) = self.rx_waker.take() {
+                    w.wake();
+                }
+            }
+
+            fn wake_one_tx(&mut self) {
+                if let Some(w) = self.tx_wakers.pop() {
+                    w.wake();
+                }
+            }
+        }
+
+        type Chan<T> = Arc<Mutex<Shared<T>>>;
+
+        fn new_chan<T>(capacity: Option<usize>) -> Chan<T> {
+            Arc::new(Mutex::new(Shared {
+                queue: VecDeque::new(),
+                capacity,
+                rx_alive: true,
+                tx_count: 1,
+                rx_waker: None,
+                tx_wakers: Vec::new(),
+            }))
+        }
+
+        /// Creates a bounded channel.
+        ///
+        /// # Panics
+        /// Panics if `capacity` is zero.
+        #[must_use]
+        pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+            assert!(capacity > 0, "mpsc capacity must be positive");
+            let chan = new_chan(Some(capacity));
+            (Sender { chan: chan.clone() }, Receiver { chan })
+        }
+
+        /// Creates an unbounded channel.
+        #[must_use]
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let chan = new_chan(None);
+            (UnboundedSender { chan: chan.clone() }, UnboundedReceiver { chan })
+        }
+
+        /// Bounded sender.
+        pub struct Sender<T> {
+            chan: Chan<T>,
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.lock().unwrap().tx_count += 1;
+                Sender { chan: self.chan.clone() }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut s = self.chan.lock().unwrap();
+                s.tx_count -= 1;
+                if s.tx_count == 0 {
+                    s.wake_rx();
+                }
+            }
+        }
+
+        impl<T: Send> Sender<T> {
+            /// Sends `value`, waiting for room in a full channel.
+            pub fn send(&self, value: T) -> SendFuture<'_, T> {
+                SendFuture { chan: &self.chan, value: Some(value) }
+            }
+        }
+
+        /// Future returned by [`Sender::send`].
+        pub struct SendFuture<'a, T> {
+            chan: &'a Chan<T>,
+            value: Option<T>,
+        }
+
+        // The future never pins its fields (no self-references), so it is
+        // unconditionally Unpin; `poll` relies on this via `get_mut`.
+        impl<T> Unpin for SendFuture<'_, T> {}
+
+        impl<T: Send> Future for SendFuture<'_, T> {
+            type Output = Result<(), SendError<T>>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let this = self.get_mut();
+                let mut s = this.chan.lock().unwrap();
+                if !s.rx_alive {
+                    drop(s);
+                    let v = this.value.take().expect("polled after completion");
+                    return Poll::Ready(Err(SendError(v)));
+                }
+                let has_room = s.capacity.is_none_or(|cap| s.queue.len() < cap);
+                if has_room {
+                    let v = this.value.take().expect("polled after completion");
+                    s.queue.push_back(v);
+                    s.wake_rx();
+                    Poll::Ready(Ok(()))
+                } else {
+                    s.tx_wakers.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+
+        /// Bounded receiver.
+        pub struct Receiver<T> {
+            chan: Chan<T>,
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut s = self.chan.lock().unwrap();
+                s.rx_alive = false;
+                for w in s.tx_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Receives the next value; `None` once every sender is dropped
+            /// and the queue is drained.
+            pub fn recv(&mut self) -> RecvFuture<'_, T> {
+                RecvFuture { chan: &self.chan }
+            }
+        }
+
+        /// Future returned by `recv` on either receiver flavor.
+        pub struct RecvFuture<'a, T> {
+            chan: &'a Chan<T>,
+        }
+
+        impl<T> Future for RecvFuture<'_, T> {
+            type Output = Option<T>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut s = self.chan.lock().unwrap();
+                if let Some(v) = s.queue.pop_front() {
+                    s.wake_one_tx();
+                    return Poll::Ready(Some(v));
+                }
+                if s.tx_count == 0 {
+                    return Poll::Ready(None);
+                }
+                s.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+
+        /// Unbounded sender.
+        pub struct UnboundedSender<T> {
+            chan: Chan<T>,
+        }
+
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> Self {
+                self.chan.lock().unwrap().tx_count += 1;
+                UnboundedSender { chan: self.chan.clone() }
+            }
+        }
+
+        impl<T> Drop for UnboundedSender<T> {
+            fn drop(&mut self) {
+                let mut s = self.chan.lock().unwrap();
+                s.tx_count -= 1;
+                if s.tx_count == 0 {
+                    s.wake_rx();
+                }
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Sends without waiting (the channel has no capacity bound).
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                let mut s = self.chan.lock().unwrap();
+                if !s.rx_alive {
+                    return Err(SendError(value));
+                }
+                s.queue.push_back(value);
+                s.wake_rx();
+                Ok(())
+            }
+        }
+
+        /// Unbounded receiver.
+        pub struct UnboundedReceiver<T> {
+            chan: Chan<T>,
+        }
+
+        impl<T> Drop for UnboundedReceiver<T> {
+            fn drop(&mut self) {
+                let mut s = self.chan.lock().unwrap();
+                s.rx_alive = false;
+                for w in s.tx_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> UnboundedReceiver<T> {
+            /// Receives the next value; `None` once every sender is dropped
+            /// and the queue is drained.
+            pub fn recv(&mut self) -> RecvFuture<'_, T> {
+                RecvFuture { chan: &self.chan }
+            }
+        }
+    }
+}
+
+/// Internal support for the [`select!`] macro.
+#[doc(hidden)]
+pub mod macros {
+    /// Which branch of a two-way select completed first.
+    pub enum Either<A, B> {
+        /// First branch.
+        A(A),
+        /// Second branch.
+        B(B),
+    }
+}
+
+/// Waits on two futures, running the body of whichever completes first.
+///
+/// Supports the two-branch form used in this workspace:
+///
+/// ```
+/// tokio::runtime::Runtime::new().unwrap().block_on(async {
+///     let (tx, mut rx) = tokio::sync::mpsc::unbounded_channel();
+///     tx.send(7u8).unwrap();
+///     let deadline = tokio::time::Instant::now() + std::time::Duration::from_secs(1);
+///     let got = tokio::select! {
+///         m = rx.recv() => m,
+///         _ = tokio::time::sleep_until(deadline) => None,
+///     };
+///     assert_eq!(got, Some(7));
+/// });
+/// ```
+///
+/// Branches are polled in order (biased), which is indistinguishable from
+/// tokio's randomized polling for the runner's recv-vs-timeout usage.
+#[macro_export]
+macro_rules! select {
+    (
+        $p1:pat = $f1:expr => $b1:expr,
+        $p2:pat = $f2:expr => $b2:expr $(,)?
+    ) => {{
+        let mut __f1 = ::std::pin::pin!($f1);
+        let mut __f2 = ::std::pin::pin!($f2);
+        let __choice = ::std::future::poll_fn(|cx| {
+            if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__f1.as_mut(), cx) {
+                return ::std::task::Poll::Ready($crate::macros::Either::A(v));
+            }
+            if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__f2.as_mut(), cx) {
+                return ::std::task::Poll::Ready($crate::macros::Either::B(v));
+            }
+            ::std::task::Poll::Pending
+        })
+        .await;
+        match __choice {
+            $crate::macros::Either::A($p1) => $b1,
+            $crate::macros::Either::B($p2) => $b2,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn block_on_and_spawn_round_trip() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let h = crate::spawn(async { 21 * 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn mpsc_bounded_delivers_in_order() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(4);
+            let sender = crate::spawn(async move {
+                for i in 0..100 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv().await, Some(i));
+            }
+            assert_eq!(rx.recv().await, None);
+            sender.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn mpsc_send_errors_after_rx_drop() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let (tx, rx) = crate::sync::mpsc::unbounded_channel::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        });
+    }
+
+    #[test]
+    fn select_prefers_ready_channel_over_timer() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::unbounded_channel::<u8>();
+            tx.send(7).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let got = crate::select! {
+                m = rx.recv() => m,
+                _ = crate::time::sleep_until(deadline) => None,
+            };
+            assert_eq!(got, Some(7));
+        });
+    }
+
+    #[test]
+    fn select_times_out_on_silent_channel() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let (_tx, mut rx) = crate::sync::mpsc::unbounded_channel::<u8>();
+            let start = Instant::now();
+            let deadline = start + Duration::from_millis(50);
+            let got = crate::select! {
+                m = rx.recv() => m,
+                _ = crate::time::sleep_until(deadline) => None,
+            };
+            assert_eq!(got, None);
+            assert!(start.elapsed() >= Duration::from_millis(50));
+        });
+    }
+
+    #[test]
+    fn abort_cancels_a_looping_task() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let h = crate::spawn(async {
+                loop {
+                    crate::time::sleep(Duration::from_millis(5)).await;
+                }
+            });
+            crate::time::sleep(Duration::from_millis(20)).await;
+            h.abort();
+            let err = h.await.unwrap_err();
+            assert!(err.is_cancelled());
+        });
+    }
+
+    #[test]
+    fn tcp_echo_between_tasks() {
+        use crate::io::{AsyncReadExt, AsyncWriteExt};
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                sock.read_exact(&mut buf).await.unwrap();
+                sock.write_all(&buf).await.unwrap();
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            client.set_nodelay(true).unwrap();
+            client.write_all(b"delph").await.unwrap();
+            let mut echo = [0u8; 5];
+            client.read_exact(&mut echo).await.unwrap();
+            assert_eq!(&echo, b"delph");
+            server.await.unwrap();
+        });
+    }
+}
