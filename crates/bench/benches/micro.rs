@@ -23,6 +23,15 @@ fn bench_crypto(c: &mut Criterion) {
     c.bench_function("keychain_derive_n160", |b| {
         b.iter(|| Keychain::derive(black_box(b"seed"), NodeId(0), 160))
     });
+
+    // The per-frame transport hot path: tagging a small frame under a
+    // long-lived channel key. The precomputed pad states halve this.
+    let kc = Keychain::derive(b"seed", NodeId(0), 160);
+    let header = 42u16.to_be_bytes();
+    let body = vec![0x3cu8; 40];
+    c.bench_function("channel_tag_40B", |b| {
+        b.iter(|| kc.channel(NodeId(1)).tag_segments(&[black_box(&header), black_box(&body)]))
+    });
 }
 
 fn realistic_bundle() -> DelphiBundle {

@@ -16,8 +16,9 @@
 
 use delphi_baselines::{AadNode, AcsNode};
 use delphi_core::{DelphiConfig, DelphiNode};
-use delphi_primitives::NodeId;
-use delphi_sim::{RunReport, Simulation, Topology};
+use delphi_primitives::{Mux, NodeId, Protocol};
+use delphi_sim::{run_sharded, BatchSavings, RunReport, SimJob, Simulation, Topology};
+use delphi_workloads::{MultiAssetConfig, MultiAssetFeed};
 
 /// One measured protocol execution.
 #[derive(Clone, Copy, Debug)]
@@ -117,6 +118,106 @@ pub fn run_acs(n: usize, topology: Topology, inputs: &[f64], seed: u64) -> Bench
     let report = Simulation::new(topology).seed(seed).run(nodes);
     assert!(report.all_honest_finished(), "ACS run stalled: {:?}", report.stop);
     BenchPoint::from_report(n, &report)
+}
+
+/// One asset's outcome inside a multi-asset run.
+#[derive(Clone, Debug)]
+pub struct AssetPoint {
+    /// Asset name (instance-id order of the basket).
+    pub name: String,
+    /// Honest-output spread of the *batched* (multiplexed) run.
+    pub spread: f64,
+    /// Simulated latency of the asset's own unbatched run, milliseconds.
+    pub runtime_ms: f64,
+}
+
+/// Result of a multi-asset Delphi run: per-asset agreement quality plus
+/// the transport cost of batched (one multiplexed mesh) vs unbatched (one
+/// mesh per asset) deployment.
+#[derive(Clone, Debug)]
+pub struct MultiAssetPoint {
+    /// System size.
+    pub n: usize,
+    /// Per-asset outcomes, in basket order.
+    pub per_asset: Vec<AssetPoint>,
+    /// Batched-vs-unbatched frame/byte comparison.
+    pub savings: BatchSavings,
+}
+
+/// Runs a multi-asset Delphi minute twice over `topology` — once as
+/// independent per-asset meshes (sharded across `shards` worker threads)
+/// and once multiplexed+batched over a single mesh — and reports per-asset
+/// agreement plus the batching savings.
+///
+/// Every asset uses `cfg`'s agreement parameters; inputs come from one
+/// minute of the basket's feeds.
+///
+/// # Panics
+///
+/// Panics if any run stalls or an asset misses ε-agreement bounds checked
+/// by the underlying protocols.
+pub fn run_multi_asset_delphi(
+    cfg: &DelphiConfig,
+    basket: MultiAssetConfig,
+    topology: Topology,
+    seed: u64,
+    shards: usize,
+) -> MultiAssetPoint {
+    let n = cfg.n();
+    let mut feed = MultiAssetFeed::new(basket, seed);
+    let names: Vec<String> = feed.names().map(str::to_string).collect();
+    let minute = feed.next_minute(n);
+    let inputs: Vec<Vec<f64>> = minute.into_iter().map(|a| a.inputs).collect();
+
+    // Unbatched: one simulation per asset, sharded across worker threads.
+    let jobs: Vec<SimJob<f64>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(a, asset_inputs)| {
+            let cfg = cfg.clone();
+            let asset_inputs = asset_inputs.clone();
+            SimJob::new(Simulation::new(topology.clone()).seed(seed + a as u64), move || {
+                NodeId::all(cfg.n())
+                    .map(|id| DelphiNode::new(cfg.clone(), id, asset_inputs[id.index()]).boxed())
+                    .collect()
+            })
+        })
+        .collect();
+    let unbatched = run_sharded(jobs, shards);
+    for (report, name) in unbatched.iter().zip(&names) {
+        assert!(report.all_honest_finished(), "unbatched {name} stalled: {:?}", report.stop);
+    }
+
+    // Batched: all assets multiplexed over one mesh; envelopes of one step
+    // share one frame per destination.
+    let mux_nodes: Vec<Box<dyn Protocol<Output = Vec<f64>>>> = NodeId::all(n)
+        .map(|id| {
+            let instances: Vec<DelphiNode> = inputs
+                .iter()
+                .map(|asset_inputs| DelphiNode::new(cfg.clone(), id, asset_inputs[id.index()]))
+                .collect();
+            Box::new(Mux::new(instances)) as Box<dyn Protocol<Output = Vec<f64>>>
+        })
+        .collect();
+    let batched = Simulation::new(topology).seed(seed).run(mux_nodes);
+    assert!(batched.all_honest_finished(), "batched multi-asset run stalled: {:?}", batched.stop);
+
+    let savings = BatchSavings::compare(unbatched.iter().map(|r| &r.metrics), &batched.metrics);
+    let per_asset = names
+        .into_iter()
+        .enumerate()
+        .map(|(a, name)| {
+            let outs: Vec<f64> = batched.honest_outputs().map(|v| v[a]).collect();
+            let spread = outs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - outs.iter().copied().fold(f64::INFINITY, f64::min);
+            AssetPoint {
+                name,
+                spread,
+                runtime_ms: unbatched[a].completion_ms().unwrap_or(f64::NAN),
+            }
+        })
+        .collect();
+    MultiAssetPoint { n, per_asset, savings }
 }
 
 /// `true` when `--quick` was passed: trims sweeps for CI-speed runs.
@@ -245,6 +346,29 @@ mod tests {
         assert!(p.runtime_ms > 0.0);
         assert!(p.wire_mib > 0.0);
         assert!(p.spread <= 2.0);
+    }
+
+    #[test]
+    fn multi_asset_runner_batches_and_agrees() {
+        let cfg = oracle_config(4, 10.0);
+        let point =
+            run_multi_asset_delphi(&cfg, MultiAssetConfig::synthetic(3), Topology::lan(4), 5, 2);
+        assert_eq!(point.n, 4);
+        assert_eq!(point.per_asset.len(), 3);
+        for a in &point.per_asset {
+            assert!(a.spread <= cfg.epsilon() + 1e-9, "{}: spread {}", a.name, a.spread);
+            assert!(a.runtime_ms > 0.0);
+        }
+        assert!(
+            point.savings.batched_msgs < point.savings.unbatched_msgs,
+            "batching must cut frames: {}",
+            point.savings
+        );
+        assert!(
+            point.savings.batched_wire_bytes < point.savings.unbatched_wire_bytes,
+            "batching must cut wire bytes: {}",
+            point.savings
+        );
     }
 
     #[test]

@@ -4,31 +4,48 @@ use crate::sha256::{Sha256, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 
-/// Incremental HMAC-SHA256.
+/// A reusable HMAC key: the SHA-256 states after absorbing the inner and
+/// outer padded key blocks.
+///
+/// Expanding a key into its `ipad`/`opad` blocks and compressing them costs
+/// two SHA-256 compressions — as much as MAC-ing a short message itself.
+/// Transports tag every frame under a long-lived pairwise channel key, so
+/// precomputing both states once and cloning them per tag halves the
+/// per-frame MAC cost (the `Keychain::derive` / per-tag hot path from the
+/// micro bench).
 ///
 /// # Example
 ///
 /// ```
-/// use delphi_crypto::{hmac_sha256, HmacSha256};
+/// use delphi_crypto::{hmac_sha256, HmacKey};
 ///
-/// let mut mac = HmacSha256::new(b"key");
-/// mac.update(b"mes");
-/// mac.update(b"sage");
-/// assert_eq!(mac.finalize(), hmac_sha256(b"key", b"message"));
+/// let key = HmacKey::new(b"channel-key");
+/// let mut mac = key.mac();
+/// mac.update(b"message");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"channel-key", b"message"));
 /// ```
-#[derive(Clone, Debug)]
-pub struct HmacSha256 {
+#[derive(Clone)]
+pub struct HmacKey {
+    /// SHA-256 state after absorbing `key ⊕ ipad`.
     inner: Sha256,
-    /// Outer-pad key block, applied at finalization.
-    opad_block: [u8; BLOCK_LEN],
+    /// SHA-256 state after absorbing `key ⊕ opad`.
+    outer: Sha256,
 }
 
-impl HmacSha256 {
-    /// Creates a MAC instance for `key`.
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The padded-key states are key-equivalent material: anyone holding
+        // them can MAC arbitrary messages. Never print them.
+        write!(f, "HmacKey(..)")
+    }
+}
+
+impl HmacKey {
+    /// Precomputes the padded-key states for `key`.
     ///
     /// Keys longer than the SHA-256 block size are hashed first, per RFC
     /// 2104.
-    pub fn new(key: &[u8]) -> HmacSha256 {
+    pub fn new(key: &[u8]) -> HmacKey {
         let mut key_block = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
             let digest = crate::sha256(key);
@@ -46,7 +63,52 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad_block);
-        HmacSha256 { inner, opad_block }
+        let mut outer = Sha256::new();
+        outer.update(&opad_block);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts a MAC computation from the precomputed states (no key
+    /// re-expansion).
+    pub fn mac(&self) -> HmacSha256 {
+        HmacSha256 { inner: self.inner.clone(), outer: self.outer.clone() }
+    }
+}
+
+/// Incremental HMAC-SHA256.
+///
+/// # Example
+///
+/// ```
+/// use delphi_crypto::{hmac_sha256, HmacSha256};
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"mes");
+/// mac.update(b"sage");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"key", b"message"));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Post-`opad` outer state, resumed at finalization.
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The states embed key-equivalent material; see HmacKey's Debug.
+        write!(f, "HmacSha256(..)")
+    }
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance for `key`.
+    ///
+    /// For repeated MACs under one key, precompute an [`HmacKey`] and use
+    /// [`HmacKey::mac`] instead — it skips the two key-expansion
+    /// compressions this constructor pays.
+    pub fn new(key: &[u8]) -> HmacSha256 {
+        HmacKey::new(key).mac()
     }
 
     /// Absorbs message bytes.
@@ -57,8 +119,7 @@ impl HmacSha256 {
     /// Completes the MAC, consuming the instance.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_block);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -171,6 +232,40 @@ mod tests {
         let key64 = [0x42; 64];
         let key65 = [0x42; 65];
         assert_ne!(hmac_sha256(&key64, b"x"), hmac_sha256(&key65, b"x"));
+    }
+
+    #[test]
+    fn precomputed_key_matches_fresh_mac() {
+        let key_short = b"delphi";
+        let key_long = [0x5a; 131]; // forces key hashing
+        for key in [&key_short[..], &key_long[..]] {
+            let precomputed = HmacKey::new(key);
+            for msg in [&b""[..], b"x", &[0u8; 200]] {
+                let mut mac = precomputed.mac();
+                mac.update(msg);
+                assert_eq!(mac.finalize(), hmac_sha256(key, msg));
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_key_is_reusable() {
+        let key = HmacKey::new(b"k");
+        let mut a = key.mac();
+        a.update(b"first");
+        let mut b = key.mac();
+        b.update(b"second");
+        assert_eq!(a.finalize(), hmac_sha256(b"k", b"first"));
+        assert_eq!(b.finalize(), hmac_sha256(b"k", b"second"));
+    }
+
+    #[test]
+    fn debug_never_prints_key_state() {
+        let key = HmacKey::new(b"top-secret-key");
+        let mut mac = key.mac();
+        mac.update(b"msg");
+        let dbg = format!("{key:?} {mac:?}");
+        assert_eq!(dbg, "HmacKey(..) HmacSha256(..)");
     }
 
     #[test]

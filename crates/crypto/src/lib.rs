@@ -48,6 +48,6 @@ mod keychain;
 pub mod sha256;
 pub mod signing;
 
-pub use hmac::{hmac_sha256, HmacSha256};
+pub use hmac::{hmac_sha256, HmacKey, HmacSha256};
 pub use keychain::{ChannelKey, Keychain, MacError, TAG_LEN};
 pub use sha256::{sha256, Sha256, DIGEST_LEN};

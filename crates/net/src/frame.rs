@@ -1,40 +1,100 @@
-//! Authenticated wire frames.
+//! Authenticated wire frames (v1 single-payload and v2 batched).
 //!
-//! Layout (all integers big-endian):
+//! Both formats share the outer layout (all integers big-endian):
 //!
 //! ```text
-//! [u32 rest_len][u16 sender][payload ...][32-byte HMAC tag]
+//! [u32 rest_len][body ...]
 //! ```
 //!
-//! The tag is `HMAC-SHA256(key(sender, receiver), sender_be ‖ payload)`,
-//! so a frame is bound to its claimed sender *and* to the receiving
-//! channel: replaying it to a different receiver fails verification.
-//! `rest_len` counts everything after the length word. The 4 + 2 + 32 + 2
-//! bytes of overhead match the simulator's
-//! [`WIRE_OVERHEAD_BYTES`](delphi_sim::WIRE_OVERHEAD_BYTES) budget, which
-//! is what keeps simulated bandwidth equal to TCP bandwidth.
+//! where `rest_len` counts everything after the length word, and the body
+//! ends in a 32-byte HMAC tag over everything before it, keyed by the
+//! pairwise channel key of (claimed sender, receiver). A frame is therefore
+//! bound to its claimed sender *and* to the receiving channel: replaying it
+//! to a different receiver fails verification.
+//!
+//! **v1 (single payload)** — one protocol message per frame:
+//!
+//! ```text
+//! [u16 sender][payload ...][32-byte tag]
+//! ```
+//!
+//! **v2 (batched)** — every envelope queued for the same peer in one
+//! protocol step shares one frame and one tag. The body opens with the
+//! reserved marker [`BATCH_MARKER`] (`0xFFFF`, never a valid v1 sender id
+//! because node ids are `u16` and a 65 536-node deployment is
+//! unrepresentable), and carries a sequence of `(instance, payload)`
+//! entries in the [`delphi_primitives::mux`] batch codec:
+//!
+//! ```text
+//! [u16 0xFFFF][u16 sender][u16 count][count × (u16 instance)(u32 len)(bytes)][32-byte tag]
+//! ```
+//!
+//! The two formats cannot be confused: the MAC input of a v1 frame starts
+//! with a valid sender id while a v2 frame's starts with the reserved
+//! marker, so a tag computed for one format never verifies as the other.
+//!
+//! # Size bounds
+//!
+//! A valid body is at least [`MIN_FRAME_BODY`] bytes (sender + tag) and at
+//! most [`MAX_FRAME_BODY`] bytes (sender + [`MAX_FRAME_PAYLOAD`] + tag);
+//! the socket reader and the decoders enforce the *same* bounds, so every
+//! body the reader allocates for is decodable in principle.
+//!
+//! # Byte accounting
+//!
+//! A v1 frame adds 4 + 2 + 32 = 38 bytes to its payload, which together
+//! with the 2-byte protocol tag inside every payload matches the
+//! simulator's [`WIRE_OVERHEAD_BYTES`](delphi_sim::WIRE_OVERHEAD_BYTES)
+//! budget of 40 bytes per message. A v2 frame with `k` entries costs
+//! [`BATCH_FRAME_OVERHEAD_BYTES`] once plus
+//! [`BATCH_ENTRY_OVERHEAD_BYTES`] per entry — exactly what a simulated
+//! [`Mux`](delphi_primitives::Mux) message costs (its batch payload plus
+//! `WIRE_OVERHEAD_BYTES`), which is what keeps simulated batched bandwidth
+//! equal to TCP batched bandwidth.
 
 use std::error::Error;
 use std::fmt;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use delphi_crypto::{Keychain, TAG_LEN};
-use delphi_primitives::NodeId;
+use delphi_primitives::mux::{decode_batch, encode_batch, BATCH_COUNT_BYTES};
+use delphi_primitives::{InstanceId, NodeId};
 
-/// Maximum payload bytes accepted in one frame (16 MiB).
+/// Maximum payload bytes accepted in one frame (16 MiB). For batched
+/// frames the bound applies to the whole entry sequence.
 pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Smallest valid frame body: a v1 frame with an empty payload.
+pub const MIN_FRAME_BODY: usize = 2 + TAG_LEN;
+
+/// Largest valid frame body: a v1 frame with a [`MAX_FRAME_PAYLOAD`]-byte
+/// payload (batched bodies fit the same bound by construction).
+pub const MAX_FRAME_BODY: usize = 2 + MAX_FRAME_PAYLOAD + TAG_LEN;
+
+/// Reserved leading `u16` distinguishing v2 batched bodies from v1 sender
+/// ids.
+pub const BATCH_MARKER: u16 = 0xFFFF;
+
+/// Wire bytes a batched frame costs beyond its entries: length word,
+/// marker, sender, entry count, and tag.
+pub const BATCH_FRAME_OVERHEAD_BYTES: usize = 4 + 2 + 2 + BATCH_COUNT_BYTES + TAG_LEN;
+
+pub use delphi_primitives::mux::BATCH_ENTRY_OVERHEAD_BYTES;
 
 /// Frame decoding / authentication failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrameError {
     /// The frame is shorter than the fixed header + tag.
     Truncated,
-    /// The declared payload exceeds [`MAX_FRAME_PAYLOAD`].
+    /// The body exceeds [`MAX_FRAME_BODY`].
     TooLarge,
     /// The sender id is outside the deployment.
     UnknownSender,
     /// The HMAC tag did not verify.
     BadTag,
+    /// The frame authenticated but its batch entries are malformed
+    /// (truncated entry, length overrun, or trailing bytes).
+    Malformed,
 }
 
 impl fmt::Display for FrameError {
@@ -44,17 +104,19 @@ impl fmt::Display for FrameError {
             FrameError::TooLarge => write!(f, "frame exceeds maximum payload"),
             FrameError::UnknownSender => write!(f, "frame sender unknown"),
             FrameError::BadTag => write!(f, "frame authentication failed"),
+            FrameError::Malformed => write!(f, "frame batch entries malformed"),
         }
     }
 }
 
 impl Error for FrameError {}
 
-/// Encodes an authenticated frame from `keychain.node_id()` to `to`.
+/// Encodes a v1 authenticated frame from `keychain.node_id()` to `to`.
 ///
 /// The result includes the leading length word and is ready to write to a
 /// socket.
 pub fn encode_frame(keychain: &Keychain, to: NodeId, payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= MAX_FRAME_PAYLOAD, "payload exceeds MAX_FRAME_PAYLOAD");
     let me = keychain.node_id();
     let sender_be = me.0.to_be_bytes();
     let tag = keychain.channel(to).tag_segments(&[&sender_be, payload]);
@@ -67,32 +129,108 @@ pub fn encode_frame(keychain: &Keychain, to: NodeId, payload: &[u8]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes and authenticates one frame body (everything *after* the
+/// Encodes a v2 batched frame carrying `entries` from
+/// `keychain.node_id()` to `to`.
+///
+/// One tag authenticates the whole sequence, so framing + MAC cost is paid
+/// once per batch instead of once per envelope.
+///
+/// # Panics
+///
+/// Panics if the encoded entry sequence exceeds [`MAX_FRAME_PAYLOAD`]
+/// (unreachable for protocol-sized envelopes) or `entries` is empty.
+pub fn encode_batch_frame(
+    keychain: &Keychain,
+    to: NodeId,
+    entries: &[(InstanceId, Bytes)],
+) -> Bytes {
+    assert!(!entries.is_empty(), "batch frames carry at least one entry");
+    let batch = encode_batch(entries);
+    assert!(2 + batch.len() <= MAX_FRAME_PAYLOAD, "batched entries exceed MAX_FRAME_PAYLOAD");
+    let me = keychain.node_id();
+    let marker_be = BATCH_MARKER.to_be_bytes();
+    let sender_be = me.0.to_be_bytes();
+    let tag = keychain.channel(to).tag_segments(&[&marker_be, &sender_be, &batch]);
+    let rest_len = 2 + 2 + batch.len() + TAG_LEN;
+    let mut buf = BytesMut::with_capacity(4 + rest_len);
+    buf.put_u32(rest_len as u32);
+    buf.put_u16(BATCH_MARKER);
+    buf.put_u16(me.0);
+    buf.put_slice(&batch);
+    buf.put_slice(&tag);
+    buf.freeze()
+}
+
+/// Decodes and authenticates one **v1** frame body (everything *after* the
 /// length word) arriving at `keychain.node_id()`.
+///
+/// Kept for single-instance callers; batched bodies fail here with
+/// [`FrameError::UnknownSender`] (their marker is not a valid sender).
+/// Transports that speak both formats use [`decode_any_frame`].
 ///
 /// # Errors
 ///
 /// Returns a [`FrameError`] on malformed, oversized, or forged frames;
 /// callers drop such frames.
 pub fn decode_frame(keychain: &Keychain, body: &[u8]) -> Result<(NodeId, Bytes), FrameError> {
-    if body.len() < 2 + TAG_LEN {
+    if body.len() < MIN_FRAME_BODY {
         return Err(FrameError::Truncated);
+    }
+    if body.len() > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge);
     }
     let sender = NodeId(u16::from_be_bytes([body[0], body[1]]));
     if sender.index() >= keychain.n() {
         return Err(FrameError::UnknownSender);
     }
-    let payload = &body[2..body.len() - TAG_LEN];
-    if payload.len() > MAX_FRAME_PAYLOAD {
-        return Err(FrameError::TooLarge);
-    }
+    let signed = &body[..body.len() - TAG_LEN];
     let tag = &body[body.len() - TAG_LEN..];
-    let sender_be = sender.0.to_be_bytes();
-    let expect = keychain.channel(sender).tag_segments(&[&sender_be, payload]);
-    if expect != tag {
+    if keychain.channel(sender).verify(signed, tag).is_err() {
         return Err(FrameError::BadTag);
     }
-    Ok((sender, Bytes::copy_from_slice(payload)))
+    Ok((sender, Bytes::copy_from_slice(&signed[2..])))
+}
+
+/// Decodes and authenticates one frame body of **either** format,
+/// returning the sender and the `(instance, payload)` entries it carried.
+///
+/// v1 bodies decode to a single entry addressed to
+/// [`InstanceId::SOLO`]. Authentication precedes batch parsing: entries of
+/// a forged frame are never inspected.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on malformed, oversized, or forged frames;
+/// callers drop such frames.
+pub fn decode_any_frame(
+    keychain: &Keychain,
+    body: &[u8],
+) -> Result<(NodeId, Vec<(InstanceId, Bytes)>), FrameError> {
+    if body.len() < MIN_FRAME_BODY {
+        return Err(FrameError::Truncated);
+    }
+    if body.len() > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge);
+    }
+    if u16::from_be_bytes([body[0], body[1]]) != BATCH_MARKER {
+        let (sender, payload) = decode_frame(keychain, body)?;
+        return Ok((sender, vec![(InstanceId::SOLO, payload)]));
+    }
+    // Batched body: marker + sender + count is the minimum before the tag.
+    if body.len() < 2 + 2 + BATCH_COUNT_BYTES + TAG_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let sender = NodeId(u16::from_be_bytes([body[2], body[3]]));
+    if sender.index() >= keychain.n() {
+        return Err(FrameError::UnknownSender);
+    }
+    let signed = &body[..body.len() - TAG_LEN];
+    let tag = &body[body.len() - TAG_LEN..];
+    if keychain.channel(sender).verify(signed, tag).is_err() {
+        return Err(FrameError::BadTag);
+    }
+    let entries = decode_batch(&signed[4..]).map_err(|_| FrameError::Malformed)?;
+    Ok((sender, entries))
 }
 
 #[cfg(test)]
@@ -101,6 +239,14 @@ mod tests {
 
     fn pair() -> (Keychain, Keychain) {
         (Keychain::derive(b"seed", NodeId(0), 3), Keychain::derive(b"seed", NodeId(1), 3))
+    }
+
+    fn entries(payloads: &[&'static [u8]]) -> Vec<(InstanceId, Bytes)> {
+        payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (InstanceId(i as u16), Bytes::from_static(p)))
+            .collect()
     }
 
     #[test]
@@ -116,12 +262,85 @@ mod tests {
     }
 
     #[test]
+    fn batch_roundtrip() {
+        let (alice, bob) = pair();
+        let sent = entries(&[b"alpha", b"", b"gamma"]);
+        let frame = encode_batch_frame(&alice, NodeId(1), &sent);
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (sender, got) = decode_any_frame(&bob, &frame[4..]).unwrap();
+        assert_eq!(sender, NodeId(0));
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn batch_overhead_accounting() {
+        let (alice, _) = pair();
+        let sent = entries(&[b"12345", b"123"]);
+        let frame = encode_batch_frame(&alice, NodeId(1), &sent);
+        assert_eq!(
+            frame.len(),
+            BATCH_FRAME_OVERHEAD_BYTES + 2 * BATCH_ENTRY_OVERHEAD_BYTES + 5 + 3
+        );
+    }
+
+    #[test]
+    fn batched_wire_accounting_matches_simulator() {
+        // A Mux envelope carries the batch payload and the simulator
+        // charges it WIRE_OVERHEAD_BYTES; the TCP batch frame must cost
+        // exactly the same, so simulated batched bandwidth equals real
+        // batched bandwidth.
+        let (alice, _) = pair();
+        for payloads in [&[&b"x"[..]][..], &[&b"alpha"[..], &b""[..], &b"a-longer-payload"[..]][..]]
+        {
+            let sent = entries(payloads);
+            let frame = encode_batch_frame(&alice, NodeId(1), &sent);
+            let batch_payload = encode_batch(&sent);
+            assert_eq!(frame.len(), delphi_sim::WIRE_OVERHEAD_BYTES + batch_payload.len());
+        }
+        assert_eq!(BATCH_FRAME_OVERHEAD_BYTES, delphi_sim::WIRE_OVERHEAD_BYTES + BATCH_COUNT_BYTES);
+    }
+
+    #[test]
+    fn v1_frame_decodes_as_solo_entry_via_any() {
+        let (alice, bob) = pair();
+        let frame = encode_frame(&alice, NodeId(1), b"hello");
+        let (sender, got) = decode_any_frame(&bob, &frame[4..]).unwrap();
+        assert_eq!(sender, NodeId(0));
+        assert_eq!(got, vec![(InstanceId::SOLO, Bytes::from_static(b"hello"))]);
+    }
+
+    #[test]
+    fn batch_frame_rejected_by_v1_decoder() {
+        // The marker is not a valid sender, so a v1-only receiver drops
+        // batched frames instead of misparsing them.
+        let (alice, bob) = pair();
+        let frame = encode_batch_frame(&alice, NodeId(1), &entries(&[b"x"]));
+        assert_eq!(decode_frame(&bob, &frame[4..]), Err(FrameError::UnknownSender));
+    }
+
+    #[test]
     fn tampered_payload_rejected() {
         let (alice, bob) = pair();
         let frame = encode_frame(&alice, NodeId(1), b"hello");
         let mut body = frame[4..].to_vec();
         body[3] ^= 1; // flip a payload bit
         assert_eq!(decode_frame(&bob, &body), Err(FrameError::BadTag));
+    }
+
+    #[test]
+    fn tampered_batch_rejected() {
+        let (alice, bob) = pair();
+        let frame = encode_batch_frame(&alice, NodeId(1), &entries(&[b"hello", b"world"]));
+        for idx in [2usize, 5, 12] {
+            let mut body = frame[4..].to_vec();
+            body[idx] ^= 1;
+            let err = decode_any_frame(&bob, &body).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadTag | FrameError::UnknownSender),
+                "flip at {idx}: {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -141,20 +360,58 @@ mod tests {
         let carol = Keychain::derive(b"seed", NodeId(2), 3);
         let frame = encode_frame(&alice, NodeId(1), b"hello");
         assert_eq!(decode_frame(&carol, &frame[4..]), Err(FrameError::BadTag));
+        let batch = encode_batch_frame(&alice, NodeId(1), &entries(&[b"hello"]));
+        assert_eq!(decode_any_frame(&carol, &batch[4..]), Err(FrameError::BadTag));
     }
 
     #[test]
     fn unknown_sender_rejected() {
         let (_, bob) = pair();
-        let mut body = vec![0xff, 0xff]; // sender 65535
+        let mut body = vec![0xff, 0xfe]; // sender 65534
         body.extend_from_slice(&[0u8; TAG_LEN]);
         assert_eq!(decode_frame(&bob, &body), Err(FrameError::UnknownSender));
+        // Batched body claiming an out-of-range sender.
+        let mut body = vec![0xff, 0xff, 0xff, 0xfe, 0, 0];
+        body.extend_from_slice(&[0u8; TAG_LEN]);
+        assert_eq!(decode_any_frame(&bob, &body), Err(FrameError::UnknownSender));
     }
 
     #[test]
-    fn truncated_frame_rejected() {
-        let (_, bob) = pair();
-        assert_eq!(decode_frame(&bob, &[0, 1, 2]), Err(FrameError::Truncated));
+    fn authenticated_but_malformed_batch_rejected() {
+        // A correctly tagged body whose entry bytes are garbage must fail
+        // *after* authentication with Malformed, not panic.
+        let (alice, bob) = pair();
+        let mut signed = Vec::new();
+        signed.extend_from_slice(&BATCH_MARKER.to_be_bytes());
+        signed.extend_from_slice(&0u16.to_be_bytes()); // sender 0
+        signed.extend_from_slice(&[0, 2, 0, 0]); // count=2 but one bogus entry
+        let tag = alice.channel(NodeId(1)).tag(&signed);
+        signed.extend_from_slice(&tag);
+        assert_eq!(decode_any_frame(&bob, &signed), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn size_bounds_hit_each_edge() {
+        let (alice, bob) = pair();
+        // One byte below the minimum body: truncated.
+        let body = vec![0u8; MIN_FRAME_BODY - 1];
+        assert_eq!(decode_frame(&bob, &body), Err(FrameError::Truncated));
+        assert_eq!(decode_any_frame(&bob, &body), Err(FrameError::Truncated));
+        // Exactly the minimum body: a v1 frame with an empty payload.
+        let frame = encode_frame(&alice, NodeId(1), b"");
+        assert_eq!(frame.len() - 4, MIN_FRAME_BODY);
+        assert!(decode_frame(&bob, &frame[4..]).is_ok());
+        // One byte above the maximum body: too large, rejected before any
+        // MAC work.
+        let body = vec![0u8; MAX_FRAME_BODY + 1];
+        assert_eq!(decode_frame(&bob, &body), Err(FrameError::TooLarge));
+        assert_eq!(decode_any_frame(&bob, &body), Err(FrameError::TooLarge));
+    }
+
+    #[test]
+    fn max_body_bound_admits_max_payload() {
+        // MAX_FRAME_BODY is exactly a v1 body carrying MAX_FRAME_PAYLOAD.
+        assert_eq!(MAX_FRAME_BODY, MIN_FRAME_BODY + MAX_FRAME_PAYLOAD);
     }
 
     #[test]
@@ -173,6 +430,7 @@ mod tests {
             FrameError::TooLarge,
             FrameError::UnknownSender,
             FrameError::BadTag,
+            FrameError::Malformed,
         ] {
             assert!(!e.to_string().is_empty());
         }

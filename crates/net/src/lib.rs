@@ -5,13 +5,18 @@
 //! [`Protocol`](delphi_primitives::Protocol) state machines that run under
 //! the simulator run here over real sockets:
 //!
-//! - [`frame`]: length-prefixed frames carrying `(sender, payload, tag)`
-//!   with an HMAC-SHA256 tag under the pairwise channel key — the
-//!   authenticated-channel assumption made concrete. Tampered or
-//!   misdirected frames are dropped, never surfaced to the protocol.
-//! - [`run_node`]: a full-mesh node runner — binds a listener, dials every
-//!   peer (with retry), drives the protocol to its output, and lingers
-//!   briefly so slower peers still receive our help messages.
+//! - [`frame`]: length-prefixed frames with an HMAC-SHA256 tag under the
+//!   pairwise channel key — the authenticated-channel assumption made
+//!   concrete. Two formats share the tag: v1 carries one payload, v2
+//!   carries a batch of `(instance, payload)` entries so one tag
+//!   authenticates a whole protocol step. Tampered or misdirected frames
+//!   are dropped, never surfaced to the protocol.
+//! - [`run_node`] / [`run_instances`]: full-mesh node runners — bind a
+//!   listener, dial every peer (with retry), drive one or many multiplexed
+//!   protocol instances to their outputs, linger briefly so slower peers
+//!   still receive our help messages, and drain writer queues before
+//!   returning. [`run_instances`] coalesces every envelope of one protocol
+//!   step into one batched frame per destination.
 //!
 //! # Example
 //!
@@ -25,5 +30,8 @@
 pub mod frame;
 mod runner;
 
-pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_PAYLOAD};
-pub use runner::{run_node, NetError, NetStats, RunOptions};
+pub use frame::{
+    decode_any_frame, decode_frame, encode_batch_frame, encode_frame, FrameError, BATCH_MARKER,
+    MAX_FRAME_BODY, MAX_FRAME_PAYLOAD, MIN_FRAME_BODY,
+};
+pub use runner::{run_instances, run_node, NetError, NetStats, RunOptions};

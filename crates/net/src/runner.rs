@@ -1,4 +1,10 @@
 //! The full-mesh TCP node runner.
+//!
+//! [`run_node`] drives one protocol instance; [`run_instances`] drives any
+//! number of independent instances (one per oracle asset in a multi-feed
+//! deployment) multiplexed over a single mesh. All envelopes produced by
+//! one protocol step are coalesced into one batched frame per destination,
+//! so framing + MAC cost is amortized over every instance's traffic.
 
 use std::error::Error;
 use std::fmt;
@@ -9,12 +15,15 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::{NodeId, Protocol, Recipient};
+use delphi_primitives::mux::route_bursts;
+use delphi_primitives::{InstanceId, NodeId, Protocol};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 
-use crate::frame::{decode_frame, encode_frame, MAX_FRAME_PAYLOAD};
+use crate::frame::{
+    decode_any_frame, encode_batch_frame, encode_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY,
+};
 
 /// Network runner failure.
 #[derive(Debug)]
@@ -48,17 +57,24 @@ impl From<std::io::Error> for NetError {
 /// Byte counters observed by the runner.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
-    /// Frames sent (after broadcast expansion).
+    /// Frames sent (envelopes may share a frame when batching is on).
     pub sent_frames: u64,
     /// Total bytes written to sockets (frames incl. headers).
     pub sent_bytes: u64,
+    /// Envelopes queued for sending, after broadcast expansion.
+    pub sent_entries: u64,
     /// Frames received and authenticated.
     pub recv_frames: u64,
+    /// Protocol payloads received inside authenticated frames.
+    pub recv_entries: u64,
     /// Frames dropped by authentication or framing checks.
     pub dropped_frames: u64,
+    /// HMAC tag computations (one per frame encoded, one per tag
+    /// verified). Batching lowers this together with `sent_frames`.
+    pub mac_ops: u64,
 }
 
-/// Tuning knobs for [`run_node`].
+/// Tuning knobs for [`run_node`] / [`run_instances`].
 #[derive(Clone, Debug)]
 pub struct RunOptions {
     /// How long to keep serving peers after our own output is ready.
@@ -71,6 +87,12 @@ pub struct RunOptions {
     pub reconnect_delay: Duration,
     /// Overall deadline for producing an output.
     pub deadline: Duration,
+    /// How long shutdown may wait for writer queues to flush to peers.
+    pub drain_timeout: Duration,
+    /// Whether to coalesce all envelopes of one protocol step per
+    /// destination into one batched frame (v2). Off, every envelope pays
+    /// its own frame + tag — the v1 cost model, kept for measurement.
+    pub batching: bool,
 }
 
 impl Default for RunOptions {
@@ -79,6 +101,8 @@ impl Default for RunOptions {
             linger: Duration::from_millis(500),
             reconnect_delay: Duration::from_millis(50),
             deadline: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(5),
+            batching: true,
         }
     }
 }
@@ -87,17 +111,31 @@ impl Default for RunOptions {
 struct Counters {
     sent_frames: AtomicU64,
     sent_bytes: AtomicU64,
+    sent_entries: AtomicU64,
     recv_frames: AtomicU64,
+    recv_entries: AtomicU64,
     dropped_frames: AtomicU64,
+    mac_ops: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            sent_frames: self.sent_frames.load(Ordering::Relaxed),
+            sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
+            sent_entries: self.sent_entries.load(Ordering::Relaxed),
+            recv_frames: self.recv_frames.load(Ordering::Relaxed),
+            recv_entries: self.recv_entries.load(Ordering::Relaxed),
+            dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            mac_ops: self.mac_ops.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Runs `protocol` over a full TCP mesh until it produces an output.
 ///
-/// `addrs[i]` is the listen address of node `i`; this node binds
-/// `addrs[keychain.node_id()]` and dials every other address (retrying
-/// until peers come up). All traffic is HMAC-authenticated with the
-/// pairwise keys in `keychain`; frames that fail authentication are
-/// counted and dropped.
+/// Convenience wrapper around [`run_instances`] for the single-instance
+/// case; see there for the transport contract.
 ///
 /// # Errors
 ///
@@ -105,11 +143,49 @@ struct Counters {
 /// [`NetError::Io`] if the listener cannot be bound, and
 /// [`NetError::Timeout`] if no output appears within the deadline.
 pub async fn run_node<P>(
-    mut protocol: P,
+    protocol: P,
     keychain: Keychain,
     addrs: Vec<SocketAddr>,
     opts: RunOptions,
 ) -> Result<(P::Output, NetStats), NetError>
+where
+    P: Protocol + Send + 'static,
+{
+    let (mut outputs, stats) = run_instances(vec![protocol], keychain, addrs, opts).await?;
+    Ok((outputs.pop().expect("exactly one instance"), stats))
+}
+
+/// Runs `instances` — independent protocol instances multiplexed by
+/// [`InstanceId`] — over one full TCP mesh until every instance produces
+/// an output.
+///
+/// `addrs[i]` is the listen address of node `i`; this node binds
+/// `addrs[keychain.node_id()]` and dials every other address (retrying
+/// until peers come up). All traffic is HMAC-authenticated with the
+/// pairwise keys in `keychain`; frames that fail authentication are
+/// counted and dropped. Instance `i` of the vector is addressed as
+/// `InstanceId(i)` on the wire; entries for unknown instances inside an
+/// authenticated frame are ignored.
+///
+/// With [`RunOptions::batching`] on (the default), every envelope produced
+/// by one `start()`/`on_message()` step is coalesced into at most one
+/// batched frame per destination. On shutdown the runner closes the writer
+/// queues and waits (bounded by [`RunOptions::drain_timeout`]) for every
+/// queued frame to flush, so a slow peer still receives everything that
+/// was sent.
+///
+/// # Errors
+///
+/// Returns [`NetError::Config`] on a mismatched address list, an empty
+/// instance vector, or an instance disagreeing on identity;
+/// [`NetError::Io`] if the listener cannot be bound; and
+/// [`NetError::Timeout`] if outputs are missing at the deadline.
+pub async fn run_instances<P>(
+    mut instances: Vec<P>,
+    keychain: Keychain,
+    addrs: Vec<SocketAddr>,
+    opts: RunOptions,
+) -> Result<(Vec<P::Output>, NetStats), NetError>
 where
     P: Protocol + Send + 'static,
 {
@@ -118,15 +194,24 @@ where
     if addrs.len() != n {
         return Err(NetError::Config(format!("{} addresses for {n} nodes", addrs.len())));
     }
-    if protocol.n() != n || protocol.node_id() != me {
-        return Err(NetError::Config("protocol identity mismatch".into()));
+    if instances.is_empty() {
+        return Err(NetError::Config("no protocol instances".into()));
+    }
+    if instances.len() > usize::from(u16::MAX) + 1 {
+        return Err(NetError::Config("instance ids are u16".into()));
+    }
+    for p in &instances {
+        if p.n() != n || p.node_id() != me {
+            return Err(NetError::Config("protocol identity mismatch".into()));
+        }
     }
 
     let counters = Arc::new(Counters::default());
     let keychain = Arc::new(keychain);
 
-    // Inbound: listener -> reader tasks -> this channel.
-    let (in_tx, mut in_rx) = mpsc::channel::<(NodeId, Bytes)>(1024);
+    // Inbound: listener -> reader tasks -> this channel (one item per
+    // authenticated frame, carrying all its entries).
+    let (in_tx, mut in_rx) = mpsc::channel::<(NodeId, Vec<(InstanceId, Bytes)>)>(1024);
     let listener = TcpListener::bind(addrs[me.index()]).await?;
     let accept_kc = keychain.clone();
     let accept_counters = counters.clone();
@@ -160,50 +245,66 @@ where
         }));
     }
 
-    let send = |protocol_out: Vec<delphi_primitives::Envelope>,
-                peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
-                kc: &Keychain| {
-        for env in protocol_out {
-            match env.to {
-                Recipient::All => {
-                    for (i, tx) in peer_tx.iter().enumerate() {
-                        if let Some(tx) = tx {
-                            let frame = encode_frame(kc, NodeId(i as u16), &env.payload);
-                            let _ = tx.send(frame);
-                        }
-                    }
-                }
-                Recipient::One(dest) => {
-                    if let Some(Some(tx)) = peer_tx.get(dest.index()) {
-                        let frame = encode_frame(kc, dest, &env.payload);
-                        let _ = tx.send(frame);
-                    }
+    // Queues one protocol step's output: the envelope bursts of every
+    // instance that acted, coalesced into one frame per destination.
+    // Multi-instance runs speak pure v2 so NetStats byte counts equal the
+    // simulator's Mux accounting; solo single-envelope steps keep the
+    // (4 bytes cheaper) v1 format.
+    let batching = opts.batching;
+    let solo = instances.len() == 1;
+    let step_counters = counters.clone();
+    let enqueue = move |bursts: Vec<(InstanceId, Vec<delphi_primitives::Envelope>)>,
+                        peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
+                        kc: &Keychain| {
+        for (dest, entries) in route_bursts(bursts, n, me).into_iter().enumerate() {
+            let Some(Some(tx)) = peer_tx.get(dest) else { continue };
+            if entries.is_empty() {
+                continue;
+            }
+            step_counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+            let dest = NodeId(dest as u16);
+            if batching {
+                let frame = match &entries[..] {
+                    [(_, payload)] if solo => encode_frame(kc, dest, payload),
+                    _ => encode_batch_frame(kc, dest, &entries),
+                };
+                step_counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(frame);
+            } else {
+                for (instance, payload) in entries {
+                    let frame = if solo {
+                        encode_frame(kc, dest, &payload)
+                    } else {
+                        encode_batch_frame(kc, dest, &[(instance, payload)])
+                    };
+                    step_counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(frame);
                 }
             }
         }
     };
 
-    // Drive the protocol.
+    // Drive the protocol instances.
     let deadline = tokio::time::Instant::now() + opts.deadline;
-    send(protocol.start(), &peer_tx, &keychain);
-    let output = loop {
-        if let Some(out) = protocol.output() {
-            break out;
-        }
+    let start_bursts =
+        instances.iter_mut().enumerate().map(|(i, p)| (InstanceId(i as u16), p.start())).collect();
+    enqueue(start_bursts, &peer_tx, &keychain);
+    while !instances.iter().all(|p| p.output().is_some()) {
         let msg = tokio::select! {
             m = in_rx.recv() => m,
             _ = tokio::time::sleep_until(deadline) => None,
         };
         match msg {
-            Some((from, payload)) => {
-                send(protocol.on_message(from, &payload), &peer_tx, &keychain);
+            Some((from, entries)) => {
+                enqueue(dispatch(&mut instances, from, entries), &peer_tx, &keychain);
             }
             None => {
                 abort_all(accept_task, writer_tasks);
                 return Err(NetError::Timeout);
             }
         }
-    };
+    }
+    let outputs = instances.iter().map(|p| p.output().expect("all finished")).collect();
 
     // Linger: keep answering peers so they can finish too.
     let linger_end = tokio::time::Instant::now() + opts.linger;
@@ -213,24 +314,45 @@ where
             _ = tokio::time::sleep_until(linger_end) => None,
         };
         match msg {
-            Some((from, payload)) => {
-                send(protocol.on_message(from, &payload), &peer_tx, &keychain);
+            Some((from, entries)) => {
+                enqueue(dispatch(&mut instances, from, entries), &peer_tx, &keychain);
             }
             None => break,
         }
     }
 
-    // Give writers a moment to flush queued frames, then stop.
-    tokio::time::sleep(Duration::from_millis(50)).await;
-    abort_all(accept_task, writer_tasks);
+    // Graceful drain: close the writer channels so each write_loop flushes
+    // its remaining queue and exits at channel-close, then join with a
+    // bounded timeout. A fixed sleep + abort here loses whatever a slow
+    // peer had not yet accepted.
+    drop(peer_tx);
+    let drain_deadline = tokio::time::Instant::now() + opts.drain_timeout;
+    for task in writer_tasks {
+        let mut task = task;
+        tokio::select! {
+            _ = &mut task => {},
+            _ = tokio::time::sleep_until(drain_deadline) => task.abort(),
+        }
+    }
+    accept_task.abort();
 
-    let stats = NetStats {
-        sent_frames: counters.sent_frames.load(Ordering::Relaxed),
-        sent_bytes: counters.sent_bytes.load(Ordering::Relaxed),
-        recv_frames: counters.recv_frames.load(Ordering::Relaxed),
-        dropped_frames: counters.dropped_frames.load(Ordering::Relaxed),
-    };
-    Ok((output, stats))
+    Ok((outputs, counters.snapshot()))
+}
+
+/// Feeds one authenticated frame's entries to their instances, collecting
+/// each instance's response burst (unknown instance ids are ignored).
+fn dispatch<P: Protocol>(
+    instances: &mut [P],
+    from: NodeId,
+    entries: Vec<(InstanceId, Bytes)>,
+) -> Vec<(InstanceId, Vec<delphi_primitives::Envelope>)> {
+    let mut bursts = Vec::new();
+    for (instance, payload) in entries {
+        if let Some(p) = instances.get_mut(instance.index()) {
+            bursts.push((instance, p.on_message(from, &payload)));
+        }
+    }
+    bursts
 }
 
 fn abort_all(accept: tokio::task::JoinHandle<()>, writers: Vec<tokio::task::JoinHandle<()>>) {
@@ -243,7 +365,7 @@ fn abort_all(accept: tokio::task::JoinHandle<()>, writers: Vec<tokio::task::Join
 async fn read_loop(
     mut stream: TcpStream,
     keychain: Arc<Keychain>,
-    tx: mpsc::Sender<(NodeId, Bytes)>,
+    tx: mpsc::Sender<(NodeId, Vec<(InstanceId, Bytes)>)>,
     counters: Arc<Counters>,
 ) -> std::io::Result<()> {
     let mut len_buf = [0u8; 4];
@@ -252,7 +374,9 @@ async fn read_loop(
             return Ok(()); // peer closed
         }
         let len = u32::from_be_bytes(len_buf) as usize;
-        if !(2..=MAX_FRAME_PAYLOAD + 64).contains(&len) {
+        // Same bounds the decoder enforces: never allocate for a body that
+        // could not decode.
+        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&len) {
             counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
             return Ok(()); // framing is broken beyond recovery: drop link
         }
@@ -260,14 +384,20 @@ async fn read_loop(
         if stream.read_exact(&mut body).await.is_err() {
             return Ok(());
         }
-        match decode_frame(&keychain, &body) {
-            Ok((from, payload)) => {
+        match decode_any_frame(&keychain, &body) {
+            Ok((from, entries)) => {
+                counters.mac_ops.fetch_add(1, Ordering::Relaxed);
                 counters.recv_frames.fetch_add(1, Ordering::Relaxed);
-                if tx.send((from, payload)).await.is_err() {
+                counters.recv_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+                if tx.send((from, entries)).await.is_err() {
                     return Ok(()); // main loop gone
                 }
             }
-            Err(_) => {
+            Err(err) => {
+                if matches!(err, FrameError::BadTag | FrameError::Malformed) {
+                    // The tag was computed before the frame was rejected.
+                    counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                }
                 counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -282,6 +412,15 @@ async fn write_loop(
 ) -> std::io::Result<()> {
     let mut pending: Option<Bytes> = None;
     'reconnect: loop {
+        // Dial only when there is something to send: a peer that never
+        // comes up then cannot stall shutdown while its queue is empty
+        // (channel-close is observed here, parked on recv, immediately).
+        if pending.is_none() {
+            pending = match rx.recv().await {
+                Some(f) => Some(f),
+                None => return Ok(()), // runner finished, nothing queued
+            };
+        }
         let mut stream = loop {
             match TcpStream::connect(addr).await {
                 Ok(s) => break s,
@@ -294,7 +433,7 @@ async fn write_loop(
                 Some(f) => f,
                 None => match rx.recv().await {
                     Some(f) => f,
-                    None => return Ok(()), // runner finished
+                    None => return Ok(()), // runner finished, queue drained
                 },
             };
             if stream.write_all(&frame).await.is_err() {
@@ -311,7 +450,7 @@ async fn write_loop(
 mod tests {
     use super::*;
     use delphi_core::BinAaNode;
-    use delphi_primitives::Dyadic;
+    use delphi_primitives::{Dyadic, Envelope};
 
     async fn free_addrs(n: usize) -> Vec<SocketAddr> {
         // Bind ephemeral listeners to reserve distinct ports, then free
@@ -347,6 +486,9 @@ mod tests {
             assert!(stats.sent_frames > 0);
             assert!(stats.recv_frames > 0);
             assert_eq!(stats.dropped_frames, 0);
+            // Even a solo protocol benefits: multi-envelope steps share a
+            // frame, so entries can only meet or exceed frames.
+            assert!(stats.recv_entries >= stats.recv_frames);
             outputs.push(out);
         }
         let tol = Dyadic::new(1, 6);
@@ -354,6 +496,261 @@ mod tests {
             for b in &outputs {
                 assert!(a.abs_diff(*b) <= tol, "|{a} - {b}| over TCP");
             }
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn multiplexed_binaa_instances_share_one_mesh() {
+        // Two independent BinAA instances per node — one agreeing near 1,
+        // one pinned at 0 — multiplexed over a single 4-node mesh.
+        let n = 4;
+        let addrs = free_addrs(n).await;
+        let inputs = [true, false, true, true];
+        let mut handles = Vec::new();
+        for id in NodeId::all(n) {
+            let keychain = Keychain::derive(b"mux-test", id, n);
+            let nodes = vec![
+                BinAaNode::new(id, n, 1, inputs[id.index()], 6),
+                BinAaNode::new(id, n, 1, false, 6),
+            ];
+            let addrs = addrs.clone();
+            handles.push(tokio::spawn(async move {
+                run_instances(nodes, keychain, addrs, RunOptions::default()).await
+            }));
+        }
+        let mut per_instance: Vec<Vec<Dyadic>> = vec![Vec::new(); 2];
+        for h in handles {
+            let (outs, stats) = h.await.unwrap().expect("node finished");
+            assert_eq!(outs.len(), 2);
+            assert_eq!(stats.dropped_frames, 0);
+            assert!(
+                stats.sent_frames < stats.sent_entries,
+                "batching must coalesce: {} frames for {} entries",
+                stats.sent_frames,
+                stats.sent_entries
+            );
+            for (i, o) in outs.into_iter().enumerate() {
+                per_instance[i].push(o);
+            }
+        }
+        let tol = Dyadic::new(1, 6);
+        for outs in &per_instance {
+            for a in outs {
+                for b in outs {
+                    assert!(a.abs_diff(*b) <= tol, "instance disagreement |{a} - {b}|");
+                }
+            }
+        }
+        // The all-zero instance must not be perturbed by instance 0's
+        // traffic: correct routing keeps it exactly at 0.
+        assert!(per_instance[1].iter().all(|o| *o == Dyadic::ZERO), "{:?}", per_instance[1]);
+    }
+
+    /// Broadcasts `rounds` waves, advancing after each full wave of peer
+    /// messages; its envelope count is schedule-independent, which makes
+    /// frame counts comparable across runs.
+    struct Wave {
+        id: NodeId,
+        n: usize,
+        rounds: u8,
+        seen: usize,
+        sent: u8,
+    }
+
+    impl Wave {
+        fn new(id: NodeId, n: usize, rounds: u8) -> Wave {
+            Wave { id, n, rounds, seen: 0, sent: 0 }
+        }
+    }
+
+    impl Protocol for Wave {
+        type Output = usize;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            self.sent = 1;
+            vec![Envelope::to_all(Bytes::from_static(b"wave"))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.seen += 1;
+            if self.seen % (self.n - 1) == 0 && self.sent < self.rounds {
+                self.sent += 1;
+                vec![Envelope::to_all(Bytes::from_static(b"wave"))]
+            } else {
+                Vec::new()
+            }
+        }
+        fn output(&self) -> Option<usize> {
+            (self.seen >= usize::from(self.rounds) * (self.n - 1)).then_some(self.seen)
+        }
+    }
+
+    async fn run_wave_cluster(seed: &'static [u8], batching: bool) -> NetStats {
+        let n = 3;
+        let instances_per_node = 4;
+        let rounds = 3u8;
+        let addrs = free_addrs(n).await;
+        let mut handles = Vec::new();
+        for id in NodeId::all(n) {
+            let keychain = Keychain::derive(seed, id, n);
+            let nodes: Vec<Wave> =
+                (0..instances_per_node).map(|_| Wave::new(id, n, rounds)).collect();
+            let addrs = addrs.clone();
+            let opts = RunOptions { batching, ..RunOptions::default() };
+            handles.push(tokio::spawn(
+                async move { run_instances(nodes, keychain, addrs, opts).await },
+            ));
+        }
+        let mut total = NetStats::default();
+        for h in handles {
+            let (outs, stats) = h.await.unwrap().expect("node finished");
+            assert_eq!(outs.len(), instances_per_node);
+            assert_eq!(stats.dropped_frames, 0);
+            total.sent_frames += stats.sent_frames;
+            total.sent_bytes += stats.sent_bytes;
+            total.sent_entries += stats.sent_entries;
+            total.mac_ops += stats.mac_ops;
+        }
+        total
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn batching_reduces_frames_and_macs_at_equal_envelope_count() {
+        let batched = run_wave_cluster(b"wave-batched", true).await;
+        let unbatched = run_wave_cluster(b"wave-unbatched", false).await;
+        // Same protocols, schedule-independent envelope counts: the
+        // workloads are identical.
+        assert_eq!(batched.sent_entries, unbatched.sent_entries);
+        assert!(
+            batched.sent_frames < unbatched.sent_frames,
+            "batched {} vs unbatched {} frames",
+            batched.sent_frames,
+            unbatched.sent_frames
+        );
+        assert!(
+            batched.mac_ops < unbatched.mac_ops,
+            "batched {} vs unbatched {} HMAC invocations",
+            batched.mac_ops,
+            unbatched.mac_ops
+        );
+        assert!(
+            batched.sent_bytes < unbatched.sent_bytes,
+            "batched {} vs unbatched {} bytes",
+            batched.sent_bytes,
+            unbatched.sent_bytes
+        );
+        // Unbatched, every envelope is its own frame.
+        assert_eq!(unbatched.sent_frames, unbatched.sent_entries);
+    }
+
+    /// Bursts `k` point-to-point frames at start and outputs immediately.
+    struct Burst {
+        id: NodeId,
+        k: usize,
+    }
+
+    impl Protocol for Burst {
+        type Output = ();
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            2
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            (0..self.k)
+                .map(|i| Envelope::to_one(NodeId(1), Bytes::from(vec![i as u8; 32])))
+                .collect()
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            Vec::new()
+        }
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn shutdown_drains_queued_frames_to_slow_peer() {
+        // Node 0 bursts 50 frames at a peer that is slow to come up: the
+        // runner's writer is still in its dial-retry loop when the
+        // protocol output arrives. Shutdown must wait for the queue to
+        // flush (bounded by drain_timeout) — the old fixed 50 ms sleep +
+        // abort dropped every one of these frames.
+        let k = 50usize;
+        let addrs = free_addrs(2).await;
+        let peer_addr = addrs[1];
+        let keychain = Keychain::derive(b"drain-test", NodeId(0), 2);
+        let opts = RunOptions {
+            linger: Duration::ZERO,
+            batching: false, // one frame per envelope: all 50 must arrive
+            ..RunOptions::default()
+        };
+        let runner = tokio::spawn(async move {
+            run_node(Burst { id: NodeId(0), k }, keychain, addrs, opts).await
+        });
+
+        // The peer appears only after the old grace period has long passed.
+        tokio::time::sleep(Duration::from_millis(250)).await;
+        let listener = TcpListener::bind(peer_addr).await.unwrap();
+        let reader = tokio::spawn(async move {
+            let kc = Keychain::derive(b"drain-test", NodeId(1), 2);
+            let (mut stream, _) = listener.accept().await.unwrap();
+            let mut got = 0usize;
+            while got < k {
+                let mut len_buf = [0u8; 4];
+                stream.read_exact(&mut len_buf).await.unwrap();
+                let mut body = vec![0u8; u32::from_be_bytes(len_buf) as usize];
+                stream.read_exact(&mut body).await.unwrap();
+                let (from, entries) = decode_any_frame(&kc, &body).expect("authentic frame");
+                assert_eq!(from, NodeId(0));
+                got += entries.len();
+            }
+            got
+        });
+
+        let (_, stats) = runner.await.unwrap().expect("run ok");
+        assert_eq!(stats.sent_frames, k as u64, "every queued frame flushed before return");
+        assert_eq!(stats.sent_entries, k as u64);
+        assert_eq!(reader.await.unwrap(), k, "slow peer received every frame");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn reader_enforces_decoder_length_bounds() {
+        // The reader must accept exactly the body sizes the decoder can
+        // decode: an undersized length word kills the link before any
+        // later (even valid) frame is surfaced, and an oversized one is
+        // rejected without allocating the impossible body.
+        let alice = Keychain::derive(b"bounds", NodeId(0), 2);
+        let bob = Arc::new(Keychain::derive(b"bounds", NodeId(1), 2));
+
+        for bad_len in [(MIN_FRAME_BODY - 1) as u32, (MAX_FRAME_BODY + 1) as u32] {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let counters = Arc::new(Counters::default());
+            let (tx, mut rx) = mpsc::channel(16);
+            let mut client = TcpStream::connect(addr).await.unwrap();
+            let (server, _) = listener.accept().await.unwrap();
+            let reader = tokio::spawn(read_loop(server, bob.clone(), tx, counters.clone()));
+
+            client.write_all(&bad_len.to_be_bytes()).await.unwrap();
+            // A perfectly valid frame behind the corrupt length word: the
+            // link is already dead, so it must never be delivered.
+            let frame = encode_frame(&alice, NodeId(1), b"late");
+            client.write_all(&frame).await.unwrap();
+
+            reader.await.unwrap().unwrap();
+            assert_eq!(counters.dropped_frames.load(Ordering::Relaxed), 1, "len={bad_len}");
+            assert_eq!(counters.recv_frames.load(Ordering::Relaxed), 0, "len={bad_len}");
+            let leftover = tokio::select! {
+                m = rx.recv() => m,
+                _ = tokio::time::sleep(Duration::from_millis(50)) => None,
+            };
+            assert!(leftover.is_none(), "no frame may survive a broken link (len={bad_len})");
         }
     }
 
@@ -365,6 +762,20 @@ mod tests {
             run_node(node, keychain, vec!["127.0.0.1:1".parse().unwrap()], RunOptions::default())
                 .await
                 .unwrap_err();
+        assert!(matches!(err, NetError::Config(_)), "{err}");
+    }
+
+    #[tokio::test]
+    async fn empty_instance_list_rejected() {
+        let keychain = Keychain::derive(b"x", NodeId(0), 1);
+        let err = run_instances(
+            Vec::<BinAaNode>::new(),
+            keychain,
+            vec!["127.0.0.1:1".parse().unwrap()],
+            RunOptions::default(),
+        )
+        .await
+        .unwrap_err();
         assert!(matches!(err, NetError::Config(_)), "{err}");
     }
 

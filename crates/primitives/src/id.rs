@@ -66,6 +66,62 @@ impl Decode for NodeId {
     }
 }
 
+/// Identity of one multiplexed protocol instance within a deployment.
+///
+/// A single mesh (one simulator run, one TCP cluster) can drive many
+/// independent protocol instances — one per oracle asset in a DORA-style
+/// multi-feed deployment. Transports tag every payload with the instance it
+/// belongs to so the instances share connections, frames, and MAC tags; see
+/// [`crate::mux`] for the sans-io combinator and `delphi-net` for the
+/// batched wire frames.
+///
+/// # Example
+///
+/// ```
+/// use delphi_primitives::InstanceId;
+///
+/// let btc = InstanceId(0);
+/// assert_eq!(btc.index(), 0);
+/// assert_eq!(format!("{btc}"), "instance-0");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u16);
+
+impl InstanceId {
+    /// The instance driven by single-protocol runners.
+    pub const SOLO: InstanceId = InstanceId(0);
+
+    /// The instance's index as a `usize`, for direct use in slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance-{}", self.0)
+    }
+}
+
+impl From<u16> for InstanceId {
+    fn from(raw: u16) -> Self {
+        InstanceId(raw)
+    }
+}
+
+impl Encode for InstanceId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.0);
+    }
+}
+
+impl Decode for InstanceId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(InstanceId(r.get_u16()?))
+    }
+}
+
 /// A protocol round number (1-based, matching Algorithm 1 of the paper).
 ///
 /// Rounds are bounded by the configured `r_M = log2(1/ε′) ≤ 64`, so `u16`
@@ -155,6 +211,14 @@ mod tests {
         for raw in [0u16, 1, 63, 64, 255, 256, u16::MAX] {
             assert_eq!(roundtrip(&NodeId(raw)).unwrap(), NodeId(raw));
             assert_eq!(roundtrip(&Round(raw)).unwrap(), Round(raw));
+            assert_eq!(roundtrip(&InstanceId(raw)).unwrap(), InstanceId(raw));
         }
+    }
+
+    #[test]
+    fn instance_id_display_and_solo() {
+        assert_eq!(InstanceId(3).to_string(), "instance-3");
+        assert_eq!(InstanceId::SOLO, InstanceId(0));
+        assert_eq!(InstanceId::from(5u16).index(), 5);
     }
 }

@@ -19,6 +19,10 @@
 //!   Delphi, the baselines, and the DORA layer, and driven by both the
 //!   discrete-event simulator (`delphi-sim`) and the tokio TCP runtime
 //!   (`delphi-net`).
+//! - [`InstanceId`] and [`mux`]: multiplexing many protocol instances (one
+//!   per oracle asset) over a single mesh, with a shared batch-entry codec
+//!   so transports amortize framing + MAC cost over every instance's
+//!   traffic.
 //!
 //! # Example
 //!
@@ -37,10 +41,12 @@
 mod bitset;
 mod dyadic;
 mod id;
+pub mod mux;
 mod protocol;
 pub mod wire;
 
 pub use bitset::NodeBitSet;
 pub use dyadic::{Dyadic, DyadicRangeError};
-pub use id::{NodeId, Round};
+pub use id::{InstanceId, NodeId, Round};
+pub use mux::Mux;
 pub use protocol::{Envelope, Protocol, Recipient};

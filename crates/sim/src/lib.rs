@@ -12,7 +12,11 @@
 //!   wire (payload plus the same framing overhead `delphi-net` adds).
 //!
 //! Runs are fully deterministic given a seed, so every experiment and every
-//! failing test can be replayed.
+//! failing test can be replayed. Multi-asset scenarios scale out two ways:
+//! [`run_sharded`] executes independent per-asset simulations across worker
+//! threads, and [`Mux`](delphi_primitives::Mux) nodes multiplex all assets
+//! over one simulated mesh with batched envelopes ([`BatchSavings`]
+//! quantifies what that batching saves).
 //!
 //! # Model
 //!
@@ -70,9 +74,11 @@ pub mod adversary;
 mod engine;
 mod latency;
 mod metrics;
+mod shard;
 mod topology;
 
 pub use engine::{RunReport, Simulation, StopReason};
 pub use latency::{Jitter, LatencyMatrix};
 pub use metrics::{Metrics, NodeMetrics};
+pub use shard::{run_sharded, BatchSavings, SimJob};
 pub use topology::{CostModel, Topology, WIRE_OVERHEAD_BYTES};

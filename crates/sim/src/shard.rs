@@ -1,0 +1,268 @@
+//! Sharded multi-instance scenario runs.
+//!
+//! A DORA-style oracle deployment agrees on many assets at once. Two
+//! complementary tools cover that scale-out in the simulator:
+//!
+//! - [`run_sharded`] executes independent simulations — one per asset —
+//!   across a pool of worker threads, preserving input order and full
+//!   determinism (each job carries its own seeded [`Simulation`]).
+//! - [`BatchSavings`] compares the transport cost of those per-asset runs
+//!   against a single multiplexed run (all assets over one mesh via
+//!   [`Mux`](delphi_primitives::Mux)), quantifying what frame batching
+//!   saves in messages and wire bytes.
+//!
+//! See `tests/multi_asset.rs` at the workspace root for the full
+//! multi-asset Delphi scenario built from these pieces.
+
+use std::fmt;
+
+use delphi_primitives::Protocol;
+
+use crate::engine::{RunReport, Simulation};
+use crate::metrics::Metrics;
+
+/// One simulation job: a configured [`Simulation`] plus a factory that
+/// builds its nodes on the worker thread that runs it.
+pub struct SimJob<O> {
+    /// The configured simulation (topology, seed, fault set, caps).
+    pub sim: Simulation,
+    /// Builds the node set; invoked on the worker thread.
+    #[allow(clippy::type_complexity)]
+    pub make_nodes: Box<dyn FnOnce() -> Vec<Box<dyn Protocol<Output = O>>> + Send>,
+}
+
+impl<O> fmt::Debug for SimJob<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimJob").field("sim", &self.sim).finish_non_exhaustive()
+    }
+}
+
+impl<O: Clone + fmt::Debug> SimJob<O> {
+    /// Creates a job from a simulation and a node factory.
+    pub fn new<F>(sim: Simulation, make_nodes: F) -> SimJob<O>
+    where
+        F: FnOnce() -> Vec<Box<dyn Protocol<Output = O>>> + Send + 'static,
+    {
+        SimJob { sim, make_nodes: Box::new(make_nodes) }
+    }
+
+    fn run(self) -> RunReport<O> {
+        let nodes = (self.make_nodes)();
+        self.sim.run(nodes)
+    }
+}
+
+/// Runs `jobs` across up to `shards` worker threads, returning reports in
+/// job order.
+///
+/// Jobs are distributed round-robin, so a deterministic job list yields a
+/// deterministic report list regardless of the shard count — sharding is
+/// pure wall-clock parallelism, never a semantics knob.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or a job's simulation panics (node-count
+/// mismatch etc.); worker panics are propagated.
+pub fn run_sharded<O: Clone + fmt::Debug + Send>(
+    jobs: Vec<SimJob<O>>,
+    shards: usize,
+) -> Vec<RunReport<O>> {
+    assert!(shards > 0, "need at least one shard");
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut buckets: Vec<Vec<(usize, SimJob<O>)>> =
+        (0..shards.min(total)).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        let slot = i % buckets.len();
+        buckets[slot].push((i, job));
+    }
+    let mut results: Vec<Option<RunReport<O>>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket.into_iter().map(|(i, job)| (i, job.run())).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, report) in worker.join().expect("shard worker panicked") {
+                results[i] = Some(report);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every job produced a report")).collect()
+}
+
+/// Transport-cost comparison: per-asset unbatched runs vs one multiplexed
+/// (batched) run of the same assets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSavings {
+    /// Messages sent across all unbatched per-asset runs.
+    pub unbatched_msgs: u64,
+    /// Wire bytes across all unbatched per-asset runs.
+    pub unbatched_wire_bytes: u64,
+    /// Messages (frames) sent by the multiplexed run.
+    pub batched_msgs: u64,
+    /// Wire bytes sent by the multiplexed run.
+    pub batched_wire_bytes: u64,
+}
+
+impl BatchSavings {
+    /// Builds the comparison from per-asset metrics and the multiplexed
+    /// run's metrics.
+    pub fn compare<'a>(
+        unbatched_per_asset: impl IntoIterator<Item = &'a Metrics>,
+        batched: &Metrics,
+    ) -> BatchSavings {
+        let mut s = BatchSavings {
+            batched_msgs: batched.total_msgs(),
+            batched_wire_bytes: batched.total_wire_bytes(),
+            ..BatchSavings::default()
+        };
+        for m in unbatched_per_asset {
+            s.unbatched_msgs += m.total_msgs();
+            s.unbatched_wire_bytes += m.total_wire_bytes();
+        }
+        s
+    }
+
+    /// Fraction of frames eliminated by batching, in `[0, 1]`.
+    pub fn frames_saved(&self) -> f64 {
+        saved_fraction(self.unbatched_msgs, self.batched_msgs)
+    }
+
+    /// Fraction of wire bytes eliminated by batching, in `[0, 1]`.
+    pub fn bytes_saved(&self) -> f64 {
+        saved_fraction(self.unbatched_wire_bytes, self.batched_wire_bytes)
+    }
+}
+
+fn saved_fraction(unbatched: u64, batched: u64) -> f64 {
+    if unbatched == 0 {
+        return 0.0;
+    }
+    1.0 - batched as f64 / unbatched as f64
+}
+
+impl fmt::Display for BatchSavings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames {} -> {} ({:.1}% saved), wire bytes {} -> {} ({:.1}% saved)",
+            self.unbatched_msgs,
+            self.batched_msgs,
+            100.0 * self.frames_saved(),
+            self.unbatched_wire_bytes,
+            self.batched_wire_bytes,
+            100.0 * self.bytes_saved()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StopReason, Topology};
+    use bytes::Bytes;
+    use delphi_primitives::{Envelope, NodeId};
+
+    /// Broadcasts once; outputs how many greetings arrived.
+    struct Gossip {
+        id: NodeId,
+        n: usize,
+        heard: usize,
+    }
+
+    impl Protocol for Gossip {
+        type Output = usize;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            vec![Envelope::to_all(Bytes::from_static(b"hi"))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.heard += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<usize> {
+            (self.heard == self.n - 1).then_some(self.heard)
+        }
+    }
+
+    fn gossip_job(n: usize, seed: u64) -> SimJob<usize> {
+        SimJob::new(Simulation::new(Topology::lan(n)).seed(seed), move || {
+            NodeId::all(n)
+                .map(|id| Box::new(Gossip { id, n, heard: 0 }) as Box<dyn Protocol<Output = usize>>)
+                .collect()
+        })
+    }
+
+    #[test]
+    fn sharded_runs_preserve_order_and_results() {
+        let sizes = [3usize, 4, 5, 6, 7];
+        for shards in [1, 2, 4, 16] {
+            let jobs: Vec<_> =
+                sizes.iter().enumerate().map(|(i, &n)| gossip_job(n, i as u64)).collect();
+            let reports = run_sharded(jobs, shards);
+            assert_eq!(reports.len(), sizes.len());
+            for (report, &n) in reports.iter().zip(&sizes) {
+                assert_eq!(report.stop, StopReason::AllHonestFinished, "shards={shards}");
+                assert_eq!(report.outputs[0], Some(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_match_sequential_runs_exactly() {
+        let sequential: Vec<_> = (0..4).map(|seed| gossip_job(5, seed).run()).collect();
+        let sharded = run_sharded((0..4).map(|seed| gossip_job(5, seed)).collect(), 3);
+        for (a, b) in sequential.iter().zip(&sharded) {
+            assert_eq!(a.completion_ns(), b.completion_ns());
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.metrics.total_wire_bytes(), b.metrics.total_wire_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let reports: Vec<RunReport<usize>> = run_sharded(Vec::new(), 4);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = run_sharded(vec![gossip_job(3, 0)], 0);
+    }
+
+    #[test]
+    fn batch_savings_arithmetic() {
+        let mut unbatched_a = Metrics::new(1);
+        unbatched_a.per_node[0].sent_msgs = 60;
+        unbatched_a.per_node[0].sent_wire_bytes = 6_000;
+        let mut unbatched_b = Metrics::new(1);
+        unbatched_b.per_node[0].sent_msgs = 40;
+        unbatched_b.per_node[0].sent_wire_bytes = 4_000;
+        let mut batched = Metrics::new(1);
+        batched.per_node[0].sent_msgs = 50;
+        batched.per_node[0].sent_wire_bytes = 7_500;
+
+        let s = BatchSavings::compare([&unbatched_a, &unbatched_b], &batched);
+        assert_eq!(s.unbatched_msgs, 100);
+        assert_eq!(s.batched_msgs, 50);
+        assert!((s.frames_saved() - 0.5).abs() < 1e-12);
+        assert!((s.bytes_saved() - 0.25).abs() < 1e-12);
+        let display = s.to_string();
+        assert!(display.contains("50.0% saved"), "{display}");
+
+        assert_eq!(BatchSavings::default().frames_saved(), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Multi-asset oracle workload: many concurrent price feeds.
+//!
+//! A DORA-style oracle network does not agree on one price — it runs one
+//! agreement instance per listed asset, every minute, over the same node
+//! set. This module generalizes the single-feed [`BtcFeed`] to a named
+//! basket of feeds, each with its own price level, volatility, and
+//! quote-range law, producing per-asset node inputs for one simulated
+//! minute at a time.
+//!
+//! The multi-asset scenario layers downstream (the sharded simulator runs
+//! in `delphi-sim`, the multiplexed TCP runner in `delphi-net`, and the
+//! batched-bandwidth reporting in `fig6b_bandwidth_aws`) all consume this
+//! driver.
+
+use crate::btc::{BtcFeed, BtcFeedConfig, MinuteQuote};
+
+/// One named asset and its feed parameters.
+#[derive(Clone, Debug)]
+pub struct AssetConfig {
+    /// Ticker-style asset name (unique within a basket).
+    pub name: String,
+    /// Feed parameters (price level, volatility, quote-range law).
+    pub feed: BtcFeedConfig,
+}
+
+impl AssetConfig {
+    /// An asset whose quote range scales with its price level, keeping the
+    /// paper's BTC range-to-price ratio (≈ 0.1%).
+    pub fn scaled(name: &str, start_price: f64) -> AssetConfig {
+        let btc = BtcFeedConfig::default();
+        AssetConfig {
+            name: name.to_string(),
+            feed: BtcFeedConfig {
+                start_price,
+                range_scale: btc.range_scale * start_price / btc.start_price,
+                ..btc
+            },
+        }
+    }
+}
+
+/// A basket of concurrently quoted assets.
+#[derive(Clone, Debug)]
+pub struct MultiAssetConfig {
+    /// The assets, in instance-id order.
+    pub assets: Vec<AssetConfig>,
+}
+
+impl MultiAssetConfig {
+    /// A four-asset reference basket (BTC at the paper's level plus three
+    /// price-scaled feeds), the default multi-asset scenario.
+    pub fn default_basket() -> MultiAssetConfig {
+        MultiAssetConfig {
+            assets: vec![
+                AssetConfig { name: "BTC".into(), feed: BtcFeedConfig::default() },
+                AssetConfig::scaled("ETH", 2_000.0),
+                AssetConfig::scaled("SOL", 150.0),
+                AssetConfig::scaled("XAU", 1_900.0),
+            ],
+        }
+    }
+
+    /// A basket of `k` price-scaled synthetic assets, for sweeps over the
+    /// number of concurrent feeds.
+    pub fn synthetic(k: usize) -> MultiAssetConfig {
+        MultiAssetConfig {
+            assets: (0..k)
+                .map(|i| AssetConfig::scaled(&format!("AST{i}"), 100.0 * (i + 1) as f64))
+                .collect(),
+        }
+    }
+}
+
+/// One asset's slice of a simulated minute.
+#[derive(Clone, Debug)]
+pub struct AssetMinute {
+    /// The asset's name.
+    pub name: String,
+    /// The exchanges' quotes this minute.
+    pub quote: MinuteQuote,
+    /// One input per oracle node (median of its sampled exchanges).
+    pub inputs: Vec<f64>,
+}
+
+/// Feed generator for a whole basket.
+///
+/// # Example
+///
+/// ```
+/// use delphi_workloads::{MultiAssetConfig, MultiAssetFeed};
+///
+/// let mut feed = MultiAssetFeed::new(MultiAssetConfig::default_basket(), 7);
+/// let minute = feed.next_minute(16);
+/// assert_eq!(minute.len(), 4);
+/// assert_eq!(minute[0].name, "BTC");
+/// assert_eq!(minute[0].inputs.len(), 16);
+/// ```
+#[derive(Debug)]
+pub struct MultiAssetFeed {
+    feeds: Vec<(String, BtcFeed)>,
+}
+
+impl MultiAssetFeed {
+    /// Creates the basket's feeds; asset `i` is seeded with `seed + i` so
+    /// assets are mutually independent but the whole basket replays from
+    /// one seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty basket, duplicate asset names, or a degenerate
+    /// feed configuration (see [`BtcFeed::new`]).
+    pub fn new(cfg: MultiAssetConfig, seed: u64) -> MultiAssetFeed {
+        assert!(!cfg.assets.is_empty(), "basket needs at least one asset");
+        let mut names: Vec<&str> = cfg.assets.iter().map(|a| a.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cfg.assets.len(), "asset names must be unique");
+        let feeds = cfg
+            .assets
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (a.name, BtcFeed::new(a.feed, seed.wrapping_add(i as u64))))
+            .collect();
+        MultiAssetFeed { feeds }
+    }
+
+    /// Number of assets in the basket.
+    pub fn len(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// Whether the basket is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.feeds.is_empty()
+    }
+
+    /// Asset names, in instance-id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.feeds.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Advances every asset one minute and draws inputs for `n` oracle
+    /// nodes per asset.
+    pub fn next_minute(&mut self, n: usize) -> Vec<AssetMinute> {
+        self.feeds
+            .iter_mut()
+            .map(|(name, feed)| {
+                let quote = feed.next_minute();
+                let inputs = feed.node_inputs(&quote, n);
+                AssetMinute { name: name.clone(), quote, inputs }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_basket_produces_per_asset_inputs_within_hull() {
+        let mut feed = MultiAssetFeed::new(MultiAssetConfig::default_basket(), 1);
+        assert_eq!(feed.len(), 4);
+        assert!(!feed.is_empty());
+        let minute = feed.next_minute(12);
+        assert_eq!(minute.len(), 4);
+        for asset in &minute {
+            assert_eq!(asset.inputs.len(), 12);
+            let lo = asset.quote.exchange_prices.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = asset.quote.exchange_prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for v in &asset.inputs {
+                assert!(*v >= lo && *v <= hi, "{}: {v} outside [{lo}, {hi}]", asset.name);
+            }
+        }
+    }
+
+    #[test]
+    fn assets_have_distinct_price_levels_and_proportional_ranges() {
+        let mut feed = MultiAssetFeed::new(MultiAssetConfig::default_basket(), 2);
+        let minute = feed.next_minute(4);
+        let names: Vec<&str> = feed.names().collect();
+        assert_eq!(names, ["BTC", "ETH", "SOL", "XAU"]);
+        assert!(minute[0].quote.truth > 10.0 * minute[1].quote.truth, "BTC ≫ ETH");
+        // Range-to-price ratios stay within an order of magnitude of each
+        // other: the scaled configuration, not one absolute range law.
+        let ratios: Vec<f64> = minute.iter().map(|a| a.quote.range() / a.quote.truth).collect();
+        for r in &ratios {
+            assert!(*r > 0.0 && *r < 0.05, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn basket_determinism_per_seed() {
+        let mut a = MultiAssetFeed::new(MultiAssetConfig::synthetic(3), 9);
+        let mut b = MultiAssetFeed::new(MultiAssetConfig::synthetic(3), 9);
+        let (ma, mb) = (a.next_minute(8), b.next_minute(8));
+        for (x, y) in ma.iter().zip(&mb) {
+            assert_eq!(x.inputs, y.inputs);
+        }
+        let mut c = MultiAssetFeed::new(MultiAssetConfig::synthetic(3), 10);
+        assert_ne!(ma[0].inputs, c.next_minute(8)[0].inputs);
+    }
+
+    #[test]
+    fn assets_are_mutually_independent() {
+        // Same basket, but the per-asset seeds differ, so two assets with
+        // identical configs still quote differently.
+        let cfg = MultiAssetConfig {
+            assets: vec![AssetConfig::scaled("A", 500.0), AssetConfig::scaled("B", 500.0)],
+        };
+        let mut feed = MultiAssetFeed::new(cfg, 4);
+        let minute = feed.next_minute(4);
+        assert_ne!(minute[0].quote.exchange_prices, minute[1].quote.exchange_prices);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_asset_names_rejected() {
+        let cfg = MultiAssetConfig {
+            assets: vec![AssetConfig::scaled("X", 1.0), AssetConfig::scaled("X", 2.0)],
+        };
+        let _ = MultiAssetFeed::new(cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one asset")]
+    fn empty_basket_rejected() {
+        let _ = MultiAssetFeed::new(MultiAssetConfig { assets: Vec::new() }, 0);
+    }
+}

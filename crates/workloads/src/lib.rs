@@ -14,8 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assets;
 pub mod btc;
 pub mod drone;
 
+pub use assets::{AssetConfig, AssetMinute, MultiAssetConfig, MultiAssetFeed};
 pub use btc::{BtcFeed, BtcFeedConfig, MinuteQuote};
 pub use drone::{DroneScenario, DroneScenarioConfig, Observation};

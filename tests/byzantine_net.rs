@@ -1,0 +1,128 @@
+//! Integration: Byzantine senders through the full Delphi node over
+//! `delphi-net`.
+//!
+//! One node of a loopback TCP cluster runs a tampering/equivocating
+//! variant (an honest Delphi node whose outgoing payloads are randomly
+//! bit-flipped *before* framing, so its frames authenticate but carry
+//! corrupted — occasionally decodable-but-lying — bundles), and an
+//! off-cluster attacker without channel keys injects forged frames at
+//! every honest listener. Honest nodes must still reach ε-agreement, and
+//! `dropped_frames` must account for exactly the forged traffic.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use delphi::core::{DelphiConfig, DelphiNode};
+use delphi::crypto::Keychain;
+use delphi::net::{encode_frame, run_node, RunOptions};
+use delphi::primitives::NodeId;
+use delphi::sim::adversary::ByteMutator;
+use tokio::io::AsyncWriteExt;
+use tokio::net::{TcpListener, TcpStream};
+
+const SEED: &[u8] = b"byzantine-net-test";
+const FORGED_PER_NODE: u64 = 7;
+
+async fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    let mut addrs = Vec::with_capacity(n);
+    let mut holders = Vec::new();
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        addrs.push(l.local_addr().expect("addr"));
+        holders.push(l);
+    }
+    addrs
+}
+
+/// Dials `victim` (retrying, bounded so the test fails rather than hangs
+/// if the victim's listener is already gone) and writes `count`
+/// well-framed but wrongly-keyed frames claiming to be node 2.
+async fn forge_frames(victim: SocketAddr, count: u64) {
+    // The attacker has no deployment keys: a keychain from a different
+    // seed produces tags that never verify on the real channels.
+    let fake = Keychain::derive(b"attacker-without-keys", NodeId(2), 4);
+    let frame = encode_frame(&fake, NodeId(0), b"forged protocol payload");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match TcpStream::connect(victim).await {
+            Ok(s) => break s,
+            Err(_) => {
+                assert!(std::time::Instant::now() < deadline, "victim {victim} unreachable");
+                tokio::time::sleep(Duration::from_millis(10)).await;
+            }
+        }
+    };
+    for _ in 0..count {
+        stream.write_all(&frame).await.expect("forged write");
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn honest_nodes_agree_despite_tamperer_and_forged_frames() {
+    let n = 4;
+    let cfg = DelphiConfig::builder(n)
+        .space(0.0, 1000.0)
+        .rho0(1.0)
+        .delta_max(32.0)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let inputs = [500.4, 500.9, 499.8, 500.2];
+    let addrs = free_addrs(n).await;
+
+    // Honest nodes 0..=2. The generous linger keeps their readers (and
+    // drop counters) alive well past the forgers' writes, so the exact
+    // dropped-frame count below is not schedule-sensitive.
+    let mut honest = Vec::new();
+    for id in NodeId::all(3) {
+        let keychain = Keychain::derive(SEED, id, n);
+        let node = DelphiNode::new(cfg.clone(), id, inputs[id.index()]);
+        let addrs = addrs.clone();
+        let opts = RunOptions {
+            deadline: Duration::from_secs(30),
+            linger: Duration::from_secs(2),
+            ..RunOptions::default()
+        };
+        honest.push(tokio::spawn(async move { run_node(node, keychain, addrs, opts).await }));
+    }
+
+    // Node 3 tampers: every outgoing bundle has a bit flipped with
+    // probability 1/2 before it is framed, so its traffic authenticates
+    // but is semantically corrupt or equivocating. It never outputs; the
+    // runner keeps it serving until its own (shorter) deadline.
+    {
+        let id = NodeId(3);
+        let keychain = Keychain::derive(SEED, id, n);
+        let node = ByteMutator::new(DelphiNode::new(cfg.clone(), id, inputs[id.index()]), 99, 0.5);
+        let addrs = addrs.clone();
+        let opts = RunOptions { deadline: Duration::from_secs(20), ..RunOptions::default() };
+        tokio::spawn(async move {
+            let _ = run_node(node, keychain, addrs, opts).await; // times out by design
+        });
+    }
+
+    // The off-cluster attacker floods every honest listener with forged
+    // frames while the protocol runs.
+    let mut forgers = Vec::new();
+    for &victim in &addrs[..3] {
+        forgers.push(tokio::spawn(forge_frames(victim, FORGED_PER_NODE)));
+    }
+    for f in forgers {
+        f.await.expect("forger finished");
+    }
+
+    let mut outputs = Vec::new();
+    for h in honest {
+        let (out, stats) = h.await.expect("join").expect("honest node finished");
+        assert_eq!(
+            stats.dropped_frames, FORGED_PER_NODE,
+            "dropped_frames must count exactly the forged traffic"
+        );
+        outputs.push(out);
+    }
+
+    let lo = outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(hi - lo <= cfg.epsilon() + 1e-9, "honest ε-agreement under attack: spread {}", hi - lo);
+    assert!(lo >= 498.0 && hi <= 502.0, "validity under attack: [{lo}, {hi}]");
+}

@@ -10,7 +10,26 @@
 //! count; median per-iteration time (and derived throughput) is printed.
 //! There is no outlier analysis, HTML report, or baseline comparison — the
 //! point is that `cargo bench` compiles and produces useful numbers offline.
+//!
+//! # JSON output (`BENCH_*.json` convention)
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line (JSON Lines):
+//!
+//! ```json
+//! {"id":"crypto/hmac_sha256_1k","median_ns":3212.0,"min_ns":3199.5,"max_ns":3313.0,"iters":6225,"samples":40}
+//! ```
+//!
+//! The file is truncated at the first write of each bench process. A
+//! relative path resolves against the bench binary's working directory —
+//! the *package* directory, not the workspace root — so anchor it
+//! explicitly when regenerating the checked-in reference numbers:
+//! `BENCH_JSON="$PWD/BENCH_micro.json" cargo bench -p delphi-bench --bench
+//! micro` from the workspace root. CI uploads the file as an artifact for
+//! regression review.
 
+use std::io::Write as _;
+use std::sync::Once;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.
@@ -192,6 +211,36 @@ fn run_one<F: FnMut(&mut Bencher)>(
         _ => String::new(),
     };
     println!("{id:<44} time: [{} {} {}]{rate}", human_time(lo), human_time(median), human_time(hi),);
+    append_json_line(id, lo, median, hi, iters, sample_size);
+}
+
+/// Appends one JSON-Lines record to the `BENCH_JSON` file, truncating it
+/// at the first write of the process (see module docs).
+fn append_json_line(id: &str, lo: f64, median: f64, hi: f64, iters: u64, samples: usize) {
+    let Some(path) = std::env::var_os("BENCH_JSON") else { return };
+    static TRUNCATE: Once = Once::new();
+    TRUNCATE.call_once(|| {
+        let _ = std::fs::write(&path, b"");
+    });
+    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec!['?'],
+            c => vec![c],
+        })
+        .collect();
+    let _ = writeln!(
+        file,
+        "{{\"id\":\"{escaped}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+         \"iters\":{iters},\"samples\":{samples}}}",
+        median * 1e9,
+        lo * 1e9,
+        hi * 1e9,
+    );
 }
 
 fn human_time(secs: f64) -> String {
@@ -248,9 +297,20 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that run benchmarks: `BENCH_JSON` is process-global
+    /// state, so a concurrent bench_function while the JSON test holds the
+    /// env var set would append stray lines to its file.
+    static BENCH_LOCK: Mutex<()> = Mutex::new(());
+
+    fn bench_lock() -> MutexGuard<'static, ()> {
+        BENCH_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 
     #[test]
     fn bench_function_runs_closure() {
+        let _guard = bench_lock();
         let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
         let mut ran = 0u64;
         c.bench_function("noop", |b| {
@@ -262,6 +322,7 @@ mod tests {
 
     #[test]
     fn groups_run_and_finish() {
+        let _guard = bench_lock();
         let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
         let mut group = c.benchmark_group("g");
         group.sample_size(2).throughput(Throughput::Bytes(128));
@@ -270,6 +331,25 @@ mod tests {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         group.finish();
+    }
+
+    #[test]
+    fn bench_json_lines_written_when_env_set() {
+        let _guard = bench_lock();
+        let path =
+            std::env::temp_dir().join(format!("bench-json-test-{}.json", std::process::id()));
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
+        c.bench_function("json/one", |b| b.iter(|| std::hint::black_box(1) + 1));
+        c.bench_function("json/two", |b| b.iter(|| std::hint::black_box(2) + 2));
+        std::env::remove_var("BENCH_JSON");
+        let content = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2, "{content}");
+        assert!(lines[0].starts_with("{\"id\":\"json/one\",\"median_ns\":"), "{}", lines[0]);
+        assert!(lines[1].contains("\"iters\":"), "{}", lines[1]);
+        assert!(lines[1].ends_with('}'), "{}", lines[1]);
     }
 
     #[test]
