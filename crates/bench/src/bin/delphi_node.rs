@@ -1,0 +1,179 @@
+//! One Delphi protocol node as one OS process — the unit the
+//! multi-process cluster harness deploys.
+//!
+//! Reads a TOML cluster config (`delphi_net::config`), picks its own
+//! `[[node]]` entry by `--id`, runs a `DelphiNode` over real sockets
+//! against every peer in the file, and prints exactly one JSON report
+//! line (`delphi_net::cluster::NodeReport`) on stdout for the launcher.
+//!
+//! ```text
+//! delphi-node --config cluster.toml --id 2 [--input 40013.5]
+//!             [--assets 1] [--quote-seed 7] [--unbatched]
+//!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
+//!             [--delta-max 2000]
+//! ```
+//!
+//! Without `--input`, the node derives its input from one minute of the
+//! BTC workload (`delphi_workloads::deployment_inputs`) under
+//! `--quote-seed`: every process derives the identical vector and picks
+//! its own entry, so no input-distribution step is needed.
+//!
+//! `--assets k` runs `k` independent Delphi instances (a DORA-style
+//! asset basket, asset `a` seeded with `quote_seed + a`) multiplexed over
+//! the one mesh via `run_instances` — the configuration where step
+//! batching pays: one frame and one HMAC per protocol step per peer
+//! instead of one per envelope. The report's `output` is the mean of the
+//! per-asset outputs (each asset converges on its own, so the mean
+//! converges too).
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use delphi_core::{DelphiConfig, DelphiNode};
+use delphi_net::cluster::NodeReport;
+use delphi_net::config::ClusterConfig;
+use delphi_net::{run_instances, RunOptions};
+use delphi_workloads::deployment_inputs;
+
+struct Args {
+    config: std::path::PathBuf,
+    id: u16,
+    input: Option<f64>,
+    assets: usize,
+    quote_seed: u64,
+    unbatched: bool,
+    deadline_ms: u64,
+    rho0: f64,
+    epsilon: f64,
+    delta_max: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = None;
+    let mut id = None;
+    let mut input = None;
+    let mut assets = 1usize;
+    let mut quote_seed = 7u64;
+    let mut unbatched = false;
+    let mut deadline_ms = 60_000u64;
+    let mut rho0 = 2.0f64;
+    let mut epsilon = 2.0f64;
+    let mut delta_max = 2_000.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--config" => config = Some(value("--config")?.into()),
+            "--id" => {
+                id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?);
+            }
+            "--input" => {
+                input = Some(value("--input")?.parse().map_err(|e| format!("--input: {e}"))?);
+            }
+            "--assets" => {
+                assets = value("--assets")?.parse().map_err(|e| format!("--assets: {e}"))?;
+            }
+            "--quote-seed" => {
+                quote_seed =
+                    value("--quote-seed")?.parse().map_err(|e| format!("--quote-seed: {e}"))?;
+            }
+            "--unbatched" => unbatched = true,
+            "--deadline-ms" => {
+                deadline_ms =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--rho0" => rho0 = value("--rho0")?.parse().map_err(|e| format!("--rho0: {e}"))?,
+            "--epsilon" => {
+                epsilon = value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+            }
+            "--delta-max" => {
+                delta_max =
+                    value("--delta-max")?.parse().map_err(|e| format!("--delta-max: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if assets == 0 {
+        return Err("--assets must be at least 1".to_string());
+    }
+    if input.is_some() && assets > 1 {
+        return Err("--input only applies to a single-asset run".to_string());
+    }
+    Ok(Args {
+        config: config.ok_or("--config is required")?,
+        id: id.ok_or("--id is required")?,
+        input,
+        assets,
+        quote_seed,
+        unbatched,
+        deadline_ms,
+        rho0,
+        epsilon,
+        delta_max,
+    })
+}
+
+async fn run(args: Args) -> Result<NodeReport, String> {
+    let cluster = ClusterConfig::load(&args.config).map_err(|e| format!("config: {e}"))?;
+    let n = cluster.n();
+    let keychain = cluster.keychain(args.id).map_err(|e| format!("keychain: {e}"))?;
+    let addrs = cluster.addresses();
+
+    let cfg = DelphiConfig::builder(n)
+        .space(0.0, 100_000.0)
+        .rho0(args.rho0)
+        .delta_max(args.delta_max)
+        .epsilon(args.epsilon)
+        .build()
+        .map_err(|e| format!("protocol config: {e}"))?;
+    // One protocol instance per asset; asset `a` quotes minute
+    // `quote_seed + a`, so every process derives the same basket.
+    let me = delphi_primitives::NodeId(args.id);
+    let instances: Vec<DelphiNode> = (0..args.assets)
+        .map(|a| {
+            let input = match args.input {
+                Some(v) => v,
+                None => deployment_inputs(n, args.quote_seed + a as u64)[usize::from(args.id)],
+            };
+            DelphiNode::new(cfg.clone(), me, input)
+        })
+        .collect();
+
+    let opts = RunOptions {
+        deadline: Duration::from_millis(args.deadline_ms),
+        batching: !args.unbatched,
+        ..RunOptions::default()
+    };
+    let started = Instant::now();
+    let (outputs, stats) =
+        run_instances(instances, keychain, addrs, opts).await.map_err(|e| format!("run: {e}"))?;
+    Ok(NodeReport {
+        id: args.id,
+        output: outputs.iter().sum::<f64>() / outputs.len() as f64,
+        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        stats,
+    })
+}
+
+#[tokio::main]
+async fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("delphi-node: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let id = args.id;
+    match run(args).await {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("delphi-node[{id}]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

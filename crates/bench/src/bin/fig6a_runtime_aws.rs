@@ -7,13 +7,42 @@
 //! Abraham et al. by ~6× at n = 160.
 //!
 //! `cargo run --release -p delphi-bench --bin fig6a_runtime_aws [--quick]`
+//!
+//! With `--cluster <config.toml>`, the simulated sweep is replaced by one
+//! *real* deployment-style run: one OS process per `[[node]]` entry of
+//! the cluster file, talking over real sockets (build the node binary
+//! first: `cargo build --release -p delphi-bench --bin delphi-node`).
 
+use delphi_bench::cluster::{cluster_flag, run_cluster, summarize, ClusterRunSpec, LOCAL_EPSILON};
 use delphi_bench::{
     oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable,
 };
 use delphi_sim::Topology;
 
+fn run_cluster_mode(config: std::path::PathBuf) {
+    println!("== Fig. 6a (cluster mode): runtime over real sockets and processes ==\n");
+    let spec = ClusterRunSpec::new(config);
+    let outcome = match run_cluster(&spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fig6a: cluster run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = TextTable::new(&["node", "runtime ms", "output"]);
+    for r in &outcome.reports {
+        table.row(&[r.id.to_string(), format!("{:.0}", r.elapsed_ms), format!("{:.4}", r.output)]);
+    }
+    println!("{}", table.render());
+    println!("{}", summarize(&outcome, LOCAL_EPSILON));
+    assert!(outcome.converged(LOCAL_EPSILON), "cluster outputs disagree");
+}
+
 fn main() {
+    if let Some(config) = cluster_flag() {
+        run_cluster_mode(config);
+        return;
+    }
     let ns: &[usize] = if quick_mode() { &[16, 64] } else { &[16, 64, 112, 160] };
     let center = 40_000.0;
     println!("== Fig. 6a: runtime vs n on AWS (ms, simulated geo testbed) ==\n");

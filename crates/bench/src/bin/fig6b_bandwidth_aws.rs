@@ -4,7 +4,16 @@
 //! Configuration per the figure caption: `ρ0 = ε = 2$, Δ = 2000$`.
 //!
 //! `cargo run --release -p delphi-bench --bin fig6b_bandwidth_aws [--quick]`
+//!
+//! With `--cluster <config.toml>`, the simulated sweep is replaced by two
+//! *real* deployment runs — one OS process per `[[node]]` entry, one
+//! basket of Delphi instances per process, over real sockets — once with
+//! step batching (whole steps share one v2 frame) and once without (one
+//! frame per envelope), and the measured wire bytes are compared (build
+//! the node binary first: `cargo build --release -p delphi-bench --bin
+//! delphi-node`).
 
+use delphi_bench::cluster::{cluster_flag, run_cluster, summarize, ClusterRunSpec, LOCAL_EPSILON};
 use delphi_bench::{
     growth_exponent, oracle_config, quick_mode, run_aad, run_acs, run_delphi,
     run_multi_asset_delphi, spread_inputs, TextTable,
@@ -12,7 +21,73 @@ use delphi_bench::{
 use delphi_sim::Topology;
 use delphi_workloads::MultiAssetConfig;
 
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn run_cluster_mode(config: std::path::PathBuf) {
+    let assets = MultiAssetConfig::default_basket().assets.len();
+    println!(
+        "== Fig. 6b (cluster mode): wire bytes over real sockets, {assets}-asset basket, \
+         batched vs unbatched ==\n"
+    );
+    let mut spec = ClusterRunSpec::new(config);
+    spec.assets = assets;
+    let mut measured = Vec::new();
+    for unbatched in [false, true] {
+        spec.unbatched = unbatched;
+        let label = if unbatched { "unbatched" } else { "batched v2" };
+        let outcome = match run_cluster(&spec) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("fig6b: {label} cluster run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        assert!(outcome.converged(LOCAL_EPSILON), "{label}: cluster outputs disagree");
+        println!("{label:>13}: {}", summarize(&outcome, LOCAL_EPSILON));
+        measured.push(outcome.total_stats());
+    }
+    let (batched, unbatched) = (measured[0], measured[1]);
+    println!(
+        "\nbatched {:.2} MiB / {} frames / {} MACs ({} envelopes) vs \
+         unbatched {:.2} MiB / {} frames / {} MACs ({} envelopes)",
+        batched.sent_bytes as f64 / MIB,
+        batched.sent_frames,
+        batched.mac_ops,
+        batched.sent_entries,
+        unbatched.sent_bytes as f64 / MIB,
+        unbatched.sent_frames,
+        unbatched.mac_ops,
+        unbatched.sent_entries,
+    );
+    // The runs are independent asynchronous executions, so compare
+    // per-envelope costs (schedule-independent), not absolute totals.
+    let per = |v: u64, s: &delphi_net::NetStats| v as f64 / s.sent_entries as f64;
+    println!(
+        "per-envelope on real sockets: {:.1} vs {:.1} bytes, {:.2} vs {:.2} frames, \
+         {:.2} vs {:.2} MACs (batched vs unbatched)",
+        per(batched.sent_bytes, &batched),
+        per(unbatched.sent_bytes, &unbatched),
+        per(batched.sent_frames, &batched),
+        per(unbatched.sent_frames, &unbatched),
+        per(batched.mac_ops, &batched),
+        per(unbatched.mac_ops, &unbatched),
+    );
+    assert_eq!(unbatched.sent_frames, unbatched.sent_entries, "unbatched: one frame per envelope");
+    assert!(
+        batched.sent_frames < batched.sent_entries,
+        "batching must coalesce envelopes into shared frames"
+    );
+    assert!(
+        batched.sent_bytes * unbatched.sent_entries < unbatched.sent_bytes * batched.sent_entries,
+        "batching must cut wire bytes per envelope"
+    );
+}
+
 fn main() {
+    if let Some(config) = cluster_flag() {
+        run_cluster_mode(config);
+        return;
+    }
     let ns: &[usize] = if quick_mode() { &[16, 64] } else { &[16, 64, 112, 160] };
     let center = 40_000.0;
     println!("== Fig. 6b: bandwidth vs n on AWS (MiB per agreement, all nodes) ==\n");

@@ -108,6 +108,23 @@ impl Section {
     }
 }
 
+/// Writes a checkpoint-id sequence as wrapping deltas from the previous
+/// id.
+///
+/// Checkpoint ids inside one section cluster around the honest inputs
+/// (consecutive ids a few units apart), so the deltas zig-zag into one
+/// byte each where absolute ids cost three — the dominant varint work in
+/// a bundle, on both sides of the wire. Wrapping arithmetic keeps the
+/// mapping bijective for arbitrary `i64` ids.
+fn put_id_deltas<'a>(w: &mut Writer, ids: impl ExactSizeIterator<Item = &'a i64>) {
+    w.put_usize(ids.len());
+    let mut prev = 0i64;
+    for &id in ids {
+        w.put_i64(id.wrapping_sub(prev));
+        prev = id;
+    }
+}
+
 impl Encode for Section {
     fn encode(&self, w: &mut Writer) {
         w.put_raw_u8(self.level);
@@ -117,11 +134,14 @@ impl Encode for Section {
             Some(v) => {
                 w.put_bool(true);
                 w.put(&v);
-                w.put_seq(&self.exclude);
+                put_id_deltas(w, self.exclude.iter());
             }
             None => w.put_bool(false),
         }
-        w.put_seq(&self.entries);
+        put_id_deltas(w, self.entries.iter().map(|(id, _)| id));
+        for (_, v) in &self.entries {
+            w.put(v);
+        }
     }
 }
 
@@ -132,12 +152,36 @@ impl Decode for Section {
         let kind = r.get::<EchoKind>()?;
         let (background, exclude) = if r.get_bool()? {
             let v = r.get::<Dyadic>()?;
-            let exclude = r.get_seq::<i64>(MAX_IDS)?;
+            let n = r.get_usize()?;
+            if n > MAX_IDS {
+                return Err(WireError::LengthOutOfBounds);
+            }
+            // The count is validated but still untrusted: cap the upfront
+            // allocation (as `get_seq` does) and grow past it only as
+            // items actually decode.
+            let mut exclude = Vec::with_capacity(n.min(1024));
+            let mut prev = 0i64;
+            for _ in 0..n {
+                prev = prev.wrapping_add(r.get_i64()?);
+                exclude.push(prev);
+            }
             (Some(v), exclude)
         } else {
             (None, Vec::new())
         };
-        let entries = r.get_seq::<(i64, Dyadic)>(MAX_IDS)?;
+        let n = r.get_usize()?;
+        if n > MAX_IDS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let mut entries = Vec::with_capacity(n.min(1024));
+        let mut prev = 0i64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(r.get_i64()?);
+            entries.push((prev, Dyadic::ZERO));
+        }
+        for (_, v) in &mut entries {
+            *v = r.get::<Dyadic>()?;
+        }
         Ok(Section { level, round, kind, background, exclude, entries })
     }
 }
@@ -248,6 +292,39 @@ mod tests {
         for cut in 1..bytes.len() {
             assert!(Section::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn id_delta_coding_survives_extremes_and_disorder() {
+        // Checkpoint ids are delta-coded with wrapping arithmetic: the
+        // roundtrip must be exact for extreme magnitudes (whose deltas
+        // wrap i64) and for unsorted sequences (deltas may be negative).
+        let s = Section {
+            level: 1,
+            round: Round(3),
+            kind: EchoKind::Echo2,
+            background: Some(Dyadic::ONE),
+            exclude: vec![i64::MAX, i64::MIN, 0, -1],
+            entries: vec![
+                (i64::MIN, Dyadic::ZERO),
+                (i64::MAX, Dyadic::ONE),
+                (5, Dyadic::new(1, 2)),
+                (4, Dyadic::new(3, 2)),
+            ],
+        };
+        assert_eq!(roundtrip(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn clustered_ids_encode_one_byte_each() {
+        // The point of delta coding: consecutive checkpoint ids near
+        // 20 000 cost one byte apiece after the first, not three.
+        let mut near = Section::new(0, Round(1), EchoKind::Echo1);
+        near.entries = (0..8).map(|i| (20_000 + i, Dyadic::ZERO)).collect();
+        let mut far = Section::new(0, Round(1), EchoKind::Echo1);
+        far.entries = (0..8).map(|i| (20_000 + 10_000 * i, Dyadic::ZERO)).collect();
+        let (near_len, far_len) = (near.to_bytes().len(), far.to_bytes().len());
+        assert!(near_len + 2 * 7 <= far_len, "clustered {near_len}B vs spread {far_len}B");
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Multi-process cluster harness: spawn one OS process per node, collect
+//! per-node results over stdout JSON, and check convergence.
+//!
+//! The deployment contract is deliberately small so any node binary can
+//! participate (the workspace ships `delphi-node` in `delphi-bench`):
+//!
+//! - the launcher starts one process per `[[node]]` entry of a
+//!   [`ClusterConfig`](crate::config::ClusterConfig), handing every
+//!   process the same config file and its own `--id`;
+//! - each process runs its protocol node over real sockets and, on
+//!   success, prints exactly one [`NodeReport`] JSON line on stdout;
+//! - the launcher parses the reports, sums transport stats, and exposes
+//!   the output spread so callers can assert ε-agreement.
+//!
+//! JSON here is the fixed flat schema below, hand-rolled because the
+//! environment has no serde:
+//!
+//! ```json
+//! {"id":0,"output":40013.93,"elapsed_ms":412.7,"stats":{"sent_frames":54,
+//!  "sent_bytes":21862,"sent_entries":54,"recv_frames":162,
+//!  "recv_entries":162,"dropped_frames":0,"mac_ops":216}}
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use crate::transport::NetStats;
+
+/// One node process's result, as printed on its stdout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeReport {
+    /// The node's id within the cluster.
+    pub id: u16,
+    /// The protocol output (an agreement value).
+    pub output: f64,
+    /// Wall-clock milliseconds from process start of the run to output.
+    pub elapsed_ms: f64,
+    /// Transport counters observed by the node.
+    pub stats: NetStats,
+}
+
+impl NodeReport {
+    /// Renders the single-line JSON form the launcher parses.
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{{\"id\":{},\"output\":{},\"elapsed_ms\":{},\"stats\":{{\
+             \"sent_frames\":{},\"sent_bytes\":{},\"sent_entries\":{},\
+             \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
+             \"mac_ops\":{}}}}}",
+            self.id,
+            fmt_f64(self.output),
+            fmt_f64(self.elapsed_ms),
+            s.sent_frames,
+            s.sent_bytes,
+            s.sent_entries,
+            s.recv_frames,
+            s.recv_entries,
+            s.dropped_frames,
+            s.mac_ops,
+        )
+    }
+
+    /// Parses the JSON line printed by a node process.
+    ///
+    /// The parser is schema-bound (flat keys plus one nested `stats`
+    /// object) but order-insensitive and tolerant of whitespace.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::BadReport`] when a key is missing or malformed.
+    pub fn parse_json(text: &str) -> Result<NodeReport, ClusterError> {
+        let text = text.trim();
+        let id = json_number(text, "id")?;
+        let stats = NetStats {
+            sent_frames: json_number(text, "sent_frames")? as u64,
+            sent_bytes: json_number(text, "sent_bytes")? as u64,
+            sent_entries: json_number(text, "sent_entries")? as u64,
+            recv_frames: json_number(text, "recv_frames")? as u64,
+            recv_entries: json_number(text, "recv_entries")? as u64,
+            dropped_frames: json_number(text, "dropped_frames")? as u64,
+            mac_ops: json_number(text, "mac_ops")? as u64,
+        };
+        Ok(NodeReport {
+            id: id as u16,
+            output: json_number(text, "output")?,
+            elapsed_ms: json_number(text, "elapsed_ms")?,
+            stats,
+        })
+    }
+}
+
+/// Formats an f64 so it parses back exactly (always with a decimal point
+/// or exponent, so the value stays a JSON number).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no infinities; clamp to a sentinel the parser rejects
+        // loudly rather than emitting invalid JSON.
+        "null".to_string()
+    }
+}
+
+/// Extracts the numeric value following `"key":` anywhere in `text`.
+fn json_number(text: &str, key: &str) -> Result<f64, ClusterError> {
+    let pat = format!("\"{key}\"");
+    let bad = |why: &str| ClusterError::BadReport { key: key.to_string(), why: why.to_string() };
+    let at = text.find(&pat).ok_or_else(|| bad("missing"))?;
+    let rest = text[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix(':').ok_or_else(|| bad("no colon"))?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().map_err(|_| bad("not a number"))
+}
+
+/// Everything the launcher observed about one finished cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// Per-node reports, sorted by node id.
+    pub reports: Vec<NodeReport>,
+}
+
+impl ClusterOutcome {
+    /// Spread (max − min) of the nodes' outputs: the quantity ε-agreement
+    /// bounds.
+    pub fn spread(&self) -> f64 {
+        let outs = self.reports.iter().map(|r| r.output);
+        outs.clone().fold(f64::NEG_INFINITY, f64::max) - outs.fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every pair of outputs is within `epsilon`.
+    pub fn converged(&self, epsilon: f64) -> bool {
+        !self.reports.is_empty() && self.spread() <= epsilon
+    }
+
+    /// Transport counters summed over all nodes.
+    pub fn total_stats(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for r in &self.reports {
+            total.sent_frames += r.stats.sent_frames;
+            total.sent_bytes += r.stats.sent_bytes;
+            total.sent_entries += r.stats.sent_entries;
+            total.recv_frames += r.stats.recv_frames;
+            total.recv_entries += r.stats.recv_entries;
+            total.dropped_frames += r.stats.dropped_frames;
+            total.mac_ops += r.stats.mac_ops;
+        }
+        total
+    }
+
+    /// The slowest node's elapsed time — the cluster-level runtime.
+    pub fn max_elapsed_ms(&self) -> f64 {
+        self.reports.iter().map(|r| r.elapsed_ms).fold(0.0, f64::max)
+    }
+}
+
+/// Cluster-launcher failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The cluster configuration could not be loaded or is invalid.
+    Config {
+        /// The underlying configuration error.
+        why: String,
+    },
+    /// A node process could not be spawned.
+    Spawn {
+        /// The node that failed to start.
+        id: u16,
+        /// The OS error text.
+        why: String,
+    },
+    /// A node process exited unsuccessfully.
+    NodeFailed {
+        /// The failing node.
+        id: u16,
+        /// Its exit status and captured stderr tail.
+        why: String,
+    },
+    /// A node's stdout did not contain a parsable report line.
+    BadReport {
+        /// The JSON key (or context) that failed.
+        key: String,
+        /// What went wrong.
+        why: String,
+    },
+    /// The node binary could not be located.
+    BinaryNotFound {
+        /// Where the launcher looked.
+        searched: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Config { why } => write!(f, "cluster config: {why}"),
+            ClusterError::Spawn { id, why } => write!(f, "spawning node {id} failed: {why}"),
+            ClusterError::NodeFailed { id, why } => write!(f, "node {id} failed: {why}"),
+            ClusterError::BadReport { key, why } => {
+                write!(f, "malformed node report ({key}: {why})")
+            }
+            ClusterError::BinaryNotFound { searched } => {
+                write!(f, "node binary not found (searched {searched})")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Builds the launch command for one node: `binary --config <path> --id
+/// <id>` plus `extra_args`, stdout piped for the report, stderr inherited
+/// so node diagnostics reach the operator.
+pub fn node_command(binary: &Path, config: &Path, id: u16, extra_args: &[String]) -> Command {
+    let mut cmd = Command::new(binary);
+    cmd.arg("--config")
+        .arg(config)
+        .arg("--id")
+        .arg(id.to_string())
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    cmd
+}
+
+/// Spawns one process per command (index = node id), waits for all of
+/// them, and parses each stdout into a [`NodeReport`].
+///
+/// All processes are started before any is waited on, so the mesh can
+/// form; a node that exits unsuccessfully fails the whole launch (after
+/// every child has been reaped — no zombies).
+///
+/// # Errors
+///
+/// [`ClusterError::Spawn`] if a process cannot start (already-started
+/// siblings are killed), [`ClusterError::NodeFailed`] on a non-zero exit,
+/// [`ClusterError::BadReport`] on unparsable stdout.
+pub fn launch(commands: Vec<Command>) -> Result<ClusterOutcome, ClusterError> {
+    let mut children: Vec<(u16, Child)> = Vec::with_capacity(commands.len());
+    for (i, mut cmd) in commands.into_iter().enumerate() {
+        let id = i as u16;
+        match cmd.spawn() {
+            Ok(child) => children.push((id, child)),
+            Err(e) => {
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(ClusterError::Spawn { id, why: e.to_string() });
+            }
+        }
+    }
+
+    let mut reports = Vec::with_capacity(children.len());
+    let mut first_failure: Option<ClusterError> = None;
+    for (id, child) in children {
+        match child.wait_with_output() {
+            Ok(out) if out.status.success() => {
+                let stdout = String::from_utf8_lossy(&out.stdout);
+                // The report is the last non-empty stdout line, so nodes
+                // may log progress lines above it.
+                let line = stdout.lines().rev().find(|l| !l.trim().is_empty()).unwrap_or("");
+                match NodeReport::parse_json(line) {
+                    Ok(r) => reports.push(r),
+                    Err(e) => {
+                        first_failure.get_or_insert(e);
+                    }
+                }
+            }
+            Ok(out) => {
+                first_failure.get_or_insert(ClusterError::NodeFailed {
+                    id,
+                    why: format!("exit status {}", out.status),
+                });
+            }
+            Err(e) => {
+                first_failure.get_or_insert(ClusterError::NodeFailed { id, why: e.to_string() });
+            }
+        }
+    }
+    if let Some(err) = first_failure {
+        return Err(err);
+    }
+    reports.sort_by_key(|r| r.id);
+    Ok(ClusterOutcome { reports })
+}
+
+/// Locates a sibling binary of the current executable — the standard
+/// layout for cargo-built workspaces, where launcher, tests, and node
+/// binaries all land under the same `target/<profile>` directory (tests
+/// one level deeper, in `deps/`).
+///
+/// # Errors
+///
+/// [`ClusterError::BinaryNotFound`] listing the searched paths.
+pub fn find_sibling_binary(name: &str) -> Result<PathBuf, ClusterError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| ClusterError::BinaryNotFound { searched: e.to_string() })?;
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    let mut searched = Vec::new();
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let Some(d) = dir else { break };
+        let candidate = d.join(&file);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        searched.push(candidate.display().to_string());
+        dir = d.parent();
+    }
+    Err(ClusterError::BinaryNotFound { searched: searched.join(", ") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u16, output: f64) -> NodeReport {
+        NodeReport {
+            id,
+            output,
+            elapsed_ms: 12.5,
+            stats: NetStats {
+                sent_frames: 10,
+                sent_bytes: 4200,
+                sent_entries: 11,
+                recv_frames: 30,
+                recv_entries: 33,
+                dropped_frames: 0,
+                mac_ops: 40,
+            },
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(3, 40_013.937_5);
+        let parsed = NodeReport::parse_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn report_json_roundtrip_whole_output() {
+        // A whole-number output must stay a float on the wire.
+        let r = report(0, 40000.0);
+        assert!(r.to_json().contains("\"output\":40000.0"));
+        assert_eq!(NodeReport::parse_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn report_parse_is_order_insensitive() {
+        let text = r#" {"output": -2.5e1, "stats": {"mac_ops": 7, "sent_frames": 1,
+            "sent_bytes": 2, "sent_entries": 3, "recv_frames": 4,
+            "recv_entries": 5, "dropped_frames": 6}, "elapsed_ms": 1.5, "id": 2} "#;
+        let r = NodeReport::parse_json(text).unwrap();
+        assert_eq!(r.id, 2);
+        assert_eq!(r.output, -25.0);
+        assert_eq!(r.stats.mac_ops, 7);
+        assert_eq!(r.stats.dropped_frames, 6);
+    }
+
+    #[test]
+    fn report_parse_rejects_missing_and_malformed() {
+        let err = NodeReport::parse_json("{}").unwrap_err();
+        assert!(matches!(err, ClusterError::BadReport { .. }), "{err}");
+        let err = NodeReport::parse_json("{\"id\":\"x\"}").unwrap_err();
+        assert!(matches!(err, ClusterError::BadReport { .. }), "{err}");
+    }
+
+    #[test]
+    fn outcome_spread_and_totals() {
+        let outcome =
+            ClusterOutcome { reports: vec![report(0, 10.0), report(1, 11.5), report(2, 10.5)] };
+        assert_eq!(outcome.spread(), 1.5);
+        assert!(outcome.converged(1.5));
+        assert!(!outcome.converged(1.0));
+        let total = outcome.total_stats();
+        assert_eq!(total.sent_frames, 30);
+        assert_eq!(total.mac_ops, 120);
+        assert_eq!(outcome.max_elapsed_ms(), 12.5);
+    }
+
+    #[test]
+    fn launch_collects_reports_from_real_processes() {
+        // `echo` stands in for a node binary: each "node" prints a
+        // report line, exercising spawn/wait/parse without delphi-node.
+        let mut commands = Vec::new();
+        for id in 0..3u16 {
+            let mut cmd = Command::new("echo");
+            cmd.arg(report(id, 40_000.0 + f64::from(id)).to_json());
+            cmd.stdout(Stdio::piped());
+            commands.push(cmd);
+        }
+        let outcome = launch(commands).unwrap();
+        assert_eq!(outcome.reports.len(), 3);
+        assert_eq!(outcome.reports[2].id, 2);
+        assert_eq!(outcome.spread(), 2.0);
+    }
+
+    #[test]
+    fn launch_surfaces_node_failure() {
+        let mut bad = Command::new("false");
+        bad.stdout(Stdio::piped());
+        let err = launch(vec![bad]).unwrap_err();
+        assert!(matches!(err, ClusterError::NodeFailed { id: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn launch_surfaces_bad_report() {
+        let mut cmd = Command::new("echo");
+        cmd.arg("not json").stdout(Stdio::piped());
+        let err = launch(vec![cmd]).unwrap_err();
+        assert!(matches!(err, ClusterError::BadReport { .. }), "{err}");
+    }
+
+    #[test]
+    fn launch_surfaces_spawn_failure() {
+        let mut cmd = Command::new("/definitely/not/a/binary");
+        cmd.stdout(Stdio::piped());
+        let err = launch(vec![cmd]).unwrap_err();
+        assert!(matches!(err, ClusterError::Spawn { id: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_sibling_binary_reports_searched_paths() {
+        let err = find_sibling_binary("definitely-not-a-real-binary-name").unwrap_err();
+        let ClusterError::BinaryNotFound { searched } = &err else {
+            panic!("unexpected {err}");
+        };
+        assert!(searched.contains("definitely-not-a-real-binary-name"), "{searched}");
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors = [
+            ClusterError::Config { why: "c".to_string() },
+            ClusterError::Spawn { id: 0, why: "x".to_string() },
+            ClusterError::NodeFailed { id: 1, why: "y".to_string() },
+            ClusterError::BadReport { key: "id".to_string(), why: "missing".to_string() },
+            ClusterError::BinaryNotFound { searched: "p".to_string() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper's artifact runs on tokio over HMAC-authenticated channels
 //! (§VI-C); this crate is that deployment path. The same sans-io
 //! [`Protocol`](delphi_primitives::Protocol) state machines that run under
-//! the simulator run here over real sockets:
+//! the simulator run here over real sockets, through a layered stack:
 //!
 //! - [`frame`]: length-prefixed frames with an HMAC-SHA256 tag under the
 //!   pairwise channel key — the authenticated-channel assumption made
@@ -11,27 +11,41 @@
 //!   carries a batch of `(instance, payload)` entries so one tag
 //!   authenticates a whole protocol step. Tampered or misdirected frames
 //!   are dropped, never surfaced to the protocol.
-//! - [`run_node`] / [`run_instances`]: full-mesh node runners — bind a
-//!   listener, dial every peer (with retry), drive one or many multiplexed
-//!   protocol instances to their outputs, linger briefly so slower peers
-//!   still receive our help messages, and drain writer queues before
-//!   returning. [`run_instances`] coalesces every envelope of one protocol
-//!   step into one batched frame per destination.
+//! - [`transport`] (internal): sockets — the accept loop, lazy dialing
+//!   with bounded-backoff reconnection, and the per-connection frame
+//!   read/write loops, plus the [`NetStats`] counters every layer shares.
+//! - [`session`] (internal): per-peer authenticated channels — v1/v2
+//!   format choice, step batching, and bounded drain-on-shutdown.
+//! - [`service`]: the runners. [`run_node`] / [`run_instances`] bind a
+//!   listener, dial every peer, drive one or many multiplexed protocol
+//!   instances to their outputs, linger briefly so slower peers still
+//!   receive our help messages, and drain writer queues before returning.
+//! - [`config`] / [`cluster`]: real deployments — a TOML cluster-file
+//!   format (node ids, addresses, key material) and a multi-process
+//!   launcher that runs one node per OS process and collects per-node
+//!   results over stdout JSON.
 //!
 //! # Example
 //!
 //! See `examples/tcp_cluster.rs` at the workspace root, which runs a
-//! Delphi cluster over localhost TCP. The loopback integration test in
-//! this crate does the same with 4 BinAA nodes.
+//! Delphi cluster over localhost TCP from a [`config::ClusterConfig`].
+//! The loopback integration test in [`service`] does the same with 4
+//! BinAA nodes; `tests/cluster_process.rs` at the workspace root runs the
+//! full multi-process harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
+pub mod config;
 pub mod frame;
-mod runner;
+pub mod service;
+mod session;
+mod transport;
 
 pub use frame::{
     decode_any_frame, decode_frame, encode_batch_frame, encode_frame, FrameError, BATCH_MARKER,
     MAX_FRAME_BODY, MAX_FRAME_PAYLOAD, MIN_FRAME_BODY,
 };
-pub use runner::{run_instances, run_node, NetError, NetStats, RunOptions};
+pub use service::{run_instances, run_node, NetError, RunOptions};
+pub use transport::NetStats;

@@ -1,29 +1,27 @@
-//! The full-mesh TCP node runner.
+//! Protocol-driving service: the full-mesh node runners.
 //!
 //! [`run_node`] drives one protocol instance; [`run_instances`] drives any
 //! number of independent instances (one per oracle asset in a multi-feed
-//! deployment) multiplexed over a single mesh. All envelopes produced by
-//! one protocol step are coalesced into one batched frame per destination,
-//! so framing + MAC cost is amortized over every instance's traffic.
+//! deployment) multiplexed over a single mesh. The service layer owns the
+//! instance mux and the run lifecycle (start, dispatch, linger, drain) and
+//! delegates wire concerns downward: per-peer framing and batching to
+//! [`session`](crate::session), sockets and read/write loops to
+//! [`transport`](crate::transport).
 
 use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::mux::route_bursts;
 use delphi_primitives::{InstanceId, NodeId, Protocol};
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
+use tokio::net::TcpListener;
 use tokio::sync::mpsc;
 
-use crate::frame::{
-    decode_any_frame, encode_batch_frame, encode_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY,
-};
+use crate::session::SessionSet;
+use crate::transport::{spawn_acceptor, Counters, InboundFrame, NetStats};
 
 /// Network runner failure.
 #[derive(Debug)]
@@ -54,26 +52,6 @@ impl From<std::io::Error> for NetError {
     }
 }
 
-/// Byte counters observed by the runner.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NetStats {
-    /// Frames sent (envelopes may share a frame when batching is on).
-    pub sent_frames: u64,
-    /// Total bytes written to sockets (frames incl. headers).
-    pub sent_bytes: u64,
-    /// Envelopes queued for sending, after broadcast expansion.
-    pub sent_entries: u64,
-    /// Frames received and authenticated.
-    pub recv_frames: u64,
-    /// Protocol payloads received inside authenticated frames.
-    pub recv_entries: u64,
-    /// Frames dropped by authentication or framing checks.
-    pub dropped_frames: u64,
-    /// HMAC tag computations (one per frame encoded, one per tag
-    /// verified). Batching lowers this together with `sent_frames`.
-    pub mac_ops: u64,
-}
-
 /// Tuning knobs for [`run_node`] / [`run_instances`].
 #[derive(Clone, Debug)]
 pub struct RunOptions {
@@ -83,7 +61,8 @@ pub struct RunOptions {
     /// finished nodes (quorum amplification); killing the process at
     /// output time can stall slower peers.
     pub linger: Duration,
-    /// Delay between reconnection attempts while dialing peers.
+    /// Initial delay between reconnection attempts while dialing peers
+    /// (doubled on consecutive failures up to a bounded backoff).
     pub reconnect_delay: Duration,
     /// Overall deadline for producing an output.
     pub deadline: Duration,
@@ -103,31 +82,6 @@ impl Default for RunOptions {
             deadline: Duration::from_secs(60),
             drain_timeout: Duration::from_secs(5),
             batching: true,
-        }
-    }
-}
-
-#[derive(Default)]
-struct Counters {
-    sent_frames: AtomicU64,
-    sent_bytes: AtomicU64,
-    sent_entries: AtomicU64,
-    recv_frames: AtomicU64,
-    recv_entries: AtomicU64,
-    dropped_frames: AtomicU64,
-    mac_ops: AtomicU64,
-}
-
-impl Counters {
-    fn snapshot(&self) -> NetStats {
-        NetStats {
-            sent_frames: self.sent_frames.load(Ordering::Relaxed),
-            sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
-            sent_entries: self.sent_entries.load(Ordering::Relaxed),
-            recv_frames: self.recv_frames.load(Ordering::Relaxed),
-            recv_entries: self.recv_entries.load(Ordering::Relaxed),
-            dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
-            mac_ops: self.mac_ops.load(Ordering::Relaxed),
         }
     }
 }
@@ -211,84 +165,26 @@ where
 
     // Inbound: listener -> reader tasks -> this channel (one item per
     // authenticated frame, carrying all its entries).
-    let (in_tx, mut in_rx) = mpsc::channel::<(NodeId, Vec<(InstanceId, Bytes)>)>(1024);
+    let (in_tx, mut in_rx) = mpsc::channel::<InboundFrame>(1024);
     let listener = TcpListener::bind(addrs[me.index()]).await?;
-    let accept_kc = keychain.clone();
-    let accept_counters = counters.clone();
-    let accept_task = tokio::spawn(async move {
-        loop {
-            let Ok((stream, _)) = listener.accept().await else { break };
-            let kc = accept_kc.clone();
-            let tx = in_tx.clone();
-            let counters = accept_counters.clone();
-            tokio::spawn(async move {
-                let _ = read_loop(stream, kc, tx, counters).await;
-            });
-        }
-    });
+    let accept_task = spawn_acceptor(listener, keychain.clone(), in_tx, counters.clone());
 
-    // Outbound: one dialer/writer task per peer.
-    let mut peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>> = Vec::with_capacity(n);
-    let mut writer_tasks = Vec::new();
-    for peer in NodeId::all(n) {
-        if peer == me {
-            peer_tx.push(None);
-            continue;
-        }
-        let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
-        peer_tx.push(Some(tx));
-        let addr = addrs[peer.index()];
-        let delay = opts.reconnect_delay;
-        let counters = counters.clone();
-        writer_tasks.push(tokio::spawn(async move {
-            let _ = write_loop(addr, rx, delay, counters).await;
-        }));
-    }
-
-    // Queues one protocol step's output: the envelope bursts of every
-    // instance that acted, coalesced into one frame per destination.
-    // Multi-instance runs speak pure v2 so NetStats byte counts equal the
-    // simulator's Mux accounting; solo single-envelope steps keep the
-    // (4 bytes cheaper) v1 format.
-    let batching = opts.batching;
-    let solo = instances.len() == 1;
-    let step_counters = counters.clone();
-    let enqueue = move |bursts: Vec<(InstanceId, Vec<delphi_primitives::Envelope>)>,
-                        peer_tx: &[Option<mpsc::UnboundedSender<Bytes>>],
-                        kc: &Keychain| {
-        for (dest, entries) in route_bursts(bursts, n, me).into_iter().enumerate() {
-            let Some(Some(tx)) = peer_tx.get(dest) else { continue };
-            if entries.is_empty() {
-                continue;
-            }
-            step_counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-            let dest = NodeId(dest as u16);
-            if batching {
-                let frame = match &entries[..] {
-                    [(_, payload)] if solo => encode_frame(kc, dest, payload),
-                    _ => encode_batch_frame(kc, dest, &entries),
-                };
-                step_counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(frame);
-            } else {
-                for (instance, payload) in entries {
-                    let frame = if solo {
-                        encode_frame(kc, dest, &payload)
-                    } else {
-                        encode_batch_frame(kc, dest, &[(instance, payload)])
-                    };
-                    step_counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(frame);
-                }
-            }
-        }
-    };
+    // Outbound: one authenticated session (lazy-dialing write loop) per
+    // peer, with the step-batching policy for this run.
+    let sessions = SessionSet::connect(
+        keychain.clone(),
+        &addrs,
+        opts.reconnect_delay,
+        counters.clone(),
+        opts.batching,
+        instances.len() == 1,
+    );
 
     // Drive the protocol instances.
     let deadline = tokio::time::Instant::now() + opts.deadline;
     let start_bursts =
         instances.iter_mut().enumerate().map(|(i, p)| (InstanceId(i as u16), p.start())).collect();
-    enqueue(start_bursts, &peer_tx, &keychain);
+    sessions.enqueue_step(start_bursts);
     while !instances.iter().all(|p| p.output().is_some()) {
         let msg = tokio::select! {
             m = in_rx.recv() => m,
@@ -296,10 +192,11 @@ where
         };
         match msg {
             Some((from, entries)) => {
-                enqueue(dispatch(&mut instances, from, entries), &peer_tx, &keychain);
+                sessions.enqueue_step(dispatch(&mut instances, from, entries));
             }
             None => {
-                abort_all(accept_task, writer_tasks);
+                accept_task.abort();
+                sessions.abort();
                 return Err(NetError::Timeout);
             }
         }
@@ -315,25 +212,13 @@ where
         };
         match msg {
             Some((from, entries)) => {
-                enqueue(dispatch(&mut instances, from, entries), &peer_tx, &keychain);
+                sessions.enqueue_step(dispatch(&mut instances, from, entries));
             }
             None => break,
         }
     }
 
-    // Graceful drain: close the writer channels so each write_loop flushes
-    // its remaining queue and exits at channel-close, then join with a
-    // bounded timeout. A fixed sleep + abort here loses whatever a slow
-    // peer had not yet accepted.
-    drop(peer_tx);
-    let drain_deadline = tokio::time::Instant::now() + opts.drain_timeout;
-    for task in writer_tasks {
-        let mut task = task;
-        tokio::select! {
-            _ = &mut task => {},
-            _ = tokio::time::sleep_until(drain_deadline) => task.abort(),
-        }
-    }
+    sessions.shutdown(opts.drain_timeout).await;
     accept_task.abort();
 
     Ok((outputs, counters.snapshot()))
@@ -355,102 +240,13 @@ fn dispatch<P: Protocol>(
     bursts
 }
 
-fn abort_all(accept: tokio::task::JoinHandle<()>, writers: Vec<tokio::task::JoinHandle<()>>) {
-    accept.abort();
-    for w in writers {
-        w.abort();
-    }
-}
-
-async fn read_loop(
-    mut stream: TcpStream,
-    keychain: Arc<Keychain>,
-    tx: mpsc::Sender<(NodeId, Vec<(InstanceId, Bytes)>)>,
-    counters: Arc<Counters>,
-) -> std::io::Result<()> {
-    let mut len_buf = [0u8; 4];
-    loop {
-        if stream.read_exact(&mut len_buf).await.is_err() {
-            return Ok(()); // peer closed
-        }
-        let len = u32::from_be_bytes(len_buf) as usize;
-        // Same bounds the decoder enforces: never allocate for a body that
-        // could not decode.
-        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&len) {
-            counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
-            return Ok(()); // framing is broken beyond recovery: drop link
-        }
-        let mut body = vec![0u8; len];
-        if stream.read_exact(&mut body).await.is_err() {
-            return Ok(());
-        }
-        match decode_any_frame(&keychain, &body) {
-            Ok((from, entries)) => {
-                counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                counters.recv_frames.fetch_add(1, Ordering::Relaxed);
-                counters.recv_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-                if tx.send((from, entries)).await.is_err() {
-                    return Ok(()); // main loop gone
-                }
-            }
-            Err(err) => {
-                if matches!(err, FrameError::BadTag | FrameError::Malformed) {
-                    // The tag was computed before the frame was rejected.
-                    counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                }
-                counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
-async fn write_loop(
-    addr: SocketAddr,
-    mut rx: mpsc::UnboundedReceiver<Bytes>,
-    reconnect_delay: Duration,
-    counters: Arc<Counters>,
-) -> std::io::Result<()> {
-    let mut pending: Option<Bytes> = None;
-    'reconnect: loop {
-        // Dial only when there is something to send: a peer that never
-        // comes up then cannot stall shutdown while its queue is empty
-        // (channel-close is observed here, parked on recv, immediately).
-        if pending.is_none() {
-            pending = match rx.recv().await {
-                Some(f) => Some(f),
-                None => return Ok(()), // runner finished, nothing queued
-            };
-        }
-        let mut stream = loop {
-            match TcpStream::connect(addr).await {
-                Ok(s) => break s,
-                Err(_) => tokio::time::sleep(reconnect_delay).await,
-            }
-        };
-        let _ = stream.set_nodelay(true);
-        loop {
-            let frame = match pending.take() {
-                Some(f) => f,
-                None => match rx.recv().await {
-                    Some(f) => f,
-                    None => return Ok(()), // runner finished, queue drained
-                },
-            };
-            if stream.write_all(&frame).await.is_err() {
-                pending = Some(frame); // retry on a fresh connection
-                continue 'reconnect;
-            }
-            counters.sent_frames.fetch_add(1, Ordering::Relaxed);
-            counters.sent_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::decode_any_frame;
     use delphi_core::BinAaNode;
     use delphi_primitives::{Dyadic, Envelope};
+    use tokio::io::AsyncReadExt;
 
     async fn free_addrs(n: usize) -> Vec<SocketAddr> {
         // Bind ephemeral listeners to reserve distinct ports, then free
@@ -717,41 +513,6 @@ mod tests {
         assert_eq!(stats.sent_frames, k as u64, "every queued frame flushed before return");
         assert_eq!(stats.sent_entries, k as u64);
         assert_eq!(reader.await.unwrap(), k, "slow peer received every frame");
-    }
-
-    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-    async fn reader_enforces_decoder_length_bounds() {
-        // The reader must accept exactly the body sizes the decoder can
-        // decode: an undersized length word kills the link before any
-        // later (even valid) frame is surfaced, and an oversized one is
-        // rejected without allocating the impossible body.
-        let alice = Keychain::derive(b"bounds", NodeId(0), 2);
-        let bob = Arc::new(Keychain::derive(b"bounds", NodeId(1), 2));
-
-        for bad_len in [(MIN_FRAME_BODY - 1) as u32, (MAX_FRAME_BODY + 1) as u32] {
-            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
-            let addr = listener.local_addr().unwrap();
-            let counters = Arc::new(Counters::default());
-            let (tx, mut rx) = mpsc::channel(16);
-            let mut client = TcpStream::connect(addr).await.unwrap();
-            let (server, _) = listener.accept().await.unwrap();
-            let reader = tokio::spawn(read_loop(server, bob.clone(), tx, counters.clone()));
-
-            client.write_all(&bad_len.to_be_bytes()).await.unwrap();
-            // A perfectly valid frame behind the corrupt length word: the
-            // link is already dead, so it must never be delivered.
-            let frame = encode_frame(&alice, NodeId(1), b"late");
-            client.write_all(&frame).await.unwrap();
-
-            reader.await.unwrap().unwrap();
-            assert_eq!(counters.dropped_frames.load(Ordering::Relaxed), 1, "len={bad_len}");
-            assert_eq!(counters.recv_frames.load(Ordering::Relaxed), 0, "len={bad_len}");
-            let leftover = tokio::select! {
-                m = rx.recv() => m,
-                _ = tokio::time::sleep(Duration::from_millis(50)) => None,
-            };
-            assert!(leftover.is_none(), "no frame may survive a broken link (len={bad_len})");
-        }
     }
 
     #[tokio::test]

@@ -1,0 +1,138 @@
+//! Per-peer authenticated sessions: framing format choice, batching, and
+//! drain-on-shutdown.
+//!
+//! A [`SessionSet`] sits between the protocol-driving service layer and
+//! the [`transport`](crate::transport) write loops. It owns one outbound
+//! queue per peer and encodes every protocol step's envelope bursts into
+//! authenticated frames:
+//!
+//! - with batching on, all envelopes of one step bound for the same peer
+//!   share one v2 frame (one HMAC tag for the whole step);
+//! - a solo (single-instance) runner keeps the 4-bytes-cheaper v1 format
+//!   for single-envelope steps, while multi-instance runs speak pure v2 so
+//!   byte accounting matches the simulator's `Mux`;
+//! - [`SessionSet::shutdown`] closes every queue and waits (bounded) for
+//!   the write loops to flush, so a slow peer still receives everything
+//!   that was queued.
+
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use delphi_crypto::Keychain;
+use delphi_primitives::mux::route_bursts;
+use delphi_primitives::{Envelope, InstanceId, NodeId};
+use tokio::sync::mpsc;
+
+use crate::frame::{encode_batch_frame, encode_frame};
+use crate::transport::{spawn_writer, Counters};
+
+/// The outbound half of a full-mesh node: one authenticated session per
+/// peer, plus the framing/batching policy shared by all of them.
+pub(crate) struct SessionSet {
+    /// `peer_tx[p]` queues frames for peer `p`; `None` at our own slot.
+    peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>>,
+    writer_tasks: Vec<tokio::task::JoinHandle<()>>,
+    keychain: Arc<Keychain>,
+    counters: Arc<Counters>,
+    batching: bool,
+    /// Single-instance runs keep the v1 format for lone envelopes.
+    solo: bool,
+}
+
+impl SessionSet {
+    /// Opens a session (a lazy-dialing write loop) to every peer in
+    /// `addrs` except `keychain.node_id()` itself.
+    pub(crate) fn connect(
+        keychain: Arc<Keychain>,
+        addrs: &[SocketAddr],
+        reconnect_delay: Duration,
+        counters: Arc<Counters>,
+        batching: bool,
+        solo: bool,
+    ) -> SessionSet {
+        let me = keychain.node_id();
+        let n = addrs.len();
+        let mut peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>> = Vec::with_capacity(n);
+        let mut writer_tasks = Vec::new();
+        for peer in NodeId::all(n) {
+            if peer == me {
+                peer_tx.push(None);
+                continue;
+            }
+            let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+            peer_tx.push(Some(tx));
+            writer_tasks.push(spawn_writer(
+                addrs[peer.index()],
+                rx,
+                reconnect_delay,
+                counters.clone(),
+            ));
+        }
+        SessionSet { peer_tx, writer_tasks, keychain, counters, batching, solo }
+    }
+
+    /// Queues one protocol step's output: the envelope bursts of every
+    /// instance that acted, coalesced into one frame per destination.
+    ///
+    /// Multi-instance runs speak pure v2 so `NetStats` byte counts equal
+    /// the simulator's `Mux` accounting; solo single-envelope steps keep
+    /// the (4 bytes cheaper) v1 format.
+    pub(crate) fn enqueue_step(&self, bursts: Vec<(InstanceId, Vec<Envelope>)>) {
+        let me = self.keychain.node_id();
+        let n = self.peer_tx.len();
+        for (dest, entries) in route_bursts(bursts, n, me).into_iter().enumerate() {
+            let Some(Some(tx)) = self.peer_tx.get(dest) else { continue };
+            if entries.is_empty() {
+                continue;
+            }
+            self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+            let dest = NodeId(dest as u16);
+            if self.batching {
+                let frame = match &entries[..] {
+                    [(_, payload)] if self.solo => encode_frame(&self.keychain, dest, payload),
+                    _ => encode_batch_frame(&self.keychain, dest, &entries),
+                };
+                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(frame);
+            } else {
+                for (instance, payload) in entries {
+                    let frame = if self.solo {
+                        encode_frame(&self.keychain, dest, &payload)
+                    } else {
+                        encode_batch_frame(&self.keychain, dest, &[(instance, payload)])
+                    };
+                    self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(frame);
+                }
+            }
+        }
+    }
+
+    /// Graceful drain: closes the per-peer queues so each write loop
+    /// flushes its remaining frames and exits at channel-close, then joins
+    /// every writer with a shared `drain_timeout` deadline. A fixed sleep
+    /// + abort here would lose whatever a slow peer had not yet accepted.
+    pub(crate) async fn shutdown(self, drain_timeout: Duration) {
+        let SessionSet { peer_tx, writer_tasks, .. } = self;
+        drop(peer_tx);
+        let drain_deadline = tokio::time::Instant::now() + drain_timeout;
+        for task in writer_tasks {
+            let mut task = task;
+            tokio::select! {
+                _ = &mut task => {},
+                _ = tokio::time::sleep_until(drain_deadline) => task.abort(),
+            }
+        }
+    }
+
+    /// Aborts every writer immediately, dropping queued frames (used on
+    /// deadline failure, where there is no output worth draining for).
+    pub(crate) fn abort(self) {
+        for w in self.writer_tasks {
+            w.abort();
+        }
+    }
+}

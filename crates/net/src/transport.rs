@@ -1,0 +1,285 @@
+//! Socket-level transport: accept loop, dialing with backoff, and the
+//! per-connection frame read/write loops.
+//!
+//! This is the lowest layer of the net stack. It moves authenticated
+//! frames between sockets and channels and knows nothing about protocol
+//! instances or batching policy:
+//!
+//! - [`spawn_acceptor`] owns the listener and fans every inbound
+//!   connection out to its own [`read_loop`] task;
+//! - [`read_loop`] length-delimits, bounds-checks, and authenticates
+//!   inbound frames, surfacing the decoded `(sender, entries)` pairs;
+//! - [`spawn_writer`] / [`write_loop`] own one outbound connection each,
+//!   dialing lazily (only once a frame is queued) and reconnecting with
+//!   exponential backoff, so a peer that never appears cannot stall
+//!   shutdown while its queue is empty;
+//! - [`Counters`] / [`NetStats`] are the wire-level observability shared
+//!   by every layer above.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use delphi_crypto::Keychain;
+use delphi_primitives::{InstanceId, NodeId};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+use crate::frame::{decode_any_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY};
+
+/// Cap on the dial-retry backoff, as a multiple of the initial delay.
+///
+/// Reconnection starts at [`crate::RunOptions::reconnect_delay`] and
+/// doubles on every consecutive failure up to this factor, then resets on
+/// a successful connection.
+pub(crate) const MAX_BACKOFF_FACTOR: u32 = 16;
+
+/// Byte counters observed by the runner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames sent (envelopes may share a frame when batching is on).
+    pub sent_frames: u64,
+    /// Total bytes written to sockets (frames incl. headers).
+    pub sent_bytes: u64,
+    /// Envelopes queued for sending, after broadcast expansion.
+    pub sent_entries: u64,
+    /// Frames received and authenticated.
+    pub recv_frames: u64,
+    /// Protocol payloads received inside authenticated frames.
+    pub recv_entries: u64,
+    /// Frames dropped by authentication or framing checks.
+    pub dropped_frames: u64,
+    /// HMAC tag computations (one per frame encoded, one per tag
+    /// verified). Batching lowers this together with `sent_frames`.
+    pub mac_ops: u64,
+}
+
+/// Shared mutable counters behind [`NetStats`].
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) sent_frames: AtomicU64,
+    pub(crate) sent_bytes: AtomicU64,
+    pub(crate) sent_entries: AtomicU64,
+    pub(crate) recv_frames: AtomicU64,
+    pub(crate) recv_entries: AtomicU64,
+    pub(crate) dropped_frames: AtomicU64,
+    pub(crate) mac_ops: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            sent_frames: self.sent_frames.load(Ordering::Relaxed),
+            sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
+            sent_entries: self.sent_entries.load(Ordering::Relaxed),
+            recv_frames: self.recv_frames.load(Ordering::Relaxed),
+            recv_entries: self.recv_entries.load(Ordering::Relaxed),
+            dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            mac_ops: self.mac_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One authenticated inbound frame: its sender and every entry it carried.
+pub(crate) type InboundFrame = (NodeId, Vec<(InstanceId, Bytes)>);
+
+/// Spawns the accept loop on `listener`: every inbound connection gets its
+/// own [`read_loop`] task feeding `tx`.
+pub(crate) fn spawn_acceptor(
+    listener: TcpListener,
+    keychain: Arc<Keychain>,
+    tx: mpsc::Sender<InboundFrame>,
+    counters: Arc<Counters>,
+) -> tokio::task::JoinHandle<()> {
+    tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else { break };
+            let kc = keychain.clone();
+            let tx = tx.clone();
+            let counters = counters.clone();
+            tokio::spawn(async move {
+                let _ = read_loop(stream, kc, tx, counters).await;
+            });
+        }
+    })
+}
+
+/// Spawns a [`write_loop`] task owning the outbound connection to `addr`.
+pub(crate) fn spawn_writer(
+    addr: SocketAddr,
+    rx: mpsc::UnboundedReceiver<Bytes>,
+    reconnect_delay: Duration,
+    counters: Arc<Counters>,
+) -> tokio::task::JoinHandle<()> {
+    tokio::spawn(async move {
+        let _ = write_loop(addr, rx, reconnect_delay, counters).await;
+    })
+}
+
+pub(crate) async fn read_loop(
+    mut stream: TcpStream,
+    keychain: Arc<Keychain>,
+    tx: mpsc::Sender<InboundFrame>,
+    counters: Arc<Counters>,
+) -> std::io::Result<()> {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).await.is_err() {
+            return Ok(()); // peer closed
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        // Same bounds the decoder enforces: never allocate for a body that
+        // could not decode.
+        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&len) {
+            counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // framing is broken beyond recovery: drop link
+        }
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).await.is_err() {
+            return Ok(());
+        }
+        match decode_any_frame(&keychain, &body) {
+            Ok((from, entries)) => {
+                counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                counters.recv_frames.fetch_add(1, Ordering::Relaxed);
+                counters.recv_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+                if tx.send((from, entries)).await.is_err() {
+                    return Ok(()); // main loop gone
+                }
+            }
+            Err(err) => {
+                if matches!(err, FrameError::BadTag | FrameError::Malformed) {
+                    // The tag was computed before the frame was rejected.
+                    counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                }
+                counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+pub(crate) async fn write_loop(
+    addr: SocketAddr,
+    mut rx: mpsc::UnboundedReceiver<Bytes>,
+    reconnect_delay: Duration,
+    counters: Arc<Counters>,
+) -> std::io::Result<()> {
+    let mut pending: Option<Bytes> = None;
+    let mut backoff = reconnect_delay;
+    'reconnect: loop {
+        // Dial only when there is something to send: a peer that never
+        // comes up then cannot stall shutdown while its queue is empty
+        // (channel-close is observed here, parked on recv, immediately).
+        if pending.is_none() {
+            pending = match rx.recv().await {
+                Some(f) => Some(f),
+                None => return Ok(()), // runner finished, nothing queued
+            };
+        }
+        let mut stream = loop {
+            match TcpStream::connect(addr).await {
+                Ok(s) => {
+                    backoff = reconnect_delay;
+                    break s;
+                }
+                Err(_) => {
+                    tokio::time::sleep(backoff).await;
+                    backoff = (backoff * 2).min(reconnect_delay * MAX_BACKOFF_FACTOR);
+                }
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        loop {
+            let frame = match pending.take() {
+                Some(f) => f,
+                None => match rx.recv().await {
+                    Some(f) => f,
+                    None => return Ok(()), // runner finished, queue drained
+                },
+            };
+            if stream.write_all(&frame).await.is_err() {
+                pending = Some(frame); // retry on a fresh connection
+                continue 'reconnect;
+            }
+            counters.sent_frames.fetch_add(1, Ordering::Relaxed);
+            counters.sent_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn reader_enforces_decoder_length_bounds() {
+        // The reader must accept exactly the body sizes the decoder can
+        // decode: an undersized length word kills the link before any
+        // later (even valid) frame is surfaced, and an oversized one is
+        // rejected without allocating the impossible body.
+        let alice = Keychain::derive(b"bounds", NodeId(0), 2);
+        let bob = Arc::new(Keychain::derive(b"bounds", NodeId(1), 2));
+
+        for bad_len in [(MIN_FRAME_BODY - 1) as u32, (MAX_FRAME_BODY + 1) as u32] {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let counters = Arc::new(Counters::default());
+            let (tx, mut rx) = mpsc::channel(16);
+            let mut client = TcpStream::connect(addr).await.unwrap();
+            let (server, _) = listener.accept().await.unwrap();
+            let reader = tokio::spawn(read_loop(server, bob.clone(), tx, counters.clone()));
+
+            client.write_all(&bad_len.to_be_bytes()).await.unwrap();
+            // A perfectly valid frame behind the corrupt length word: the
+            // link is already dead, so it must never be delivered.
+            let frame = encode_frame(&alice, NodeId(1), b"late");
+            client.write_all(&frame).await.unwrap();
+
+            reader.await.unwrap().unwrap();
+            assert_eq!(counters.dropped_frames.load(Ordering::Relaxed), 1, "len={bad_len}");
+            assert_eq!(counters.recv_frames.load(Ordering::Relaxed), 0, "len={bad_len}");
+            let leftover = tokio::select! {
+                m = rx.recv() => m,
+                _ = tokio::time::sleep(Duration::from_millis(50)) => None,
+            };
+            assert!(leftover.is_none(), "no frame may survive a broken link (len={bad_len})");
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn writer_reconnects_with_backoff_and_delivers() {
+        // The peer comes up only after several dial failures; the writer
+        // must keep retrying (with growing backoff) and deliver the queued
+        // frame on the connection that finally succeeds.
+        let alice = Keychain::derive(b"backoff", NodeId(0), 2);
+        let holder = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = holder.local_addr().unwrap();
+        drop(holder);
+
+        let counters = Arc::new(Counters::default());
+        let (tx, rx) = mpsc::unbounded_channel();
+        let writer = spawn_writer(addr, rx, Duration::from_millis(5), counters.clone());
+        tx.send(encode_frame(&alice, NodeId(1), b"patience")).unwrap();
+
+        // Let several backoff rounds elapse before the listener appears.
+        tokio::time::sleep(Duration::from_millis(120)).await;
+        let listener = TcpListener::bind(addr).await.unwrap();
+        let (mut server, _) = listener.accept().await.unwrap();
+        let mut len_buf = [0u8; 4];
+        server.read_exact(&mut len_buf).await.unwrap();
+        let mut body = vec![0u8; u32::from_be_bytes(len_buf) as usize];
+        server.read_exact(&mut body).await.unwrap();
+        let bob = Keychain::derive(b"backoff", NodeId(1), 2);
+        let (from, entries) = decode_any_frame(&bob, &body).expect("authentic frame");
+        assert_eq!(from, NodeId(0));
+        assert_eq!(&entries[0].1[..], b"patience");
+        assert_eq!(counters.sent_frames.load(Ordering::Relaxed), 1);
+
+        drop(tx);
+        writer.await.unwrap();
+    }
+}

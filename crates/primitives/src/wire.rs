@@ -110,11 +110,13 @@ impl Writer {
     }
 
     /// Appends a single raw byte.
+    #[inline]
     pub fn put_raw_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
     /// Appends an unsigned varint (LEB128).
+    #[inline]
     pub fn put_u64(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7f) as u8;
@@ -143,6 +145,7 @@ impl Writer {
     }
 
     /// Appends a signed integer with zig-zag encoding.
+    #[inline]
     pub fn put_i64(&mut self, v: i64) {
         self.put_u64(((v << 1) ^ (v >> 63)) as u64);
     }
@@ -222,6 +225,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// Returns [`WireError::Truncated`] if the input is exhausted.
+    #[inline]
     pub fn get_raw_u8(&mut self) -> Result<u8, WireError> {
         let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
@@ -230,20 +234,39 @@ impl<'a> Reader<'a> {
 
     /// Reads an unsigned varint.
     ///
+    /// The decode hot path (`DelphiBundle` bundles are walls of varints):
+    /// the cursor is advanced once per value instead of once per byte, and
+    /// single-byte varints — counts, checkpoint deltas, small numerators —
+    /// take an early exit after one bounds check.
+    ///
     /// # Errors
     ///
     /// [`WireError::Truncated`] on short input, [`WireError::VarintOverflow`]
     /// if the encoding exceeds 10 bytes or overflows 64 bits.
+    #[inline]
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        let mut value: u64 = 0;
-        let mut shift = 0u32;
+        // The cursor stays in a local until the value is complete: the
+        // write-back to `self.pos` happens once per varint instead of once
+        // per byte, and single-byte varints (counts, small numerators,
+        // checkpoint deltas) take the early exit after one bounds check.
+        let mut pos = self.pos;
+        let Some(&first) = self.buf.get(pos) else { return Err(WireError::Truncated) };
+        pos += 1;
+        if first < 0x80 {
+            self.pos = pos;
+            return Ok(u64::from(first));
+        }
+        let mut value = u64::from(first & 0x7f);
+        let mut shift = 7u32;
         loop {
-            let byte = self.get_raw_u8()?;
+            let Some(&byte) = self.buf.get(pos) else { return Err(WireError::Truncated) };
+            pos += 1;
             if shift == 63 && byte > 1 {
                 return Err(WireError::VarintOverflow);
             }
             value |= u64::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
+                self.pos = pos;
                 return Ok(value);
             }
             shift += 7;
@@ -259,6 +282,7 @@ impl<'a> Reader<'a> {
     ///
     /// See [`Reader::get_u64`]; additionally [`WireError::VarintOverflow`] if
     /// the value does not fit in `u32`.
+    #[inline]
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         u32::try_from(self.get_u64()?).map_err(|_| WireError::VarintOverflow)
     }
@@ -268,6 +292,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// See [`Reader::get_u32`].
+    #[inline]
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
         u16::try_from(self.get_u64()?).map_err(|_| WireError::VarintOverflow)
     }
@@ -277,6 +302,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// See [`Reader::get_u64`].
+    #[inline]
     pub fn get_usize(&mut self) -> Result<usize, WireError> {
         usize::try_from(self.get_u64()?).map_err(|_| WireError::VarintOverflow)
     }
@@ -286,6 +312,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// See [`Reader::get_u64`].
+    #[inline]
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
         let raw = self.get_u64()?;
         Ok((raw >> 1) as i64 ^ -((raw & 1) as i64))
@@ -296,6 +323,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// [`WireError::Truncated`] if fewer than 8 bytes remain.
+    #[inline]
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         let raw = self.get_exact(8)?;
         let mut arr = [0u8; 8];
@@ -308,6 +336,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// [`WireError::Truncated`] or [`WireError::InvalidDiscriminant`].
+    #[inline]
     pub fn get_bool(&mut self) -> Result<bool, WireError> {
         match self.get_raw_u8()? {
             0 => Ok(false),
@@ -336,6 +365,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// [`WireError::Truncated`] if fewer than `len` bytes remain.
+    #[inline]
     pub fn get_exact(&mut self, len: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < len {
             return Err(WireError::Truncated);

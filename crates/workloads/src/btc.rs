@@ -148,6 +148,20 @@ impl BtcFeed {
     }
 }
 
+/// One minute of oracle inputs for an `n`-node deployment, reproducible
+/// from `seed` alone.
+///
+/// Multi-process cluster harnesses (the `delphi-node` binary, the
+/// `tcp_cluster` example) call this in every process with the shared seed
+/// from the cluster config: each process derives the identical vector and
+/// picks its own entry by node id, so no input distribution step is
+/// needed.
+pub fn deployment_inputs(n: usize, seed: u64) -> Vec<f64> {
+    let mut feed = BtcFeed::new(BtcFeedConfig::default(), seed);
+    let quote = feed.next_minute();
+    feed.node_inputs(&quote, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +232,21 @@ mod tests {
         let mut a = BtcFeed::new(BtcFeedConfig::default(), 9);
         let mut b = BtcFeed::new(BtcFeedConfig::default(), 9);
         assert_eq!(a.next_minute().exchange_prices, b.next_minute().exchange_prices);
+    }
+
+    #[test]
+    fn deployment_inputs_are_deterministic_and_tight() {
+        // Two independent processes with the same seed must agree on the
+        // whole vector — that is what lets a cluster skip input
+        // distribution entirely.
+        let a = deployment_inputs(16, 42);
+        let b = deployment_inputs(16, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, deployment_inputs(16, 43));
+        // Inputs are exchange-quote medians: a few tens of dollars apart.
+        let lo = a.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = a.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo < 500.0, "spread {}", hi - lo);
     }
 
     #[test]

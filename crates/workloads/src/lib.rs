@@ -19,5 +19,5 @@ pub mod btc;
 pub mod drone;
 
 pub use assets::{AssetConfig, AssetMinute, MultiAssetConfig, MultiAssetFeed};
-pub use btc::{BtcFeed, BtcFeedConfig, MinuteQuote};
+pub use btc::{deployment_inputs, BtcFeed, BtcFeedConfig, MinuteQuote};
 pub use drone::{DroneScenario, DroneScenarioConfig, Observation};

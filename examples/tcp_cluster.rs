@@ -1,65 +1,122 @@
-//! A real Delphi cluster over TCP on localhost: five processes' worth of
-//! nodes, each in its own tokio task, talking through HMAC-authenticated
-//! sockets — the same deployment shape as the paper's testbeds.
+//! A real Delphi cluster on localhost, driven by the deployment harness:
+//! a TOML cluster config (`delphi::net::config`) describes the nodes, and
+//! the run happens over HMAC-authenticated sockets — the same shape as
+//! the paper's testbeds.
+//!
+//! If the `delphi-node` binary is available next to this example's
+//! executable (`cargo build -p delphi-bench --bin delphi-node` puts it
+//! there), the cluster runs as **one OS process per node** through the
+//! `delphi::net::cluster` launcher. Otherwise it falls back to one tokio
+//! task per node in this process — same config, same sockets, same
+//! frames.
 //!
 //! Run with: `cargo run --example tcp_cluster`
 
-use std::net::SocketAddr;
-
 use delphi::core::{DelphiConfig, DelphiNode};
-use delphi::crypto::Keychain;
+use delphi::net::cluster::{find_sibling_binary, launch, node_command};
+use delphi::net::config::ClusterConfig;
 use delphi::net::{run_node, RunOptions};
 use delphi::primitives::NodeId;
+use delphi::workloads::deployment_inputs;
+use delphi_bench::cluster::{reserve_localhost_config, write_temp_config};
 
-const SEED: &[u8] = b"tcp-cluster-example";
+const QUOTE_SEED: u64 = 7;
+const EPSILON: f64 = 2.0;
+
+/// One process per node, through the real launcher.
+fn run_multi_process(
+    cfg: &ClusterConfig,
+    binary: &std::path::Path,
+) -> Result<Vec<(u16, f64)>, Box<dyn std::error::Error>> {
+    let path = write_temp_config(cfg, "tcp-cluster-example")?;
+    let extra = vec!["--quote-seed".to_string(), QUOTE_SEED.to_string()];
+    let commands = (0..cfg.n()).map(|id| node_command(binary, &path, id as u16, &extra)).collect();
+    let outcome = launch(commands);
+    let _ = std::fs::remove_file(&path);
+    let outcome = outcome?;
+    for r in &outcome.reports {
+        println!(
+            "node {}: output {:>11.4}$ in {:>4.0} ms | {} frames / {} bytes sent, {} dropped",
+            r.id,
+            r.output,
+            r.elapsed_ms,
+            r.stats.sent_frames,
+            r.stats.sent_bytes,
+            r.stats.dropped_frames
+        );
+    }
+    Ok(outcome.reports.iter().map(|r| (r.id, r.output)).collect())
+}
+
+/// Fallback: one tokio task per node in this process, from the same
+/// config.
+async fn run_in_process(
+    cfg: &ClusterConfig,
+) -> Result<Vec<(u16, f64)>, Box<dyn std::error::Error>> {
+    let n = cfg.n();
+    let protocol_cfg = DelphiConfig::builder(n)
+        .space(0.0, 100_000.0)
+        .rho0(2.0)
+        .delta_max(2000.0)
+        .epsilon(EPSILON)
+        .build()?;
+    let inputs = deployment_inputs(n, QUOTE_SEED);
+    let addrs = cfg.addresses();
+    let mut handles = Vec::new();
+    for id in NodeId::all(n) {
+        let keychain = cfg.keychain(id.0)?;
+        let node = DelphiNode::new(protocol_cfg.clone(), id, inputs[id.index()]);
+        let addrs = addrs.clone();
+        handles.push((
+            id,
+            tokio::spawn(
+                async move { run_node(node, keychain, addrs, RunOptions::default()).await },
+            ),
+        ));
+    }
+    let mut outputs = Vec::new();
+    for (id, h) in handles {
+        let (output, stats) = h.await??;
+        println!(
+            "node {}: input {:>9.2}$ -> output {:>11.4}$ | {} frames / {} bytes sent, {} dropped",
+            id.0,
+            inputs[id.index()],
+            output,
+            stats.sent_frames,
+            stats.sent_bytes,
+            stats.dropped_frames
+        );
+        outputs.push((id.0, output));
+    }
+    Ok(outputs)
+}
 
 #[tokio::main]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 5;
-    let cfg = DelphiConfig::builder(n)
-        .space(0.0, 100_000.0)
-        .rho0(2.0)
-        .delta_max(512.0)
-        .epsilon(2.0)
-        .build()?;
+    // Free loopback ports are reserved by binding and releasing them; the
+    // nodes re-bind moments later.
+    let cfg = reserve_localhost_config(n);
+    println!("cluster config:\n{}", cfg.to_toml());
 
-    // Reserve distinct loopback ports by binding and releasing them.
-    let mut addrs: Vec<SocketAddr> = Vec::new();
-    {
-        let mut holders = Vec::new();
-        for _ in 0..n {
-            let l = tokio::net::TcpListener::bind("127.0.0.1:0").await?;
-            addrs.push(l.local_addr()?);
-            holders.push(l);
+    let outputs = match find_sibling_binary("delphi-node") {
+        Ok(binary) => {
+            println!("running one OS process per node via {}\n", binary.display());
+            run_multi_process(&cfg, &binary)?
         }
-    }
-    println!("cluster addresses: {addrs:?}");
+        Err(_) => {
+            println!(
+                "delphi-node binary not built (cargo build -p delphi-bench --bin delphi-node); \
+                 running one tokio task per node instead\n"
+            );
+            run_in_process(&cfg).await?
+        }
+    };
 
-    // Five oracles with BTC quotes a few dollars apart.
-    let inputs = [40_012.0, 40_015.5, 40_013.2, 40_011.1, 40_016.9];
-    let mut handles = Vec::new();
-    for id in NodeId::all(n) {
-        let keychain = Keychain::derive(SEED, id, n);
-        let node = DelphiNode::new(cfg.clone(), id, inputs[id.index()]);
-        let addrs = addrs.clone();
-        handles.push(tokio::spawn(async move {
-            run_node(node, keychain, addrs, RunOptions::default()).await
-        }));
-    }
-
-    let mut outputs = Vec::new();
-    for (i, h) in handles.into_iter().enumerate() {
-        let (output, stats) = h.await??;
-        println!(
-            "node {i}: input {:>9.2}$ -> output {:>11.4}$ | {} frames / {} bytes sent, {} dropped",
-            inputs[i], output, stats.sent_frames, stats.sent_bytes, stats.dropped_frames
-        );
-        outputs.push(output);
-    }
-
-    let spread = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-        - outputs.iter().copied().fold(f64::INFINITY, f64::min);
-    println!("output spread over real TCP: {spread:.6}$ (ε = {}$)", cfg.epsilon());
-    assert!(spread <= cfg.epsilon());
+    let vals: Vec<f64> = outputs.iter().map(|(_, v)| *v).collect();
+    let spread = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        - vals.iter().copied().fold(f64::INFINITY, f64::min);
+    println!("\noutput spread over real TCP: {spread:.6}$ (ε = {EPSILON}$)");
+    assert!(spread <= EPSILON);
     Ok(())
 }
