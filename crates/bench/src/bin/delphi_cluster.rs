@@ -7,17 +7,26 @@
 //! delphi-cluster --n 4                            # generate localhost config
 //!                [--assets 1] [--unbatched] [--quote-seed 7] [--epsilon 2]
 //!                [--node-binary path/to/delphi-node] [--deadline-ms 60000]
+//!                [--epochs K] [--depth D] [--window W] [--adaptive]
 //! ```
 //!
 //! With `--n`, a localhost config on freshly reserved ports is written to
 //! a temp file and cleaned up afterwards. Exits non-zero unless every
 //! node finishes and the outputs agree within ε.
+//!
+//! With `--epochs K`, the cluster runs the streaming oracle: every node
+//! agrees on a fresh `--assets`-sized basket `K` consecutive times,
+//! pipelining `--depth` epochs under a `--window`-epoch live window
+//! (`--adaptive` enables adaptive batch flushing). The launcher then
+//! checks *per-epoch* ε-convergence across nodes and that every node
+//! completed the whole stream.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use delphi_bench::cluster::{
-    reserve_localhost_config, run_cluster, summarize, write_temp_config, ClusterRunSpec,
+    reserve_localhost_config, run_cluster, summarize, summarize_epochs, write_temp_config,
+    ClusterRunSpec,
 };
 
 struct Args {
@@ -29,6 +38,10 @@ struct Args {
     unbatched: bool,
     deadline_ms: u64,
     epsilon: f64,
+    epochs: u32,
+    depth: usize,
+    window: usize,
+    adaptive: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
         unbatched: false,
         deadline_ms: 60_000,
         epsilon: 2.0,
+        epochs: 0,
+        depth: 2,
+        window: 6,
+        adaptive: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -64,6 +81,16 @@ fn parse_args() -> Result<Args, String> {
             "--epsilon" => {
                 out.epsilon = value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
             }
+            "--epochs" => {
+                out.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--depth" => {
+                out.depth = value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--window" => {
+                out.window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--adaptive" => out.adaptive = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -108,12 +135,23 @@ fn main() -> ExitCode {
     spec.unbatched = args.unbatched;
     spec.deadline_ms = args.deadline_ms;
     spec.epsilon = args.epsilon;
+    spec.epochs = args.epochs;
+    spec.depth = args.depth;
+    spec.window = args.window;
+    spec.adaptive = args.adaptive;
 
-    println!(
-        "launching cluster from {} ({})",
-        config_path.display(),
-        if args.unbatched { "unbatched, one frame per envelope" } else { "batched v2 frames" }
-    );
+    let mode = match (args.epochs, args.unbatched, args.adaptive) {
+        (0, true, _) => "one-shot, unbatched: one frame per envelope".to_string(),
+        (0, false, _) => "one-shot, batched v2 frames".to_string(),
+        (k, _, adaptive) => format!(
+            "streaming oracle: {k} epochs x {} assets, depth {}, window {}, {} flushing",
+            args.assets,
+            args.depth,
+            args.window,
+            if adaptive { "adaptive" } else { "per-step" }
+        ),
+    };
+    println!("launching cluster from {} ({mode})", config_path.display());
     let result = run_cluster(&spec);
     if let Some(path) = temp {
         let _ = std::fs::remove_file(path);
@@ -128,14 +166,32 @@ fn main() -> ExitCode {
 
     for r in &outcome.reports {
         println!(
-            "node {:>3}: output {:>12.4}$ in {:>6.0} ms | {} frames / {} bytes sent, {} dropped",
+            "node {:>3}: output {:>12.4}$ in {:>6.0} ms | {} agreements | {} frames / {} bytes \
+             sent, {} dropped, {} late",
             r.id,
             r.output,
             r.elapsed_ms,
+            r.agreements.len(),
             r.stats.sent_frames,
             r.stats.sent_bytes,
-            r.stats.dropped_frames
+            r.stats.dropped_frames,
+            r.stats.late_entries,
         );
+    }
+    if args.epochs > 0 {
+        let expected = u64::from(args.epochs) * args.assets as u64;
+        println!("{}", summarize_epochs(&outcome, args.epsilon, expected));
+        return if outcome.epoch_converged(args.epsilon, expected) {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "delphi-cluster: epoch stream incomplete or diverged (worst spread {:.6}$, \
+                 {} agreements per node, expected {expected})",
+                outcome.epoch_spread(),
+                outcome.epoch_agreements(),
+            );
+            ExitCode::FAILURE
+        };
     }
     println!("{}", summarize(&outcome, args.epsilon));
     if outcome.converged(args.epsilon) {

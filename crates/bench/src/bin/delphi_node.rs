@@ -11,6 +11,7 @@
 //!             [--assets 1] [--quote-seed 7] [--unbatched]
 //!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
 //!             [--delta-max 2000]
+//!             [--epochs K] [--depth D] [--window W] [--adaptive]
 //! ```
 //!
 //! Without `--input`, the node derives its input from one minute of the
@@ -25,15 +26,26 @@
 //! instead of one per envelope. The report's `output` is the mean of the
 //! per-asset outputs (each asset converges on its own, so the mean
 //! converges too).
+//!
+//! `--epochs K` switches from a one-shot run to the **streaming oracle**:
+//! an `OracleService` pipeline agreeing on a fresh `--assets`-sized
+//! basket every epoch, `--depth` epochs in flight under a `--window`-epoch
+//! live window, prices from the deterministic multi-epoch feed
+//! (`delphi_workloads::EpochFeed` under `--quote-seed`). `--adaptive`
+//! turns on adaptive batch flushing (size/time triggers) instead of
+//! per-step flushing. The report then carries every `(epoch, asset,
+//! value)` agreement so the launcher can check per-epoch ε-convergence.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use delphi_core::{DelphiConfig, DelphiNode};
+use delphi_bench::feed_price_source;
+use delphi_core::{DelphiConfig, DelphiNode, OracleService};
 use delphi_net::cluster::NodeReport;
 use delphi_net::config::ClusterConfig;
-use delphi_net::{run_instances, RunOptions};
-use delphi_workloads::deployment_inputs;
+use delphi_net::{run_epoch_service, run_instances, FlushPolicy, RunOptions};
+use delphi_primitives::{EpochConfig, EpochOutcome};
+use delphi_workloads::{deployment_inputs, EpochFeed, MultiAssetConfig};
 
 struct Args {
     config: std::path::PathBuf,
@@ -46,6 +58,10 @@ struct Args {
     rho0: f64,
     epsilon: f64,
     delta_max: f64,
+    epochs: u32,
+    depth: usize,
+    window: usize,
+    adaptive: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +75,10 @@ fn parse_args() -> Result<Args, String> {
     let mut rho0 = 2.0f64;
     let mut epsilon = 2.0f64;
     let mut delta_max = 2_000.0f64;
+    let mut epochs = 0u32;
+    let mut depth = 2usize;
+    let mut window = 6usize;
+    let mut adaptive = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -91,6 +111,16 @@ fn parse_args() -> Result<Args, String> {
                 delta_max =
                     value("--delta-max")?.parse().map_err(|e| format!("--delta-max: {e}"))?;
             }
+            "--epochs" => {
+                epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--depth" => {
+                depth = value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--window" => {
+                window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--adaptive" => adaptive = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -99,6 +129,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if input.is_some() && assets > 1 {
         return Err("--input only applies to a single-asset run".to_string());
+    }
+    if input.is_some() && epochs > 0 {
+        return Err("--input only applies to a one-shot run".to_string());
+    }
+    if epochs > 0 && (depth == 0 || window < depth) {
+        return Err("--epochs needs --depth >= 1 and --window >= --depth".to_string());
     }
     Ok(Args {
         config: config.ok_or("--config is required")?,
@@ -111,7 +147,21 @@ fn parse_args() -> Result<Args, String> {
         rho0,
         epsilon,
         delta_max,
+        epochs,
+        depth,
+        window,
+        adaptive,
     })
+}
+
+/// The basket an epoch run quotes: the reference 4-asset basket when it
+/// fits, synthetic price-scaled assets otherwise.
+fn epoch_basket(assets: usize) -> MultiAssetConfig {
+    if assets == MultiAssetConfig::default_basket().assets.len() {
+        MultiAssetConfig::default_basket()
+    } else {
+        MultiAssetConfig::synthetic(assets)
+    }
 }
 
 async fn run(args: Args) -> Result<NodeReport, String> {
@@ -127,9 +177,58 @@ async fn run(args: Args) -> Result<NodeReport, String> {
         .epsilon(args.epsilon)
         .build()
         .map_err(|e| format!("protocol config: {e}"))?;
+    let me = delphi_primitives::NodeId(args.id);
+    let opts = RunOptions {
+        deadline: Duration::from_millis(args.deadline_ms),
+        batching: !args.unbatched,
+        flush: if args.adaptive { FlushPolicy::adaptive() } else { FlushPolicy::PerStep },
+        ..RunOptions::default()
+    };
+    let started = Instant::now();
+
+    if args.epochs > 0 {
+        // Streaming oracle: one agreement per (epoch, asset) pair, prices
+        // from the deterministic multi-epoch feed — every process derives
+        // the same basket quote per epoch with no distribution step.
+        let feed = EpochFeed::new(epoch_basket(args.assets), args.quote_seed);
+        let epoch_cfg =
+            EpochConfig::new(args.epochs, args.assets as u16, args.depth, args.window, cfg.t());
+        let service =
+            OracleService::new(cfg, me, epoch_cfg, opts.flush, feed_price_source(feed, me, n));
+        let (events, epoch_stats, stats) =
+            run_epoch_service(service.into_mux(), keychain, addrs, opts)
+                .await
+                .map_err(|e| format!("epoch run: {e}"))?;
+        let mut agreements = Vec::new();
+        for event in &events {
+            if let EpochOutcome::Agreed(values) = &event.outcome {
+                for (a, v) in values.iter().enumerate() {
+                    agreements.push((event.epoch.0, a as u16, *v));
+                }
+            }
+        }
+        eprintln!(
+            "delphi-node[{}]: {} epochs ({} agreements, {} stale, {} late entries, peak {} resident)",
+            args.id,
+            events.len(),
+            agreements.len(),
+            epoch_stats.stale_epochs,
+            epoch_stats.late_entries,
+            epoch_stats.peak_resident,
+        );
+        let output =
+            agreements.iter().map(|(_, _, v)| *v).sum::<f64>() / (agreements.len().max(1) as f64);
+        return Ok(NodeReport {
+            id: args.id,
+            output,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            agreements,
+            stats,
+        });
+    }
+
     // One protocol instance per asset; asset `a` quotes minute
     // `quote_seed + a`, so every process derives the same basket.
-    let me = delphi_primitives::NodeId(args.id);
     let instances: Vec<DelphiNode> = (0..args.assets)
         .map(|a| {
             let input = match args.input {
@@ -140,18 +239,13 @@ async fn run(args: Args) -> Result<NodeReport, String> {
         })
         .collect();
 
-    let opts = RunOptions {
-        deadline: Duration::from_millis(args.deadline_ms),
-        batching: !args.unbatched,
-        ..RunOptions::default()
-    };
-    let started = Instant::now();
     let (outputs, stats) =
         run_instances(instances, keychain, addrs, opts).await.map_err(|e| format!("run: {e}"))?;
     Ok(NodeReport {
         id: args.id,
         output: outputs.iter().sum::<f64>() / outputs.len() as f64,
         elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        agreements: Vec::new(),
         stats,
     })
 }

@@ -15,7 +15,8 @@
 
 use delphi_bench::cluster::{cluster_flag, run_cluster, summarize, ClusterRunSpec, LOCAL_EPSILON};
 use delphi_bench::{
-    oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs, TextTable,
+    emit_bench_json, oracle_config, quick_mode, run_aad, run_acs, run_delphi, spread_inputs,
+    TextTable,
 };
 use delphi_sim::Topology;
 
@@ -65,6 +66,13 @@ fn main() {
             format!("{:.0}", aad.runtime_ms),
         ]);
         rows.push([d20.runtime_ms, d180.runtime_ms, fin.runtime_ms, aad.runtime_ms]);
+        // Deterministic simulated latencies, emitted in the BENCH_JSON
+        // convention (ns) for the fig regression gate.
+        for (label, point) in
+            [("delphi_d20", &d20), ("delphi_d180", &d180), ("fin", &fin), ("aad", &aad)]
+        {
+            emit_bench_json(&format!("fig6a/{label}_n{n}_runtime"), point.runtime_ms * 1e6);
+        }
         eprintln!("  n={n} done");
     }
     println!("{}", table.render());

@@ -15,7 +15,7 @@
 
 use delphi_bench::cluster::{cluster_flag, run_cluster, summarize, ClusterRunSpec, LOCAL_EPSILON};
 use delphi_bench::{
-    growth_exponent, oracle_config, quick_mode, run_aad, run_acs, run_delphi,
+    emit_bench_json, growth_exponent, oracle_config, quick_mode, run_aad, run_acs, run_delphi,
     run_multi_asset_delphi, spread_inputs, TextTable,
 };
 use delphi_sim::Topology;
@@ -115,6 +115,16 @@ fn main() {
         fin_pts.push((n as f64, fin.wire_mib));
         aad_pts.push((n as f64, aad.wire_mib));
         rows.push([d20.wire_mib, d180.wire_mib, fin.wire_mib, aad.wire_mib]);
+        // Deterministic simulated byte counts, in the BENCH_JSON
+        // convention (a "ns" slot holding wire bytes — lower is better).
+        for (label, point) in
+            [("delphi_d20", &d20), ("delphi_d180", &d180), ("fin", &fin), ("aad", &aad)]
+        {
+            emit_bench_json(
+                &format!("fig6b/{label}_n{n}_wire_bytes"),
+                point.wire_mib * 1024.0 * 1024.0,
+            );
+        }
         eprintln!("  n={n} done");
     }
     println!("{}", table.render());

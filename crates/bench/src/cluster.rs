@@ -36,6 +36,14 @@ pub struct ClusterRunSpec {
     /// Protocol ε forwarded to every node (the agreement tolerance the
     /// nodes actually run with, not just a launcher-side check).
     pub epsilon: f64,
+    /// Epoch-stream length; 0 runs the classic one-shot agreement.
+    pub epochs: u32,
+    /// Epochs in flight at once (streaming runs).
+    pub depth: usize,
+    /// Live-window size in epochs (streaming runs; ≥ depth).
+    pub window: usize,
+    /// Adaptive batch flushing (size/time triggers) instead of per-step.
+    pub adaptive: bool,
 }
 
 impl ClusterRunSpec {
@@ -49,6 +57,10 @@ impl ClusterRunSpec {
             unbatched: false,
             deadline_ms: 60_000,
             epsilon: LOCAL_EPSILON,
+            epochs: 0,
+            depth: 2,
+            window: 6,
+            adaptive: false,
         }
     }
 }
@@ -77,6 +89,19 @@ pub fn run_cluster(spec: &ClusterRunSpec) -> Result<ClusterOutcome, ClusterError
         "--epsilon".to_string(),
         spec.epsilon.to_string(),
     ];
+    if spec.epochs > 0 {
+        extra.extend([
+            "--epochs".to_string(),
+            spec.epochs.to_string(),
+            "--depth".to_string(),
+            spec.depth.to_string(),
+            "--window".to_string(),
+            spec.window.to_string(),
+        ]);
+    }
+    if spec.adaptive {
+        extra.push("--adaptive".to_string());
+    }
     if spec.unbatched {
         extra.push("--unbatched".to_string());
     }
@@ -131,6 +156,25 @@ pub fn summarize(outcome: &ClusterOutcome, epsilon: f64) -> String {
         total.sent_entries,
         total.sent_bytes as f64 / (1024.0 * 1024.0),
         total.mac_ops,
+    )
+}
+
+/// Renders a one-line summary of a finished epoch-stream cluster run.
+pub fn summarize_epochs(outcome: &ClusterOutcome, epsilon: f64, expected: u64) -> String {
+    let total = outcome.total_stats();
+    let secs = outcome.max_elapsed_ms() / 1e3;
+    let agreements = outcome.epoch_agreements();
+    format!(
+        "{} nodes | {agreements} agreements per node (expected {expected}) | worst epoch spread \
+         {:.6}$ (eps = {epsilon}$, converged: {}) | {:.1} agreements/s | {:.0} wire B/agreement | \
+         {:.2} frames/agreement | {} late entries",
+        outcome.reports.len(),
+        outcome.epoch_spread(),
+        outcome.epoch_converged(epsilon, expected),
+        if secs > 0.0 { agreements as f64 / secs } else { 0.0 },
+        if agreements > 0 { total.sent_bytes as f64 / agreements as f64 } else { f64::NAN },
+        if agreements > 0 { total.sent_frames as f64 / agreements as f64 } else { f64::NAN },
+        total.late_entries,
     )
 }
 

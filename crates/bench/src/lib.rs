@@ -18,10 +18,12 @@ pub mod cluster;
 pub mod regression;
 
 use delphi_baselines::{AadNode, AcsNode};
-use delphi_core::{DelphiConfig, DelphiNode};
-use delphi_primitives::{Mux, NodeId, Protocol};
-use delphi_sim::{run_sharded, BatchSavings, RunReport, SimJob, Simulation, Topology};
-use delphi_workloads::{MultiAssetConfig, MultiAssetFeed};
+use delphi_core::{DelphiConfig, DelphiNode, OracleService};
+use delphi_primitives::{EpochConfig, EpochOutcome, FlushPolicy, Mux, NodeId, Protocol};
+use delphi_sim::{
+    run_sharded, BatchSavings, EpochThroughput, RunReport, SimJob, Simulation, Topology,
+};
+use delphi_workloads::{EpochFeed, MultiAssetConfig, MultiAssetFeed};
 
 /// One measured protocol execution.
 #[derive(Clone, Copy, Debug)]
@@ -223,6 +225,197 @@ pub fn run_multi_asset_delphi(
     MultiAssetPoint { n, per_asset, savings }
 }
 
+/// One measured epoch-stream execution: sustained throughput plus
+/// stream-quality facts the acceptance checks assert on.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSimPoint {
+    /// Throughput summary (agreements/s, bytes and frames per agreement).
+    pub throughput: EpochThroughput,
+    /// Worst per-(epoch, asset) output spread across honest nodes.
+    pub worst_spread: f64,
+    /// Epoch-batch entries flushed by all nodes (envelope count — equal
+    /// across flush policies for schedule-independent workloads).
+    pub sent_entries: u64,
+    /// Most epochs any node held resident at once (live-window bound).
+    pub peak_resident: usize,
+    /// Epochs any node skipped (0 in honest runs).
+    pub stale_epochs: u64,
+}
+
+/// Builds node `me`'s streaming price source over `feed`, caching one
+/// epoch's inputs at a time: the oracle service asks per `(epoch, asset)`
+/// pair, and regenerating the whole basket minute per lookup would
+/// multiply the sampling work by the basket size.
+pub fn feed_price_source(
+    feed: EpochFeed,
+    me: NodeId,
+    n: usize,
+) -> delphi_core::oracle::PriceSource {
+    let mut cache: Option<(u32, Vec<Vec<f64>>)> = None;
+    Box::new(move |epoch, asset| {
+        if cache.as_ref().map(|(e, _)| *e) != Some(epoch.0) {
+            cache = Some((epoch.0, feed.inputs(epoch.0, n)));
+        }
+        cache.as_ref().expect("just filled").1[asset.index()][me.index()]
+    })
+}
+
+/// Mirror of one node's sans-io epoch counters, updated on every protocol
+/// call so the numbers survive the simulator consuming the node.
+#[derive(Clone, Copy, Debug, Default)]
+struct ProbeData {
+    stats: delphi_primitives::EpochStats,
+    entries: u64,
+}
+
+/// [`OracleService`] wrapper exporting its counters through a shared cell.
+struct ProbedOracle {
+    inner: OracleService,
+    probe: std::sync::Arc<std::sync::Mutex<ProbeData>>,
+}
+
+impl ProbedOracle {
+    fn sync(&self) {
+        *self.probe.lock().expect("probe") =
+            ProbeData { stats: self.inner.stats(), entries: self.inner.sent_entries() };
+    }
+}
+
+impl Protocol for ProbedOracle {
+    type Output = Vec<delphi_primitives::EpochEvent<f64>>;
+
+    fn node_id(&self) -> NodeId {
+        self.inner.node_id()
+    }
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn start(&mut self) -> Vec<delphi_primitives::Envelope> {
+        let out = self.inner.start();
+        self.sync();
+        out
+    }
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<delphi_primitives::Envelope> {
+        let out = self.inner.on_message(from, payload);
+        self.sync();
+        out
+    }
+    fn on_tick(&mut self) -> Vec<delphi_primitives::Envelope> {
+        let out = self.inner.on_tick();
+        self.sync();
+        out
+    }
+    fn output(&self) -> Option<Self::Output> {
+        self.inner.output()
+    }
+    fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Runs a streaming-oracle minute sweep in the simulator: `n` nodes agree
+/// on the basket `feed` quotes, `epochs` consecutive times, `depth` epochs
+/// in flight under a `window`-epoch live window.
+///
+/// With an adaptive `flush` policy the simulation's tick interval is the
+/// policy's `max_delay` (per-step runs need no tick source).
+///
+/// # Panics
+///
+/// Panics if any honest node fails to complete the stream — the run is
+/// the acceptance gate for the epoch machinery, not a best-effort sweep —
+/// or if `epoch_cfg` disagrees with the feed's basket size.
+pub fn run_epoch_delphi(
+    cfg: &DelphiConfig,
+    feed: &EpochFeed,
+    epoch_cfg: EpochConfig,
+    flush: FlushPolicy,
+    topology: Topology,
+    seed: u64,
+) -> EpochSimPoint {
+    let n = cfg.n();
+    let assets = feed.assets();
+    let epochs = epoch_cfg.epochs;
+    assert_eq!(usize::from(epoch_cfg.assets), assets, "epoch config vs basket size");
+    let mut probes = Vec::with_capacity(n);
+    let nodes: Vec<Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>> =
+        NodeId::all(n)
+            .map(|id| {
+                let inner = OracleService::new(
+                    cfg.clone(),
+                    id,
+                    epoch_cfg,
+                    flush,
+                    feed_price_source(feed.clone(), id, n),
+                );
+                let probe = std::sync::Arc::new(std::sync::Mutex::new(ProbeData::default()));
+                probes.push(probe.clone());
+                Box::new(ProbedOracle { inner, probe })
+                    as Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>
+            })
+            .collect();
+    let mut sim = Simulation::new(topology).seed(seed);
+    if let FlushPolicy::Adaptive { max_delay, .. } = flush {
+        sim = sim.tick_interval_ns(max_delay.as_nanos().max(1) as u64);
+    }
+    let report = sim.run(nodes);
+    assert!(
+        report.all_honest_finished(),
+        "epoch stream stalled ({:?}): {epoch_cfg:?}",
+        report.stop
+    );
+
+    // Per-(epoch, asset) agreement quality across honest nodes.
+    let streams: Vec<&Vec<delphi_primitives::EpochEvent<f64>>> = report.honest_outputs().collect();
+    let mut worst_spread = 0.0f64;
+    for e in 0..epochs as usize {
+        for a in 0..assets {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for events in &streams {
+                if let EpochOutcome::Agreed(values) = &events[e].outcome {
+                    lo = lo.min(values[a]);
+                    hi = hi.max(values[a]);
+                }
+            }
+            if lo.is_finite() {
+                worst_spread = worst_spread.max(hi - lo);
+            }
+        }
+    }
+    let data: Vec<ProbeData> = probes.iter().map(|p| *p.lock().expect("probe")).collect();
+    EpochSimPoint {
+        throughput: EpochThroughput::from_report(&report),
+        worst_spread,
+        sent_entries: data.iter().map(|d| d.entries).sum(),
+        peak_resident: data.iter().map(|d| d.stats.peak_resident).max().unwrap_or(0),
+        stale_epochs: data.iter().map(|d| d.stats.stale_epochs).sum(),
+    }
+}
+
+/// Appends one benchmark record to the file named by `BENCH_JSON` using
+/// the same JSON-Lines schema the vendored criterion stub emits, so the
+/// `bench-gate` regression gate reads figure metrics and micro benches
+/// alike. `value_ns` is the metric in "lower is better" orientation
+/// (latency in ns, bytes or frames per agreement, ...). No-op when the
+/// variable is unset.
+pub fn emit_bench_json(id: &str, value_ns: f64) {
+    let Some(path) = std::env::var_os("BENCH_JSON") else { return };
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"id\":\"{id}\",\"median_ns\":{value_ns},\"min_ns\":{value_ns},\
+         \"max_ns\":{value_ns},\"iters\":1,\"samples\":1}}\n"
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: BENCH_JSON append failed: {e}");
+    }
+}
+
 /// `true` when `--quick` was passed: trims sweeps for CI-speed runs.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
@@ -371,6 +564,30 @@ mod tests {
             point.savings.batched_wire_bytes < point.savings.unbatched_wire_bytes,
             "batching must cut wire bytes: {}",
             point.savings
+        );
+    }
+
+    #[test]
+    fn epoch_runner_streams_and_adaptive_flush_saves_frames() {
+        let cfg = oracle_config(4, 2.0);
+        let feed = EpochFeed::new(MultiAssetConfig::synthetic(2), 3);
+        let epoch_cfg = EpochConfig::new(6, 2, 2, 4, cfg.t());
+        let step =
+            run_epoch_delphi(&cfg, &feed, epoch_cfg, FlushPolicy::PerStep, Topology::lan(4), 1);
+        let adpt =
+            run_epoch_delphi(&cfg, &feed, epoch_cfg, FlushPolicy::adaptive(), Topology::lan(4), 1);
+        for p in [&step, &adpt] {
+            assert_eq!(p.throughput.agreements, 12, "6 epochs x 2 assets");
+            assert!(p.worst_spread <= cfg.epsilon() + 1e-9, "spread {}", p.worst_spread);
+            assert_eq!(p.stale_epochs, 0);
+            assert!(p.peak_resident <= 4, "live-window bound");
+            assert!(p.throughput.agreements_per_sec() > 0.0);
+        }
+        assert!(
+            adpt.throughput.frames_per_agreement() < step.throughput.frames_per_agreement(),
+            "adaptive {} vs per-step {} frames/agreement",
+            adpt.throughput.frames_per_agreement(),
+            step.throughput.frames_per_agreement()
         );
     }
 

@@ -291,9 +291,13 @@ mod tests {
 
     #[test]
     fn checked_in_reference_files_parse() {
-        // The repo-root reference JSONs must stay parsable by this gate.
+        // The repo-root reference JSONs must stay parsable by this gate —
+        // including the fig-binary convention (`emit_bench_json`), whose
+        // records the gate reads exactly like criterion-stub output.
         let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        for name in ["BENCH_micro.json", "BENCH_protocols.json", "BENCH_ablation.json"] {
+        for name in
+            ["BENCH_micro.json", "BENCH_protocols.json", "BENCH_ablation.json", "BENCH_fig.json"]
+        {
             let path = format!("{root}/{name}");
             let text =
                 std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));

@@ -65,10 +65,12 @@ pub mod bv;
 pub mod compact;
 pub mod delphi;
 mod messages;
+pub mod oracle;
 pub mod params;
 
 pub use binaa::BinAaNode;
 pub use compact::CompactBinAaNode;
 pub use delphi::DelphiNode;
 pub use messages::{BinAaMsg, DelphiBundle, EchoKind, Section};
+pub use oracle::{OracleService, PriceSource};
 pub use params::{ConfigError, DelphiConfig, DelphiConfigBuilder, InputRule};

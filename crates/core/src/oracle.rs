@@ -1,0 +1,252 @@
+//! The streaming oracle service: Delphi, epoch after epoch.
+//!
+//! The paper's deployment (and DORA's, arXiv:2305.03903) is not a single
+//! agreement — it is an oracle that agrees on fresh prices round after
+//! round over the same node set. [`OracleService`] is that driver: it
+//! binds the epoch pipeline of `delphi-primitives` to [`DelphiNode`],
+//! spawning one Delphi instance per `(epoch, asset)` pair from a streaming
+//! price source and emitting a strictly epoch-ordered stream of
+//! agreements.
+//!
+//! The service is sans-io like everything else in this workspace: run it
+//! under the discrete-event simulator (it implements
+//! [`Protocol`]) or hand its pipeline to `delphi-net`'s
+//! `run_epoch_service` for a real TCP deployment via
+//! [`OracleService::into_mux`].
+
+use delphi_primitives::{
+    Envelope, EpochConfig, EpochEvent, EpochId, EpochMux, EpochProtocol, EpochStats, FlushPolicy,
+    InstanceId, NodeId, Protocol,
+};
+
+use crate::delphi::DelphiNode;
+use crate::params::DelphiConfig;
+
+/// Streaming price source: this node's protocol input for one
+/// `(epoch, asset)` pair.
+///
+/// Deployments derive inputs deterministically from a shared seed (see
+/// `delphi_workloads::EpochFeed`), so every node computes its own slice of
+/// the same quote without any distribution step.
+pub type PriceSource = Box<dyn FnMut(EpochId, InstanceId) -> f64 + Send>;
+
+/// A long-lived Delphi oracle: one agreement per `(epoch, asset)` pair,
+/// pipelined under a bounded live window.
+///
+/// # Example
+///
+/// ```
+/// use delphi_core::{DelphiConfig, OracleService};
+/// use delphi_primitives::{EpochConfig, FlushPolicy, NodeId, Protocol};
+///
+/// let cfg = DelphiConfig::builder(4).space(0.0, 100.0).rho0(1.0)
+///     .delta_max(8.0).epsilon(1.0).build().unwrap();
+/// let epochs = EpochConfig::new(5, 2, 2, 4, cfg.t());
+/// let mut node = OracleService::new(cfg, NodeId(0), epochs, FlushPolicy::PerStep,
+///     Box::new(|e, a| 50.0 + f64::from(e.0) + f64::from(a.0)));
+/// assert!(!node.start().is_empty(), "the first epochs start immediately");
+/// ```
+pub struct OracleService {
+    inner: EpochProtocol<DelphiNode>,
+}
+
+impl OracleService {
+    /// Creates the service for node `me`.
+    ///
+    /// `epochs.t` should match `cfg.t()` (the protocol's fault threshold
+    /// governs the rejoin quorum too); `source` supplies this node's input
+    /// per `(epoch, asset)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid epoch config or `me` out of range for the
+    /// protocol config's `n`.
+    pub fn new(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        mut source: PriceSource,
+    ) -> OracleService {
+        let n = cfg.n();
+        let mux = EpochMux::new(
+            epochs,
+            me,
+            n,
+            Box::new(move |epoch, asset| DelphiNode::new(cfg.clone(), me, source(epoch, asset))),
+        );
+        OracleService { inner: EpochProtocol::new(mux, flush) }
+    }
+
+    /// The ordered agreement stream emitted so far.
+    pub fn events(&self) -> &[EpochEvent<f64>] {
+        self.inner.mux().events()
+    }
+
+    /// Epoch-layer counters (GC drops, skips, peak residency).
+    pub fn stats(&self) -> EpochStats {
+        self.inner.mux().stats()
+    }
+
+    /// Epoch-batch entries flushed so far (envelopes after broadcast
+    /// expansion) — the transport-independent unit batching comparisons
+    /// normalize by.
+    pub fn sent_entries(&self) -> u64 {
+        self.inner.sent_entries()
+    }
+
+    /// Batches flushed so far (one transport frame each).
+    pub fn sent_batches(&self) -> u64 {
+        self.inner.sent_batches()
+    }
+
+    /// Consumes the service, returning the bare pipeline for transports
+    /// that route epoch entries natively (`delphi_net::run_epoch_service`).
+    pub fn into_mux(self) -> EpochMux<DelphiNode> {
+        self.inner.into_mux()
+    }
+
+    /// Boxes the service for the simulator's node vectors.
+    pub fn boxed(self) -> Box<dyn Protocol<Output = Vec<EpochEvent<f64>>>> {
+        Box::new(self)
+    }
+}
+
+impl Protocol for OracleService {
+    type Output = Vec<EpochEvent<f64>>;
+
+    fn node_id(&self) -> NodeId {
+        self.inner.node_id()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.inner.start()
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
+        self.inner.on_message(from, payload)
+    }
+
+    fn on_tick(&mut self) -> Vec<Envelope> {
+        self.inner.on_tick()
+    }
+
+    fn output(&self) -> Option<Vec<EpochEvent<f64>>> {
+        self.inner.output()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_primitives::EpochOutcome;
+
+    fn cfg(n: usize) -> DelphiConfig {
+        DelphiConfig::builder(n)
+            .space(0.0, 1000.0)
+            .rho0(1.0)
+            .delta_max(32.0)
+            .epsilon(1.0)
+            .build()
+            .expect("config")
+    }
+
+    /// Hand-delivered mesh run (no simulator dependency in this crate).
+    fn run_mesh(nodes: &mut [OracleService]) {
+        use delphi_primitives::Recipient;
+        let mut queue: std::collections::VecDeque<(NodeId, NodeId, bytes::Bytes)> =
+            std::collections::VecDeque::new();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for env in node.start() {
+                let Recipient::One(dest) = env.to else { panic!("epoch batches are to_one") };
+                queue.push_back((NodeId(i as u16), dest, env.payload));
+            }
+        }
+        while let Some((from, to, payload)) = queue.pop_front() {
+            for env in nodes[to.index()].on_message(from, &payload) {
+                let Recipient::One(dest) = env.to else { panic!("epoch batches are to_one") };
+                queue.push_back((to, dest, env.payload));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_service_streams_epsilon_converged_epochs() {
+        let n = 4;
+        let epochs = 6u32;
+        let assets = 2u16;
+        let protocol_cfg = cfg(n);
+        let epoch_cfg = EpochConfig::new(epochs, assets, 2, 4, protocol_cfg.t());
+        let mut nodes: Vec<OracleService> = NodeId::all(n)
+            .map(|id| {
+                // Per-node spread around an epoch+asset-dependent center.
+                let offset = id.index() as f64 * 0.2;
+                OracleService::new(
+                    protocol_cfg.clone(),
+                    id,
+                    epoch_cfg,
+                    FlushPolicy::PerStep,
+                    Box::new(move |e, a| {
+                        500.0 + f64::from(e.0) * 3.0 + f64::from(a.0) * 7.0 + offset
+                    }),
+                )
+            })
+            .collect();
+        run_mesh(&mut nodes);
+        let streams: Vec<Vec<EpochEvent<f64>>> =
+            nodes.iter().map(|nd| nd.output().expect("stream complete")).collect();
+        for events in &streams {
+            assert_eq!(events.len(), epochs as usize);
+            for (e, event) in events.iter().enumerate() {
+                assert_eq!(event.epoch, EpochId(e as u32));
+                assert!(matches!(event.outcome, EpochOutcome::Agreed(_)));
+            }
+        }
+        // Per-(epoch, asset) epsilon-agreement across the cluster, plus
+        // validity: outputs inside the honest input range.
+        for e in 0..epochs as usize {
+            for a in 0..assets as usize {
+                let vals: Vec<f64> = streams
+                    .iter()
+                    .map(|events| match &events[e].outcome {
+                        EpochOutcome::Agreed(v) => v[a],
+                        EpochOutcome::Skipped => panic!("skipped"),
+                    })
+                    .collect();
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                assert!(hi - lo <= 1.0 + 1e-9, "epoch {e} asset {a}: spread {}", hi - lo);
+                let center = 500.0 + e as f64 * 3.0 + a as f64 * 7.0;
+                assert!(lo >= center - 1e-9 && hi <= center + 0.6 + 1e-9, "validity");
+            }
+        }
+        for node in &nodes {
+            assert_eq!(node.stats().stale_epochs, 0);
+            assert!(node.stats().peak_resident <= 4);
+        }
+    }
+
+    #[test]
+    fn oracle_service_exposes_pipeline_for_native_transports() {
+        let protocol_cfg = cfg(4);
+        let epoch_cfg = EpochConfig::new(3, 1, 1, 2, protocol_cfg.t());
+        let service = OracleService::new(
+            protocol_cfg,
+            NodeId(2),
+            epoch_cfg,
+            FlushPolicy::adaptive(),
+            Box::new(|_, _| 42.0),
+        );
+        let mux = service.into_mux();
+        assert_eq!(mux.node_id(), NodeId(2));
+        assert_eq!(mux.config().epochs, 3);
+    }
+}

@@ -123,16 +123,21 @@ impl Keychain {
     /// Panics if `me` is not a valid id for an `n`-node system.
     pub fn derive(seed: &[u8], me: NodeId, n: usize) -> Keychain {
         assert!(me.index() < n, "node id {me} out of range for n={n}");
-        // Expand the seed's padded-key states once and clone per peer:
-        // derivation is n HMACs under the same key.
+        // Expand the seed's padded-key states once, absorb the constant
+        // domain-separation label once, and clone that single prefix state
+        // per peer: each of the n derivations then only absorbs its 4
+        // id bytes before finalizing, instead of re-buffering the label.
         let seed_key = HmacKey::new(seed);
+        let mut prefix = seed_key.mac();
+        prefix.update(b"delphi-channel");
         let keys = (0..n as u16)
             .map(|peer| {
                 let (lo, hi) = if me.0 <= peer { (me.0, peer) } else { (peer, me.0) };
-                let mut mac = seed_key.mac();
-                mac.update(b"delphi-channel");
-                mac.update(&lo.to_be_bytes());
-                mac.update(&hi.to_be_bytes());
+                let mut ids = [0u8; 4];
+                ids[..2].copy_from_slice(&lo.to_be_bytes());
+                ids[2..].copy_from_slice(&hi.to_be_bytes());
+                let mut mac = prefix.clone();
+                mac.update(&ids);
                 ChannelKey::new(mac.finalize())
             })
             .collect();

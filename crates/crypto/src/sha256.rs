@@ -95,12 +95,20 @@ impl Sha256 {
     /// Completes the hash, consuming the hasher.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        while self.block_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length — written
+        // straight into the block buffer (a byte-at-a-time update() loop
+        // here is measurable on the HMAC/key-derivation hot paths).
+        self.block[self.block_len] = 0x80;
+        if self.block_len >= 56 {
+            // No room for the length: the padding spills into an extra
+            // all-zero block.
+            self.block[self.block_len + 1..].fill(0);
+            let block = self.block;
+            self.compress(&block);
+            self.block = [0; 64];
+        } else {
+            self.block[self.block_len + 1..56].fill(0);
         }
-        // Manual write of the length: update() would recount it.
         self.block[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.block;
         self.compress(&block);

@@ -29,14 +29,18 @@ use std::process::{Child, Command, Stdio};
 use crate::transport::NetStats;
 
 /// One node process's result, as printed on its stdout.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeReport {
     /// The node's id within the cluster.
     pub id: u16,
-    /// The protocol output (an agreement value).
+    /// The protocol output (an agreement value; the mean over the stream
+    /// for epoch runs).
     pub output: f64,
     /// Wall-clock milliseconds from process start of the run to output.
     pub elapsed_ms: f64,
+    /// Epoch-stream agreements as `(epoch, asset, value)` triples (empty
+    /// for one-shot runs).
+    pub agreements: Vec<(u32, u16, f64)>,
     /// Transport counters observed by the node.
     pub stats: NetStats,
 }
@@ -45,11 +49,18 @@ impl NodeReport {
     /// Renders the single-line JSON form the launcher parses.
     pub fn to_json(&self) -> String {
         let s = &self.stats;
+        let agreements = self
+            .agreements
+            .iter()
+            .map(|(e, a, v)| format!("[{e},{a},{}]", fmt_f64(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"id\":{},\"output\":{},\"elapsed_ms\":{},\"stats\":{{\
+            "{{\"id\":{},\"output\":{},\"elapsed_ms\":{},\"agreements\":[{agreements}],\
+             \"stats\":{{\
              \"sent_frames\":{},\"sent_bytes\":{},\"sent_entries\":{},\
              \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
-             \"mac_ops\":{}}}}}",
+             \"late_entries\":{},\"mac_ops\":{}}}}}",
             self.id,
             fmt_f64(self.output),
             fmt_f64(self.elapsed_ms),
@@ -59,14 +70,17 @@ impl NodeReport {
             s.recv_frames,
             s.recv_entries,
             s.dropped_frames,
+            s.late_entries,
             s.mac_ops,
         )
     }
 
     /// Parses the JSON line printed by a node process.
     ///
-    /// The parser is schema-bound (flat keys plus one nested `stats`
-    /// object) but order-insensitive and tolerant of whitespace.
+    /// The parser is schema-bound (flat keys, one nested `stats` object,
+    /// one `agreements` triple array) but order-insensitive and tolerant
+    /// of whitespace. The `agreements` and `late_entries` keys are
+    /// optional so reports from pre-epoch node binaries still parse.
     ///
     /// # Errors
     ///
@@ -81,12 +95,14 @@ impl NodeReport {
             recv_frames: json_number(text, "recv_frames")? as u64,
             recv_entries: json_number(text, "recv_entries")? as u64,
             dropped_frames: json_number(text, "dropped_frames")? as u64,
+            late_entries: json_number(text, "late_entries").unwrap_or(0.0) as u64,
             mac_ops: json_number(text, "mac_ops")? as u64,
         };
         Ok(NodeReport {
             id: id as u16,
             output: json_number(text, "output")?,
             elapsed_ms: json_number(text, "elapsed_ms")?,
+            agreements: json_triples(text, "agreements")?,
             stats,
         })
     }
@@ -107,6 +123,48 @@ fn fmt_f64(v: f64) -> String {
         // loudly rather than emitting invalid JSON.
         "null".to_string()
     }
+}
+
+/// Extracts the `[[u32,u16,f64], ...]` triple array following `"key":`,
+/// returning empty when the key is absent (one-shot reports).
+fn json_triples(text: &str, key: &str) -> Result<Vec<(u32, u16, f64)>, ClusterError> {
+    let pat = format!("\"{key}\"");
+    let bad = |why: &str| ClusterError::BadReport { key: key.to_string(), why: why.to_string() };
+    let Some(at) = text.find(&pat) else { return Ok(Vec::new()) };
+    let rest = text[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix(':').ok_or_else(|| bad("no colon"))?.trim_start();
+    let rest = rest.strip_prefix('[').ok_or_else(|| bad("no array"))?;
+    // Find the outer array's close by bracket depth (numbers contain no
+    // brackets, so no string-escaping cases exist in this schema).
+    let mut depth = 1usize;
+    let mut end = None;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &rest[..end.ok_or_else(|| bad("unterminated array"))?];
+    let mut triples = Vec::new();
+    for triple in body.split('[').skip(1) {
+        let triple = triple.trim_end_matches(|c: char| c.is_whitespace() || matches!(c, ']' | ','));
+        let mut fields = triple.split(',');
+        let mut next = |what: &str| {
+            fields.next().map(str::trim).filter(|f| !f.is_empty()).ok_or_else(|| bad(what))
+        };
+        let epoch: u32 = next("epoch")?.parse().map_err(|_| bad("epoch not a number"))?;
+        let asset: u16 = next("asset")?.parse().map_err(|_| bad("asset not a number"))?;
+        let value: f64 = next("value")?.parse().map_err(|_| bad("value not a number"))?;
+        triples.push((epoch, asset, value));
+    }
+    Ok(triples)
 }
 
 /// Extracts the numeric value following `"key":` anywhere in `text`.
@@ -152,6 +210,7 @@ impl ClusterOutcome {
             total.recv_frames += r.stats.recv_frames;
             total.recv_entries += r.stats.recv_entries;
             total.dropped_frames += r.stats.dropped_frames;
+            total.late_entries += r.stats.late_entries;
             total.mac_ops += r.stats.mac_ops;
         }
         total
@@ -160,6 +219,44 @@ impl ClusterOutcome {
     /// The slowest node's elapsed time — the cluster-level runtime.
     pub fn max_elapsed_ms(&self) -> f64 {
         self.reports.iter().map(|r| r.elapsed_ms).fold(0.0, f64::max)
+    }
+
+    /// Epoch-stream agreements every node reported (the stream length the
+    /// whole cluster sustained): the minimum per-node agreement count.
+    pub fn epoch_agreements(&self) -> u64 {
+        self.reports.iter().map(|r| r.agreements.len() as u64).min().unwrap_or(0)
+    }
+
+    /// Worst cross-node output spread over all `(epoch, asset)` pairs of
+    /// an epoch-stream run — the quantity per-epoch ε-agreement bounds.
+    /// `NaN` when a pair is missing on some node (a skipped epoch), which
+    /// fails any ε check.
+    pub fn epoch_spread(&self) -> f64 {
+        let mut worst = 0.0f64;
+        let Some(first) = self.reports.first() else { return f64::NAN };
+        for &(epoch, asset, _) in &first.agreements {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for r in &self.reports {
+                match r.agreements.iter().find(|(e, a, _)| (*e, *a) == (epoch, asset)) {
+                    Some((_, _, v)) => {
+                        lo = lo.min(*v);
+                        hi = hi.max(*v);
+                    }
+                    None => return f64::NAN,
+                }
+            }
+            worst = worst.max(hi - lo);
+        }
+        worst
+    }
+
+    /// Whether the cluster sustained `expected` agreements per node with
+    /// every `(epoch, asset)` pair within `epsilon` across nodes.
+    pub fn epoch_converged(&self, epsilon: f64, expected: u64) -> bool {
+        !self.reports.is_empty()
+            && self.reports.iter().all(|r| r.agreements.len() as u64 == expected)
+            && self.epoch_spread() <= epsilon
     }
 }
 
@@ -329,6 +426,7 @@ mod tests {
             id,
             output,
             elapsed_ms: 12.5,
+            agreements: Vec::new(),
             stats: NetStats {
                 sent_frames: 10,
                 sent_bytes: 4200,
@@ -336,9 +434,16 @@ mod tests {
                 recv_frames: 30,
                 recv_entries: 33,
                 dropped_frames: 0,
+                late_entries: 2,
                 mac_ops: 40,
             },
         }
+    }
+
+    fn epoch_report(id: u16, agreements: Vec<(u32, u16, f64)>) -> NodeReport {
+        let output =
+            agreements.iter().map(|(_, _, v)| *v).sum::<f64>() / (agreements.len().max(1) as f64);
+        NodeReport { agreements, ..report(id, output) }
     }
 
     #[test]
@@ -357,7 +462,8 @@ mod tests {
     }
 
     #[test]
-    fn report_parse_is_order_insensitive() {
+    fn report_parse_is_order_insensitive_and_tolerates_missing_epoch_keys() {
+        // No `agreements` / `late_entries` keys: a pre-epoch report.
         let text = r#" {"output": -2.5e1, "stats": {"mac_ops": 7, "sent_frames": 1,
             "sent_bytes": 2, "sent_entries": 3, "recv_frames": 4,
             "recv_entries": 5, "dropped_frames": 6}, "elapsed_ms": 1.5, "id": 2} "#;
@@ -366,6 +472,59 @@ mod tests {
         assert_eq!(r.output, -25.0);
         assert_eq!(r.stats.mac_ops, 7);
         assert_eq!(r.stats.dropped_frames, 6);
+        assert_eq!(r.stats.late_entries, 0);
+        assert!(r.agreements.is_empty());
+    }
+
+    #[test]
+    fn epoch_report_json_roundtrip() {
+        let r = epoch_report(1, vec![(0, 0, 40_013.5), (0, 1, 2_000.25), (1, 0, 40_020.0)]);
+        let parsed = NodeReport::parse_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // Empty stream round-trips too (one-shot reports).
+        let r = report(0, 1.0);
+        assert_eq!(NodeReport::parse_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn epoch_report_parse_tolerates_whitespace_between_triples() {
+        // Third-party node binaries may pretty-print; the parser promises
+        // whitespace tolerance.
+        let text = r#"{"id": 1, "output": 2.0, "elapsed_ms": 3.0,
+            "agreements": [ [0, 0, 1.5] , [1, 0, 2.5] ] ,
+            "stats": {"sent_frames":1,"sent_bytes":2,"sent_entries":3,
+            "recv_frames":4,"recv_entries":5,"dropped_frames":6,
+            "late_entries":7,"mac_ops":8}}"#;
+        let r = NodeReport::parse_json(text).unwrap();
+        assert_eq!(r.agreements, vec![(0, 0, 1.5), (1, 0, 2.5)]);
+        // An unterminated array is a loud parse error, not silence.
+        let bad = r#"{"id":1,"output":2.0,"elapsed_ms":3.0,"agreements":[[0,0,1.5"#;
+        assert!(NodeReport::parse_json(bad).is_err());
+    }
+
+    #[test]
+    fn epoch_convergence_checks_per_pair_spread_and_completeness() {
+        let outcome = ClusterOutcome {
+            reports: vec![
+                epoch_report(0, vec![(0, 0, 100.0), (1, 0, 200.0)]),
+                epoch_report(1, vec![(0, 0, 100.5), (1, 0, 199.0)]),
+            ],
+        };
+        assert_eq!(outcome.epoch_agreements(), 2);
+        assert!((outcome.epoch_spread() - 1.0).abs() < 1e-12);
+        assert!(outcome.epoch_converged(1.0, 2));
+        assert!(!outcome.epoch_converged(0.5, 2), "spread beyond eps");
+        assert!(!outcome.epoch_converged(1.0, 3), "missing agreements");
+
+        // A node that skipped an epoch can never pass the check.
+        let skewed = ClusterOutcome {
+            reports: vec![
+                epoch_report(0, vec![(0, 0, 100.0), (1, 0, 200.0)]),
+                epoch_report(1, vec![(0, 0, 100.0), (2, 0, 300.0)]),
+            ],
+        };
+        assert!(skewed.epoch_spread().is_nan());
+        assert!(!skewed.epoch_converged(f64::INFINITY, 2));
     }
 
     #[test]

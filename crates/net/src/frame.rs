@@ -57,8 +57,9 @@ use std::fmt;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use delphi_crypto::{Keychain, TAG_LEN};
+use delphi_primitives::epoch::{decode_epoch_batch, encode_epoch_batch, EPOCH_COUNT_BYTES};
 use delphi_primitives::mux::{decode_batch, encode_batch, BATCH_COUNT_BYTES};
-use delphi_primitives::{InstanceId, NodeId};
+use delphi_primitives::{AgreementId, InstanceId, NodeId};
 
 /// Maximum payload bytes accepted in one frame (16 MiB). For batched
 /// frames the bound applies to the whole entry sequence.
@@ -75,10 +76,21 @@ pub const MAX_FRAME_BODY: usize = 2 + MAX_FRAME_PAYLOAD + TAG_LEN;
 /// ids.
 pub const BATCH_MARKER: u16 = 0xFFFF;
 
+/// Reserved leading `u16` distinguishing v3 epoch bodies from v1 sender
+/// ids and the v2 marker. Like [`BATCH_MARKER`], never a valid sender: a
+/// 65 535-node deployment is unrepresentable.
+pub const EPOCH_MARKER: u16 = 0xFFFE;
+
 /// Wire bytes a batched frame costs beyond its entries: length word,
 /// marker, sender, entry count, and tag.
 pub const BATCH_FRAME_OVERHEAD_BYTES: usize = 4 + 2 + 2 + BATCH_COUNT_BYTES + TAG_LEN;
 
+/// Wire bytes an epoch frame costs beyond its entries — identical to the
+/// v2 overhead (the codecs share the count width), which is what keeps
+/// simulated epoch-stream bandwidth equal to TCP epoch-stream bandwidth.
+pub const EPOCH_FRAME_OVERHEAD_BYTES: usize = 4 + 2 + 2 + EPOCH_COUNT_BYTES + TAG_LEN;
+
+pub use delphi_primitives::epoch::EPOCH_ENTRY_OVERHEAD_BYTES;
 pub use delphi_primitives::mux::BATCH_ENTRY_OVERHEAD_BYTES;
 
 /// Frame decoding / authentication failure.
@@ -191,12 +203,95 @@ pub fn decode_frame(keychain: &Keychain, body: &[u8]) -> Result<(NodeId, Bytes),
     Ok((sender, Bytes::copy_from_slice(&signed[2..])))
 }
 
-/// Decodes and authenticates one frame body of **either** format,
-/// returning the sender and the `(instance, payload)` entries it carried.
+/// Encodes a v3 epoch frame carrying epoch-addressed `entries` from
+/// `keychain.node_id()` to `to`.
+///
+/// The body is `[u16 0xFFFE][u16 sender][epoch batch][32-byte tag]` where
+/// the epoch batch is the [`delphi_primitives::epoch`] codec — the same
+/// bytes an [`EpochProtocol`](delphi_primitives::EpochProtocol) envelope
+/// carries under the simulator, so the two transports account epoch
+/// traffic identically. One tag authenticates the whole batch.
+///
+/// # Panics
+///
+/// Panics if the encoded entries exceed [`MAX_FRAME_PAYLOAD`] or
+/// `entries` is empty.
+pub fn encode_epoch_frame(
+    keychain: &Keychain,
+    to: NodeId,
+    entries: &[(AgreementId, Bytes)],
+) -> Bytes {
+    assert!(!entries.is_empty(), "epoch frames carry at least one entry");
+    let batch = encode_epoch_batch(entries);
+    assert!(2 + batch.len() <= MAX_FRAME_PAYLOAD, "epoch entries exceed MAX_FRAME_PAYLOAD");
+    let me = keychain.node_id();
+    let marker_be = EPOCH_MARKER.to_be_bytes();
+    let sender_be = me.0.to_be_bytes();
+    let tag = keychain.channel(to).tag_segments(&[&marker_be, &sender_be, &batch]);
+    let rest_len = 2 + 2 + batch.len() + TAG_LEN;
+    let mut buf = BytesMut::with_capacity(4 + rest_len);
+    buf.put_u32(rest_len as u32);
+    buf.put_u16(EPOCH_MARKER);
+    buf.put_u16(me.0);
+    buf.put_slice(&batch);
+    buf.put_slice(&tag);
+    buf.freeze()
+}
+
+/// Decodes and authenticates one frame body of **any** format — v1, v2,
+/// or v3 — returning the sender and epoch-addressed entries.
+///
+/// v1 and v2 bodies (the one-shot formats) decode to entries at
+/// [`EpochId::FIRST`](delphi_primitives::EpochId::FIRST): one-shot runs
+/// are exactly epoch 0 of a stream. This is the decoder the transport
+/// read loop uses; [`decode_any_frame`] remains the one-shot-typed view.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on malformed, oversized, or forged frames;
+/// callers drop such frames.
+pub fn decode_inbound_frame(
+    keychain: &Keychain,
+    body: &[u8],
+) -> Result<(NodeId, Vec<(AgreementId, Bytes)>), FrameError> {
+    if body.len() < MIN_FRAME_BODY {
+        return Err(FrameError::Truncated);
+    }
+    if body.len() > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge);
+    }
+    if u16::from_be_bytes([body[0], body[1]]) != EPOCH_MARKER {
+        let (sender, entries) = decode_any_frame(keychain, body)?;
+        let entries =
+            entries.into_iter().map(|(asset, payload)| (AgreementId::solo(asset), payload));
+        return Ok((sender, entries.collect()));
+    }
+    // Epoch body: marker + sender + count is the minimum before the tag.
+    if body.len() < 2 + 2 + EPOCH_COUNT_BYTES + TAG_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let sender = NodeId(u16::from_be_bytes([body[2], body[3]]));
+    if sender.index() >= keychain.n() {
+        return Err(FrameError::UnknownSender);
+    }
+    let signed = &body[..body.len() - TAG_LEN];
+    let tag = &body[body.len() - TAG_LEN..];
+    if keychain.channel(sender).verify(signed, tag).is_err() {
+        return Err(FrameError::BadTag);
+    }
+    let entries = decode_epoch_batch(&signed[4..]).map_err(|_| FrameError::Malformed)?;
+    Ok((sender, entries))
+}
+
+/// Decodes and authenticates one frame body of **either** one-shot format
+/// (v1 or v2), returning the sender and the `(instance, payload)` entries
+/// it carried.
 ///
 /// v1 bodies decode to a single entry addressed to
 /// [`InstanceId::SOLO`]. Authentication precedes batch parsing: entries of
-/// a forged frame are never inspected.
+/// a forged frame are never inspected. Epoch (v3) bodies fail here with
+/// [`FrameError::UnknownSender`] (their marker is not a valid sender);
+/// transports that speak all formats use [`decode_inbound_frame`].
 ///
 /// # Errors
 ///
@@ -421,6 +516,102 @@ mod tests {
         let (sender, payload) = decode_frame(&bob, &frame[4..]).unwrap();
         assert_eq!(sender, NodeId(0));
         assert!(payload.is_empty());
+    }
+
+    fn epoch_entries(payloads: &[&'static [u8]]) -> Vec<(AgreementId, Bytes)> {
+        use delphi_primitives::EpochId;
+        payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    AgreementId::new(EpochId(100 + i as u32), InstanceId(i as u16)),
+                    Bytes::from_static(p),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epoch_frame_roundtrip() {
+        let (alice, bob) = pair();
+        let sent = epoch_entries(&[b"alpha", b"", b"gamma"]);
+        let frame = encode_epoch_frame(&alice, NodeId(1), &sent);
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (sender, got) = decode_inbound_frame(&bob, &frame[4..]).unwrap();
+        assert_eq!(sender, NodeId(0));
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn one_shot_frames_decode_as_epoch_zero_inbound() {
+        use delphi_primitives::EpochId;
+        let (alice, bob) = pair();
+        let v1 = encode_frame(&alice, NodeId(1), b"hello");
+        let (_, got) = decode_inbound_frame(&bob, &v1[4..]).unwrap();
+        assert_eq!(got, vec![(AgreementId::solo(InstanceId::SOLO), Bytes::from_static(b"hello"))]);
+        let v2 = encode_batch_frame(&alice, NodeId(1), &entries(&[b"a", b"b"]));
+        let (_, got) = decode_inbound_frame(&bob, &v2[4..]).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(id, _)| id.epoch == EpochId::FIRST));
+        assert_eq!(got[1].0.asset, InstanceId(1));
+    }
+
+    #[test]
+    fn epoch_frame_rejected_by_one_shot_decoders() {
+        // The epoch marker is not a valid sender: one-shot receivers drop
+        // epoch frames instead of misparsing them.
+        let (alice, bob) = pair();
+        let frame = encode_epoch_frame(&alice, NodeId(1), &epoch_entries(&[b"x"]));
+        assert_eq!(decode_frame(&bob, &frame[4..]), Err(FrameError::UnknownSender));
+        assert_eq!(decode_any_frame(&bob, &frame[4..]), Err(FrameError::UnknownSender));
+    }
+
+    #[test]
+    fn tampered_and_misdirected_epoch_frames_rejected() {
+        let (alice, bob) = pair();
+        let frame = encode_epoch_frame(&alice, NodeId(1), &epoch_entries(&[b"hello", b"world"]));
+        for idx in [2usize, 5, 12, 20] {
+            let mut body = frame[4..].to_vec();
+            body[idx] ^= 1;
+            let err = decode_inbound_frame(&bob, &body).unwrap_err();
+            assert!(
+                matches!(err, FrameError::BadTag | FrameError::UnknownSender),
+                "flip at {idx}: {err:?}"
+            );
+        }
+        let carol = Keychain::derive(b"seed", NodeId(2), 3);
+        assert_eq!(decode_inbound_frame(&carol, &frame[4..]), Err(FrameError::BadTag));
+    }
+
+    #[test]
+    fn authenticated_but_malformed_epoch_batch_rejected() {
+        let (alice, bob) = pair();
+        let mut signed = Vec::new();
+        signed.extend_from_slice(&EPOCH_MARKER.to_be_bytes());
+        signed.extend_from_slice(&0u16.to_be_bytes()); // sender 0
+        signed.extend_from_slice(&[0, 2, 0, 0]); // count=2 but garbage entries
+        let tag = alice.channel(NodeId(1)).tag(&signed);
+        signed.extend_from_slice(&tag);
+        assert_eq!(decode_inbound_frame(&bob, &signed), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn epoch_wire_accounting_matches_simulator() {
+        // An EpochProtocol envelope carries the epoch batch payload and
+        // the simulator charges it WIRE_OVERHEAD_BYTES; the TCP epoch
+        // frame must cost exactly the same.
+        use delphi_primitives::epoch::encode_epoch_batch;
+        let (alice, _) = pair();
+        for payloads in [&[&b"x"[..]][..], &[&b"alpha"[..], &b""[..], &b"a-longer-payload"[..]][..]]
+        {
+            let sent = epoch_entries(payloads);
+            let frame = encode_epoch_frame(&alice, NodeId(1), &sent);
+            let batch_payload = encode_epoch_batch(&sent);
+            assert_eq!(frame.len(), delphi_sim::WIRE_OVERHEAD_BYTES + batch_payload.len());
+        }
+        assert_eq!(EPOCH_FRAME_OVERHEAD_BYTES, delphi_sim::WIRE_OVERHEAD_BYTES + EPOCH_COUNT_BYTES);
     }
 
     #[test]

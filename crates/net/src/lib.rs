@@ -20,6 +20,10 @@
 //!   listener, dial every peer, drive one or many multiplexed protocol
 //!   instances to their outputs, linger briefly so slower peers still
 //!   receive our help messages, and drain writer queues before returning.
+//!   [`run_epoch_service`] drives a long-lived epoch stream — an
+//!   [`EpochMux`](delphi_primitives::EpochMux) pipeline — over the same
+//!   mesh, routing epoch-addressed entries in v3 frames with adaptive
+//!   batch flushing.
 //! - [`config`] / [`cluster`]: real deployments — a TOML cluster-file
 //!   format (node ids, addresses, key material) and a multi-process
 //!   launcher that runs one node per OS process and collects per-node
@@ -43,9 +47,11 @@ pub mod service;
 mod session;
 mod transport;
 
+pub use delphi_primitives::FlushPolicy;
 pub use frame::{
-    decode_any_frame, decode_frame, encode_batch_frame, encode_frame, FrameError, BATCH_MARKER,
-    MAX_FRAME_BODY, MAX_FRAME_PAYLOAD, MIN_FRAME_BODY,
+    decode_any_frame, decode_frame, decode_inbound_frame, encode_batch_frame, encode_epoch_frame,
+    encode_frame, FrameError, BATCH_MARKER, EPOCH_MARKER, MAX_FRAME_BODY, MAX_FRAME_PAYLOAD,
+    MIN_FRAME_BODY,
 };
-pub use service::{run_instances, run_node, NetError, RunOptions};
+pub use service::{run_epoch_service, run_instances, run_node, NetError, RunOptions};
 pub use transport::NetStats;

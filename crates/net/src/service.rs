@@ -11,12 +11,15 @@
 use std::error::Error;
 use std::fmt;
 use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::{InstanceId, NodeId, Protocol};
+use delphi_primitives::{
+    AgreementId, EpochEvent, EpochMux, EpochStats, FlushPolicy, InstanceId, NodeId, Protocol,
+};
 use tokio::net::TcpListener;
 use tokio::sync::mpsc;
 
@@ -72,6 +75,10 @@ pub struct RunOptions {
     /// destination into one batched frame (v2). Off, every envelope pays
     /// its own frame + tag — the v1 cost model, kept for measurement.
     pub batching: bool,
+    /// When epoch streams flush accumulated batch entries
+    /// ([`run_epoch_service`]): per step, or adaptively on size/time
+    /// triggers. One-shot runs always flush per step.
+    pub flush: FlushPolicy,
 }
 
 impl Default for RunOptions {
@@ -82,6 +89,7 @@ impl Default for RunOptions {
             deadline: Duration::from_secs(60),
             drain_timeout: Duration::from_secs(5),
             batching: true,
+            flush: FlushPolicy::PerStep,
         }
     }
 }
@@ -178,6 +186,7 @@ where
         counters.clone(),
         opts.batching,
         instances.len() == 1,
+        FlushPolicy::PerStep,
     );
 
     // Drive the protocol instances.
@@ -224,17 +233,153 @@ where
     Ok((outputs, counters.snapshot()))
 }
 
+/// Runs an epoch stream — a long-lived [`EpochMux`] pipeline — over one
+/// full TCP mesh until every epoch of the stream has resolved.
+///
+/// This is the deployment shape of a streaming oracle: the mux keeps
+/// spawning per-asset agreement instances epoch after epoch, the service
+/// routes their traffic as epoch-addressed entries in authenticated v3
+/// frames, and the session layer flushes batches per
+/// [`RunOptions::flush`] — per step, or adaptively on size triggers plus
+/// this loop's flush timer. Entries addressed to epochs the mux has
+/// already garbage-collected are dropped and surface in
+/// [`NetStats::late_entries`].
+///
+/// Returns the complete ordered event stream and the transport counters.
+///
+/// # Errors
+///
+/// Returns [`NetError::Config`] on a mismatched address list or identity,
+/// [`NetError::Io`] if the listener cannot be bound, and
+/// [`NetError::Timeout`] if the stream is unresolved at the deadline.
+pub async fn run_epoch_service<P>(
+    mut mux: EpochMux<P>,
+    keychain: Keychain,
+    addrs: Vec<SocketAddr>,
+    opts: RunOptions,
+) -> Result<(Vec<EpochEvent<P::Output>>, EpochStats, NetStats), NetError>
+where
+    P: Protocol + Send + 'static,
+{
+    let me = keychain.node_id();
+    let n = keychain.n();
+    if addrs.len() != n {
+        return Err(NetError::Config(format!("{} addresses for {n} nodes", addrs.len())));
+    }
+    if mux.n() != n || mux.node_id() != me {
+        return Err(NetError::Config("epoch mux identity mismatch".into()));
+    }
+    let flush_delay = match opts.flush {
+        FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
+        FlushPolicy::PerStep => None,
+    };
+
+    let counters = Arc::new(Counters::default());
+    let keychain = Arc::new(keychain);
+    let (in_tx, mut in_rx) = mpsc::channel::<InboundFrame>(1024);
+    let listener = TcpListener::bind(addrs[me.index()]).await?;
+    let accept_task = spawn_acceptor(listener, keychain.clone(), in_tx, counters.clone());
+    let mut sessions = SessionSet::connect(
+        keychain.clone(),
+        &addrs,
+        opts.reconnect_delay,
+        counters.clone(),
+        opts.batching,
+        false,
+        opts.flush,
+    );
+
+    let deadline = tokio::time::Instant::now() + opts.deadline;
+    sessions.enqueue_epoch_step(mux.start());
+    sessions.flush_epochs(); // start bursts must not wait for traffic
+                             // Drive the stream. The vendored select! is two-armed, so the timer
+                             // arm waits on whichever comes first: the overall deadline or the
+                             // adaptive flush timer.
+    let mut flush_at: Option<tokio::time::Instant> = None;
+    while !mux.is_complete() {
+        let wake = match flush_at {
+            Some(f) if f < deadline => f,
+            _ => deadline,
+        };
+        let msg = tokio::select! {
+            m = in_rx.recv() => Some(m),
+            _ = tokio::time::sleep_until(wake) => None,
+        };
+        match msg {
+            Some(Some((from, entries))) => {
+                for (id, payload) in entries {
+                    sessions.enqueue_epoch_step(mux.on_entry(from, id, &payload));
+                }
+                if let (Some(delay), true, None) =
+                    (flush_delay, sessions.has_pending_epochs(), flush_at)
+                {
+                    flush_at = Some(tokio::time::Instant::now() + delay);
+                }
+            }
+            Some(None) => {
+                // Inbound channel closed: the accept loop died, no more
+                // traffic can ever arrive — fail now rather than spinning
+                // on an always-ready recv until the deadline.
+                accept_task.abort();
+                sessions.abort();
+                return Err(NetError::Timeout);
+            }
+            None if tokio::time::Instant::now() >= deadline => {
+                accept_task.abort();
+                sessions.abort();
+                return Err(NetError::Timeout);
+            }
+            None => {
+                // Flush timer fired: release every pending batch.
+                sessions.flush_epochs();
+                flush_at = None;
+            }
+        }
+    }
+    sessions.flush_epochs();
+    let events = mux.events().to_vec();
+
+    // Linger: keep serving peers still working through the stream's tail.
+    let linger_end = tokio::time::Instant::now() + opts.linger;
+    loop {
+        let msg = tokio::select! {
+            m = in_rx.recv() => m,
+            _ = tokio::time::sleep_until(linger_end) => None,
+        };
+        match msg {
+            Some((from, entries)) => {
+                for (id, payload) in entries {
+                    sessions.enqueue_epoch_step(mux.on_entry(from, id, &payload));
+                }
+                sessions.flush_epochs();
+            }
+            None => break,
+        }
+    }
+
+    let epoch_stats = mux.stats();
+    counters.late_entries.fetch_add(epoch_stats.late_entries, Ordering::Relaxed);
+    sessions.shutdown(opts.drain_timeout).await;
+    accept_task.abort();
+    Ok((events, epoch_stats, counters.snapshot()))
+}
+
 /// Feeds one authenticated frame's entries to their instances, collecting
-/// each instance's response burst (unknown instance ids are ignored).
+/// each instance's response burst. One-shot runs are epoch 0 of a stream:
+/// entries for other epochs (a peer running the epoch service) and
+/// unknown instance ids are ignored.
 fn dispatch<P: Protocol>(
     instances: &mut [P],
     from: NodeId,
-    entries: Vec<(InstanceId, Bytes)>,
+    entries: Vec<(AgreementId, Bytes)>,
 ) -> Vec<(InstanceId, Vec<delphi_primitives::Envelope>)> {
     let mut bursts = Vec::new();
-    for (instance, payload) in entries {
-        if let Some(p) = instances.get_mut(instance.index()) {
-            bursts.push((instance, p.on_message(from, &payload)));
+    for (id, payload) in entries {
+        if id.epoch.0 != 0 {
+            continue;
+        }
+        if let Some(p) = instances.get_mut(id.asset.index()) {
+            bursts.push((id.asset, p.on_message(from, &payload)));
         }
     }
     bursts
@@ -513,6 +658,207 @@ mod tests {
         assert_eq!(stats.sent_frames, k as u64, "every queued frame flushed before return");
         assert_eq!(stats.sent_entries, k as u64);
         assert_eq!(reader.await.unwrap(), k, "slow peer received every frame");
+    }
+
+    /// One-round epoch gossip: each `(epoch, asset)` instance broadcasts
+    /// once and outputs after `n - 1` greetings — completion needs every
+    /// peer, so the stream exercises real multi-epoch coordination.
+    struct EpochGossip {
+        id: NodeId,
+        n: usize,
+        tag: f64,
+        heard: usize,
+    }
+
+    impl Protocol for EpochGossip {
+        type Output = f64;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            vec![Envelope::to_all(Bytes::from_static(b"g"))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.heard += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<f64> {
+            (self.heard >= self.n - 1).then_some(self.tag)
+        }
+    }
+
+    fn epoch_mux(
+        me: NodeId,
+        n: usize,
+        cfg: delphi_primitives::EpochConfig,
+    ) -> EpochMux<EpochGossip> {
+        EpochMux::new(
+            cfg,
+            me,
+            n,
+            Box::new(move |e, a| EpochGossip {
+                id: me,
+                n,
+                tag: f64::from(e.0) * 10.0 + f64::from(a.0),
+                heard: 0,
+            }),
+        )
+    }
+
+    async fn run_epoch_cluster(seed: &'static [u8], flush: FlushPolicy) -> Vec<NetStats> {
+        use delphi_primitives::{EpochConfig, EpochOutcome};
+        let n = 3;
+        let epochs = 8u32;
+        let assets = 2u16;
+        let addrs = free_addrs(n).await;
+        let mut handles = Vec::new();
+        for id in NodeId::all(n) {
+            let keychain = Keychain::derive(seed, id, n);
+            let mux = epoch_mux(id, n, EpochConfig::new(epochs, assets, 2, 4, 1));
+            let addrs = addrs.clone();
+            let opts = RunOptions { flush, ..RunOptions::default() };
+            handles.push(tokio::spawn(async move {
+                run_epoch_service(mux, keychain, addrs, opts).await
+            }));
+        }
+        let mut all_stats = Vec::new();
+        for h in handles {
+            let (events, epoch_stats, stats) = h.await.unwrap().expect("stream finished");
+            assert_eq!(events.len(), epochs as usize);
+            for (e, event) in events.iter().enumerate() {
+                assert_eq!(event.epoch.index(), e, "ordered stream");
+                let EpochOutcome::Agreed(values) = &event.outcome else {
+                    panic!("honest stream skipped epoch {e}");
+                };
+                let expect: Vec<f64> =
+                    (0..assets).map(|a| e as f64 * 10.0 + f64::from(a)).collect();
+                assert_eq!(values, &expect);
+            }
+            assert_eq!(epoch_stats.stale_epochs, 0);
+            assert!(epoch_stats.peak_resident <= 4, "live window bound over TCP");
+            assert_eq!(stats.dropped_frames, 0);
+            all_stats.push(stats);
+        }
+        all_stats
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn epoch_service_streams_over_loopback() {
+        let stats = run_epoch_cluster(b"epoch-stream", FlushPolicy::PerStep).await;
+        for s in &stats {
+            assert!(s.sent_frames > 0 && s.recv_frames > 0);
+            assert!(s.recv_entries >= s.recv_frames);
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn adaptive_flush_cuts_frames_per_entry_over_tcp() {
+        let per_step = run_epoch_cluster(b"epoch-perstep", FlushPolicy::PerStep).await;
+        let adaptive = run_epoch_cluster(
+            b"epoch-adaptive",
+            FlushPolicy::Adaptive {
+                max_entries: 8,
+                max_bytes: 4096,
+                max_delay: Duration::from_millis(5),
+            },
+        )
+        .await;
+        let total = |v: &[NetStats]| {
+            v.iter().fold((0u64, 0u64), |(f, e), s| (f + s.sent_frames, e + s.sent_entries))
+        };
+        let (ps_frames, ps_entries) = total(&per_step);
+        let (ad_frames, ad_entries) = total(&adaptive);
+        // Independent asynchronous executions: compare the
+        // schedule-independent per-entry frame cost.
+        assert!(
+            ad_frames * ps_entries < ps_frames * ad_entries,
+            "adaptive {ad_frames}/{ad_entries} vs per-step {ps_frames}/{ps_entries} \
+             frames per entry"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn late_frames_to_evicted_epochs_counted_in_net_stats() {
+        use crate::frame::encode_epoch_frame;
+        use delphi_primitives::EpochConfig;
+        // Node 0 runs a 2-epoch stream with a 1-epoch window; a raw-socket
+        // peer replays an epoch-0 entry after epoch 0 was completed and
+        // evicted. The late entry must be dropped, counted, and harmless.
+        let addrs = free_addrs(2).await;
+        let kc0 = Keychain::derive(b"late-test", NodeId(0), 2);
+        let kc1 = Keychain::derive(b"late-test", NodeId(1), 2);
+        let service_addrs = addrs.clone();
+        let service = tokio::spawn(async move {
+            let mux = epoch_mux(NodeId(0), 2, EpochConfig::new(2, 1, 1, 1, 1));
+            let opts = RunOptions {
+                linger: Duration::from_millis(200),
+                drain_timeout: Duration::from_millis(500),
+                ..RunOptions::default()
+            };
+            run_epoch_service(mux, kc0, service_addrs, opts).await
+        });
+
+        // The peer accepts node 0's outbound connection and discards its
+        // frames, so shutdown drains cleanly.
+        let sink = TcpListener::bind(addrs[1]).await.unwrap();
+        tokio::spawn(async move {
+            loop {
+                let Ok((mut s, _)) = sink.accept().await else { break };
+                tokio::spawn(async move {
+                    let mut buf = [0u8; 64];
+                    while s.read_exact(&mut buf).await.is_ok() {}
+                });
+            }
+        });
+
+        let mut stream = loop {
+            match tokio::net::TcpStream::connect(addrs[0]).await {
+                Ok(s) => break s,
+                Err(_) => tokio::time::sleep(Duration::from_millis(10)).await,
+            }
+        };
+        use tokio::io::AsyncWriteExt;
+        let entry = |epoch: u32| {
+            vec![(
+                delphi_primitives::AgreementId::new(
+                    delphi_primitives::EpochId(epoch),
+                    InstanceId(0),
+                ),
+                Bytes::from_static(b"g"),
+            )]
+        };
+        // Epoch 0 completes and is evicted when epoch 1 spawns.
+        stream.write_all(&encode_epoch_frame(&kc1, NodeId(0), &entry(0))).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        // Replay epoch 0: late. Then finish the stream with epoch 1.
+        stream.write_all(&encode_epoch_frame(&kc1, NodeId(0), &entry(0))).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        stream.write_all(&encode_epoch_frame(&kc1, NodeId(0), &entry(1))).await.unwrap();
+
+        let (events, epoch_stats, stats) = service.await.unwrap().expect("stream finished");
+        assert_eq!(events.len(), 2);
+        assert_eq!(epoch_stats.late_entries, 1, "the replayed entry is late");
+        assert_eq!(stats.late_entries, 1, "late entries surface in NetStats");
+        assert_eq!(stats.dropped_frames, 0, "late != dropped: the frame authenticated");
+    }
+
+    #[tokio::test]
+    async fn epoch_identity_mismatch_rejected() {
+        use delphi_primitives::EpochConfig;
+        let keychain = Keychain::derive(b"x", NodeId(0), 4);
+        let mux = epoch_mux(NodeId(0), 2, EpochConfig::new(1, 1, 1, 1, 0));
+        let err = run_epoch_service(
+            mux,
+            keychain,
+            vec!["127.0.0.1:1".parse().unwrap(); 4],
+            RunOptions::default(),
+        )
+        .await
+        .unwrap_err();
+        assert!(matches!(err, NetError::Config(_)), "{err}");
     }
 
     #[tokio::test]

@@ -22,15 +22,23 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
+use delphi_primitives::epoch::route_epoch_bursts;
 use delphi_primitives::mux::route_bursts;
-use delphi_primitives::{Envelope, InstanceId, NodeId};
+use delphi_primitives::{AgreementId, Envelope, FlushPolicy, InstanceId, NodeId, PendingBatches};
 use tokio::sync::mpsc;
 
-use crate::frame::{encode_batch_frame, encode_frame};
+use crate::frame::{encode_batch_frame, encode_epoch_frame, encode_frame};
 use crate::transport::{spawn_writer, Counters};
 
 /// The outbound half of a full-mesh node: one authenticated session per
 /// peer, plus the framing/batching policy shared by all of them.
+///
+/// One-shot runs queue whole steps ([`SessionSet::enqueue_step`]); epoch
+/// streams queue epoch-addressed entries
+/// ([`SessionSet::enqueue_epoch_step`]) that accumulate in per-peer
+/// pending buffers under a [`FlushPolicy`] — per-step for the classic
+/// cost model, adaptive (size triggers here, the time trigger in the
+/// service loop) to amortize frames and tags across steps.
 pub(crate) struct SessionSet {
     /// `peer_tx[p]` queues frames for peer `p`; `None` at our own slot.
     peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>>,
@@ -40,6 +48,10 @@ pub(crate) struct SessionSet {
     batching: bool,
     /// Single-instance runs keep the v1 format for lone envelopes.
     solo: bool,
+    /// Per-peer epoch entries awaiting flush (epoch streams only) —
+    /// the same accumulator `EpochProtocol` uses under the simulator, so
+    /// the two transports share one flush-trigger semantics.
+    pending: PendingBatches,
 }
 
 impl SessionSet {
@@ -52,6 +64,7 @@ impl SessionSet {
         counters: Arc<Counters>,
         batching: bool,
         solo: bool,
+        flush: FlushPolicy,
     ) -> SessionSet {
         let me = keychain.node_id();
         let n = addrs.len();
@@ -71,7 +84,15 @@ impl SessionSet {
                 counters.clone(),
             ));
         }
-        SessionSet { peer_tx, writer_tasks, keychain, counters, batching, solo }
+        SessionSet {
+            peer_tx,
+            writer_tasks,
+            keychain,
+            counters,
+            batching,
+            solo,
+            pending: PendingBatches::new(n, flush),
+        }
     }
 
     /// Queues one protocol step's output: the envelope bursts of every
@@ -107,6 +128,59 @@ impl SessionSet {
                     self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(frame);
                 }
+            }
+        }
+    }
+
+    /// Queues one epoch-stream step: epoch-addressed bursts routed into
+    /// the per-peer pending buffers, flushed per the session's
+    /// [`FlushPolicy`] (per-step immediately; adaptive once a peer's
+    /// batch trips the entry or byte trigger — the time trigger is the
+    /// service loop's flush timer calling [`SessionSet::flush_epochs`]).
+    pub(crate) fn enqueue_epoch_step(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>) {
+        let me = self.keychain.node_id();
+        let n = self.peer_tx.len();
+        for (dest, entries) in route_epoch_bursts(bursts, n, me).into_iter().enumerate() {
+            if entries.is_empty() || self.peer_tx[dest].is_none() {
+                continue;
+            }
+            self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+            if self.pending.push(dest, entries) {
+                self.flush_epoch_dest(dest);
+            }
+        }
+    }
+
+    /// Flushes every peer's pending epoch entries (the time trigger, and
+    /// the pre-shutdown drain).
+    pub(crate) fn flush_epochs(&mut self) {
+        for dest in 0..self.pending.dests() {
+            self.flush_epoch_dest(dest);
+        }
+    }
+
+    /// Whether any peer has unflushed epoch entries.
+    pub(crate) fn has_pending_epochs(&self) -> bool {
+        self.pending.has_pending()
+    }
+
+    fn flush_epoch_dest(&mut self, dest: usize) {
+        let entries = self.pending.take(dest);
+        if entries.is_empty() {
+            return;
+        }
+        let Some(Some(tx)) = self.peer_tx.get(dest) else { return };
+        let to = NodeId(dest as u16);
+        if self.batching {
+            let frame = encode_epoch_frame(&self.keychain, to, &entries);
+            self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(frame);
+        } else {
+            // One frame per entry: the measurement baseline.
+            for entry in entries {
+                let frame = encode_epoch_frame(&self.keychain, to, &[entry]);
+                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(frame);
             }
         }
     }

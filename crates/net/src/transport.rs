@@ -23,12 +23,12 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::{InstanceId, NodeId};
+use delphi_primitives::{AgreementId, NodeId};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 
-use crate::frame::{decode_any_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY};
+use crate::frame::{decode_inbound_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY};
 
 /// Cap on the dial-retry backoff, as a multiple of the initial delay.
 ///
@@ -52,6 +52,10 @@ pub struct NetStats {
     pub recv_entries: u64,
     /// Frames dropped by authentication or framing checks.
     pub dropped_frames: u64,
+    /// Authenticated entries addressed to an epoch the node has already
+    /// garbage-collected — expected stream traffic from slower peers,
+    /// dropped and counted here rather than treated as protocol errors.
+    pub late_entries: u64,
     /// HMAC tag computations (one per frame encoded, one per tag
     /// verified). Batching lowers this together with `sent_frames`.
     pub mac_ops: u64,
@@ -66,6 +70,7 @@ pub(crate) struct Counters {
     pub(crate) recv_frames: AtomicU64,
     pub(crate) recv_entries: AtomicU64,
     pub(crate) dropped_frames: AtomicU64,
+    pub(crate) late_entries: AtomicU64,
     pub(crate) mac_ops: AtomicU64,
 }
 
@@ -78,13 +83,15 @@ impl Counters {
             recv_frames: self.recv_frames.load(Ordering::Relaxed),
             recv_entries: self.recv_entries.load(Ordering::Relaxed),
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            late_entries: self.late_entries.load(Ordering::Relaxed),
             mac_ops: self.mac_ops.load(Ordering::Relaxed),
         }
     }
 }
 
-/// One authenticated inbound frame: its sender and every entry it carried.
-pub(crate) type InboundFrame = (NodeId, Vec<(InstanceId, Bytes)>);
+/// One authenticated inbound frame: its sender and every epoch-addressed
+/// entry it carried (one-shot v1/v2 frames decode to epoch 0).
+pub(crate) type InboundFrame = (NodeId, Vec<(AgreementId, Bytes)>);
 
 /// Spawns the accept loop on `listener`: every inbound connection gets its
 /// own [`read_loop`] task feeding `tx`.
@@ -141,7 +148,7 @@ pub(crate) async fn read_loop(
         if stream.read_exact(&mut body).await.is_err() {
             return Ok(());
         }
-        match decode_any_frame(&keychain, &body) {
+        match decode_inbound_frame(&keychain, &body) {
             Ok((from, entries)) => {
                 counters.mac_ops.fetch_add(1, Ordering::Relaxed);
                 counters.recv_frames.fetch_add(1, Ordering::Relaxed);
@@ -213,7 +220,7 @@ pub(crate) async fn write_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::encode_frame;
+    use crate::frame::{decode_any_frame, encode_frame};
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
     async fn reader_enforces_decoder_length_bounds() {

@@ -1,0 +1,1350 @@
+//! The epoch layer: long-lived multi-round agreement pipelines.
+//!
+//! Everything below [`crate::mux`] is one-shot: a fixed set of instances
+//! runs to a single output and stops. An oracle deployment is not one-shot
+//! — it agrees on *fresh* prices round after round, one agreement per
+//! `(epoch, asset)` pair, forever. This module provides that lifecycle as
+//! sans-io machinery shared by the simulator and the TCP runtime:
+//!
+//! - [`EpochId`] / [`AgreementId`]: epoch-aware instance addressing with a
+//!   stable wire encoding (`u32` epoch × `u16` asset).
+//! - an **epoch batch codec**: `(AgreementId, payload)` entry sequences,
+//!   the epoch-aware sibling of the [`crate::mux`] batch codec. `delphi-net`
+//!   wraps exactly this sequence in its authenticated epoch frames, and
+//!   [`EpochProtocol`] uses it as the payload of simulator messages, so
+//!   simulated epoch bytes equal TCP epoch bytes.
+//! - [`EpochMux`]: the pipeline driver. It spawns per-asset protocol
+//!   instances epoch after epoch from a factory (the streaming price
+//!   source), keeps at most [`EpochConfig::depth`] epochs in flight and at
+//!   most [`EpochConfig::window`] resident in memory, garbage-collects
+//!   completed and stale epochs, fast-forwards a node that fell behind the
+//!   quorum frontier, and emits a strictly epoch-ordered stream of
+//!   [`EpochEvent`]s.
+//! - [`EpochProtocol`]: a [`Protocol`] adapter over [`EpochMux`] so the
+//!   whole pipeline runs unchanged under the discrete-event simulator (and
+//!   any other envelope transport), with [`FlushPolicy`]-controlled
+//!   adaptive batching across protocol steps.
+//!
+//! # Garbage collection and the live window
+//!
+//! At most `depth` epochs are *unfinished* at any time (the pipelining
+//! knob), and at most `window` epochs are *resident* (unfinished epochs
+//! plus completed lingerers that keep answering slower peers, exactly like
+//! the one-shot runners' linger phase). Eviction only ever removes a
+//! *resolved* epoch: `window ≥ depth` guarantees a resolved resident
+//! exists whenever the budget is exceeded, so an unfinished epoch inside
+//! the window is never evicted. Entries addressed to an evicted epoch are
+//! dropped and counted ([`EpochStats::late_entries`]), never treated as
+//! protocol errors.
+//!
+//! # Falling behind and rejoining
+//!
+//! A node that crashes or goes silent for a while rejoins a stream whose
+//! peers are many epochs ahead. The mux tracks, per authenticated sender,
+//! the highest epoch that sender has addressed; once `t + 1` senders (at
+//! least one honest) are beyond an unfinished epoch by more than the
+//! window, that epoch can no longer complete (the quorum has evicted it)
+//! and is resolved as [`EpochOutcome::Skipped`], letting the node jump
+//! forward to the live frontier instead of stalling the stream. A single
+//! Byzantine sender advertising an enormous epoch moves nothing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::mux::route_bursts_by;
+use crate::wire::{Decode, Encode, Reader, WireError, Writer};
+use crate::{Envelope, InstanceId, NodeId, Protocol};
+
+/// Identity of one agreement round in a streaming oracle deployment.
+///
+/// Epochs are dense and start at 0; a `u32` outlasts a century of
+/// per-second agreements.
+///
+/// # Example
+///
+/// ```
+/// use delphi_primitives::EpochId;
+///
+/// let e = EpochId(3);
+/// assert_eq!(e.next(), EpochId(4));
+/// assert_eq!(format!("{e}"), "epoch-3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpochId(pub u32);
+
+impl EpochId {
+    /// The first epoch of any stream.
+    pub const FIRST: EpochId = EpochId(0);
+
+    /// The epoch after this one.
+    #[inline]
+    pub fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+
+    /// The epoch's index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch-{}", self.0)
+    }
+}
+
+impl From<u32> for EpochId {
+    fn from(raw: u32) -> Self {
+        EpochId(raw)
+    }
+}
+
+impl Encode for EpochId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for EpochId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(EpochId(r.get_u32()?))
+    }
+}
+
+/// Epoch-aware instance address: one agreement instance is the pair
+/// *(epoch, asset)*.
+///
+/// The one-shot [`InstanceId`] keeps meaning "asset"; the epoch dimension
+/// is what turns a fixed instance set into a stream. The wire encoding is
+/// stable: 4 epoch bytes then 2 asset bytes, big-endian, inside the epoch
+/// batch codec.
+///
+/// # Example
+///
+/// ```
+/// use delphi_primitives::{AgreementId, EpochId, InstanceId};
+///
+/// let id = AgreementId::new(EpochId(7), InstanceId(2));
+/// assert_eq!(format!("{id}"), "epoch-7/instance-2");
+/// assert!(id < AgreementId::new(EpochId(8), InstanceId(0)), "epoch-major order");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgreementId {
+    /// The agreement round.
+    pub epoch: EpochId,
+    /// The asset (one-shot instance) within the round.
+    pub asset: InstanceId,
+}
+
+impl AgreementId {
+    /// Builds an id from its two components.
+    pub fn new(epoch: EpochId, asset: InstanceId) -> AgreementId {
+        AgreementId { epoch, asset }
+    }
+
+    /// The address one-shot transports implicitly use: epoch 0.
+    pub fn solo(asset: InstanceId) -> AgreementId {
+        AgreementId { epoch: EpochId::FIRST, asset }
+    }
+}
+
+impl fmt::Display for AgreementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.epoch, self.asset)
+    }
+}
+
+impl Encode for AgreementId {
+    fn encode(&self, w: &mut Writer) {
+        self.epoch.encode(w);
+        self.asset.encode(w);
+    }
+}
+
+impl Decode for AgreementId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AgreementId { epoch: EpochId::decode(r)?, asset: InstanceId::decode(r)? })
+    }
+}
+
+/// Bytes of epoch-batch overhead per entry: 4-byte epoch, 2-byte asset,
+/// 4-byte length prefix.
+pub const EPOCH_ENTRY_OVERHEAD_BYTES: usize = 10;
+
+/// Bytes of epoch-batch overhead per batch: the 2-byte entry count.
+pub const EPOCH_COUNT_BYTES: usize = 2;
+
+/// Encoded length of an epoch batch with the given payload lengths.
+pub fn epoch_batch_len(payload_lens: impl IntoIterator<Item = usize>) -> usize {
+    EPOCH_COUNT_BYTES
+        + payload_lens.into_iter().map(|l| EPOCH_ENTRY_OVERHEAD_BYTES + l).sum::<usize>()
+}
+
+/// Encodes `(agreement, payload)` entries into one epoch batch payload:
+/// `[u16 count]` then `count` entries of `[u32 epoch][u16 asset][u32 len]
+/// [len bytes]`, big-endian.
+///
+/// # Panics
+///
+/// Panics if `entries` holds more than `u16::MAX` entries or an entry
+/// exceeds `u32::MAX` bytes (unreachable for protocol traffic).
+pub fn encode_epoch_batch(entries: &[(AgreementId, Bytes)]) -> Bytes {
+    let count = u16::try_from(entries.len()).expect("epoch batch entry count fits u16");
+    let mut buf = BytesMut::with_capacity(epoch_batch_len(entries.iter().map(|(_, p)| p.len())));
+    buf.put_u16(count);
+    for (id, payload) in entries {
+        buf.put_u32(id.epoch.0);
+        buf.put_u16(id.asset.0);
+        buf.put_u32(u32::try_from(payload.len()).expect("entry length fits u32"));
+        buf.put_slice(payload);
+    }
+    buf.freeze()
+}
+
+/// Decodes an epoch batch payload back into `(agreement, payload)`
+/// entries.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] on input ending mid-entry,
+/// [`WireError::LengthOutOfBounds`] on an overrunning declared length, and
+/// [`WireError::TrailingBytes`] on bytes past the declared count — all
+/// expected on Byzantine-controlled input.
+pub fn decode_epoch_batch(buf: &[u8]) -> Result<Vec<(AgreementId, Bytes)>, WireError> {
+    let mut rest = buf;
+    let count = take_u16(&mut rest)?;
+    let mut entries = Vec::with_capacity(usize::from(count).min(rest.len() / 2 + 1));
+    for _ in 0..count {
+        let epoch = EpochId(take_u32(&mut rest)?);
+        let asset = InstanceId(take_u16(&mut rest)?);
+        let len = take_u32(&mut rest)? as usize;
+        if len > rest.len() {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let (payload, tail) = rest.split_at(len);
+        entries.push((AgreementId::new(epoch, asset), Bytes::copy_from_slice(payload)));
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(entries)
+}
+
+fn take_u16(rest: &mut &[u8]) -> Result<u16, WireError> {
+    let Some((head, tail)) = rest.split_first_chunk::<2>() else {
+        return Err(WireError::Truncated);
+    };
+    *rest = tail;
+    Ok(u16::from_be_bytes(*head))
+}
+
+fn take_u32(rest: &mut &[u8]) -> Result<u32, WireError> {
+    let Some((head, tail)) = rest.split_first_chunk::<4>() else {
+        return Err(WireError::Truncated);
+    };
+    *rest = tail;
+    Ok(u32::from_be_bytes(*head))
+}
+
+/// Routes epoch-addressed envelope bursts into per-destination entry
+/// lists, with the same broadcast-expansion and out-of-range-drop
+/// semantics every transport in the workspace uses.
+pub fn route_epoch_bursts(
+    bursts: Vec<(AgreementId, Vec<Envelope>)>,
+    n: usize,
+    me: NodeId,
+) -> Vec<Vec<(AgreementId, Bytes)>> {
+    route_bursts_by(bursts, n, me)
+}
+
+/// When a transport flushes accumulated batch entries.
+///
+/// `PerStep` reproduces the one-shot runners' behaviour: every protocol
+/// step's entries are flushed immediately, one frame per destination per
+/// step. `Adaptive` accumulates entries across steps and flushes a
+/// destination when its pending batch exceeds a size trigger — or when the
+/// time trigger fires (the simulator's tick, the TCP runner's flush
+/// timer) — trading a bounded delay for fewer frames and MAC tags per
+/// agreement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush every step's entries immediately (the one-shot cost model).
+    PerStep,
+    /// Accumulate entries across steps; flush on any trigger.
+    Adaptive {
+        /// Flush a destination once this many entries are pending for it.
+        max_entries: usize,
+        /// Flush a destination once this many payload bytes are pending.
+        max_bytes: usize,
+        /// Upper bound on how long an entry may sit unflushed (drives the
+        /// TCP runner's flush timer; the simulator uses its tick interval).
+        max_delay: Duration,
+    },
+}
+
+impl FlushPolicy {
+    /// A reasonable adaptive default: flush at 32 entries or 8 KiB, within
+    /// a millisecond.
+    pub fn adaptive() -> FlushPolicy {
+        FlushPolicy::Adaptive {
+            max_entries: 32,
+            max_bytes: 8 * 1024,
+            max_delay: Duration::from_millis(1),
+        }
+    }
+
+    /// Whether this policy defers flushing at all.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, FlushPolicy::Adaptive { .. })
+    }
+}
+
+/// Shape of one epoch pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Total epochs the stream runs (`K`).
+    pub epochs: u32,
+    /// Agreement instances (assets) per epoch.
+    pub assets: u16,
+    /// Maximum epochs in flight (unfinished) at once — the pipelining
+    /// depth, i.e. the epoch-rate knob.
+    pub depth: usize,
+    /// Maximum epochs resident in memory, completed lingerers included.
+    /// Must be at least `depth`; the excess is how long a completed epoch
+    /// keeps answering slower peers before eviction.
+    pub window: usize,
+    /// Fault threshold `t`: fast-forward requires `t + 1` senders beyond
+    /// an epoch before it may be skipped.
+    pub t: usize,
+}
+
+impl EpochConfig {
+    /// A window-validated config with the given stream length and basket
+    /// size, pipelining `depth` epochs and lingering `window - depth`
+    /// completed ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-epoch or zero-asset stream, zero depth, or
+    /// `window < depth`.
+    pub fn new(epochs: u32, assets: u16, depth: usize, window: usize, t: usize) -> EpochConfig {
+        assert!(epochs >= 1, "stream needs at least one epoch");
+        assert!(assets >= 1, "epoch needs at least one asset");
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        assert!(window >= depth, "window must cover the pipeline depth");
+        EpochConfig { epochs, assets, depth, window, t }
+    }
+}
+
+/// Counters the epoch layer exposes for observability and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Entries addressed to an already-evicted epoch, dropped.
+    pub late_entries: u64,
+    /// Entries addressed beyond the early-buffer horizon, dropped.
+    pub early_dropped: u64,
+    /// Buffered early entries replayed once their epoch spawned.
+    pub replayed_entries: u64,
+    /// Epochs resolved as [`EpochOutcome::Skipped`] (no agreement).
+    pub stale_epochs: u64,
+    /// Most epochs resident in memory at once (live-window bound check).
+    pub peak_resident: usize,
+}
+
+/// How one epoch of the stream resolved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EpochOutcome<O> {
+    /// Every asset instance produced an output; values in asset order.
+    Agreed(Vec<O>),
+    /// The epoch was abandoned (the node fell behind the quorum frontier
+    /// past the live window and could no longer complete it).
+    Skipped,
+}
+
+/// One element of the ordered output stream: `(epoch, outcome)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochEvent<O> {
+    /// The resolved epoch.
+    pub epoch: EpochId,
+    /// Its outcome.
+    pub outcome: EpochOutcome<O>,
+}
+
+impl<O> EpochEvent<O> {
+    /// The `(epoch, asset, value)` agreements this event carries (empty
+    /// for skipped epochs).
+    pub fn agreements(&self) -> impl Iterator<Item = (EpochId, InstanceId, &O)> {
+        let values = match &self.outcome {
+            EpochOutcome::Agreed(values) => &values[..],
+            EpochOutcome::Skipped => &[],
+        };
+        values.iter().enumerate().map(move |(a, v)| (self.epoch, InstanceId(a as u16), v))
+    }
+}
+
+/// One resident epoch: its per-asset instances and completion state.
+struct Slot<P: Protocol> {
+    instances: Vec<P>,
+    outputs: Vec<Option<P::Output>>,
+    missing: usize,
+}
+
+impl<P: Protocol> Slot<P> {
+    fn done(&self) -> bool {
+        self.missing == 0
+    }
+}
+
+/// Cap on bytes buffered for not-yet-spawned epochs (per node). Honest
+/// peers run at most `depth` epochs ahead, so the buffer stays tiny; the
+/// cap only bounds Byzantine flooding.
+const EARLY_BUFFER_BYTES: usize = 256 * 1024;
+
+/// Budget charge for one buffered early entry: its payload plus a fixed
+/// per-entry overhead, so empty-payload floods from an authenticated
+/// Byzantine peer still exhaust the cap instead of growing the buffer's
+/// bookkeeping without bound.
+fn early_entry_cost(payload_len: usize) -> usize {
+    payload_len + 64
+}
+
+/// The long-lived multi-epoch agreement pipeline.
+///
+/// `EpochMux` is sans-io: it consumes authenticated `(sender, agreement,
+/// payload)` entries and returns epoch-addressed envelope bursts for the
+/// transport to route. Drive it through [`EpochProtocol`] under the
+/// simulator, or natively through `delphi-net`'s `run_epoch_service` over
+/// real sockets.
+///
+/// Instances are created lazily by the factory, one call per `(epoch,
+/// asset)` pair — the factory *is* the streaming input source.
+pub struct EpochMux<P: Protocol> {
+    cfg: EpochConfig,
+    me: NodeId,
+    n: usize,
+    factory: Box<dyn FnMut(EpochId, InstanceId) -> P + Send>,
+    /// Resident epochs by id (unfinished + completed lingerers).
+    slots: BTreeMap<u32, Slot<P>>,
+    /// Next epoch id to spawn (everything below is spawned or skipped).
+    next_spawn: u32,
+    /// Unfinished resident epochs (≤ `cfg.depth`).
+    unfinished: usize,
+    /// Out-of-order resolutions awaiting ordered emission.
+    resolved: BTreeMap<u32, EpochOutcome<P::Output>>,
+    /// The ordered output stream.
+    events: Vec<EpochEvent<P::Output>>,
+    /// Epochs `< emit_floor` have been emitted.
+    emit_floor: u32,
+    /// Highest epoch each sender has addressed to us.
+    frontier: Vec<Option<u32>>,
+    /// Entries for epochs we have not spawned yet, replayed at spawn.
+    early: BTreeMap<u32, Vec<(NodeId, InstanceId, Bytes)>>,
+    early_bytes: usize,
+    stats: EpochStats,
+    started: bool,
+}
+
+impl<P: Protocol> fmt::Debug for EpochMux<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochMux")
+            .field("cfg", &self.cfg)
+            .field("me", &self.me)
+            .field("next_spawn", &self.next_spawn)
+            .field("resident", &self.slots.len())
+            .field("emit_floor", &self.emit_floor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> EpochMux<P> {
+    /// Creates the pipeline for node `me` of an `n`-node deployment.
+    ///
+    /// `factory(epoch, asset)` builds the agreement instance for that pair
+    /// — typically a fresh protocol node seeded with the epoch's price
+    /// sample. It is called lazily, at most [`EpochConfig::window`] epochs
+    /// ahead of the oldest resident epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid config (see [`EpochConfig::new`]) or `me` out
+    /// of range.
+    pub fn new(
+        cfg: EpochConfig,
+        me: NodeId,
+        n: usize,
+        factory: Box<dyn FnMut(EpochId, InstanceId) -> P + Send>,
+    ) -> EpochMux<P> {
+        let cfg = EpochConfig::new(cfg.epochs, cfg.assets, cfg.depth, cfg.window, cfg.t);
+        assert!(me.index() < n, "node id {me} out of range for n={n}");
+        EpochMux {
+            cfg,
+            me,
+            n,
+            factory,
+            slots: BTreeMap::new(),
+            next_spawn: 0,
+            unfinished: 0,
+            resolved: BTreeMap::new(),
+            events: Vec::new(),
+            emit_floor: 0,
+            frontier: vec![None; n],
+            early: BTreeMap::new(),
+            early_bytes: 0,
+            stats: EpochStats::default(),
+            started: false,
+        }
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    /// System size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The pipeline's shape.
+    pub fn config(&self) -> &EpochConfig {
+        &self.cfg
+    }
+
+    /// Whether every epoch of the stream has resolved and been emitted.
+    pub fn is_complete(&self) -> bool {
+        self.emit_floor == self.cfg.epochs
+    }
+
+    /// The ordered output stream emitted so far.
+    pub fn events(&self) -> &[EpochEvent<P::Output>] {
+        &self.events
+    }
+
+    /// Drops and returns the events emitted since the last drain.
+    pub fn drain_events(&mut self) -> Vec<EpochEvent<P::Output>> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> EpochStats {
+        self.stats
+    }
+
+    /// Epochs currently resident in memory.
+    pub fn resident_epochs(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Starts the pipeline: spawns the first `depth` epochs and returns
+    /// their start bursts.
+    ///
+    /// Call exactly once, before any [`EpochMux::on_entry`].
+    pub fn start(&mut self) -> Vec<(AgreementId, Vec<Envelope>)> {
+        assert!(!self.started, "start() must be called exactly once");
+        self.started = true;
+        let mut bursts = Vec::new();
+        self.fill_pipeline(&mut bursts);
+        bursts
+    }
+
+    /// Feeds one authenticated entry from `from`, returning the envelope
+    /// bursts it triggered (including start bursts of any newly spawned
+    /// epochs).
+    pub fn on_entry(
+        &mut self,
+        from: NodeId,
+        id: AgreementId,
+        payload: &[u8],
+    ) -> Vec<(AgreementId, Vec<Envelope>)> {
+        let mut bursts = Vec::new();
+        if from.index() < self.n && from != self.me {
+            // Clamp to the stream: epochs past the end are nonsense and
+            // must not drag the frontier (and everyone's skips) with them.
+            let claimed = id.epoch.0.min(self.cfg.epochs - 1);
+            let slot = &mut self.frontier[from.index()];
+            *slot = Some(slot.map_or(claimed, |f| f.max(claimed)));
+        }
+        self.fast_forward(&mut bursts);
+
+        let epoch = id.epoch.0;
+        if epoch >= self.next_spawn {
+            self.buffer_early(from, id, payload);
+            return bursts;
+        }
+        let Some(slot) = self.slots.get_mut(&epoch) else {
+            // Evicted or skipped: a peer slower (or faster, pre-skip) than
+            // us. Expected traffic, never an error.
+            self.stats.late_entries += 1;
+            return bursts;
+        };
+        let Some(instance) = slot.instances.get_mut(id.asset.index()) else {
+            return bursts; // unknown asset: ignore the entry
+        };
+        let burst = instance.on_message(from, payload);
+        if !burst.is_empty() {
+            bursts.push((id, burst));
+        }
+        self.harvest(epoch, id.asset.index());
+        self.fill_pipeline(&mut bursts);
+        bursts
+    }
+
+    /// Records a fresh output on `(epoch, asset)` and resolves the epoch
+    /// once every asset has one.
+    fn harvest(&mut self, epoch: u32, asset: usize) {
+        let Some(slot) = self.slots.get_mut(&epoch) else { return };
+        if slot.outputs[asset].is_none() {
+            if let Some(out) = slot.instances[asset].output() {
+                slot.outputs[asset] = Some(out);
+                slot.missing -= 1;
+                if slot.done() {
+                    self.unfinished -= 1;
+                    let outputs =
+                        slot.outputs.iter().map(|o| o.clone().expect("all present")).collect();
+                    self.resolve(epoch, EpochOutcome::Agreed(outputs));
+                }
+            }
+        }
+    }
+
+    /// Queues `outcome` for ordered emission (the slot, if any, stays
+    /// resident as a lingerer until evicted).
+    fn resolve(&mut self, epoch: u32, outcome: EpochOutcome<P::Output>) {
+        self.resolved.insert(epoch, outcome);
+        while let Some(outcome) = self.resolved.remove(&self.emit_floor) {
+            self.events.push(EpochEvent { epoch: EpochId(self.emit_floor), outcome });
+            self.emit_floor += 1;
+        }
+    }
+
+    /// Spawns epochs until `depth` are unfinished (or the stream ends),
+    /// replaying buffered early entries, and evicts lingerers beyond the
+    /// window.
+    fn fill_pipeline(&mut self, bursts: &mut Vec<(AgreementId, Vec<Envelope>)>) {
+        while self.unfinished < self.cfg.depth && self.next_spawn < self.cfg.epochs {
+            let epoch = self.next_spawn;
+            self.next_spawn += 1;
+            if self.hopeless(epoch) {
+                // The quorum frontier has moved past this epoch by more
+                // than the window: peers have evicted it, it can never
+                // complete. Skip without building instances, releasing
+                // whatever the epoch had buffered back to the budget.
+                for (_, _, payload) in self.early.remove(&epoch).unwrap_or_default() {
+                    self.early_bytes -= early_entry_cost(payload.len());
+                }
+                self.stats.stale_epochs += 1;
+                self.resolve(epoch, EpochOutcome::Skipped);
+                continue;
+            }
+            // Make room first so residency never exceeds the window, even
+            // transiently: when the budget is full, a resolved lingerer
+            // always exists (the spawn loop runs only while unfinished <
+            // depth ≤ window) and is evicted before the new epoch lands.
+            self.evict_lingerers();
+            let assets = usize::from(self.cfg.assets);
+            let mut instances = Vec::with_capacity(assets);
+            for a in 0..assets {
+                instances.push((self.factory)(EpochId(epoch), InstanceId(a as u16)));
+            }
+            let mut slot = Slot { instances, outputs: vec![None; assets], missing: assets };
+            for (a, instance) in slot.instances.iter_mut().enumerate() {
+                let burst = instance.start();
+                if !burst.is_empty() {
+                    bursts.push((AgreementId::new(EpochId(epoch), InstanceId(a as u16)), burst));
+                }
+            }
+            self.slots.insert(epoch, slot);
+            self.unfinished += 1;
+            self.stats.peak_resident = self.stats.peak_resident.max(self.slots.len());
+            // An instance may output at start (degenerate protocols).
+            for a in 0..assets {
+                self.harvest(epoch, a);
+            }
+            self.replay_early(epoch, bursts);
+        }
+    }
+
+    /// Whether `epoch` is beyond saving: `t + 1` senders are ahead of it
+    /// by more than the live window, so the quorum has evicted it.
+    fn hopeless(&self, epoch: u32) -> bool {
+        match self.quorum_frontier() {
+            Some(f) => epoch + self.cfg.window as u32 <= f && f > epoch,
+            None => false,
+        }
+    }
+
+    /// The highest epoch at least `t + 1` distinct senders have reached
+    /// (at least one of them honest).
+    fn quorum_frontier(&self) -> Option<u32> {
+        let mut seen: Vec<u32> = self.frontier.iter().filter_map(|f| *f).collect();
+        if seen.len() <= self.cfg.t {
+            return None;
+        }
+        seen.sort_unstable_by(|a, b| b.cmp(a));
+        Some(seen[self.cfg.t])
+    }
+
+    /// Skips unfinished epochs the quorum has left behind, so the
+    /// pipeline can refill at the live frontier instead of stalling.
+    fn fast_forward(&mut self, bursts: &mut Vec<(AgreementId, Vec<Envelope>)>) {
+        let Some(frontier) = self.quorum_frontier() else { return };
+        let stale: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|(&e, slot)| !slot.done() && e + (self.cfg.window as u32) <= frontier)
+            .map(|(&e, _)| e)
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        for epoch in stale {
+            self.slots.remove(&epoch);
+            self.unfinished -= 1;
+            self.stats.stale_epochs += 1;
+            self.resolve(epoch, EpochOutcome::Skipped);
+        }
+        self.fill_pipeline(bursts);
+    }
+
+    /// Buffers an entry for a not-yet-spawned epoch (bounded; replayed at
+    /// spawn). Entries beyond the stream or the byte budget are dropped.
+    fn buffer_early(&mut self, from: NodeId, id: AgreementId, payload: &[u8]) {
+        let epoch = id.epoch.0;
+        let horizon = self.next_spawn.saturating_add(self.cfg.window as u32);
+        if epoch >= self.cfg.epochs
+            || epoch >= horizon
+            || self.early_bytes + early_entry_cost(payload.len()) > EARLY_BUFFER_BYTES
+        {
+            self.stats.early_dropped += 1;
+            return;
+        }
+        self.early_bytes += early_entry_cost(payload.len());
+        self.early.entry(epoch).or_default().push((
+            from,
+            id.asset,
+            Bytes::copy_from_slice(payload),
+        ));
+    }
+
+    /// Replays entries buffered for `epoch` into its fresh instances.
+    fn replay_early(&mut self, epoch: u32, bursts: &mut Vec<(AgreementId, Vec<Envelope>)>) {
+        let Some(buffered) = self.early.remove(&epoch) else { return };
+        for (from, asset, payload) in buffered {
+            self.early_bytes -= early_entry_cost(payload.len());
+            self.stats.replayed_entries += 1;
+            let Some(slot) = self.slots.get_mut(&epoch) else { continue };
+            let Some(instance) = slot.instances.get_mut(asset.index()) else { continue };
+            let burst = instance.on_message(from, &payload);
+            if !burst.is_empty() {
+                bursts.push((AgreementId::new(EpochId(epoch), asset), burst));
+            }
+            self.harvest(epoch, asset.index());
+        }
+    }
+
+    /// Evicts the oldest *resolved* epochs until a fresh spawn fits the
+    /// window budget. Unfinished epochs are never evicted: the spawn loop
+    /// runs only while fewer than `depth ≤ window` epochs are unfinished,
+    /// so a resolved resident always exists when the budget is full.
+    fn evict_lingerers(&mut self) {
+        while self.slots.len() >= self.cfg.window {
+            let victim = self
+                .slots
+                .iter()
+                .find(|(_, slot)| slot.done())
+                .map(|(&e, _)| e)
+                .expect("window >= depth leaves a resolved epoch to evict");
+            self.slots.remove(&victim);
+        }
+    }
+}
+
+/// [`Protocol`] adapter over [`EpochMux`]: the whole epoch pipeline as one
+/// state machine any envelope transport can drive.
+///
+/// Outgoing bursts are routed per destination and encoded with the epoch
+/// batch codec; [`FlushPolicy::Adaptive`] accumulates entries across steps
+/// and relies on the driver's time trigger ([`Protocol::on_tick`]) to
+/// bound the delay. The output is the complete ordered event stream, once
+/// every epoch has resolved.
+pub struct EpochProtocol<P: Protocol> {
+    mux: EpochMux<P>,
+    pending: PendingBatches,
+    /// Batches flushed (what a transport turns into frames).
+    sent_batches: u64,
+    /// Entries flushed (envelopes after broadcast expansion).
+    sent_entries: u64,
+}
+
+/// Per-destination pending epoch entries under one [`FlushPolicy`] — the
+/// accumulator shared by [`EpochProtocol`] (simulator path) and
+/// `delphi-net`'s session layer (TCP path), so the two transports can
+/// never diverge on when a batch is due. The caller owns what "flush"
+/// means (an envelope, an authenticated frame); this struct only decides
+/// *when* and hands the entries back.
+#[derive(Debug)]
+pub struct PendingBatches {
+    policy: FlushPolicy,
+    pending: Vec<Vec<(AgreementId, Bytes)>>,
+    bytes: Vec<usize>,
+}
+
+impl PendingBatches {
+    /// An empty accumulator for `n` destinations.
+    pub fn new(n: usize, policy: FlushPolicy) -> PendingBatches {
+        PendingBatches { policy, pending: vec![Vec::new(); n], bytes: vec![0; n] }
+    }
+
+    /// Number of destinations.
+    pub fn dests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Appends entries for `dest`, returning `true` when the destination
+    /// is due for an immediate flush (always, per-step; on tripping the
+    /// entry or byte trigger, adaptive — the time trigger is the
+    /// driver's).
+    pub fn push(&mut self, dest: usize, entries: Vec<(AgreementId, Bytes)>) -> bool {
+        if entries.is_empty() || dest >= self.pending.len() {
+            return false;
+        }
+        self.bytes[dest] += entries.iter().map(|(_, p)| p.len()).sum::<usize>();
+        self.pending[dest].extend(entries);
+        match self.policy {
+            FlushPolicy::PerStep => true,
+            FlushPolicy::Adaptive { max_entries, max_bytes, .. } => {
+                self.pending[dest].len() >= max_entries || self.bytes[dest] >= max_bytes
+            }
+        }
+    }
+
+    /// Takes `dest`'s pending entries (empty when nothing is due).
+    pub fn take(&mut self, dest: usize) -> Vec<(AgreementId, Bytes)> {
+        self.bytes[dest] = 0;
+        std::mem::take(&mut self.pending[dest])
+    }
+
+    /// Whether any destination has unflushed entries.
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+}
+
+impl<P: Protocol> fmt::Debug for EpochProtocol<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochProtocol")
+            .field("mux", &self.mux)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> EpochProtocol<P> {
+    /// Wraps `mux` with the given flush policy.
+    pub fn new(mux: EpochMux<P>, flush: FlushPolicy) -> EpochProtocol<P> {
+        let n = mux.n();
+        EpochProtocol {
+            mux,
+            pending: PendingBatches::new(n, flush),
+            sent_batches: 0,
+            sent_entries: 0,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn mux(&self) -> &EpochMux<P> {
+        &self.mux
+    }
+
+    /// Consumes the adapter, returning the pipeline (for transports that
+    /// route epoch entries natively, like `delphi-net`).
+    pub fn into_mux(self) -> EpochMux<P> {
+        self.mux
+    }
+
+    /// Batches flushed so far (one transport frame each).
+    pub fn sent_batches(&self) -> u64 {
+        self.sent_batches
+    }
+
+    /// Entries flushed so far (envelopes after broadcast expansion).
+    pub fn sent_entries(&self) -> u64 {
+        self.sent_entries
+    }
+
+    /// Routes bursts into the per-destination pending buffers and flushes
+    /// whatever the policy says is due.
+    fn enqueue(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>, out: &mut Vec<Envelope>) {
+        for (dest, entries) in
+            route_epoch_bursts(bursts, self.mux.n(), self.mux.node_id()).into_iter().enumerate()
+        {
+            if self.pending.push(dest, entries) {
+                self.flush_dest(dest, out);
+            }
+        }
+    }
+
+    fn flush_dest(&mut self, dest: usize, out: &mut Vec<Envelope>) {
+        let entries = self.pending.take(dest);
+        if entries.is_empty() {
+            return;
+        }
+        self.sent_batches += 1;
+        self.sent_entries += entries.len() as u64;
+        out.push(Envelope::to_one(NodeId(dest as u16), encode_epoch_batch(&entries)));
+    }
+
+    fn flush_all(&mut self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for dest in 0..self.pending.dests() {
+            self.flush_dest(dest, &mut out);
+        }
+        out
+    }
+}
+
+impl<P: Protocol> Protocol for EpochProtocol<P> {
+    type Output = Vec<EpochEvent<P::Output>>;
+
+    fn node_id(&self) -> NodeId {
+        self.mux.node_id()
+    }
+
+    fn n(&self) -> usize {
+        self.mux.n()
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        let bursts = self.mux.start();
+        let mut out = Vec::new();
+        self.enqueue(bursts, &mut out);
+        out
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
+        let Ok(entries) = decode_epoch_batch(payload) else {
+            return Vec::new(); // malformed batch: ignore, never panic
+        };
+        let mut out = Vec::new();
+        for (id, entry) in entries {
+            let bursts = self.mux.on_entry(from, id, &entry);
+            self.enqueue(bursts, &mut out);
+        }
+        out
+    }
+
+    fn on_tick(&mut self) -> Vec<Envelope> {
+        self.flush_all()
+    }
+
+    fn output(&self) -> Option<Vec<EpochEvent<P::Output>>> {
+        self.mux.is_complete().then(|| self.mux.events().to_vec())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.mux.is_complete() && !self.pending.has_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn epoch_and_agreement_ids_roundtrip_and_display() {
+        assert_eq!(EpochId(5).to_string(), "epoch-5");
+        assert_eq!(EpochId(5).next(), EpochId(6));
+        assert_eq!(EpochId::from(9u32).index(), 9);
+        for raw in [0u32, 1, 255, 65_536, u32::MAX] {
+            assert_eq!(roundtrip(&EpochId(raw)).unwrap(), EpochId(raw));
+            let id = AgreementId::new(EpochId(raw), InstanceId(7));
+            assert_eq!(roundtrip(&id).unwrap(), id);
+        }
+        assert_eq!(AgreementId::solo(InstanceId(2)).to_string(), "epoch-0/instance-2");
+    }
+
+    #[test]
+    fn agreement_ids_order_epoch_major() {
+        let a = AgreementId::new(EpochId(1), InstanceId(9));
+        let b = AgreementId::new(EpochId(2), InstanceId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn epoch_batch_roundtrip_and_length() {
+        let entries = vec![
+            (AgreementId::new(EpochId(0), InstanceId(0)), Bytes::from_static(b"alpha")),
+            (AgreementId::new(EpochId(u32::MAX), InstanceId(65535)), Bytes::from_static(b"")),
+            (AgreementId::new(EpochId(7), InstanceId(3)), Bytes::from_static(b"omega")),
+        ];
+        let encoded = encode_epoch_batch(&entries);
+        assert_eq!(encoded.len(), epoch_batch_len([5, 0, 5]));
+        assert_eq!(decode_epoch_batch(&encoded).unwrap(), entries);
+        // Empty batches round-trip too.
+        assert_eq!(decode_epoch_batch(&encode_epoch_batch(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn epoch_batch_rejects_malformed_input() {
+        let entries = vec![(AgreementId::new(EpochId(3), InstanceId(1)), Bytes::from_static(b"p"))];
+        let encoded = encode_epoch_batch(&entries);
+        assert_eq!(decode_epoch_batch(&[]), Err(WireError::Truncated));
+        for cut in 1..encoded.len() {
+            let err = decode_epoch_batch(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::LengthOutOfBounds),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        let mut trailing = encoded.to_vec();
+        trailing.push(0xaa);
+        assert_eq!(decode_epoch_batch(&trailing), Err(WireError::TrailingBytes));
+        // Huge declared count with no entries must fail fast.
+        assert_eq!(decode_epoch_batch(&[0xff, 0xff]), Err(WireError::Truncated));
+    }
+
+    /// One-round gossip: broadcasts once, outputs after hearing `n - 1`
+    /// greetings. Completion per epoch requires every node's traffic.
+    struct Gossip {
+        id: NodeId,
+        n: usize,
+        tag: u8,
+        heard: usize,
+    }
+
+    impl Protocol for Gossip {
+        type Output = u8;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            vec![Envelope::to_all(Bytes::copy_from_slice(&[self.tag]))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.heard += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<u8> {
+            (self.heard >= self.n - 1).then_some(self.tag)
+        }
+    }
+
+    fn gossip_factory(
+        me: NodeId,
+        n: usize,
+    ) -> Box<dyn FnMut(EpochId, InstanceId) -> Gossip + Send> {
+        Box::new(move |e, a| Gossip {
+            id: me,
+            n,
+            tag: (e.0 as u8).wrapping_mul(10).wrapping_add(a.0 as u8),
+            heard: 0,
+        })
+    }
+
+    fn mesh(cfg: EpochConfig, n: usize, flush: FlushPolicy) -> Vec<EpochProtocol<Gossip>> {
+        NodeId::all(n)
+            .map(|id| EpochProtocol::new(EpochMux::new(cfg, id, n, gossip_factory(id, n)), flush))
+            .collect()
+    }
+
+    /// Hand-delivers envelopes (flushing via ticks when queues drain)
+    /// until quiescence; returns messages delivered.
+    fn run_mesh(nodes: &mut [EpochProtocol<Gossip>]) -> usize {
+        use crate::Recipient;
+        let mut queue: std::collections::VecDeque<(NodeId, NodeId, Bytes)> =
+            std::collections::VecDeque::new();
+        let push = |queue: &mut std::collections::VecDeque<(NodeId, NodeId, Bytes)>,
+                    from: NodeId,
+                    envs: Vec<Envelope>| {
+            for env in envs {
+                let Recipient::One(dest) = env.to else { panic!("epoch batches are to_one") };
+                queue.push_back((from, dest, env.payload));
+            }
+        };
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let envs = node.start();
+            push(&mut queue, NodeId(i as u16), envs);
+        }
+        let mut delivered = 0;
+        loop {
+            while let Some((from, to, payload)) = queue.pop_front() {
+                delivered += 1;
+                let envs = nodes[to.index()].on_message(from, &payload);
+                push(&mut queue, to, envs);
+            }
+            // Queue drained: fire the time trigger (the simulator's tick).
+            let mut progressed = false;
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let envs = node.on_tick();
+                progressed |= !envs.is_empty();
+                push(&mut queue, NodeId(i as u16), envs);
+            }
+            if !progressed && queue.is_empty() {
+                return delivered;
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_completes_all_epochs_in_order() {
+        let cfg = EpochConfig::new(12, 3, 2, 4, 1);
+        let mut nodes = mesh(cfg, 4, FlushPolicy::PerStep);
+        run_mesh(&mut nodes);
+        for node in &nodes {
+            let events = node.output().expect("stream complete");
+            assert_eq!(events.len(), 12);
+            for (e, event) in events.iter().enumerate() {
+                assert_eq!(event.epoch, EpochId(e as u32), "ordered emission");
+                let EpochOutcome::Agreed(values) = &event.outcome else {
+                    panic!("honest run skipped epoch {e}");
+                };
+                let expect: Vec<u8> = (0..3).map(|a| (e as u8) * 10 + a).collect();
+                assert_eq!(values, &expect, "per-asset values at epoch {e}");
+            }
+            assert_eq!(node.mux().stats().stale_epochs, 0);
+            assert_eq!(node.mux().stats().late_entries, 0);
+            assert!(node.mux().stats().peak_resident <= 4, "live window bound");
+            assert!(node.is_finished());
+        }
+    }
+
+    #[test]
+    fn adaptive_flush_cuts_batches_at_equal_entry_counts() {
+        let cfg = EpochConfig::new(10, 4, 2, 4, 1);
+        let mut per_step = mesh(cfg, 3, FlushPolicy::PerStep);
+        run_mesh(&mut per_step);
+        let mut adaptive = mesh(
+            cfg,
+            3,
+            FlushPolicy::Adaptive {
+                max_entries: 16,
+                max_bytes: 4096,
+                max_delay: Duration::from_millis(1),
+            },
+        );
+        run_mesh(&mut adaptive);
+        let entries =
+            |nodes: &[EpochProtocol<Gossip>]| nodes.iter().map(|n| n.sent_entries()).sum::<u64>();
+        let batches =
+            |nodes: &[EpochProtocol<Gossip>]| nodes.iter().map(|n| n.sent_batches()).sum::<u64>();
+        for node in per_step.iter().chain(&adaptive) {
+            assert!(node.output().is_some(), "both modes complete the stream");
+        }
+        assert_eq!(entries(&per_step), entries(&adaptive), "same protocol work");
+        assert!(
+            batches(&adaptive) < batches(&per_step),
+            "adaptive {} vs per-step {} batches for {} entries",
+            batches(&adaptive),
+            batches(&per_step),
+            entries(&per_step)
+        );
+    }
+
+    #[test]
+    fn late_entries_to_evicted_epochs_are_counted_not_errors() {
+        let n = 2;
+        let cfg = EpochConfig::new(6, 1, 1, 1, 0);
+        let mut a = EpochProtocol::new(
+            EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n)),
+            FlushPolicy::PerStep,
+        );
+        let mut b = EpochProtocol::new(
+            EpochMux::new(cfg, NodeId(1), n, gossip_factory(NodeId(1), n)),
+            FlushPolicy::PerStep,
+        );
+        let a0 = a.start();
+        let b0 = b.start();
+        // Deliver epoch 0 both ways: both complete epoch 0, spawn epoch 1,
+        // and (window = depth = 1) evict the finished epoch 0 slot.
+        let _ = a.on_message(NodeId(1), &b0[0].payload);
+        let _ = b.on_message(NodeId(0), &a0[0].payload);
+        assert_eq!(a.mux().events().len(), 1);
+        // Replay node 1's epoch-0 greeting: epoch 0 is evicted now.
+        let before = a.mux().stats().late_entries;
+        let out = a.on_message(NodeId(1), &b0[0].payload);
+        assert!(out.is_empty(), "late entry triggers nothing");
+        assert_eq!(a.mux().stats().late_entries, before + 1, "late entry counted");
+        assert_eq!(a.mux().events().len(), 1, "state unchanged");
+    }
+
+    #[test]
+    fn eviction_never_removes_an_unfinished_epoch_within_the_window() {
+        // depth 2, window 2: node 0 completes epoch 0 while epoch 1 stays
+        // unfinished; spawning epoch 2 pushes residency to 3 > window and
+        // must evict the *completed* epoch 0, not unfinished epoch 1.
+        let n = 2;
+        let cfg = EpochConfig::new(8, 1, 2, 2, 0);
+        let mut a = EpochProtocol::new(
+            EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n)),
+            FlushPolicy::PerStep,
+        );
+        let mut b = EpochProtocol::new(
+            EpochMux::new(cfg, NodeId(1), n, gossip_factory(NodeId(1), n)),
+            FlushPolicy::PerStep,
+        );
+        let _ = a.start();
+        let b0 = b.start();
+        // b's start burst carries epochs 0 and 1; feed only epoch 0 to a.
+        let entries = decode_epoch_batch(&b0[0].payload).unwrap();
+        let (e0, payload0) =
+            entries.iter().find(|(id, _)| id.epoch == EpochId(0)).cloned().expect("epoch 0 entry");
+        let _ = a.on_entry_for_test(NodeId(1), e0, &payload0);
+        // Epoch 0 done -> epoch 2 spawned; epoch 1 still unfinished.
+        assert_eq!(a.mux().events().len(), 1);
+        assert!(a.mux().resident_epochs() <= 2, "window respected");
+        let resident: Vec<u32> = a.mux.slots.keys().copied().collect();
+        assert!(resident.contains(&1), "unfinished epoch 1 must survive eviction");
+        assert!(!resident.contains(&0), "completed epoch 0 was the eviction victim");
+    }
+
+    #[test]
+    fn rejoining_node_fast_forwards_past_a_quorum_frontier() {
+        // n = 4, t = 1: two senders must be beyond an epoch (window past
+        // it) before it is skipped. A single high-epoch sender moves
+        // nothing — the Byzantine-advertisement guard.
+        let n = 4;
+        let cfg = EpochConfig::new(40, 1, 1, 2, 1);
+        let mut lag = EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n));
+        let _ = lag.start();
+        assert_eq!(lag.resident_epochs(), 1, "working on epoch 0");
+
+        // One (possibly Byzantine) sender claims epoch 30: no movement.
+        let _ = lag.on_entry(NodeId(1), AgreementId::new(EpochId(30), InstanceId(0)), b"x");
+        assert_eq!(lag.stats().stale_epochs, 0, "one sender is not a quorum");
+
+        // A second sender confirms the frontier: epoch 0 is hopeless
+        // (30 ≥ 0 + window), the mux skips forward and respawns at the
+        // buffered frontier epochs.
+        let _ = lag.on_entry(NodeId(2), AgreementId::new(EpochId(30), InstanceId(0)), b"x");
+        assert!(lag.stats().stale_epochs > 0, "left-behind epochs skipped");
+        let events = lag.events();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.outcome == EpochOutcome::Skipped),
+            "skipped epochs resolve as Skipped in order"
+        );
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.epoch, EpochId(i as u32), "ordered emission across skips");
+        }
+        // The pipeline refilled near the frontier, not at epoch 0.
+        let newest = lag.slots.keys().next_back().copied().unwrap();
+        assert!(newest + (cfg.window as u32) > 30, "respawned at the live frontier");
+    }
+
+    #[test]
+    fn early_entries_buffer_and_replay_but_bound_memory() {
+        // t = 1 with a single peer: no fast-forward quorum can ever form,
+        // isolating the early-buffer path.
+        let n = 2;
+        let cfg = EpochConfig::new(10, 1, 1, 2, 1);
+        let mut a = EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n));
+        let _ = a.start();
+        // Epoch 1 is within the horizon: buffered, then replayed at spawn.
+        let _ = a.on_entry(NodeId(1), AgreementId::new(EpochId(1), InstanceId(0)), b"g");
+        assert_eq!(a.stats().early_dropped, 0);
+        // Far beyond the horizon (and the stream): dropped and counted.
+        let _ = a.on_entry(NodeId(1), AgreementId::new(EpochId(9999), InstanceId(0)), b"g");
+        assert_eq!(a.stats().early_dropped, 1);
+        // Completing epoch 0 spawns epoch 1, replaying the buffer: the
+        // replayed greeting counts toward epoch 1's completion.
+        let _ = a.on_entry(NodeId(1), AgreementId::new(EpochId(0), InstanceId(0)), b"g");
+        assert_eq!(a.stats().replayed_entries, 1);
+        assert_eq!(a.events().len(), 2, "epoch 1 completed via the replayed entry");
+    }
+
+    #[test]
+    fn early_budget_is_released_when_buffered_epochs_are_skipped() {
+        // Buffer entries for future epochs, then fast-forward past them:
+        // the skipped epochs' buffered bytes must return to the budget,
+        // or repeated skip cycles would eventually reject all buffering.
+        let n = 4;
+        let cfg = EpochConfig::new(200, 1, 1, 2, 1);
+        let mut lag = EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n));
+        let _ = lag.start();
+        let _ = lag.on_entry(NodeId(1), AgreementId::new(EpochId(1), InstanceId(0)), b"abcdef");
+        assert!(lag.early_bytes > 0, "entry buffered");
+        // Two senders at epoch 100: epochs 0 and 1 (and the buffer for 1)
+        // are hopeless and skipped.
+        let _ = lag.on_entry(NodeId(1), AgreementId::new(EpochId(100), InstanceId(0)), b"x");
+        let _ = lag.on_entry(NodeId(2), AgreementId::new(EpochId(100), InstanceId(0)), b"x");
+        assert!(lag.stats().stale_epochs > 0);
+        // The skipped epoch's buffer is gone (frontier-epoch entries may
+        // legitimately remain buffered until epoch 100 spawns), and the
+        // budget accounts exactly the entries still alive.
+        assert!(!lag.early.contains_key(&1), "skipped epoch's buffer discarded");
+        let expected: usize =
+            lag.early.values().flatten().map(|(_, _, p)| early_entry_cost(p.len())).sum();
+        assert_eq!(lag.early_bytes, expected, "budget accounts exactly the live buffer");
+    }
+
+    #[test]
+    fn empty_payload_floods_still_exhaust_the_early_budget() {
+        // An authenticated Byzantine peer streaming zero-length entries
+        // for a future epoch must hit the cap (per-entry overhead is
+        // charged), not grow the buffer without bound.
+        let n = 2;
+        let cfg = EpochConfig::new(100, 1, 1, 2, 1); // t=1, 1 peer: no quorum
+        let mut node = EpochMux::new(cfg, NodeId(0), n, gossip_factory(NodeId(0), n));
+        let _ = node.start();
+        for _ in 0..10_000 {
+            let _ = node.on_entry(NodeId(1), AgreementId::new(EpochId(1), InstanceId(0)), b"");
+        }
+        let buffered: usize = node.early.values().map(|v| v.len()).sum();
+        assert!(buffered <= EARLY_BUFFER_BYTES / 64 + 1, "buffer bounded: {buffered} entries");
+        assert!(node.stats().early_dropped > 0, "flood tail dropped and counted");
+    }
+
+    #[test]
+    fn unknown_assets_and_malformed_batches_are_ignored() {
+        let cfg = EpochConfig::new(2, 1, 1, 1, 0);
+        let mut node = EpochProtocol::new(
+            EpochMux::new(cfg, NodeId(0), 2, gossip_factory(NodeId(0), 2)),
+            FlushPolicy::PerStep,
+        );
+        let _ = node.start();
+        assert!(node.on_message(NodeId(1), b"\xff\xff\xff").is_empty(), "garbage ignored");
+        let foreign = encode_epoch_batch(&[(
+            AgreementId::new(EpochId(0), InstanceId(9)),
+            Bytes::from_static(b"g"),
+        )]);
+        assert!(node.on_message(NodeId(1), &foreign).is_empty());
+        assert!(node.output().is_none(), "unknown asset must not advance state");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must cover")]
+    fn config_rejects_window_smaller_than_depth() {
+        let _ = EpochConfig::new(1, 1, 4, 2, 0);
+    }
+
+    #[test]
+    fn flush_policy_helpers() {
+        assert!(FlushPolicy::adaptive().is_adaptive());
+        assert!(!FlushPolicy::PerStep.is_adaptive());
+    }
+
+    impl EpochProtocol<Gossip> {
+        /// Test-only: feed a single decoded entry (bypassing the codec).
+        fn on_entry_for_test(
+            &mut self,
+            from: NodeId,
+            id: AgreementId,
+            payload: &[u8],
+        ) -> Vec<Envelope> {
+            let bursts = self.mux.on_entry(from, id, payload);
+            let mut out = Vec::new();
+            self.enqueue(bursts, &mut out);
+            out
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //!   per oracle asset) over a single mesh, with a shared batch-entry codec
 //!   so transports amortize framing + MAC cost over every instance's
 //!   traffic.
+//! - [`EpochId`] / [`AgreementId`] and [`epoch`]: the streaming-oracle
+//!   lifecycle — long-lived multi-epoch agreement pipelines with a bounded
+//!   live window, ordered output streams, and adaptive batch flushing —
+//!   over the same sans-io [`Protocol`] machinery.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@
 
 mod bitset;
 mod dyadic;
+pub mod epoch;
 mod id;
 pub mod mux;
 mod protocol;
@@ -47,6 +52,10 @@ pub mod wire;
 
 pub use bitset::NodeBitSet;
 pub use dyadic::{Dyadic, DyadicRangeError};
+pub use epoch::{
+    AgreementId, EpochConfig, EpochEvent, EpochId, EpochMux, EpochOutcome, EpochProtocol,
+    EpochStats, FlushPolicy, PendingBatches,
+};
 pub use id::{InstanceId, NodeId, Round};
 pub use mux::Mux;
 pub use protocol::{Envelope, Protocol, Recipient};

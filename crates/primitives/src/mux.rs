@@ -114,7 +114,18 @@ pub fn route_bursts(
     n: usize,
     me: NodeId,
 ) -> Vec<Vec<(InstanceId, Bytes)>> {
-    let mut per_dest: Vec<Vec<(InstanceId, Bytes)>> = vec![Vec::new(); n];
+    route_bursts_by(bursts, n, me)
+}
+
+/// Id-generic burst router behind [`route_bursts`] and the epoch layer's
+/// [`route_epoch_bursts`](crate::epoch::route_epoch_bursts): one routing
+/// semantics, whatever the instance address type.
+pub(crate) fn route_bursts_by<K: Copy>(
+    bursts: Vec<(K, Vec<Envelope>)>,
+    n: usize,
+    me: NodeId,
+) -> Vec<Vec<(K, Bytes)>> {
+    let mut per_dest: Vec<Vec<(K, Bytes)>> = vec![Vec::new(); n];
     for (instance, envelopes) in bursts {
         for env in envelopes {
             match env.to {

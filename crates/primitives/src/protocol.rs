@@ -130,6 +130,17 @@ pub trait Protocol {
     /// channels are part of the system model); `payload` is untrusted.
     fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope>;
 
+    /// Handles a time trigger from the driver, returning messages to send.
+    ///
+    /// Drivers with a clock (the simulator's tick events, the TCP
+    /// runtime's flush timer) call this periodically; protocols that
+    /// defer work against a time bound — adaptive batch flushing, most
+    /// prominently — release it here. The default does nothing, so purely
+    /// message-driven protocols are unaffected.
+    fn on_tick(&mut self) -> Vec<Envelope> {
+        Vec::new()
+    }
+
     /// The decided output, once available.
     ///
     /// A protocol may keep emitting messages after producing an output

@@ -80,12 +80,20 @@ impl<O> RunReport<O> {
 }
 
 #[derive(Debug)]
+enum EventKind {
+    /// A message delivery.
+    Msg { from: NodeId, to: NodeId, payload: Bytes },
+    /// A global time trigger: every node's `on_tick` runs (adaptive batch
+    /// flushing lives there). Scheduled only when
+    /// [`Simulation::tick_interval_ns`] is set.
+    Tick,
+}
+
+#[derive(Debug)]
 struct Event {
     at: u64,
     seq: u64,
-    from: NodeId,
-    to: NodeId,
-    payload: Bytes,
+    kind: EventKind,
 }
 
 impl PartialEq for Event {
@@ -115,6 +123,7 @@ pub struct Simulation {
     faulty: Vec<bool>,
     max_events: u64,
     max_time_ns: u64,
+    tick_interval_ns: Option<u64>,
 }
 
 impl Simulation {
@@ -128,6 +137,7 @@ impl Simulation {
             faulty: vec![false; n],
             max_events: 100_000_000,
             max_time_ns: 3_600_000_000_000,
+            tick_interval_ns: None,
         }
     }
 
@@ -156,6 +166,20 @@ impl Simulation {
     /// Overrides the simulated-time safety cap (nanoseconds).
     pub fn max_time_ns(mut self, cap: u64) -> Simulation {
         self.max_time_ns = cap;
+        self
+    }
+
+    /// Enables periodic time triggers: every `interval` simulated
+    /// nanoseconds, each node's [`Protocol::on_tick`] runs (the hook
+    /// adaptive batch flushing hangs off). Ticks stop rescheduling once
+    /// the mesh goes quiet — an idle stalled run still drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn tick_interval_ns(mut self, interval: u64) -> Simulation {
+        assert!(interval > 0, "tick interval must be positive");
+        self.tick_interval_ns = Some(interval);
         self
     }
 
@@ -225,9 +249,11 @@ impl Simulation {
                         queue.push(Reverse(Event {
                             at: arrive,
                             seq,
-                            from: NodeId(from as u16),
-                            to: NodeId(dest as u16),
-                            payload: env.payload.clone(),
+                            kind: EventKind::Msg {
+                                from: NodeId(from as u16),
+                                to: NodeId(dest as u16),
+                                payload: env.payload.clone(),
+                            },
                         }));
                     }
                 }
@@ -251,6 +277,10 @@ impl Simulation {
             dispatch!(i, outs, 0u64);
             check_finished!(i, nodes[i], 0u64);
         }
+        if let Some(interval) = self.tick_interval_ns {
+            seq += 1;
+            queue.push(Reverse(Event { at: interval, seq, kind: EventKind::Tick }));
+        }
 
         let mut stop = StopReason::Drained;
         if pending_honest == 0 {
@@ -267,17 +297,44 @@ impl Simulation {
                     stop = StopReason::MaxTime;
                     break;
                 }
-                let to = ev.to.index();
-                let done = cpu_free[to].max(now) + self.topology.cost().cost_ns(ev.payload.len());
-                cpu_free[to] = done;
-                {
-                    let m = &mut metrics.per_node[to];
-                    m.recv_msgs += 1;
-                    m.recv_payload_bytes += ev.payload.len() as u64;
+                match ev.kind {
+                    EventKind::Msg { from, to, payload } => {
+                        let to = to.index();
+                        let done =
+                            cpu_free[to].max(now) + self.topology.cost().cost_ns(payload.len());
+                        cpu_free[to] = done;
+                        {
+                            let m = &mut metrics.per_node[to];
+                            m.recv_msgs += 1;
+                            m.recv_payload_bytes += payload.len() as u64;
+                        }
+                        let outs = nodes[to].on_message(from, &payload);
+                        dispatch!(to, outs, done);
+                        check_finished!(to, nodes[to], done);
+                    }
+                    EventKind::Tick => {
+                        let mut emitted = false;
+                        for i in 0..n {
+                            let outs = nodes[i].on_tick();
+                            emitted |= !outs.is_empty();
+                            dispatch!(i, outs, now);
+                            check_finished!(i, nodes[i], now);
+                        }
+                        // Reschedule only while the mesh is active: once
+                        // nothing is in flight and a tick released
+                        // nothing, further ticks cannot change anything.
+                        if emitted || !queue.is_empty() {
+                            let interval =
+                                self.tick_interval_ns.expect("tick events imply an interval");
+                            seq += 1;
+                            queue.push(Reverse(Event {
+                                at: now + interval,
+                                seq,
+                                kind: EventKind::Tick,
+                            }));
+                        }
+                    }
                 }
-                let outs = nodes[to].on_message(ev.from, &ev.payload);
-                dispatch!(to, outs, done);
-                check_finished!(to, nodes[to], done);
                 if pending_honest == 0 {
                     stop = StopReason::AllHonestFinished;
                     break;
@@ -503,6 +560,77 @@ mod tests {
         let nodes: Vec<Box<dyn Protocol<Output = usize>>> =
             vec![Gossip::boxed(NodeId(1), 2), Gossip::boxed(NodeId(0), 2)];
         let _ = Simulation::new(Topology::lan(2)).run(nodes);
+    }
+
+    /// Withholds its greeting until the first tick — only a tick-enabled
+    /// run can complete.
+    struct TickGossip {
+        inner: Gossip,
+        pending: Option<Envelope>,
+    }
+
+    impl Protocol for TickGossip {
+        type Output = usize;
+        fn node_id(&self) -> NodeId {
+            self.inner.id
+        }
+        fn n(&self) -> usize {
+            self.inner.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            self.pending = self.inner.start().pop();
+            Vec::new()
+        }
+        fn on_message(&mut self, from: NodeId, m: &[u8]) -> Vec<Envelope> {
+            self.inner.on_message(from, m)
+        }
+        fn on_tick(&mut self) -> Vec<Envelope> {
+            self.pending.take().into_iter().collect()
+        }
+        fn output(&self) -> Option<usize> {
+            self.inner.output()
+        }
+    }
+
+    fn tick_gossip_nodes(n: usize) -> Vec<Box<dyn Protocol<Output = usize>>> {
+        NodeId::all(n)
+            .map(|id| {
+                Box::new(TickGossip {
+                    inner: Gossip { id, n, heard: vec![false; n] },
+                    pending: None,
+                }) as Box<dyn Protocol<Output = usize>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ticks_release_deferred_sends_and_stop_when_quiet() {
+        // Without ticks the deferred greetings never leave: the run drains.
+        let stalled = Simulation::new(Topology::lan(3)).seed(2).run(tick_gossip_nodes(3));
+        assert_eq!(stalled.stop, StopReason::Drained);
+        // With ticks the greetings flush at the first tick and the run
+        // completes; tick events stop rescheduling once the mesh is quiet,
+        // so a small event count suffices.
+        let report = Simulation::new(Topology::lan(3))
+            .seed(2)
+            .tick_interval_ns(1_000_000)
+            .run(tick_gossip_nodes(3));
+        assert_eq!(report.stop, StopReason::AllHonestFinished);
+        assert!(report.completion_ns().unwrap() >= 1_000_000, "nothing moved before a tick");
+        assert!(report.events < 100, "ticks must not spin an idle mesh");
+    }
+
+    #[test]
+    fn tick_runs_are_deterministic_per_seed() {
+        let run = || {
+            Simulation::new(Topology::aws_geo(4))
+                .seed(9)
+                .tick_interval_ns(500_000)
+                .run(tick_gossip_nodes(4))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completion_ns(), b.completion_ns());
+        assert_eq!(a.events, b.events);
     }
 
     #[test]

@@ -80,5 +80,5 @@ mod topology;
 pub use engine::{RunReport, Simulation, StopReason};
 pub use latency::{Jitter, LatencyMatrix};
 pub use metrics::{Metrics, NodeMetrics};
-pub use shard::{run_sharded, BatchSavings, SimJob};
+pub use shard::{run_sharded, BatchSavings, EpochThroughput, SimJob};
 pub use topology::{CostModel, Topology, WIRE_OVERHEAD_BYTES};

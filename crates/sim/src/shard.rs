@@ -16,7 +16,7 @@
 
 use std::fmt;
 
-use delphi_primitives::Protocol;
+use delphi_primitives::{EpochEvent, Protocol};
 
 use crate::engine::{RunReport, Simulation};
 use crate::metrics::Metrics;
@@ -138,6 +138,84 @@ impl BatchSavings {
     /// Fraction of wire bytes eliminated by batching, in `[0, 1]`.
     pub fn bytes_saved(&self) -> f64 {
         saved_fraction(self.unbatched_wire_bytes, self.batched_wire_bytes)
+    }
+}
+
+/// Sustained-throughput summary of one epoch-stream run: what the
+/// `fig_throughput` sweep reports per configuration.
+///
+/// Built from an [`EpochProtocol`](delphi_primitives::EpochProtocol) run's
+/// report: agreements come from the ordered event stream (the minimum
+/// across honest nodes, so a skipped epoch on any node is not counted),
+/// transport cost from the run's [`Metrics`], and time from the simulated
+/// clock — deterministic, machine-independent numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochThroughput {
+    /// `(epoch, asset)` agreements every honest node emitted.
+    pub agreements: u64,
+    /// Simulated seconds until the last honest node finished the stream.
+    pub sim_seconds: f64,
+    /// Transport frames (simulator messages) sent by all nodes.
+    pub frames: u64,
+    /// Wire bytes (payload + per-frame overhead) sent by all nodes.
+    pub wire_bytes: u64,
+}
+
+impl EpochThroughput {
+    /// Summarizes a finished epoch-stream run.
+    pub fn from_report<O: Clone + fmt::Debug>(
+        report: &RunReport<Vec<EpochEvent<O>>>,
+    ) -> EpochThroughput {
+        let agreements = report
+            .honest_outputs()
+            .map(|events| events.iter().map(|e| e.agreements().count() as u64).sum::<u64>())
+            .min()
+            .unwrap_or(0);
+        let sim_seconds = report.completion_ns().unwrap_or(report.end_ns) as f64 / 1e9;
+        EpochThroughput {
+            agreements,
+            sim_seconds,
+            frames: report.metrics.total_msgs(),
+            wire_bytes: report.metrics.total_wire_bytes(),
+        }
+    }
+
+    /// Sustained agreements per simulated second.
+    pub fn agreements_per_sec(&self) -> f64 {
+        if self.sim_seconds == 0.0 {
+            return 0.0;
+        }
+        self.agreements as f64 / self.sim_seconds
+    }
+
+    /// Wire bytes spent per agreement.
+    pub fn bytes_per_agreement(&self) -> f64 {
+        if self.agreements == 0 {
+            return f64::NAN;
+        }
+        self.wire_bytes as f64 / self.agreements as f64
+    }
+
+    /// Transport frames spent per agreement.
+    pub fn frames_per_agreement(&self) -> f64 {
+        if self.agreements == 0 {
+            return f64::NAN;
+        }
+        self.frames as f64 / self.agreements as f64
+    }
+}
+
+impl fmt::Display for EpochThroughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} agreements in {:.3}s ({:.1}/s), {:.0} B and {:.2} frames per agreement",
+            self.agreements,
+            self.sim_seconds,
+            self.agreements_per_sec(),
+            self.bytes_per_agreement(),
+            self.frames_per_agreement()
+        )
     }
 }
 

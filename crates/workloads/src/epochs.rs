@@ -1,0 +1,135 @@
+//! Deterministic multi-epoch price feeds for streaming-oracle runs.
+//!
+//! A streaming oracle needs a *fresh* basket quote every epoch, and every
+//! node of a distributed deployment must derive the *same* quote without
+//! any coordination — exactly the trick `deployment_inputs` plays for
+//! one-shot runs, extended along the epoch axis. [`EpochFeed`] provides
+//! random access: `minute(epoch, n)` is a pure function of `(config,
+//! seed, epoch)`, so a node that joins at epoch 40 derives epoch 40's
+//! quotes without replaying 0–39, and two processes never disagree.
+
+use crate::assets::{AssetMinute, MultiAssetConfig, MultiAssetFeed};
+
+/// Mixes the epoch into the basket seed (splitmix-style odd constant) so
+/// epochs are mutually independent while the whole stream replays from
+/// one `(config, seed)` pair.
+fn epoch_seed(seed: u64, epoch: u32) -> u64 {
+    seed ^ (u64::from(epoch) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Random-access generator of per-epoch basket quotes.
+///
+/// # Example
+///
+/// ```
+/// use delphi_workloads::{EpochFeed, MultiAssetConfig};
+///
+/// let feed = EpochFeed::new(MultiAssetConfig::default_basket(), 7);
+/// let epoch_3 = feed.minute(3, 16);
+/// assert_eq!(epoch_3.len(), 4);
+/// assert_eq!(epoch_3[0].inputs.len(), 16);
+/// // Pure function of (config, seed, epoch): replays identically.
+/// assert_eq!(feed.minute(3, 16)[0].inputs, epoch_3[0].inputs);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EpochFeed {
+    cfg: MultiAssetConfig,
+    seed: u64,
+}
+
+impl EpochFeed {
+    /// Creates the feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid basket (empty, duplicate names, degenerate
+    /// feed parameters) — validated eagerly so a bad config fails at
+    /// construction, not at epoch 40.
+    pub fn new(cfg: MultiAssetConfig, seed: u64) -> EpochFeed {
+        // One throwaway instantiation runs every basket validation.
+        let _ = MultiAssetFeed::new(cfg.clone(), seed);
+        EpochFeed { cfg, seed }
+    }
+
+    /// Number of assets in the basket.
+    pub fn assets(&self) -> usize {
+        self.cfg.assets.len()
+    }
+
+    /// One epoch's basket quotes and per-node inputs, for `n` oracle
+    /// nodes — deterministic random access.
+    pub fn minute(&self, epoch: u32, n: usize) -> Vec<AssetMinute> {
+        MultiAssetFeed::new(self.cfg.clone(), epoch_seed(self.seed, epoch)).next_minute(n)
+    }
+
+    /// One epoch's per-node inputs, indexed `[asset][node]` — the whole
+    /// minute reduced to what the oracle service consumes. Price sources
+    /// should call this once per epoch and cache it: regenerating the
+    /// minute per `(asset, node)` lookup multiplies the sampling work by
+    /// the basket size.
+    pub fn inputs(&self, epoch: u32, n: usize) -> Vec<Vec<f64>> {
+        self.minute(epoch, n).into_iter().map(|a| a.inputs).collect()
+    }
+
+    /// Node `node`'s input for `(epoch, asset)` — a convenience over
+    /// [`EpochFeed::inputs`] for one-off lookups (it regenerates the
+    /// epoch's minute every call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asset` or `node` is out of range.
+    pub fn input(&self, epoch: u32, asset: usize, node: usize, n: usize) -> f64 {
+        self.minute(epoch, n)[asset].inputs[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_deterministic_and_mutually_independent() {
+        let feed = EpochFeed::new(MultiAssetConfig::synthetic(3), 9);
+        assert_eq!(feed.assets(), 3);
+        let (a, b) = (feed.minute(5, 8), feed.minute(5, 8));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.inputs, y.inputs, "same epoch replays identically");
+        }
+        let other_epoch = feed.minute(6, 8);
+        assert_ne!(a[0].inputs, other_epoch[0].inputs, "epochs quote independently");
+        let other_seed = EpochFeed::new(MultiAssetConfig::synthetic(3), 10);
+        assert_ne!(a[0].inputs, other_seed.minute(5, 8)[0].inputs);
+    }
+
+    #[test]
+    fn inputs_stay_inside_the_epoch_quote_hull() {
+        let feed = EpochFeed::new(MultiAssetConfig::default_basket(), 1);
+        for epoch in [0u32, 17, 4096] {
+            for asset in feed.minute(epoch, 12) {
+                let lo = asset.quote.exchange_prices.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi =
+                    asset.quote.exchange_prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for v in &asset.inputs {
+                    assert!(*v >= lo && *v <= hi, "{}@{epoch}: {v} outside hull", asset.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_accessor_matches_minute() {
+        let feed = EpochFeed::new(MultiAssetConfig::synthetic(2), 4);
+        let minute = feed.minute(7, 6);
+        assert_eq!(feed.input(7, 1, 3, 6), minute[1].inputs[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn invalid_baskets_fail_at_construction() {
+        use crate::assets::AssetConfig;
+        let cfg = MultiAssetConfig {
+            assets: vec![AssetConfig::scaled("X", 1.0), AssetConfig::scaled("X", 2.0)],
+        };
+        let _ = EpochFeed::new(cfg, 0);
+    }
+}

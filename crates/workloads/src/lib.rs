@@ -17,7 +17,9 @@
 pub mod assets;
 pub mod btc;
 pub mod drone;
+pub mod epochs;
 
 pub use assets::{AssetConfig, AssetMinute, MultiAssetConfig, MultiAssetFeed};
 pub use btc::{deployment_inputs, BtcFeed, BtcFeedConfig, MinuteQuote};
 pub use drone::{DroneScenario, DroneScenarioConfig, Observation};
+pub use epochs::EpochFeed;

@@ -9,14 +9,19 @@
 //! every honest listener. Honest nodes must still reach ε-agreement, and
 //! `dropped_frames` must account for exactly the forged traffic.
 
+//! A second scenario covers the epoch stream: a node that crashes for
+//! several epochs and rejoins mid-stream (while an off-cluster attacker
+//! keeps injecting forged frames) must not stall honest epoch progress.
+
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use delphi::core::{DelphiConfig, DelphiNode};
+use delphi::core::{DelphiConfig, DelphiNode, OracleService};
 use delphi::crypto::Keychain;
-use delphi::net::{encode_frame, run_node, RunOptions};
-use delphi::primitives::NodeId;
+use delphi::net::{encode_frame, run_epoch_service, run_node, RunOptions};
+use delphi::primitives::{EpochConfig, EpochOutcome, FlushPolicy, NodeId};
 use delphi::sim::adversary::ByteMutator;
+use delphi::workloads::{EpochFeed, MultiAssetConfig};
 use tokio::io::AsyncWriteExt;
 use tokio::net::{TcpListener, TcpStream};
 
@@ -125,4 +130,134 @@ async fn honest_nodes_agree_despite_tamperer_and_forged_frames() {
     let hi = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(hi - lo <= cfg.epsilon() + 1e-9, "honest ε-agreement under attack: spread {}", hi - lo);
     assert!(lo >= 498.0 && hi <= 502.0, "validity under attack: [{lo}, {hi}]");
+}
+
+fn oracle_service(cfg: &DelphiConfig, feed: &EpochFeed, id: NodeId, epochs: u32) -> OracleService {
+    OracleService::new(
+        cfg.clone(),
+        id,
+        EpochConfig::new(epochs, feed.assets() as u16, 2, 4, cfg.t()),
+        FlushPolicy::PerStep,
+        delphi_bench::feed_price_source(feed.clone(), id, cfg.n()),
+    )
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn crashed_node_rejoining_mid_stream_does_not_stall_honest_epochs() {
+    let n = 4;
+    let epochs = 12u32;
+    let cfg = DelphiConfig::builder(n)
+        .space(0.0, 100_000.0)
+        .rho0(2.0)
+        .delta_max(2_000.0)
+        .epsilon(2.0)
+        .build()
+        .expect("config");
+    let feed = EpochFeed::new(MultiAssetConfig::synthetic(2), 5);
+    let addrs = free_addrs(n).await;
+
+    // Honest nodes 0..=2 run the whole stream; node 3 is "crashed" — its
+    // process appears only after the honest cluster has burned through
+    // several epochs.
+    let mut honest = Vec::new();
+    for id in NodeId::all(3) {
+        let keychain = Keychain::derive(SEED, id, n);
+        let mux = oracle_service(&cfg, &feed, id, epochs).into_mux();
+        let addrs = addrs.clone();
+        let opts = RunOptions {
+            deadline: Duration::from_secs(60),
+            linger: Duration::from_secs(1),
+            ..RunOptions::default()
+        };
+        honest
+            .push(tokio::spawn(async move { run_epoch_service(mux, keychain, addrs, opts).await }));
+    }
+
+    // The attacker floods honest listeners with forged frames mid-stream.
+    let mut forgers = Vec::new();
+    for &victim in &addrs[..3] {
+        forgers.push(tokio::spawn(forge_frames(victim, FORGED_PER_NODE)));
+    }
+
+    // Node 3 rejoins after a delay that spans several loopback epochs.
+    let rejoiner = {
+        let keychain = Keychain::derive(SEED, NodeId(3), n);
+        let mux = oracle_service(&cfg, &feed, NodeId(3), epochs).into_mux();
+        let addrs = addrs.clone();
+        tokio::spawn(async move {
+            tokio::time::sleep(Duration::from_millis(1500)).await;
+            let opts = RunOptions {
+                deadline: Duration::from_secs(20),
+                linger: Duration::ZERO,
+                ..RunOptions::default()
+            };
+            run_epoch_service(mux, keychain, addrs, opts).await
+        })
+    };
+    for f in forgers {
+        f.await.expect("forger finished");
+    }
+
+    let mut streams = Vec::new();
+    for h in honest {
+        let (events, epoch_stats, stats) =
+            h.await.expect("join").expect("honest node finished the stream");
+        assert_eq!(events.len(), epochs as usize, "honest epoch progress must not stall");
+        assert!(
+            events.iter().all(|e| matches!(e.outcome, EpochOutcome::Agreed(_))),
+            "honest nodes skip nothing: n = 4 tolerates one crashed node"
+        );
+        assert_eq!(epoch_stats.stale_epochs, 0);
+        assert_eq!(
+            stats.dropped_frames, FORGED_PER_NODE,
+            "dropped_frames counts exactly the forged traffic"
+        );
+        streams.push(events);
+    }
+    // Per-(epoch, asset) ε-agreement across the honest nodes.
+    for e in 0..epochs as usize {
+        for a in 0..feed.assets() {
+            let values: Vec<f64> = streams
+                .iter()
+                .map(|events| match &events[e].outcome {
+                    EpochOutcome::Agreed(v) => v[a],
+                    EpochOutcome::Skipped => unreachable!(),
+                })
+                .collect();
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            assert!(hi - lo <= cfg.epsilon() + 1e-9, "epoch {e} asset {a}: spread {}", hi - lo);
+        }
+    }
+    // The rejoiner is best-effort: depending on how far the honest nodes
+    // ran ahead it catches up within the live window, skips what the
+    // quorum evicted (the sim test pins that path deterministically), or
+    // times out once the honest nodes are gone — but it must never
+    // corrupt the honest run above, and whatever it *did* agree on must
+    // match the honest agreements.
+    match rejoiner.await.expect("join") {
+        Ok((events, _, _)) => {
+            assert_eq!(events.len(), epochs as usize, "every epoch resolved, agreed or skipped");
+            for (e, event) in events.iter().enumerate() {
+                if let EpochOutcome::Agreed(values) = &event.outcome {
+                    let EpochOutcome::Agreed(honest_values) = &streams[0][e].outcome else {
+                        unreachable!()
+                    };
+                    for (a, v) in values.iter().enumerate() {
+                        assert!(
+                            (v - honest_values[a]).abs() <= cfg.epsilon() + 1e-9,
+                            "rejoiner diverged at epoch {e} asset {a}: {v} vs {}",
+                            honest_values[a]
+                        );
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            assert!(
+                matches!(e, delphi::net::NetError::Timeout),
+                "rejoiner may time out, not misbehave: {e}"
+            );
+        }
+    }
 }

@@ -50,6 +50,58 @@ fn four_node_process_cluster_converges_within_epsilon() {
 
 #[test]
 #[ignore = "needs the delphi-node binary: cargo build -p delphi-bench --bin delphi-node"]
+fn hundred_epoch_process_cluster_streams_and_adaptive_flush_beats_per_step() {
+    let _guard = port_lock();
+    // The streaming-oracle acceptance shape: a 4-node process cluster
+    // agreeing on a 4-asset basket 100 consecutive epochs over real
+    // sockets, every epoch ε-converged, bounded memory (live-window GC),
+    // run twice — per-step and adaptive flushing.
+    let epochs = 100u32;
+    let assets = 4usize;
+    let expected = u64::from(epochs) * assets as u64;
+    let run = |tag: &'static str, adaptive: bool| {
+        run_local_cluster(4, tag, move |spec| {
+            spec.epochs = epochs;
+            spec.assets = assets;
+            spec.depth = 2;
+            spec.window = 6;
+            spec.adaptive = adaptive;
+            spec.deadline_ms = 300_000;
+        })
+        .expect("epoch cluster run succeeds")
+    };
+    let per_step = run("epoch-step", false);
+    let adaptive = run("epoch-adaptive", true);
+
+    for outcome in [&per_step, &adaptive] {
+        assert!(
+            outcome.epoch_converged(LOCAL_EPSILON, expected),
+            "stream incomplete or diverged: {} agreements per node (expected {expected}), \
+             worst spread {:.6}",
+            outcome.epoch_agreements(),
+            outcome.epoch_spread()
+        );
+        for r in &outcome.reports {
+            assert_eq!(r.stats.dropped_frames, 0, "node {} dropped frames", r.id);
+            assert_eq!(r.agreements.len() as u64, expected, "node {} missed epochs", r.id);
+        }
+    }
+    // Same protocol work per envelope, fewer frames: adaptive flushing
+    // must beat per-step on frames per envelope (the runs are independent
+    // executions, so compare the schedule-independent per-envelope cost).
+    let (b, u) = (adaptive.total_stats(), per_step.total_stats());
+    assert!(
+        b.sent_frames * u.sent_entries < u.sent_frames * b.sent_entries,
+        "adaptive {}/{} vs per-step {}/{} frames per envelope",
+        b.sent_frames,
+        b.sent_entries,
+        u.sent_frames,
+        u.sent_entries
+    );
+}
+
+#[test]
+#[ignore = "needs the delphi-node binary: cargo build -p delphi-bench --bin delphi-node"]
 fn multi_asset_process_cluster_batches_on_the_wire() {
     let _guard = port_lock();
     // The same 4-process cluster carrying a 3-asset basket per node, run
