@@ -1,14 +1,16 @@
 //! Micro-benchmarks for the per-component costs behind Table I's
-//! computation column: hashing, MAC, wire codec, and the BinAA quorum
-//! machine's hot path.
+//! computation column: hashing, MAC, wire codec, the BinAA quorum
+//! machine's hot path, and the frame→protocol receive dispatch.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
-use delphi_core::{DelphiBundle, EchoKind, Section};
+use bytes::Bytes;
+use delphi_core::{DelphiBundle, DelphiBundleRef, EchoKind, Section};
 use delphi_crypto::{hmac_sha256, sha256, Keychain};
+use delphi_net::{decode_inbound_frame_ref, encode_epoch_frame};
 use delphi_primitives::wire::{Decode, Encode};
-use delphi_primitives::{Dyadic, NodeId, Round};
+use delphi_primitives::{AgreementId, Dyadic, EpochId, InstanceId, NodeId, Round};
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
@@ -55,6 +57,78 @@ fn bench_wire(c: &mut Criterion) {
     group.bench_function("decode_delphi_bundle", |b| {
         b.iter(|| DelphiBundle::from_bytes(black_box(&bytes)).expect("valid"))
     });
+    // The zero-copy decoder on the frame path: one validating pass, no
+    // owned bundle — what `DelphiNode::on_message` actually runs.
+    group.bench_function("decode_delphi_bundle_borrowed", |b| {
+        b.iter(|| DelphiBundleRef::parse(black_box(&bytes)).expect("valid"))
+    });
+    // Parse *and* walk every section, id, and value — the full
+    // information extraction the owned decoder materializes, still with
+    // zero allocations.
+    group.bench_function("decode_delphi_bundle_borrowed_walk", |b| {
+        b.iter(|| {
+            let view = DelphiBundleRef::parse(black_box(&bytes)).expect("valid");
+            let mut checksum = 0i64;
+            for section in view.sections() {
+                checksum = checksum.wrapping_add(i64::from(section.level));
+                if let Some(bg) = section.background {
+                    checksum = checksum.wrapping_add(bg.num() as i64);
+                }
+                for k in section.exclude() {
+                    checksum = checksum.wrapping_add(k);
+                }
+                for (k, v) in section.entries() {
+                    checksum = checksum.wrapping_add(k).wrapping_add(v.num() as i64);
+                }
+            }
+            checksum
+        })
+    });
+    group.finish();
+}
+
+/// The receive-dispatch hot path: verify + borrowed split + shard routing
+/// of authenticated epoch frames through the same `SessionSet`-facing
+/// machinery the TCP read loop runs, at shard counts 1/2/4. Reported as
+/// entries/second (`Throughput::Elements`); the shard sweep shows the
+/// sharded routing walk adds ~nothing over the unsharded path.
+fn bench_dispatch(c: &mut Criterion) {
+    let n = 4;
+    let assets = 8u16;
+    let alice = Keychain::derive(b"dispatch-bench", NodeId(0), n);
+    let bob = Keychain::derive(b"dispatch-bench", NodeId(1), n);
+    // A realistic inbound burst: one epoch frame per peer step, each
+    // carrying one 40-byte entry per asset (the fig_throughput shape).
+    let frames: Vec<Bytes> = (0..16u32)
+        .map(|step| {
+            let entries: Vec<(AgreementId, Bytes)> = (0..assets)
+                .map(|a| {
+                    (AgreementId::new(EpochId(step), InstanceId(a)), Bytes::from(vec![a as u8; 40]))
+                })
+                .collect();
+            encode_epoch_frame(&alice, NodeId(1), &entries)
+        })
+        .collect();
+    let total_entries = frames.len() as u64 * u64::from(assets);
+
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(total_entries));
+    for shards in [1usize, 2, 4] {
+        let name = format!("recv_entries_shard{shards}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut per_shard = [0u64; 8];
+                for frame in &frames {
+                    let (_, entries) =
+                        decode_inbound_frame_ref(&bob, black_box(&frame[4..])).expect("authentic");
+                    for (id, payload) in entries.iter() {
+                        per_shard[id.shard(shards)] += payload.len() as u64;
+                    }
+                }
+                per_shard
+            })
+        });
+    }
     group.finish();
 }
 
@@ -95,6 +169,6 @@ fn bench_dyadic(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(40);
-    targets = bench_crypto, bench_wire, bench_bv_round, bench_dyadic
+    targets = bench_crypto, bench_wire, bench_dispatch, bench_bv_round, bench_dyadic
 }
 criterion_main!(benches);

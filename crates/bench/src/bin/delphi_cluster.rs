@@ -8,6 +8,7 @@
 //!                [--assets 1] [--unbatched] [--quote-seed 7] [--epsilon 2]
 //!                [--node-binary path/to/delphi-node] [--deadline-ms 60000]
 //!                [--epochs K] [--depth D] [--window W] [--adaptive]
+//!                [--recv-shards S]
 //! ```
 //!
 //! With `--n`, a localhost config on freshly reserved ports is written to
@@ -42,6 +43,7 @@ struct Args {
     depth: usize,
     window: usize,
     adaptive: bool,
+    recv_shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         depth: 2,
         window: 6,
         adaptive: false,
+        recv_shards: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -91,6 +94,10 @@ fn parse_args() -> Result<Args, String> {
                 out.window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
             }
             "--adaptive" => out.adaptive = true,
+            "--recv-shards" => {
+                out.recv_shards =
+                    value("--recv-shards")?.parse().map_err(|e| format!("--recv-shards: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -99,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.config.is_some() && out.n.is_some() {
         return Err("--config and --n are mutually exclusive".to_string());
+    }
+    if out.recv_shards == 0 {
+        return Err("--recv-shards must be at least 1".to_string());
     }
     Ok(out)
 }
@@ -139,6 +149,7 @@ fn main() -> ExitCode {
     spec.depth = args.depth;
     spec.window = args.window;
     spec.adaptive = args.adaptive;
+    spec.recv_shards = args.recv_shards;
 
     let mode = match (args.epochs, args.unbatched, args.adaptive) {
         (0, true, _) => "one-shot, unbatched: one frame per envelope".to_string(),

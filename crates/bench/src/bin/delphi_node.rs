@@ -12,6 +12,7 @@
 //!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
 //!             [--delta-max 2000]
 //!             [--epochs K] [--depth D] [--window W] [--adaptive]
+//!             [--recv-shards S]
 //! ```
 //!
 //! Without `--input`, the node derives its input from one minute of the
@@ -62,6 +63,7 @@ struct Args {
     depth: usize,
     window: usize,
     adaptive: bool,
+    recv_shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
     let mut depth = 2usize;
     let mut window = 6usize;
     let mut adaptive = false;
+    let mut recv_shards = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -121,6 +124,10 @@ fn parse_args() -> Result<Args, String> {
                 window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
             }
             "--adaptive" => adaptive = true,
+            "--recv-shards" => {
+                recv_shards =
+                    value("--recv-shards")?.parse().map_err(|e| format!("--recv-shards: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -135,6 +142,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if epochs > 0 && (depth == 0 || window < depth) {
         return Err("--epochs needs --depth >= 1 and --window >= --depth".to_string());
+    }
+    if recv_shards == 0 {
+        return Err("--recv-shards must be at least 1".to_string());
     }
     Ok(Args {
         config: config.ok_or("--config is required")?,
@@ -151,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
         depth,
         window,
         adaptive,
+        recv_shards,
     })
 }
 
@@ -182,6 +193,7 @@ async fn run(args: Args) -> Result<NodeReport, String> {
         deadline: Duration::from_millis(args.deadline_ms),
         batching: !args.unbatched,
         flush: if args.adaptive { FlushPolicy::adaptive() } else { FlushPolicy::PerStep },
+        recv_shards: args.recv_shards,
         ..RunOptions::default()
     };
     let started = Instant::now();

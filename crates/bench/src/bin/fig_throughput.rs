@@ -26,7 +26,10 @@
 use delphi_bench::cluster::{
     cluster_flag, run_cluster, summarize_epochs, ClusterRunSpec, LOCAL_EPSILON,
 };
-use delphi_bench::{emit_bench_json, oracle_config, quick_mode, run_epoch_delphi, TextTable};
+use delphi_bench::{
+    emit_bench_json, oracle_config, quick_mode, run_epoch_delphi, run_epoch_delphi_sharded,
+    TextTable,
+};
 use delphi_primitives::{EpochConfig, FlushPolicy};
 use delphi_sim::Topology;
 use delphi_workloads::{EpochFeed, MultiAssetConfig};
@@ -161,6 +164,65 @@ fn main() {
     }
     println!("{}", table.render());
     println!("csv:\n{}", table.to_csv());
+
+    // Receive-sharding sweep: the CPU-bound CPS regime (slow per-message
+    // receive CPU, sub-millisecond latency — the paper's Fig. 7-right
+    // regime) at basket 8, where per-node dispatch is the throughput
+    // ceiling. Senders flush per (destination, shard) and the simulator
+    // runs one receive CPU lane per shard — the exact model of
+    // `delphi-net`'s sharded dispatch (`RunOptions::recv_shards`).
+    let shard_epochs: u32 = if quick { 10 } else { 30 };
+    let shard_depth: usize = if quick { 2 } else { 4 };
+    let shard_basket = 8usize;
+    println!(
+        "\n== Receive sharding: n = {n}, {shard_epochs} epochs, basket {shard_basket}, depth \
+         {shard_depth}, CPS (CPU-bound) testbed, adaptive flushing ==\n"
+    );
+    let shard_feed = EpochFeed::new(MultiAssetConfig::synthetic(shard_basket), 11);
+    let shard_cfg =
+        EpochConfig::new(shard_epochs, shard_basket as u16, shard_depth, shard_depth + 4, cfg.t());
+    let mut shard_table = TextTable::new(&["shards", "agr/s", "B/agr", "frames/agr"]);
+    let mut rates = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let point = run_epoch_delphi_sharded(
+            &cfg,
+            &shard_feed,
+            shard_cfg,
+            ADAPTIVE,
+            Topology::cps(n, n),
+            9_001,
+            shards,
+        );
+        assert_eq!(point.stale_epochs, 0, "honest shard sweep must not skip epochs");
+        assert!(point.worst_spread <= cfg.epsilon() + 1e-9, "epoch diverged (shards={shards})");
+        let id = |metric: &str| {
+            format!("fig_throughput/k{shard_basket}_d{shard_depth}_s{shards}_cps_{metric}")
+        };
+        emit_bench_json(
+            &id("ns_per_agreement"),
+            point.throughput.sim_seconds * 1e9 / point.throughput.agreements as f64,
+        );
+        emit_bench_json(&id("bytes_per_agreement"), point.throughput.bytes_per_agreement());
+        emit_bench_json(&id("frames_per_agreement"), point.throughput.frames_per_agreement());
+        shard_table.row(&[
+            shards.to_string(),
+            format!("{:.1}", point.throughput.agreements_per_sec()),
+            format!("{:.0}", point.throughput.bytes_per_agreement()),
+            format!("{:.1}", point.throughput.frames_per_agreement()),
+        ]);
+        rates.push(point.throughput.agreements_per_sec());
+        eprintln!("  shards={shards} done");
+    }
+    println!("{}", shard_table.render());
+    println!(
+        "sharded receive speedup at basket {shard_basket}: x{:.2} (2 shards), x{:.2} (4 shards)",
+        rates[1] / rates[0],
+        rates[2] / rates[0],
+    );
+    assert!(
+        rates[1] > rates[0] && rates[2] > rates[0],
+        "receive sharding must raise simulated agreements/s at basket >= 8: {rates:?}"
+    );
 
     let (step, adpt) = headline.expect("sweep covered the headline cell");
     println!("shape checks (headline cell: 4+ assets, depth 2+):");

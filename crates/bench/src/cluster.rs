@@ -44,6 +44,8 @@ pub struct ClusterRunSpec {
     pub window: usize,
     /// Adaptive batch flushing (size/time triggers) instead of per-step.
     pub adaptive: bool,
+    /// Receive dispatch shards per node (1 = unsharded).
+    pub recv_shards: usize,
 }
 
 impl ClusterRunSpec {
@@ -61,6 +63,7 @@ impl ClusterRunSpec {
             depth: 2,
             window: 6,
             adaptive: false,
+            recv_shards: 1,
         }
     }
 }
@@ -101,6 +104,9 @@ pub fn run_cluster(spec: &ClusterRunSpec) -> Result<ClusterOutcome, ClusterError
     }
     if spec.adaptive {
         extra.push("--adaptive".to_string());
+    }
+    if spec.recv_shards > 1 {
+        extra.extend(["--recv-shards".to_string(), spec.recv_shards.to_string()]);
     }
     if spec.unbatched {
         extra.push("--unbatched".to_string());

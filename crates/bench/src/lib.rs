@@ -333,6 +333,27 @@ pub fn run_epoch_delphi(
     topology: Topology,
     seed: u64,
 ) -> EpochSimPoint {
+    run_epoch_delphi_sharded(cfg, feed, epoch_cfg, flush, topology, seed, 1)
+}
+
+/// [`run_epoch_delphi`] with a `recv_shards`-way sharded receive path:
+/// senders flush per `(destination, shard)` with tagged envelopes and the
+/// simulator runs one receive CPU lane per shard, modelling the TCP
+/// runtime's sharded dispatch (`RunOptions::recv_shards`) — the
+/// fig_throughput shard sweep runs through here.
+///
+/// # Panics
+///
+/// As [`run_epoch_delphi`], plus `recv_shards == 0`.
+pub fn run_epoch_delphi_sharded(
+    cfg: &DelphiConfig,
+    feed: &EpochFeed,
+    epoch_cfg: EpochConfig,
+    flush: FlushPolicy,
+    topology: Topology,
+    seed: u64,
+    recv_shards: usize,
+) -> EpochSimPoint {
     let n = cfg.n();
     let assets = feed.assets();
     let epochs = epoch_cfg.epochs;
@@ -341,11 +362,12 @@ pub fn run_epoch_delphi(
     let nodes: Vec<Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>> =
         NodeId::all(n)
             .map(|id| {
-                let inner = OracleService::new(
+                let inner = OracleService::new_sharded(
                     cfg.clone(),
                     id,
                     epoch_cfg,
                     flush,
+                    recv_shards,
                     feed_price_source(feed.clone(), id, n),
                 );
                 let probe = std::sync::Arc::new(std::sync::Mutex::new(ProbeData::default()));
@@ -354,7 +376,7 @@ pub fn run_epoch_delphi(
                     as Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>
             })
             .collect();
-    let mut sim = Simulation::new(topology).seed(seed);
+    let mut sim = Simulation::new(topology).seed(seed).recv_shards(recv_shards);
     if let FlushPolicy::Adaptive { max_delay, .. } = flush {
         sim = sim.tick_interval_ns(max_delay.as_nanos().max(1) as u64);
     }

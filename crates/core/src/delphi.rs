@@ -32,12 +32,12 @@
 
 use std::collections::BTreeMap;
 
-use delphi_primitives::wire::{Decode, Encode};
+use delphi_primitives::wire::Encode;
 use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
 
 use crate::aggregate::{combine_levels, level_summary, LevelSummary};
 use crate::bv::{BvAction, BvRound};
-use crate::messages::{DelphiBundle, EchoKind, Section};
+use crate::messages::{DelphiBundle, DelphiBundleRef, EchoKind, Section};
 use crate::params::DelphiConfig;
 
 /// Per-sender, per-level cap on checkpoint introductions (see module docs).
@@ -152,6 +152,10 @@ pub struct DelphiNode {
     input: f64,
     levels: Vec<LevelState>,
     output: Option<f64>,
+    /// Reused decode target: each inbound section is materialized into
+    /// this one scratch buffer (capacity kept across messages), so the
+    /// receive path stays allocation-free at steady state.
+    scratch: Section,
 }
 
 impl DelphiNode {
@@ -179,7 +183,14 @@ impl DelphiNode {
                 }
             })
             .collect();
-        DelphiNode { cfg, me, input, levels, output: None }
+        DelphiNode {
+            cfg,
+            me,
+            input,
+            levels,
+            output: None,
+            scratch: Section::new(0, Round(1), EchoKind::Echo1),
+        }
     }
 
     /// Boxes the node for use with heterogeneous drivers.
@@ -523,13 +534,20 @@ impl Protocol for DelphiNode {
         if from == self.me || from.index() >= self.cfg.n() {
             return Vec::new();
         }
-        let Ok(bundle) = DelphiBundle::from_bytes(payload) else {
+        // Zero-copy decode: one validating pass over the frame bytes,
+        // then each section is walked straight out of `payload` into the
+        // reused scratch buffer — no owned bundle is ever built.
+        let Ok(bundle) = DelphiBundleRef::parse(payload) else {
             return Vec::new(); // malformed: Byzantine, drop
         };
         let mut out = Collector::default();
-        for section in &bundle.sections {
-            self.process_section(from, section, &mut out);
+        let mut scratch =
+            std::mem::replace(&mut self.scratch, Section::new(0, Round(1), EchoKind::Echo1));
+        for section in bundle.sections() {
+            section.fill_section(&mut scratch);
+            self.process_section(from, &scratch, &mut out);
         }
+        self.scratch = scratch;
         self.advance(&mut out);
         self.flush(out)
     }

@@ -71,6 +71,6 @@ pub mod params;
 pub use binaa::BinAaNode;
 pub use compact::CompactBinAaNode;
 pub use delphi::DelphiNode;
-pub use messages::{BinAaMsg, DelphiBundle, EchoKind, Section};
+pub use messages::{BinAaMsg, DelphiBundle, DelphiBundleRef, EchoKind, Section, SectionRef};
 pub use oracle::{OracleService, PriceSource};
 pub use params::{ConfigError, DelphiConfig, DelphiConfigBuilder, InputRule};

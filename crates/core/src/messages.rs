@@ -217,6 +217,264 @@ impl Decode for DelphiBundle {
     }
 }
 
+/// A validated, borrowed view of an encoded [`DelphiBundle`]: the
+/// zero-copy decoder of the frame→protocol hot path.
+///
+/// [`DelphiBundleRef::parse`] makes exactly one validating pass over the
+/// input — every varint, discriminant, length bound, and [`Dyadic`] is
+/// checked with the same errors as the owned decoder (property-tested) —
+/// but materializes nothing: no section `Vec`, no id vectors, no entry
+/// pairs. Consumers walk [`DelphiBundleRef::sections`], whose
+/// [`SectionRef`]s expose the id runs and entries as iterators over
+/// slices of the original input. `to_owned` exists for the protocol
+/// boundary, where state must outlive the frame.
+#[derive(Clone, Copy, Debug)]
+pub struct DelphiBundleRef<'a> {
+    /// Section bytes (everything after the count), pre-validated.
+    sections: &'a [u8],
+    count: usize,
+}
+
+impl<'a> DelphiBundleRef<'a> {
+    /// Validates `bytes` as a complete bundle encoding and returns the
+    /// borrowed view.
+    ///
+    /// # Errors
+    ///
+    /// Exactly what `DelphiBundle::from_bytes` returns on the same input,
+    /// including [`WireError::TrailingBytes`] on unconsumed bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<DelphiBundleRef<'a>, WireError> {
+        let mut r = Reader::new(bytes);
+        let count = r.get_usize()?;
+        if count > MAX_SECTIONS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let sections = r.tail();
+        for _ in 0..count {
+            let _ = read_section_ref(&mut r)?;
+        }
+        r.finish()?;
+        Ok(DelphiBundleRef { sections, count })
+    }
+
+    /// Number of sections in the bundle.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the bundle holds no sections at all (cf.
+    /// [`DelphiBundle::is_empty`], which also treats echo-free sections
+    /// as empty).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the sections as borrowed views.
+    pub fn sections(&self) -> SectionRefIter<'a> {
+        SectionRefIter { r: Reader::new(self.sections), remaining: self.count }
+    }
+
+    /// Materializes the owned bundle (the protocol-boundary escape hatch).
+    pub fn to_owned_bundle(&self) -> DelphiBundle {
+        DelphiBundle { sections: self.sections().map(|s| s.to_owned_section()).collect() }
+    }
+}
+
+/// Iterator over a pre-validated [`DelphiBundleRef`].
+#[derive(Clone, Debug)]
+pub struct SectionRefIter<'a> {
+    r: Reader<'a>,
+    remaining: usize,
+}
+
+impl<'a> Iterator for SectionRefIter<'a> {
+    type Item = SectionRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Parse validated the region; a failure here is unreachable but
+        // ends iteration instead of panicking.
+        match read_section_ref(&mut self.r) {
+            Ok(section) => Some(section),
+            Err(_) => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// One section of a [`DelphiBundleRef`]: decoded header fields plus
+/// borrowed slices for the id runs and entry values.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionRef<'a> {
+    /// Level index (`0..=l_max`).
+    pub level: u8,
+    /// BinAA round within the level.
+    pub round: Round,
+    /// Echo phase.
+    pub kind: EchoKind,
+    /// Echo applying to every unlisted checkpoint of the level, if any.
+    pub background: Option<Dyadic>,
+    exclude_count: usize,
+    exclude_bytes: &'a [u8],
+    entry_count: usize,
+    id_bytes: &'a [u8],
+    value_bytes: &'a [u8],
+}
+
+impl<'a> SectionRef<'a> {
+    /// Number of explicit `exclude` checkpoint ids.
+    pub fn exclude_len(&self) -> usize {
+        self.exclude_count
+    }
+
+    /// Number of per-checkpoint entries.
+    pub fn entries_len(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Iterates the `exclude` checkpoint ids (delta-decoded on the fly).
+    pub fn exclude(&self) -> IdRunIter<'a> {
+        IdRunIter { r: Reader::new(self.exclude_bytes), remaining: self.exclude_count, prev: 0 }
+    }
+
+    /// Iterates the `(checkpoint, value)` entries.
+    pub fn entries(&self) -> EntryRunIter<'a> {
+        EntryRunIter {
+            ids: IdRunIter { r: Reader::new(self.id_bytes), remaining: self.entry_count, prev: 0 },
+            values: Reader::new(self.value_bytes),
+        }
+    }
+
+    /// Materializes an owned [`Section`].
+    pub fn to_owned_section(&self) -> Section {
+        let mut section = Section::new(self.level, self.round, self.kind);
+        self.fill_section(&mut section);
+        section
+    }
+
+    /// Fills a reusable scratch [`Section`] in place — the steady-state
+    /// consumer path allocates nothing once the scratch vectors have
+    /// grown to the working-set size.
+    pub fn fill_section(&self, section: &mut Section) {
+        section.level = self.level;
+        section.round = self.round;
+        section.kind = self.kind;
+        section.background = self.background;
+        section.exclude.clear();
+        section.exclude.extend(self.exclude());
+        section.entries.clear();
+        section.entries.extend(self.entries());
+    }
+}
+
+/// Iterator over one delta-coded checkpoint-id run.
+#[derive(Clone, Debug)]
+pub struct IdRunIter<'a> {
+    r: Reader<'a>,
+    remaining: usize,
+    prev: i64,
+}
+
+impl Iterator for IdRunIter<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Pre-validated region: failure is unreachable.
+        let delta = self.r.get_i64().ok()?;
+        self.prev = self.prev.wrapping_add(delta);
+        Some(self.prev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Iterator over a section's `(checkpoint, value)` entries.
+#[derive(Clone, Debug)]
+pub struct EntryRunIter<'a> {
+    ids: IdRunIter<'a>,
+    values: Reader<'a>,
+}
+
+impl Iterator for EntryRunIter<'_> {
+    type Item = (i64, Dyadic);
+
+    fn next(&mut self) -> Option<(i64, Dyadic)> {
+        let id = self.ids.next()?;
+        let value = self.values.get::<Dyadic>().ok()?;
+        Some((id, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+/// Reads one section as a borrowed view, validating everything the owned
+/// decoder validates — this is the single code path behind both
+/// [`DelphiBundleRef::parse`] and [`SectionRefIter`], so the two can never
+/// disagree on what is well-formed.
+fn read_section_ref<'a>(r: &mut Reader<'a>) -> Result<SectionRef<'a>, WireError> {
+    let level = r.get_raw_u8()?;
+    let round = r.get::<Round>()?;
+    let kind = r.get::<EchoKind>()?;
+    let (background, exclude_count, exclude_bytes) = if r.get_bool()? {
+        let v = r.get::<Dyadic>()?;
+        let n = r.get_usize()?;
+        if n > MAX_IDS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let start = r.tail();
+        for _ in 0..n {
+            // Deltas are wrapping sums: any well-formed varint is a valid
+            // id, so validation only needs the boundary.
+            r.skip_u64()?;
+        }
+        (Some(v), n, &start[..start.len() - r.tail().len()])
+    } else {
+        (None, 0, &[][..])
+    };
+    let entry_count = r.get_usize()?;
+    if entry_count > MAX_IDS {
+        return Err(WireError::LengthOutOfBounds);
+    }
+    let id_start = r.tail();
+    for _ in 0..entry_count {
+        r.skip_u64()?;
+    }
+    let id_bytes = &id_start[..id_start.len() - r.tail().len()];
+    let value_start = r.tail();
+    for _ in 0..entry_count {
+        let _ = r.get::<Dyadic>()?;
+    }
+    let value_bytes = &value_start[..value_start.len() - r.tail().len()];
+    Ok(SectionRef {
+        level,
+        round,
+        kind,
+        background,
+        exclude_count,
+        exclude_bytes,
+        entry_count,
+        id_bytes,
+        value_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +583,143 @@ mod tests {
         far.entries = (0..8).map(|i| (20_000 + 10_000 * i, Dyadic::ZERO)).collect();
         let (near_len, far_len) = (near.to_bytes().len(), far.to_bytes().len());
         assert!(near_len + 2 * 7 <= far_len, "clustered {near_len}B vs spread {far_len}B");
+    }
+
+    fn sample_bundle() -> DelphiBundle {
+        let mut b = DelphiBundle::new();
+        for level in 0..4u8 {
+            let mut s = Section::new(level, Round(3 + u16::from(level)), EchoKind::Echo1);
+            s.background = Some(Dyadic::new(1, 2));
+            s.exclude = vec![-5, 40_000, i64::MIN];
+            s.entries =
+                vec![(19_999, Dyadic::ONE), (20_000, Dyadic::new(1, 2)), (i64::MAX, Dyadic::ZERO)];
+            b.sections.push(s);
+        }
+        b.sections.push(Section::new(9, Round(1), EchoKind::Echo2));
+        b
+    }
+
+    #[test]
+    fn borrowed_bundle_view_matches_owned_decoder() {
+        let bundle = sample_bundle();
+        let bytes = bundle.to_bytes();
+        let view = DelphiBundleRef::parse(&bytes).unwrap();
+        assert_eq!(view.len(), bundle.sections.len());
+        assert!(!view.is_empty());
+        assert_eq!(view.to_owned_bundle(), bundle);
+        assert_eq!(view.sections().size_hint(), (5, Some(5)));
+        // Per-section borrowed iteration matches the owned fields.
+        for (sref, owned) in view.sections().zip(&bundle.sections) {
+            assert_eq!(sref.level, owned.level);
+            assert_eq!(sref.round, owned.round);
+            assert_eq!(sref.kind, owned.kind);
+            assert_eq!(sref.background, owned.background);
+            assert_eq!(sref.exclude_len(), owned.exclude.len());
+            assert_eq!(sref.entries_len(), owned.entries.len());
+            assert_eq!(sref.exclude().collect::<Vec<_>>(), owned.exclude);
+            assert_eq!(sref.entries().collect::<Vec<_>>(), owned.entries);
+            // fill_section reuses scratch storage without reallocating
+            // once capacity is grown.
+            let mut scratch = Section::new(0, Round(1), EchoKind::Echo1);
+            sref.fill_section(&mut scratch);
+            assert_eq!(&scratch, owned);
+            let cap = (scratch.exclude.capacity(), scratch.entries.capacity());
+            sref.fill_section(&mut scratch);
+            assert_eq!(&scratch, owned);
+            assert_eq!((scratch.exclude.capacity(), scratch.entries.capacity()), cap);
+        }
+        // The empty bundle parses too.
+        let empty = DelphiBundle::new().to_bytes();
+        assert!(DelphiBundleRef::parse(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn borrowed_bundle_rejects_what_owned_rejects() {
+        let bytes = sample_bundle().to_bytes();
+        // Every truncation fails identically.
+        for cut in 0..bytes.len() {
+            let owned = DelphiBundle::from_bytes(&bytes[..cut]).unwrap_err();
+            let borrowed = DelphiBundleRef::parse(&bytes[..cut]).unwrap_err();
+            assert_eq!(owned, borrowed, "cut at {cut}");
+        }
+        // Trailing bytes fail identically.
+        let mut trailing = bytes.to_vec();
+        trailing.push(0x55);
+        assert_eq!(
+            DelphiBundle::from_bytes(&trailing).unwrap_err(),
+            DelphiBundleRef::parse(&trailing).unwrap_err(),
+        );
+        assert_eq!(DelphiBundleRef::parse(&trailing).unwrap_err(), WireError::TrailingBytes);
+        // Oversized section counts fail identically.
+        let mut w = Writer::new();
+        w.put_usize(MAX_SECTIONS + 1);
+        let over = w.into_vec();
+        assert_eq!(
+            DelphiBundle::from_bytes(&over).unwrap_err(),
+            DelphiBundleRef::parse(&over).unwrap_err(),
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Round-trip equivalence on arbitrary well-formed bundles:
+        /// `parse(bytes).to_owned() == decode(bytes)`.
+        #[test]
+        fn prop_borrowed_bundle_roundtrip_equivalence(
+            sections in proptest::collection::vec(
+                (
+                    // (level, round, kind)
+                    (proptest::prelude::any::<u8>(), 1u16..32, proptest::prelude::any::<bool>()),
+                    // (background?, numerator, exponent)
+                    (proptest::prelude::any::<bool>(), proptest::prelude::any::<u8>(), 0u8..60),
+                    proptest::collection::vec(proptest::prelude::any::<i64>(), 0..6), // exclude
+                    proptest::collection::vec(
+                        (proptest::prelude::any::<i64>(),
+                         proptest::prelude::any::<u8>(), 0u8..60),
+                        0..6,
+                    ),                                              // entries
+                ),
+                0..6,
+            )
+        ) {
+            let mut bundle = DelphiBundle::new();
+            for ((level, round, echo2), (has_bg, bg_num, bg_den), exclude, entries) in sections {
+                let kind = if echo2 { EchoKind::Echo2 } else { EchoKind::Echo1 };
+                let mut s = Section::new(level, Round(round), kind);
+                if has_bg {
+                    s.background = Some(Dyadic::new(u64::from(bg_num), bg_den));
+                    s.exclude = exclude;
+                }
+                s.entries = entries
+                    .into_iter()
+                    .map(|(k, num, den)| (k, Dyadic::new(u64::from(num), den)))
+                    .collect();
+                bundle.sections.push(s);
+            }
+            let bytes = bundle.to_bytes();
+            let owned = DelphiBundle::from_bytes(&bytes).unwrap();
+            let view = DelphiBundleRef::parse(&bytes).unwrap();
+            proptest::prop_assert_eq!(view.to_owned_bundle(), owned);
+        }
+
+        /// Error equivalence on garbage bytes and truncated prefixes: the
+        /// borrowed parser accepts and rejects exactly what the owned
+        /// decoder does, with the same error.
+        #[test]
+        fn prop_borrowed_bundle_error_equivalence(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..96),
+            cut in 0usize..96,
+        ) {
+            let owned = DelphiBundle::from_bytes(&bytes).map(|b| b.sections.len());
+            let borrowed = DelphiBundleRef::parse(&bytes).map(|v| v.to_owned_bundle().sections.len());
+            proptest::prop_assert_eq!(owned, borrowed);
+            let cut = cut.min(bytes.len());
+            let owned = DelphiBundle::from_bytes(&bytes[..cut]).map(|b| b.sections.len());
+            let borrowed =
+                DelphiBundleRef::parse(&bytes[..cut]).map(|v| v.to_owned_bundle().sections.len());
+            proptest::prop_assert_eq!(owned, borrowed);
+        }
     }
 
     #[test]

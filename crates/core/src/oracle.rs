@@ -66,6 +66,27 @@ impl OracleService {
         me: NodeId,
         epochs: EpochConfig,
         flush: FlushPolicy,
+        source: PriceSource,
+    ) -> OracleService {
+        OracleService::new_sharded(cfg, me, epochs, flush, 1, source)
+    }
+
+    /// [`OracleService::new`] with a sharded-receive deployment shape:
+    /// outgoing batches are flushed per `(destination, receive shard)` and
+    /// tagged with their [`AgreementId::shard`](delphi_primitives::AgreementId::shard)
+    /// class, so drivers with a per-shard receive CPU (the simulator's
+    /// `recv_shards`, `delphi-net`'s sharded dispatch) overlap the
+    /// processing of different assets' traffic.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`OracleService::new`], plus `recv_shards == 0`.
+    pub fn new_sharded(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        recv_shards: usize,
         mut source: PriceSource,
     ) -> OracleService {
         let n = cfg.n();
@@ -75,7 +96,7 @@ impl OracleService {
             n,
             Box::new(move |epoch, asset| DelphiNode::new(cfg.clone(), me, source(epoch, asset))),
         );
-        OracleService { inner: EpochProtocol::new(mux, flush) }
+        OracleService { inner: EpochProtocol::new_sharded(mux, flush, recv_shards) }
     }
 
     /// The ordered agreement stream emitted so far.

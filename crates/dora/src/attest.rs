@@ -227,7 +227,7 @@ impl DoraNode {
             .into_iter()
             .map(|env| {
                 let msg = DoraMsg::Inner(env.payload);
-                Envelope { to: env.to, payload: msg.to_bytes() }
+                Envelope { to: env.to, payload: msg.to_bytes(), shard: env.shard }
             })
             .collect()
     }

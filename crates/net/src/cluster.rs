@@ -55,12 +55,15 @@ impl NodeReport {
             .map(|(e, a, v)| format!("[{e},{a},{}]", fmt_f64(*v)))
             .collect::<Vec<_>>()
             .join(",");
+        let shard_entries =
+            s.shard_entries.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
         format!(
             "{{\"id\":{},\"output\":{},\"elapsed_ms\":{},\"agreements\":[{agreements}],\
              \"stats\":{{\
              \"sent_frames\":{},\"sent_bytes\":{},\"sent_entries\":{},\
              \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
-             \"late_entries\":{},\"mac_ops\":{}}}}}",
+             \"late_entries\":{},\"mac_ops\":{},\"buffer_reuses\":{},\
+             \"shard_entries\":[{shard_entries}]}}}}",
             self.id,
             fmt_f64(self.output),
             fmt_f64(self.elapsed_ms),
@@ -72,15 +75,17 @@ impl NodeReport {
             s.dropped_frames,
             s.late_entries,
             s.mac_ops,
+            s.buffer_reuses,
         )
     }
 
     /// Parses the JSON line printed by a node process.
     ///
     /// The parser is schema-bound (flat keys, one nested `stats` object,
-    /// one `agreements` triple array) but order-insensitive and tolerant
-    /// of whitespace. The `agreements` and `late_entries` keys are
-    /// optional so reports from pre-epoch node binaries still parse.
+    /// one `agreements` triple array, one `shard_entries` number array)
+    /// but order-insensitive and tolerant of whitespace. The
+    /// `agreements`, `late_entries`, `buffer_reuses`, and `shard_entries`
+    /// keys are optional so reports from older node binaries still parse.
     ///
     /// # Errors
     ///
@@ -88,6 +93,10 @@ impl NodeReport {
     pub fn parse_json(text: &str) -> Result<NodeReport, ClusterError> {
         let text = text.trim();
         let id = json_number(text, "id")?;
+        let mut shard_entries = [0u64; crate::transport::MAX_RECV_SHARDS];
+        for (slot, v) in shard_entries.iter_mut().zip(json_u64_array(text, "shard_entries")?) {
+            *slot = v;
+        }
         let stats = NetStats {
             sent_frames: json_number(text, "sent_frames")? as u64,
             sent_bytes: json_number(text, "sent_bytes")? as u64,
@@ -97,6 +106,8 @@ impl NodeReport {
             dropped_frames: json_number(text, "dropped_frames")? as u64,
             late_entries: json_number(text, "late_entries").unwrap_or(0.0) as u64,
             mac_ops: json_number(text, "mac_ops")? as u64,
+            buffer_reuses: json_number(text, "buffer_reuses").unwrap_or(0.0) as u64,
+            shard_entries,
         };
         Ok(NodeReport {
             id: id as u16,
@@ -165,6 +176,23 @@ fn json_triples(text: &str, key: &str) -> Result<Vec<(u32, u16, f64)>, ClusterEr
         triples.push((epoch, asset, value));
     }
     Ok(triples)
+}
+
+/// Extracts the `[u64, ...]` array following `"key":`, returning empty
+/// when the key is absent (reports from older node binaries).
+fn json_u64_array(text: &str, key: &str) -> Result<Vec<u64>, ClusterError> {
+    let pat = format!("\"{key}\"");
+    let bad = |why: &str| ClusterError::BadReport { key: key.to_string(), why: why.to_string() };
+    let Some(at) = text.find(&pat) else { return Ok(Vec::new()) };
+    let rest = text[at + pat.len()..].trim_start();
+    let rest = rest.strip_prefix(':').ok_or_else(|| bad("no colon"))?.trim_start();
+    let rest = rest.strip_prefix('[').ok_or_else(|| bad("no array"))?;
+    let end = rest.find(']').ok_or_else(|| bad("unterminated array"))?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',').map(|f| f.trim().parse().map_err(|_| bad("not a number"))).collect()
 }
 
 /// Extracts the numeric value following `"key":` anywhere in `text`.
@@ -436,6 +464,8 @@ mod tests {
                 dropped_frames: 0,
                 late_entries: 2,
                 mac_ops: 40,
+                buffer_reuses: 5,
+                shard_entries: [20, 13, 0, 0, 0, 0, 0, 0],
             },
         }
     }

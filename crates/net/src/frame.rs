@@ -57,8 +57,12 @@ use std::fmt;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use delphi_crypto::{Keychain, TAG_LEN};
-use delphi_primitives::epoch::{decode_epoch_batch, encode_epoch_batch, EPOCH_COUNT_BYTES};
-use delphi_primitives::mux::{decode_batch, encode_batch, BATCH_COUNT_BYTES};
+use delphi_primitives::epoch::{
+    decode_epoch_batch_ref, encode_epoch_batch, EpochEntriesRef, EpochEntryIter, EPOCH_COUNT_BYTES,
+};
+use delphi_primitives::mux::{
+    decode_batch_ref, encode_batch, BatchEntriesRef, BatchEntryIter, BATCH_COUNT_BYTES,
+};
 use delphi_primitives::{AgreementId, InstanceId, NodeId};
 
 /// Maximum payload bytes accepted in one frame (16 MiB). For batched
@@ -238,13 +242,183 @@ pub fn encode_epoch_frame(
     buf.freeze()
 }
 
-/// Decodes and authenticates one frame body of **any** format — v1, v2,
-/// or v3 — returning the sender and epoch-addressed entries.
+/// Borrowed view of one decoded frame body's entries: slices into the
+/// body, no per-entry allocation.
 ///
-/// v1 and v2 bodies (the one-shot formats) decode to entries at
+/// The one-shot formats surface through the same epoch-addressed
+/// interface the owned decoder uses: v1/v2 entries are addressed at
+/// epoch 0.
+#[derive(Clone, Debug)]
+pub enum FrameEntriesRef<'a> {
+    /// A v1 body's single payload (decoded as `(epoch 0, SOLO)`).
+    Solo(&'a [u8]),
+    /// A v2 body's one-shot batch entries (decoded at epoch 0).
+    Batch(BatchEntriesRef<'a>),
+    /// A v3 body's epoch-addressed entries.
+    Epoch(EpochEntriesRef<'a>),
+}
+
+impl<'a> FrameEntriesRef<'a> {
+    /// Number of entries the frame carried.
+    pub fn len(&self) -> usize {
+        match self {
+            FrameEntriesRef::Solo(_) => 1,
+            FrameEntriesRef::Batch(b) => b.len(),
+            FrameEntriesRef::Epoch(e) => e.len(),
+        }
+    }
+
+    /// Whether the frame carried no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the entries as `(agreement, payload)` borrowed slices.
+    pub fn iter(&self) -> FrameEntryIter<'a> {
+        match self {
+            FrameEntriesRef::Solo(payload) => FrameEntryIter::Solo(Some(payload)),
+            FrameEntriesRef::Batch(b) => FrameEntryIter::Batch(b.iter()),
+            FrameEntriesRef::Epoch(e) => FrameEntryIter::Epoch(e.iter()),
+        }
+    }
+
+    /// Materializes owned entries (the compatibility boundary).
+    pub fn to_owned_entries(&self) -> Vec<(AgreementId, Bytes)> {
+        self.iter().map(|(id, p)| (id, Bytes::copy_from_slice(p))).collect()
+    }
+}
+
+/// Iterator behind [`FrameEntriesRef::iter`].
+#[derive(Clone, Debug)]
+pub enum FrameEntryIter<'a> {
+    /// See [`FrameEntriesRef::Solo`].
+    Solo(Option<&'a [u8]>),
+    /// See [`FrameEntriesRef::Batch`].
+    Batch(BatchEntryIter<'a>),
+    /// See [`FrameEntriesRef::Epoch`].
+    Epoch(EpochEntryIter<'a>),
+}
+
+impl<'a> Iterator for FrameEntryIter<'a> {
+    type Item = (AgreementId, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            FrameEntryIter::Solo(payload) => {
+                payload.take().map(|p| (AgreementId::solo(InstanceId::SOLO), p))
+            }
+            FrameEntryIter::Batch(iter) => {
+                iter.next().map(|(asset, p)| (AgreementId::solo(asset), p))
+            }
+            FrameEntryIter::Epoch(iter) => iter.next(),
+        }
+    }
+}
+
+/// Checks the marked-body header shared by v2/v3 frames and verifies the
+/// tag (skipped for the pre-verified re-split path), returning the sender
+/// and the batch bytes.
+fn split_marked_body<'a>(
+    keychain: Option<&Keychain>,
+    body: &'a [u8],
+) -> Result<(NodeId, &'a [u8]), FrameError> {
+    // Marker + sender + count is the minimum before the tag (the batch
+    // and epoch codecs share the count width).
+    if body.len() < 2 + 2 + BATCH_COUNT_BYTES + TAG_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let sender = NodeId(u16::from_be_bytes([body[2], body[3]]));
+    let signed = &body[..body.len() - TAG_LEN];
+    if let Some(keychain) = keychain {
+        if sender.index() >= keychain.n() {
+            return Err(FrameError::UnknownSender);
+        }
+        let tag = &body[body.len() - TAG_LEN..];
+        if keychain.channel(sender).verify(signed, tag).is_err() {
+            return Err(FrameError::BadTag);
+        }
+    }
+    Ok((sender, &signed[4..]))
+}
+
+/// The zero-copy inbound decoder behind [`decode_inbound_frame`] and
+/// [`split_verified_body`]: `keychain = Some` authenticates, `None`
+/// re-splits a body a read loop already verified.
+fn decode_inbound_ref<'a>(
+    keychain: Option<&Keychain>,
+    body: &'a [u8],
+) -> Result<(NodeId, FrameEntriesRef<'a>), FrameError> {
+    if body.len() < MIN_FRAME_BODY {
+        return Err(FrameError::Truncated);
+    }
+    if body.len() > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge);
+    }
+    match u16::from_be_bytes([body[0], body[1]]) {
+        EPOCH_MARKER => {
+            let (sender, batch) = split_marked_body(keychain, body)?;
+            let entries = decode_epoch_batch_ref(batch).map_err(|_| FrameError::Malformed)?;
+            Ok((sender, FrameEntriesRef::Epoch(entries)))
+        }
+        BATCH_MARKER => {
+            let (sender, batch) = split_marked_body(keychain, body)?;
+            let entries = decode_batch_ref(batch).map_err(|_| FrameError::Malformed)?;
+            Ok((sender, FrameEntriesRef::Batch(entries)))
+        }
+        _ => {
+            // v1: sender + payload + tag.
+            let sender = NodeId(u16::from_be_bytes([body[0], body[1]]));
+            let signed = &body[..body.len() - TAG_LEN];
+            if let Some(keychain) = keychain {
+                if sender.index() >= keychain.n() {
+                    return Err(FrameError::UnknownSender);
+                }
+                let tag = &body[body.len() - TAG_LEN..];
+                if keychain.channel(sender).verify(signed, tag).is_err() {
+                    return Err(FrameError::BadTag);
+                }
+            }
+            Ok((sender, FrameEntriesRef::Solo(&signed[2..])))
+        }
+    }
+}
+
+/// Decodes and authenticates one frame body of **any** format — v1, v2,
+/// or v3 — returning the sender and a borrowed view of its entries: the
+/// zero-copy decoder the transport read loop uses. The frame is verified,
+/// validated, and split without allocating.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] on malformed, oversized, or forged frames;
+/// callers drop such frames.
+pub fn decode_inbound_frame_ref<'a>(
+    keychain: &Keychain,
+    body: &'a [u8],
+) -> Result<(NodeId, FrameEntriesRef<'a>), FrameError> {
+    decode_inbound_ref(Some(keychain), body)
+}
+
+/// Re-splits a frame body that an earlier [`decode_inbound_frame_ref`]
+/// already authenticated and validated — structure checks only, **no MAC
+/// work** — so sharded dispatch workers can walk a verified body's
+/// entries without paying the tag again.
+///
+/// # Errors
+///
+/// Structural [`FrameError`]s only; unreachable for bodies that passed
+/// verification.
+pub fn split_verified_body(body: &[u8]) -> Result<(NodeId, FrameEntriesRef<'_>), FrameError> {
+    decode_inbound_ref(None, body)
+}
+
+/// Decodes and authenticates one frame body of **any** format — v1, v2,
+/// or v3 — returning the sender and owned epoch-addressed entries.
+///
+/// Owned sibling of [`decode_inbound_frame_ref`], kept for callers whose
+/// entries must outlive the body. v1/v2 entries decode at
 /// [`EpochId::FIRST`](delphi_primitives::EpochId::FIRST): one-shot runs
-/// are exactly epoch 0 of a stream. This is the decoder the transport
-/// read loop uses; [`decode_any_frame`] remains the one-shot-typed view.
+/// are exactly epoch 0 of a stream.
 ///
 /// # Errors
 ///
@@ -254,33 +428,8 @@ pub fn decode_inbound_frame(
     keychain: &Keychain,
     body: &[u8],
 ) -> Result<(NodeId, Vec<(AgreementId, Bytes)>), FrameError> {
-    if body.len() < MIN_FRAME_BODY {
-        return Err(FrameError::Truncated);
-    }
-    if body.len() > MAX_FRAME_BODY {
-        return Err(FrameError::TooLarge);
-    }
-    if u16::from_be_bytes([body[0], body[1]]) != EPOCH_MARKER {
-        let (sender, entries) = decode_any_frame(keychain, body)?;
-        let entries =
-            entries.into_iter().map(|(asset, payload)| (AgreementId::solo(asset), payload));
-        return Ok((sender, entries.collect()));
-    }
-    // Epoch body: marker + sender + count is the minimum before the tag.
-    if body.len() < 2 + 2 + EPOCH_COUNT_BYTES + TAG_LEN {
-        return Err(FrameError::Truncated);
-    }
-    let sender = NodeId(u16::from_be_bytes([body[2], body[3]]));
-    if sender.index() >= keychain.n() {
-        return Err(FrameError::UnknownSender);
-    }
-    let signed = &body[..body.len() - TAG_LEN];
-    let tag = &body[body.len() - TAG_LEN..];
-    if keychain.channel(sender).verify(signed, tag).is_err() {
-        return Err(FrameError::BadTag);
-    }
-    let entries = decode_epoch_batch(&signed[4..]).map_err(|_| FrameError::Malformed)?;
-    Ok((sender, entries))
+    let (sender, entries) = decode_inbound_frame_ref(keychain, body)?;
+    Ok((sender, entries.to_owned_entries()))
 }
 
 /// Decodes and authenticates one frame body of **either** one-shot format
@@ -324,8 +473,8 @@ pub fn decode_any_frame(
     if keychain.channel(sender).verify(signed, tag).is_err() {
         return Err(FrameError::BadTag);
     }
-    let entries = decode_batch(&signed[4..]).map_err(|_| FrameError::Malformed)?;
-    Ok((sender, entries))
+    let entries = decode_batch_ref(&signed[4..]).map_err(|_| FrameError::Malformed)?;
+    Ok((sender, entries.to_owned_entries()))
 }
 
 #[cfg(test)]

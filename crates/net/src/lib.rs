@@ -49,9 +49,10 @@ mod transport;
 
 pub use delphi_primitives::FlushPolicy;
 pub use frame::{
-    decode_any_frame, decode_frame, decode_inbound_frame, encode_batch_frame, encode_epoch_frame,
-    encode_frame, FrameError, BATCH_MARKER, EPOCH_MARKER, MAX_FRAME_BODY, MAX_FRAME_PAYLOAD,
+    decode_any_frame, decode_frame, decode_inbound_frame, decode_inbound_frame_ref,
+    encode_batch_frame, encode_epoch_frame, encode_frame, split_verified_body, FrameEntriesRef,
+    FrameEntryIter, FrameError, BATCH_MARKER, EPOCH_MARKER, MAX_FRAME_BODY, MAX_FRAME_PAYLOAD,
     MIN_FRAME_BODY,
 };
 pub use service::{run_epoch_service, run_instances, run_node, NetError, RunOptions};
-pub use transport::NetStats;
+pub use transport::{NetStats, MAX_RECV_SHARDS};

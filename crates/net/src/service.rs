@@ -2,11 +2,29 @@
 //!
 //! [`run_node`] drives one protocol instance; [`run_instances`] drives any
 //! number of independent instances (one per oracle asset in a multi-feed
-//! deployment) multiplexed over a single mesh. The service layer owns the
-//! instance mux and the run lifecycle (start, dispatch, linger, drain) and
-//! delegates wire concerns downward: per-peer framing and batching to
-//! [`session`](crate::session), sockets and read/write loops to
-//! [`transport`](crate::transport).
+//! deployment) multiplexed over a single mesh; [`run_epoch_service`]
+//! drives a long-lived epoch pipeline. The service layer owns the
+//! instance state and the run lifecycle (start, dispatch, linger, drain)
+//! and delegates wire concerns downward: per-peer framing, batching, and
+//! flush policy to [`session`](crate::session), sockets and read/write
+//! loops to [`transport`](crate::transport).
+//!
+//! # The receive hot path
+//!
+//! Inbound frames take a zero-copy, optionally sharded path:
+//!
+//! 1. a transport read loop verifies the tag and validates the batch
+//!    structure **borrowed** (no per-entry allocation), then ships the
+//!    whole body as one refcounted buffer ([`VerifiedFrame`]);
+//! 2. with [`RunOptions::recv_shards`] > 1, the read loop routes the
+//!    frame to the dispatch worker(s) owning its entries — the stable
+//!    [`InstanceId::shard`] mapping, identical to the simulator's — and
+//!    each worker owns its instances outright, so no lock sits on the
+//!    per-entry path;
+//! 3. workers re-split the verified body (structure walk, no MAC) and
+//!    feed payload slices straight to the protocol state machines;
+//!    outbound bursts flow back to the session layer, which accumulates
+//!    and flushes them under the run's [`FlushPolicy`].
 
 use std::error::Error;
 use std::fmt;
@@ -15,16 +33,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
 use delphi_crypto::Keychain;
 use delphi_primitives::{
-    AgreementId, EpochEvent, EpochMux, EpochStats, FlushPolicy, InstanceId, NodeId, Protocol,
+    merge_epoch_shards, merge_epoch_stats, AgreementId, Envelope, EpochEvent, EpochMux, EpochShard,
+    EpochStats, FlushPolicy, InstanceId, Protocol,
 };
 use tokio::net::TcpListener;
 use tokio::sync::mpsc;
 
+use crate::frame::split_verified_body;
 use crate::session::SessionSet;
-use crate::transport::{spawn_acceptor, Counters, InboundFrame, NetStats};
+use crate::transport::{spawn_acceptor, Counters, NetStats, VerifiedFrame, MAX_RECV_SHARDS};
 
 /// Network runner failure.
 #[derive(Debug)]
@@ -55,7 +74,8 @@ impl From<std::io::Error> for NetError {
     }
 }
 
-/// Tuning knobs for [`run_node`] / [`run_instances`].
+/// Tuning knobs for [`run_node`] / [`run_instances`] /
+/// [`run_epoch_service`].
 #[derive(Clone, Debug)]
 pub struct RunOptions {
     /// How long to keep serving peers after our own output is ready.
@@ -75,10 +95,17 @@ pub struct RunOptions {
     /// destination into one batched frame (v2). Off, every envelope pays
     /// its own frame + tag — the v1 cost model, kept for measurement.
     pub batching: bool,
-    /// When epoch streams flush accumulated batch entries
-    /// ([`run_epoch_service`]): per step, or adaptively on size/time
-    /// triggers. One-shot runs always flush per step.
+    /// When the session layer flushes accumulated batch entries: per
+    /// step, or adaptively on size/time triggers. Applies to both the
+    /// one-shot runners and the epoch service.
     pub flush: FlushPolicy,
+    /// Receive dispatch shards (clamped to 1..=[`MAX_RECV_SHARDS`]).
+    /// With more than one, inbound entries are dispatched to per-shard
+    /// workers by the stable [`InstanceId::shard`] /
+    /// [`AgreementId::shard`] mapping — the same assignment the
+    /// simulator's `recv_shards` models — and each worker owns its
+    /// instances' protocol state.
+    pub recv_shards: usize,
 }
 
 impl Default for RunOptions {
@@ -90,6 +117,7 @@ impl Default for RunOptions {
             drain_timeout: Duration::from_secs(5),
             batching: true,
             flush: FlushPolicy::PerStep,
+            recv_shards: 1,
         }
     }
 }
@@ -112,9 +140,110 @@ pub async fn run_node<P>(
 ) -> Result<(P::Output, NetStats), NetError>
 where
     P: Protocol + Send + 'static,
+    P::Output: Send,
 {
     let (mut outputs, stats) = run_instances(vec![protocol], keychain, addrs, opts).await?;
     Ok((outputs.pop().expect("exactly one instance"), stats))
+}
+
+/// Builds the per-shard ingress channels and the accept loop.
+fn open_ingress(
+    listener: TcpListener,
+    keychain: Arc<Keychain>,
+    counters: Arc<Counters>,
+    shards: usize,
+) -> (Vec<mpsc::Receiver<VerifiedFrame>>, tokio::task::JoinHandle<()>) {
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<VerifiedFrame>(1024);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let accept_task = spawn_acceptor(listener, keychain, Arc::new(txs), counters);
+    (rxs, accept_task)
+}
+
+/// Feeds one verified frame's entries to their one-shot instances,
+/// collecting each instance's response burst. One-shot runs are epoch 0
+/// of a stream: entries for other epochs (a peer running the epoch
+/// service) and unknown instance ids are ignored. `owned` maps global
+/// instance ids to the instances this dispatcher owns.
+fn dispatch_step<P: Protocol>(
+    owned: &mut [(u16, P)],
+    frame: &VerifiedFrame,
+) -> Vec<(InstanceId, Vec<Envelope>)> {
+    // The read loop verified and validated the body; this is a pure
+    // structural re-split over the shared buffer.
+    let Ok((_, entries)) = split_verified_body(&frame.body) else {
+        return Vec::new(); // unreachable for verified bodies
+    };
+    let mut bursts = Vec::new();
+    for (id, payload) in entries.iter() {
+        if id.epoch.0 != 0 {
+            continue;
+        }
+        // `owned` is built in ascending global-id order, so ownership is
+        // a binary search — the per-entry path stays O(log k).
+        let Ok(at) = owned.binary_search_by_key(&id.asset.0, |(g, _)| *g) else {
+            continue;
+        };
+        bursts.push((id.asset, owned[at].1.on_message(frame.from, payload)));
+    }
+    bursts
+}
+
+/// What a one-shot dispatch worker reports to the service loop.
+enum ShardMsg<O> {
+    /// One protocol step's bursts, ready for session routing.
+    Step(Vec<(InstanceId, Vec<Envelope>)>),
+    /// Every instance this worker owns has an output.
+    Done(Vec<(u16, O)>),
+}
+
+/// One sharded one-shot dispatch worker: owns its instances outright,
+/// consumes verified frames, reports bursts and completion.
+async fn instance_shard_worker<P>(
+    mut rx: mpsc::Receiver<VerifiedFrame>,
+    mut owned: Vec<(u16, P)>,
+    out_tx: mpsc::Sender<ShardMsg<P::Output>>,
+) where
+    P: Protocol + Send + 'static,
+    P::Output: Send,
+{
+    let start: Vec<(InstanceId, Vec<Envelope>)> =
+        owned.iter_mut().map(|(i, p)| (InstanceId(*i), p.start())).collect();
+    if !start.is_empty() && out_tx.send(ShardMsg::Step(start)).await.is_err() {
+        return;
+    }
+    let mut done_sent = false;
+    let check_done = |owned: &[(u16, P)], done_sent: &mut bool| {
+        if !*done_sent && owned.iter().all(|(_, p)| p.output().is_some()) {
+            *done_sent = true;
+            return Some(ShardMsg::Done(
+                owned.iter().map(|(i, p)| (*i, p.output().expect("checked"))).collect(),
+            ));
+        }
+        None
+    };
+    if let Some(done) = check_done(&owned, &mut done_sent) {
+        if out_tx.send(done).await.is_err() {
+            return;
+        }
+    }
+    // Serve until the ingress closes or the service loop goes away; a
+    // worker keeps answering peers after Done (the linger contract).
+    while let Some(frame) = rx.recv().await {
+        let bursts = dispatch_step(&mut owned, &frame);
+        if !bursts.is_empty() && out_tx.send(ShardMsg::Step(bursts)).await.is_err() {
+            return;
+        }
+        if let Some(done) = check_done(&owned, &mut done_sent) {
+            if out_tx.send(done).await.is_err() {
+                return;
+            }
+        }
+    }
 }
 
 /// Runs `instances` — independent protocol instances multiplexed by
@@ -131,10 +260,13 @@ where
 ///
 /// With [`RunOptions::batching`] on (the default), every envelope produced
 /// by one `start()`/`on_message()` step is coalesced into at most one
-/// batched frame per destination. On shutdown the runner closes the writer
-/// queues and waits (bounded by [`RunOptions::drain_timeout`]) for every
-/// queued frame to flush, so a slow peer still receives everything that
-/// was sent.
+/// batched frame per destination, and [`RunOptions::flush`] may further
+/// accumulate entries across steps (adaptive flushing, size + time
+/// triggers). With [`RunOptions::recv_shards`] > 1 the receive path is
+/// dispatched across per-shard workers (see the [module docs](self)). On
+/// shutdown the runner closes the writer queues and waits (bounded by
+/// [`RunOptions::drain_timeout`]) for every queued frame to flush, so a
+/// slow peer still receives everything that was sent.
 ///
 /// # Errors
 ///
@@ -143,13 +275,14 @@ where
 /// [`NetError::Io`] if the listener cannot be bound; and
 /// [`NetError::Timeout`] if outputs are missing at the deadline.
 pub async fn run_instances<P>(
-    mut instances: Vec<P>,
+    instances: Vec<P>,
     keychain: Keychain,
     addrs: Vec<SocketAddr>,
     opts: RunOptions,
 ) -> Result<(Vec<P::Output>, NetStats), NetError>
 where
     P: Protocol + Send + 'static,
+    P::Output: Send,
 {
     let me = keychain.node_id();
     let n = keychain.n();
@@ -167,70 +300,212 @@ where
             return Err(NetError::Config("protocol identity mismatch".into()));
         }
     }
+    let shards = opts.recv_shards.clamp(1, MAX_RECV_SHARDS);
 
     let counters = Arc::new(Counters::default());
     let keychain = Arc::new(keychain);
-
-    // Inbound: listener -> reader tasks -> this channel (one item per
-    // authenticated frame, carrying all its entries).
-    let (in_tx, mut in_rx) = mpsc::channel::<InboundFrame>(1024);
     let listener = TcpListener::bind(addrs[me.index()]).await?;
-    let accept_task = spawn_acceptor(listener, keychain.clone(), in_tx, counters.clone());
+    let (mut in_rxs, accept_task) =
+        open_ingress(listener, keychain.clone(), counters.clone(), shards);
 
     // Outbound: one authenticated session (lazy-dialing write loop) per
-    // peer, with the step-batching policy for this run.
-    let sessions = SessionSet::connect(
+    // peer, with this run's batching + flush policy; batches flush per
+    // (destination, receive shard) so every frame belongs wholly to one
+    // dispatch worker at the receiver.
+    let mut sessions = SessionSet::connect(
         keychain.clone(),
         &addrs,
         opts.reconnect_delay,
         counters.clone(),
         opts.batching,
         instances.len() == 1,
-        FlushPolicy::PerStep,
+        opts.flush,
+        shards,
     );
-
-    // Drive the protocol instances.
+    let flush_delay = match opts.flush {
+        FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
+        FlushPolicy::PerStep => None,
+    };
     let deadline = tokio::time::Instant::now() + opts.deadline;
-    let start_bursts =
-        instances.iter_mut().enumerate().map(|(i, p)| (InstanceId(i as u16), p.start())).collect();
-    sessions.enqueue_step(start_bursts);
-    while !instances.iter().all(|p| p.output().is_some()) {
+    let total = instances.len();
+
+    // Partition instances across the dispatch workers by the stable shard
+    // mapping (everything lands on worker 0 when unsharded).
+    let mut groups: Vec<Vec<(u16, P)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, p) in instances.into_iter().enumerate() {
+        groups[InstanceId(i as u16).shard(shards)].push((i as u16, p));
+    }
+    let (out_tx, mut out_rx) = mpsc::channel::<ShardMsg<P::Output>>(1024);
+    let shard_tasks: Vec<tokio::task::JoinHandle<()>> = in_rxs
+        .drain(..)
+        .zip(groups)
+        .map(|(rx, owned)| tokio::spawn(instance_shard_worker(rx, owned, out_tx.clone())))
+        .collect();
+    drop(out_tx); // workers hold the only senders
+
+    let abort_all = |sessions: SessionSet, shard_tasks: &[tokio::task::JoinHandle<()>]| {
+        accept_task.abort();
+        for t in shard_tasks {
+            t.abort();
+        }
+        sessions.abort();
+    };
+
+    // Drive: collect worker steps and completions until every instance
+    // has an output, flushing per the run's policy.
+    let mut outputs: Vec<Option<P::Output>> = (0..total).map(|_| None).collect();
+    let mut done_workers = 0usize;
+    let mut flush_at: Option<tokio::time::Instant> = None;
+    // Start bursts must not wait for traffic (or for the adaptive flush
+    // timer): the first step from every worker flushes immediately.
+    let mut start_flushes = shards;
+    while done_workers < shards {
+        let wake = match flush_at {
+            Some(f) if f < deadline => f,
+            _ => deadline,
+        };
         let msg = tokio::select! {
-            m = in_rx.recv() => m,
-            _ = tokio::time::sleep_until(deadline) => None,
+            m = out_rx.recv() => Some(m),
+            _ = tokio::time::sleep_until(wake) => None,
         };
         match msg {
-            Some((from, entries)) => {
-                sessions.enqueue_step(dispatch(&mut instances, from, entries));
+            Some(Some(ShardMsg::Step(bursts))) => {
+                sessions.enqueue_step(bursts);
+                if start_flushes > 0 {
+                    start_flushes -= 1;
+                    sessions.flush_steps();
+                } else if let (Some(delay), true, None) =
+                    (flush_delay, sessions.has_pending_steps(), flush_at)
+                {
+                    flush_at = Some(tokio::time::Instant::now() + delay);
+                }
+            }
+            Some(Some(ShardMsg::Done(outs))) => {
+                for (i, o) in outs {
+                    outputs[usize::from(i)] = Some(o);
+                }
+                done_workers += 1;
+            }
+            Some(None) => {
+                // Every worker exited without completing: the ingress (and
+                // with it any chance of progress) is gone.
+                abort_all(sessions, &shard_tasks);
+                return Err(NetError::Timeout);
+            }
+            None if tokio::time::Instant::now() >= deadline => {
+                abort_all(sessions, &shard_tasks);
+                return Err(NetError::Timeout);
             }
             None => {
-                accept_task.abort();
-                sessions.abort();
-                return Err(NetError::Timeout);
+                // Flush timer fired: release every pending batch.
+                sessions.flush_steps();
+                flush_at = None;
             }
         }
     }
-    let outputs = instances.iter().map(|p| p.output().expect("all finished")).collect();
+    sessions.flush_steps();
+    let outputs: Vec<P::Output> =
+        outputs.into_iter().map(|o| o.expect("all workers done")).collect();
 
-    // Linger: keep answering peers so they can finish too.
+    // Linger: keep relaying worker responses so peers can finish too.
     let linger_end = tokio::time::Instant::now() + opts.linger;
     loop {
         let msg = tokio::select! {
-            m = in_rx.recv() => m,
+            m = out_rx.recv() => m,
             _ = tokio::time::sleep_until(linger_end) => None,
         };
         match msg {
-            Some((from, entries)) => {
-                sessions.enqueue_step(dispatch(&mut instances, from, entries));
+            Some(ShardMsg::Step(bursts)) => {
+                sessions.enqueue_step(bursts);
+                sessions.flush_steps();
             }
+            Some(ShardMsg::Done(_)) => {}
             None => break,
         }
     }
 
+    for t in &shard_tasks {
+        t.abort();
+    }
+    sessions.flush_steps();
     sessions.shutdown(opts.drain_timeout).await;
     accept_task.abort();
 
     Ok((outputs, counters.snapshot()))
+}
+
+/// One completed worker's merge input: its asset map and event stream.
+type ShardPart<O> = (Vec<InstanceId>, Vec<EpochEvent<O>>);
+
+/// What an epoch dispatch worker reports to the service loop.
+enum EpochShardMsg<O> {
+    /// One pipeline step's bursts (global asset addressing).
+    Step(Vec<(AgreementId, Vec<Envelope>)>),
+    /// This worker's stream slice has resolved every epoch. Events are
+    /// final at this point (every epoch resolved); the epoch-layer
+    /// *counters* keep moving while the worker serves lingering peers, so
+    /// they travel through a shared cell instead (read at shutdown).
+    Done {
+        /// Global asset ids the worker owned, ascending.
+        assets: Vec<InstanceId>,
+        /// The worker's ordered events (shard-local asset order).
+        events: Vec<EpochEvent<O>>,
+    },
+}
+
+/// One sharded epoch dispatch worker: a complete sub-pipeline over its
+/// asset slice, publishing its live [`EpochStats`] through `stats_cell`
+/// after every frame (late entries served during the linger window must
+/// still be counted). A `None` slot (a shard the basket left empty) just
+/// drains its ingress so Byzantine traffic addressed there cannot wedge a
+/// read loop.
+async fn epoch_shard_worker<P>(
+    mut rx: mpsc::Receiver<VerifiedFrame>,
+    slot: Option<EpochShard<P>>,
+    out_tx: mpsc::Sender<EpochShardMsg<P::Output>>,
+    stats_cell: Arc<std::sync::Mutex<EpochStats>>,
+) where
+    P: Protocol + Send + 'static,
+    P::Output: Send,
+{
+    let Some(mut shard) = slot else {
+        while rx.recv().await.is_some() {}
+        return;
+    };
+    let start = shard.start();
+    if !start.is_empty() && out_tx.send(EpochShardMsg::Step(start)).await.is_err() {
+        return;
+    }
+    let mut done_sent = false;
+    loop {
+        if !done_sent && shard.is_complete() {
+            done_sent = true;
+            let done = EpochShardMsg::Done {
+                assets: shard.assets().to_vec(),
+                events: shard.events().to_vec(),
+            };
+            if out_tx.send(done).await.is_err() {
+                return;
+            }
+        }
+        *stats_cell.lock().expect("stats cell") = shard.stats();
+        let Some(frame) = rx.recv().await else { return };
+        let Ok((_, entries)) = split_verified_body(&frame.body) else {
+            continue; // unreachable for verified bodies
+        };
+        // One step per entry — the same step granularity the simulator's
+        // `EpochProtocol::on_message` flushes at, so the per-step cost
+        // model stays byte-comparable between the two transports.
+        for (id, payload) in entries.iter() {
+            if !shard.owns(id.asset) {
+                continue;
+            }
+            let bursts = shard.on_entry(frame.from, id, payload);
+            if !bursts.is_empty() && out_tx.send(EpochShardMsg::Step(bursts)).await.is_err() {
+                return;
+            }
+        }
+    }
 }
 
 /// Runs an epoch stream — a long-lived [`EpochMux`] pipeline — over one
@@ -241,9 +516,12 @@ where
 /// routes their traffic as epoch-addressed entries in authenticated v3
 /// frames, and the session layer flushes batches per
 /// [`RunOptions::flush`] — per step, or adaptively on size triggers plus
-/// this loop's flush timer. Entries addressed to epochs the mux has
-/// already garbage-collected are dropped and surface in
-/// [`NetStats::late_entries`].
+/// this loop's flush timer. With [`RunOptions::recv_shards`] > 1 the
+/// pipeline is split by asset across dispatch workers
+/// ([`EpochMux::split_assets`]); the returned event stream is the merged,
+/// basket-ordered view ([`merge_epoch_shards`]). Entries addressed to
+/// epochs the pipeline has already garbage-collected are dropped and
+/// surface in [`NetStats::late_entries`].
 ///
 /// Returns the complete ordered event stream and the transport counters.
 ///
@@ -253,13 +531,14 @@ where
 /// [`NetError::Io`] if the listener cannot be bound, and
 /// [`NetError::Timeout`] if the stream is unresolved at the deadline.
 pub async fn run_epoch_service<P>(
-    mut mux: EpochMux<P>,
+    mux: EpochMux<P>,
     keychain: Keychain,
     addrs: Vec<SocketAddr>,
     opts: RunOptions,
 ) -> Result<(Vec<EpochEvent<P::Output>>, EpochStats, NetStats), NetError>
 where
     P: Protocol + Send + 'static,
+    P::Output: Send,
 {
     let me = keychain.node_id();
     let n = keychain.n();
@@ -269,6 +548,11 @@ where
     if mux.n() != n || mux.node_id() != me {
         return Err(NetError::Config("epoch mux identity mismatch".into()));
     }
+    // Clamp to the basket too: `split_assets` groups by
+    // `shard(min(shards, assets))`, and ingress must route with the SAME
+    // modulus the split used — otherwise entries hash to workers that do
+    // not own their asset and the stream wedges.
+    let shards = opts.recv_shards.clamp(1, MAX_RECV_SHARDS).min(usize::from(mux.config().assets));
     let flush_delay = match opts.flush {
         FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
         FlushPolicy::PerStep => None,
@@ -276,9 +560,9 @@ where
 
     let counters = Arc::new(Counters::default());
     let keychain = Arc::new(keychain);
-    let (in_tx, mut in_rx) = mpsc::channel::<InboundFrame>(1024);
     let listener = TcpListener::bind(addrs[me.index()]).await?;
-    let accept_task = spawn_acceptor(listener, keychain.clone(), in_tx, counters.clone());
+    let (mut in_rxs, accept_task) =
+        open_ingress(listener, keychain.clone(), counters.clone(), shards);
     let mut sessions = SessionSet::connect(
         keychain.clone(),
         &addrs,
@@ -287,46 +571,78 @@ where
         opts.batching,
         false,
         opts.flush,
+        shards,
     );
 
+    // Split the pipeline across the dispatch workers (a 1-shard run is a
+    // single worker owning the whole basket).
+    let total_assets = mux.config().assets;
+    let mut slots: Vec<Option<EpochShard<P>>> = (0..shards).map(|_| None).collect();
+    for shard in mux.split_assets(shards) {
+        let index = shard.shard_index();
+        slots[index] = Some(shard);
+    }
+    let expected_done = slots.iter().filter(|s| s.is_some()).count();
+    let (out_tx, mut out_rx) = mpsc::channel::<EpochShardMsg<P::Output>>(1024);
+    let stats_cells: Vec<Arc<std::sync::Mutex<EpochStats>>> =
+        (0..shards).map(|_| Arc::new(std::sync::Mutex::new(EpochStats::default()))).collect();
+    let shard_tasks: Vec<tokio::task::JoinHandle<()>> = in_rxs
+        .drain(..)
+        .zip(slots)
+        .zip(&stats_cells)
+        .map(|((rx, slot), cell)| {
+            tokio::spawn(epoch_shard_worker(rx, slot, out_tx.clone(), cell.clone()))
+        })
+        .collect();
+    drop(out_tx);
+
+    let abort_all = |sessions: SessionSet, shard_tasks: &[tokio::task::JoinHandle<()>]| {
+        accept_task.abort();
+        for t in shard_tasks {
+            t.abort();
+        }
+        sessions.abort();
+    };
+
     let deadline = tokio::time::Instant::now() + opts.deadline;
-    sessions.enqueue_epoch_step(mux.start());
-    sessions.flush_epochs(); // start bursts must not wait for traffic
-                             // Drive the stream. The vendored select! is two-armed, so the timer
-                             // arm waits on whichever comes first: the overall deadline or the
-                             // adaptive flush timer.
+    let mut parts: Vec<ShardPart<P::Output>> = Vec::new();
     let mut flush_at: Option<tokio::time::Instant> = None;
-    while !mux.is_complete() {
+    // Start bursts must not wait for traffic (or for the adaptive flush
+    // timer): the first step from every live worker flushes immediately.
+    let mut start_flushes = expected_done;
+    while parts.len() < expected_done {
         let wake = match flush_at {
             Some(f) if f < deadline => f,
             _ => deadline,
         };
         let msg = tokio::select! {
-            m = in_rx.recv() => Some(m),
+            m = out_rx.recv() => Some(m),
             _ = tokio::time::sleep_until(wake) => None,
         };
         match msg {
-            Some(Some((from, entries))) => {
-                for (id, payload) in entries {
-                    sessions.enqueue_epoch_step(mux.on_entry(from, id, &payload));
-                }
-                if let (Some(delay), true, None) =
+            Some(Some(EpochShardMsg::Step(bursts))) => {
+                sessions.enqueue_epoch_step(bursts);
+                if start_flushes > 0 {
+                    start_flushes -= 1;
+                    sessions.flush_epochs();
+                } else if let (Some(delay), true, None) =
                     (flush_delay, sessions.has_pending_epochs(), flush_at)
                 {
                     flush_at = Some(tokio::time::Instant::now() + delay);
                 }
             }
+            Some(Some(EpochShardMsg::Done { assets, events })) => {
+                parts.push((assets, events));
+            }
             Some(None) => {
-                // Inbound channel closed: the accept loop died, no more
-                // traffic can ever arrive — fail now rather than spinning
-                // on an always-ready recv until the deadline.
-                accept_task.abort();
-                sessions.abort();
+                // Every worker exited (the ingress died): no more traffic
+                // can ever arrive — fail now rather than spinning until
+                // the deadline.
+                abort_all(sessions, &shard_tasks);
                 return Err(NetError::Timeout);
             }
             None if tokio::time::Instant::now() >= deadline => {
-                accept_task.abort();
-                sessions.abort();
+                abort_all(sessions, &shard_tasks);
                 return Err(NetError::Timeout);
             }
             None => {
@@ -337,60 +653,46 @@ where
         }
     }
     sessions.flush_epochs();
-    let events = mux.events().to_vec();
+    let events = merge_epoch_shards(parts, total_assets);
 
     // Linger: keep serving peers still working through the stream's tail.
     let linger_end = tokio::time::Instant::now() + opts.linger;
     loop {
         let msg = tokio::select! {
-            m = in_rx.recv() => m,
+            m = out_rx.recv() => m,
             _ = tokio::time::sleep_until(linger_end) => None,
         };
         match msg {
-            Some((from, entries)) => {
-                for (id, payload) in entries {
-                    sessions.enqueue_epoch_step(mux.on_entry(from, id, &payload));
-                }
+            Some(EpochShardMsg::Step(bursts)) => {
+                sessions.enqueue_epoch_step(bursts);
                 sessions.flush_epochs();
             }
+            Some(EpochShardMsg::Done { .. }) => {}
             None => break,
         }
     }
 
-    let epoch_stats = mux.stats();
+    for t in &shard_tasks {
+        t.abort();
+    }
+    // Final counters come from the live cells, so late entries served
+    // during the linger window (traffic for already-GC'd epochs) are
+    // still counted — events were final at completion, counters were not.
+    let epoch_stats = merge_epoch_stats(stats_cells.iter().map(|c| *c.lock().expect("stats cell")));
     counters.late_entries.fetch_add(epoch_stats.late_entries, Ordering::Relaxed);
+    sessions.flush_epochs();
     sessions.shutdown(opts.drain_timeout).await;
     accept_task.abort();
     Ok((events, epoch_stats, counters.snapshot()))
-}
-
-/// Feeds one authenticated frame's entries to their instances, collecting
-/// each instance's response burst. One-shot runs are epoch 0 of a stream:
-/// entries for other epochs (a peer running the epoch service) and
-/// unknown instance ids are ignored.
-fn dispatch<P: Protocol>(
-    instances: &mut [P],
-    from: NodeId,
-    entries: Vec<(AgreementId, Bytes)>,
-) -> Vec<(InstanceId, Vec<delphi_primitives::Envelope>)> {
-    let mut bursts = Vec::new();
-    for (id, payload) in entries {
-        if id.epoch.0 != 0 {
-            continue;
-        }
-        if let Some(p) = instances.get_mut(id.asset.index()) {
-            bursts.push((id.asset, p.on_message(from, &payload)));
-        }
-    }
-    bursts
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::frame::decode_any_frame;
+    use bytes::Bytes;
     use delphi_core::BinAaNode;
-    use delphi_primitives::{Dyadic, Envelope};
+    use delphi_primitives::{Dyadic, Mux, NodeId};
     use tokio::io::AsyncReadExt;
 
     async fn free_addrs(n: usize) -> Vec<SocketAddr> {
@@ -414,7 +716,7 @@ mod tests {
         let inputs = [true, false, true, true];
         let mut handles = Vec::new();
         for id in NodeId::all(n) {
-            let keychain = Keychain::derive(b"net-test", id, n);
+            let keychain = delphi_crypto::Keychain::derive(b"net-test", id, n);
             let node = BinAaNode::new(id, n, 1, inputs[id.index()], 6);
             let addrs = addrs.clone();
             handles.push(tokio::spawn(async move {
@@ -430,6 +732,9 @@ mod tests {
             // Even a solo protocol benefits: multi-envelope steps share a
             // frame, so entries can only meet or exceed frames.
             assert!(stats.recv_entries >= stats.recv_frames);
+            // Unsharded runs dispatch everything on shard 0.
+            assert_eq!(stats.shard_entries[0], stats.recv_entries);
+            assert!(stats.shard_entries[1..].iter().all(|&c| c == 0));
             outputs.push(out);
         }
         let tol = Dyadic::new(1, 6);
@@ -449,7 +754,7 @@ mod tests {
         let inputs = [true, false, true, true];
         let mut handles = Vec::new();
         for id in NodeId::all(n) {
-            let keychain = Keychain::derive(b"mux-test", id, n);
+            let keychain = delphi_crypto::Keychain::derive(b"mux-test", id, n);
             let nodes = vec![
                 BinAaNode::new(id, n, 1, inputs[id.index()], 6),
                 BinAaNode::new(id, n, 1, false, 6),
@@ -487,9 +792,52 @@ mod tests {
         assert!(per_instance[1].iter().all(|o| *o == Dyadic::ZERO), "{:?}", per_instance[1]);
     }
 
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sharded_receive_matches_unsharded_outputs() {
+        // The same 6-instance BinAA basket with 1 and 4 receive shards:
+        // identical outputs (sharding is transport parallelism, never
+        // semantics), and the sharded run spreads dispatch across shard
+        // counters.
+        let n = 4;
+        let k = 6usize;
+        let inputs = [true, false, true, true];
+        let run = |seed: &'static [u8], shards: usize, addrs: Vec<SocketAddr>| async move {
+            let mut handles = Vec::new();
+            for id in NodeId::all(n) {
+                let keychain = delphi_crypto::Keychain::derive(seed, id, n);
+                let nodes: Vec<BinAaNode> = (0..k)
+                    .map(|i| BinAaNode::new(id, n, 1, inputs[id.index()] ^ (i % 2 == 1), 5))
+                    .collect();
+                let addrs = addrs.clone();
+                let opts = RunOptions { recv_shards: shards, ..RunOptions::default() };
+                handles.push(tokio::spawn(async move {
+                    run_instances(nodes, keychain, addrs, opts).await
+                }));
+            }
+            let mut all = Vec::new();
+            let mut stats_all = Vec::new();
+            for h in handles {
+                let (outs, stats) = h.await.unwrap().expect("node finished");
+                all.push(outs);
+                stats_all.push(stats);
+            }
+            (all, stats_all)
+        };
+        let (unsharded, _) = run(b"shard-eq", 1, free_addrs(n).await).await;
+        let (sharded, stats) = run(b"shard-eq", 4, free_addrs(n).await).await;
+        assert_eq!(unsharded, sharded, "sharding must not change any output");
+        for s in &stats {
+            assert_eq!(s.dropped_frames, 0);
+            let spread = s.shard_entries.iter().filter(|&&c| c > 0).count();
+            assert!(spread > 1, "entries must spread across shards: {:?}", s.shard_entries);
+            assert_eq!(s.shard_entries.iter().sum::<u64>(), s.recv_entries);
+        }
+    }
+
     /// Broadcasts `rounds` waves, advancing after each full wave of peer
     /// messages; its envelope count is schedule-independent, which makes
-    /// frame counts comparable across runs.
+    /// frame counts comparable across runs — and equal to the simulated
+    /// Mux run's message count, the sim/TCP parity check below.
     struct Wave {
         id: NodeId,
         n: usize,
@@ -530,18 +878,19 @@ mod tests {
         }
     }
 
-    async fn run_wave_cluster(seed: &'static [u8], batching: bool) -> NetStats {
-        let n = 3;
-        let instances_per_node = 4;
-        let rounds = 3u8;
-        let addrs = free_addrs(n).await;
+    const WAVE_N: usize = 3;
+    const WAVE_INSTANCES: usize = 4;
+    const WAVE_ROUNDS: u8 = 3;
+
+    async fn run_wave_cluster(seed: &'static [u8], batching: bool, flush: FlushPolicy) -> NetStats {
+        let addrs = free_addrs(WAVE_N).await;
         let mut handles = Vec::new();
-        for id in NodeId::all(n) {
-            let keychain = Keychain::derive(seed, id, n);
+        for id in NodeId::all(WAVE_N) {
+            let keychain = delphi_crypto::Keychain::derive(seed, id, WAVE_N);
             let nodes: Vec<Wave> =
-                (0..instances_per_node).map(|_| Wave::new(id, n, rounds)).collect();
+                (0..WAVE_INSTANCES).map(|_| Wave::new(id, WAVE_N, WAVE_ROUNDS)).collect();
             let addrs = addrs.clone();
-            let opts = RunOptions { batching, ..RunOptions::default() };
+            let opts = RunOptions { batching, flush, ..RunOptions::default() };
             handles.push(tokio::spawn(
                 async move { run_instances(nodes, keychain, addrs, opts).await },
             ));
@@ -549,20 +898,39 @@ mod tests {
         let mut total = NetStats::default();
         for h in handles {
             let (outs, stats) = h.await.unwrap().expect("node finished");
-            assert_eq!(outs.len(), instances_per_node);
+            assert_eq!(outs.len(), WAVE_INSTANCES);
             assert_eq!(stats.dropped_frames, 0);
             total.sent_frames += stats.sent_frames;
             total.sent_bytes += stats.sent_bytes;
             total.sent_entries += stats.sent_entries;
             total.mac_ops += stats.mac_ops;
+            total.buffer_reuses += stats.buffer_reuses;
         }
         total
     }
 
+    /// The same Wave workload under the simulator, multiplexed per node —
+    /// the reference the TCP runner's frame accounting must match.
+    fn run_wave_simulation() -> (u64, u64) {
+        use delphi_sim::{Simulation, Topology};
+        let nodes: Vec<Box<dyn Protocol<Output = Vec<usize>>>> = NodeId::all(WAVE_N)
+            .map(|id| {
+                let instances: Vec<Wave> =
+                    (0..WAVE_INSTANCES).map(|_| Wave::new(id, WAVE_N, WAVE_ROUNDS)).collect();
+                Box::new(Mux::new(instances)) as Box<dyn Protocol<Output = Vec<usize>>>
+            })
+            .collect();
+        let report = Simulation::new(Topology::lan(WAVE_N)).seed(7).run(nodes);
+        assert!(report.all_honest_finished(), "sim wave run stalled");
+        // Entries: every wave is a broadcast from every instance.
+        let entries = (WAVE_N * WAVE_INSTANCES * usize::from(WAVE_ROUNDS) * (WAVE_N - 1)) as u64;
+        (report.metrics.total_msgs(), entries)
+    }
+
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn batching_reduces_frames_and_macs_at_equal_envelope_count() {
-        let batched = run_wave_cluster(b"wave-batched", true).await;
-        let unbatched = run_wave_cluster(b"wave-unbatched", false).await;
+        let batched = run_wave_cluster(b"wave-batched", true, FlushPolicy::PerStep).await;
+        let unbatched = run_wave_cluster(b"wave-unbatched", false, FlushPolicy::PerStep).await;
         // Same protocols, schedule-independent envelope counts: the
         // workloads are identical.
         assert_eq!(batched.sent_entries, unbatched.sent_entries);
@@ -586,6 +954,116 @@ mod tests {
         );
         // Unbatched, every envelope is its own frame.
         assert_eq!(unbatched.sent_frames, unbatched.sent_entries);
+
+        // Parity with the simulator: the batched per-step TCP run puts
+        // exactly as many frames (and entries) on the wire as the
+        // multiplexed simulation sends messages — simulated cost IS real
+        // cost, which is what makes the sim sweeps trustworthy.
+        let (sim_msgs, sim_entries) = run_wave_simulation();
+        assert_eq!(batched.sent_frames, sim_msgs, "TCP frames == simulated messages");
+        assert_eq!(batched.sent_entries, sim_entries, "TCP entries == simulated envelopes");
+    }
+
+    /// Responds to *every* inbound message with a broadcast until its
+    /// send budget is spent — unlike the lock-step `Wave`, consecutive
+    /// responses carry no data dependency, which is exactly the traffic
+    /// shape adaptive flushing coalesces. The envelope count is fixed
+    /// (`budget` broadcasts per instance) regardless of schedule.
+    struct Chatty {
+        id: NodeId,
+        n: usize,
+        budget: u8,
+        sent: u8,
+        seen: usize,
+    }
+
+    impl Protocol for Chatty {
+        type Output = usize;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            self.sent = 1;
+            vec![Envelope::to_all(Bytes::from_static(b"chat"))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.seen += 1;
+            if self.sent < self.budget {
+                self.sent += 1;
+                vec![Envelope::to_all(Bytes::from_static(b"chat"))]
+            } else {
+                Vec::new()
+            }
+        }
+        fn output(&self) -> Option<usize> {
+            (self.seen >= usize::from(self.budget) * (self.n - 1)).then_some(self.seen)
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn adaptive_flush_cuts_one_shot_frames_at_equal_envelope_count() {
+        // The open ROADMAP item: adaptive flushing on the *one-shot* path.
+        // Entries are schedule-independent, so the per-entry frame cost
+        // comparison is exact.
+        let n = 3;
+        let instances = 4usize;
+        let budget = 6u8;
+        let run = |seed: &'static [u8], flush: FlushPolicy| async move {
+            let addrs = free_addrs(n).await;
+            let mut handles = Vec::new();
+            for id in NodeId::all(n) {
+                let keychain = delphi_crypto::Keychain::derive(seed, id, n);
+                let nodes: Vec<Chatty> =
+                    (0..instances).map(|_| Chatty { id, n, budget, sent: 0, seen: 0 }).collect();
+                let addrs = addrs.clone();
+                let opts = RunOptions { flush, ..RunOptions::default() };
+                handles.push(tokio::spawn(async move {
+                    run_instances(nodes, keychain, addrs, opts).await
+                }));
+            }
+            let mut total = NetStats::default();
+            for h in handles {
+                let (outs, stats) = h.await.unwrap().expect("node finished");
+                assert_eq!(outs.len(), instances);
+                assert_eq!(stats.dropped_frames, 0);
+                total.sent_frames += stats.sent_frames;
+                total.sent_entries += stats.sent_entries;
+                total.mac_ops += stats.mac_ops;
+                total.buffer_reuses += stats.buffer_reuses;
+            }
+            total
+        };
+        let per_step = run(b"chat-perstep", FlushPolicy::PerStep).await;
+        let adaptive = run(
+            b"chat-adaptive",
+            FlushPolicy::Adaptive {
+                max_entries: 16,
+                max_bytes: 4096,
+                max_delay: Duration::from_millis(5),
+            },
+        )
+        .await;
+        assert_eq!(per_step.sent_entries, adaptive.sent_entries, "same protocol work");
+        assert!(
+            adaptive.sent_frames < per_step.sent_frames,
+            "adaptive {} vs per-step {} frames for {} entries",
+            adaptive.sent_frames,
+            per_step.sent_frames,
+            per_step.sent_entries
+        );
+        assert!(
+            adaptive.mac_ops < per_step.mac_ops,
+            "fewer frames must mean fewer tags: {} vs {}",
+            adaptive.mac_ops,
+            per_step.mac_ops
+        );
+        // The flush path recycles its buffers: steady-state flushing hits
+        // the free-list instead of the allocator.
+        assert!(per_step.buffer_reuses > 0, "per-step flushing reuses buffers");
+        assert!(adaptive.buffer_reuses > 0, "adaptive flushing reuses buffers");
     }
 
     /// Bursts `k` point-to-point frames at start and outputs immediately.
@@ -625,7 +1103,7 @@ mod tests {
         let k = 50usize;
         let addrs = free_addrs(2).await;
         let peer_addr = addrs[1];
-        let keychain = Keychain::derive(b"drain-test", NodeId(0), 2);
+        let keychain = delphi_crypto::Keychain::derive(b"drain-test", NodeId(0), 2);
         let opts = RunOptions {
             linger: Duration::ZERO,
             batching: false, // one frame per envelope: all 50 must arrive
@@ -639,7 +1117,7 @@ mod tests {
         tokio::time::sleep(Duration::from_millis(250)).await;
         let listener = TcpListener::bind(peer_addr).await.unwrap();
         let reader = tokio::spawn(async move {
-            let kc = Keychain::derive(b"drain-test", NodeId(1), 2);
+            let kc = delphi_crypto::Keychain::derive(b"drain-test", NodeId(1), 2);
             let (mut stream, _) = listener.accept().await.unwrap();
             let mut got = 0usize;
             while got < k {
@@ -708,7 +1186,11 @@ mod tests {
         )
     }
 
-    async fn run_epoch_cluster(seed: &'static [u8], flush: FlushPolicy) -> Vec<NetStats> {
+    async fn run_epoch_cluster(
+        seed: &'static [u8],
+        flush: FlushPolicy,
+        recv_shards: usize,
+    ) -> Vec<NetStats> {
         use delphi_primitives::{EpochConfig, EpochOutcome};
         let n = 3;
         let epochs = 8u32;
@@ -716,10 +1198,10 @@ mod tests {
         let addrs = free_addrs(n).await;
         let mut handles = Vec::new();
         for id in NodeId::all(n) {
-            let keychain = Keychain::derive(seed, id, n);
+            let keychain = delphi_crypto::Keychain::derive(seed, id, n);
             let mux = epoch_mux(id, n, EpochConfig::new(epochs, assets, 2, 4, 1));
             let addrs = addrs.clone();
-            let opts = RunOptions { flush, ..RunOptions::default() };
+            let opts = RunOptions { flush, recv_shards, ..RunOptions::default() };
             handles.push(tokio::spawn(async move {
                 run_epoch_service(mux, keychain, addrs, opts).await
             }));
@@ -747,7 +1229,7 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn epoch_service_streams_over_loopback() {
-        let stats = run_epoch_cluster(b"epoch-stream", FlushPolicy::PerStep).await;
+        let stats = run_epoch_cluster(b"epoch-stream", FlushPolicy::PerStep, 1).await;
         for s in &stats {
             assert!(s.sent_frames > 0 && s.recv_frames > 0);
             assert!(s.recv_entries >= s.recv_frames);
@@ -755,8 +1237,40 @@ mod tests {
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sharded_epoch_service_streams_over_loopback() {
+        // The same stream with a 2-way sharded receive path: identical
+        // (merged, basket-ordered) events — run_epoch_cluster asserts the
+        // values — with dispatch spread over both shard counters.
+        let stats = run_epoch_cluster(b"epoch-sharded", FlushPolicy::PerStep, 2).await;
+        for s in &stats {
+            assert_eq!(s.dropped_frames, 0);
+            let spread = s.shard_entries.iter().filter(|&&c| c > 0).count();
+            assert!(spread > 1, "entries must spread across shards: {:?}", s.shard_entries);
+            assert_eq!(s.shard_entries.iter().sum::<u64>(), s.recv_entries);
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn more_shards_than_assets_clamps_instead_of_wedging() {
+        // recv_shards = 4 with a 2-asset basket: the service must clamp
+        // the shard count to the basket so ingress routing and the
+        // pipeline split agree — a mismatched modulus would strand
+        // entries on workers that own nothing and time the stream out.
+        let stats = run_epoch_cluster(b"epoch-overshard", FlushPolicy::PerStep, 4).await;
+        for s in &stats {
+            assert_eq!(s.dropped_frames, 0);
+            assert_eq!(s.shard_entries.iter().sum::<u64>(), s.recv_entries);
+            assert!(
+                s.shard_entries[2..].iter().all(|&c| c == 0),
+                "entries past the clamped shard count: {:?}",
+                s.shard_entries
+            );
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn adaptive_flush_cuts_frames_per_entry_over_tcp() {
-        let per_step = run_epoch_cluster(b"epoch-perstep", FlushPolicy::PerStep).await;
+        let per_step = run_epoch_cluster(b"epoch-perstep", FlushPolicy::PerStep, 1).await;
         let adaptive = run_epoch_cluster(
             b"epoch-adaptive",
             FlushPolicy::Adaptive {
@@ -764,6 +1278,7 @@ mod tests {
                 max_bytes: 4096,
                 max_delay: Duration::from_millis(5),
             },
+            1,
         )
         .await;
         let total = |v: &[NetStats]| {
@@ -788,8 +1303,8 @@ mod tests {
         // peer replays an epoch-0 entry after epoch 0 was completed and
         // evicted. The late entry must be dropped, counted, and harmless.
         let addrs = free_addrs(2).await;
-        let kc0 = Keychain::derive(b"late-test", NodeId(0), 2);
-        let kc1 = Keychain::derive(b"late-test", NodeId(1), 2);
+        let kc0 = delphi_crypto::Keychain::derive(b"late-test", NodeId(0), 2);
+        let kc1 = delphi_crypto::Keychain::derive(b"late-test", NodeId(1), 2);
         let service_addrs = addrs.clone();
         let service = tokio::spawn(async move {
             let mux = epoch_mux(NodeId(0), 2, EpochConfig::new(2, 1, 1, 1, 1));
@@ -848,7 +1363,7 @@ mod tests {
     #[tokio::test]
     async fn epoch_identity_mismatch_rejected() {
         use delphi_primitives::EpochConfig;
-        let keychain = Keychain::derive(b"x", NodeId(0), 4);
+        let keychain = delphi_crypto::Keychain::derive(b"x", NodeId(0), 4);
         let mux = epoch_mux(NodeId(0), 2, EpochConfig::new(1, 1, 1, 1, 0));
         let err = run_epoch_service(
             mux,
@@ -863,7 +1378,7 @@ mod tests {
 
     #[tokio::test]
     async fn config_mismatch_rejected() {
-        let keychain = Keychain::derive(b"x", NodeId(0), 4);
+        let keychain = delphi_crypto::Keychain::derive(b"x", NodeId(0), 4);
         let node = BinAaNode::new(NodeId(0), 4, 1, true, 4);
         let err =
             run_node(node, keychain, vec!["127.0.0.1:1".parse().unwrap()], RunOptions::default())
@@ -874,7 +1389,7 @@ mod tests {
 
     #[tokio::test]
     async fn empty_instance_list_rejected() {
-        let keychain = Keychain::derive(b"x", NodeId(0), 1);
+        let keychain = delphi_crypto::Keychain::derive(b"x", NodeId(0), 1);
         let err = run_instances(
             Vec::<BinAaNode>::new(),
             keychain,
@@ -890,7 +1405,7 @@ mod tests {
     async fn timeout_when_peers_missing() {
         let n = 4;
         let addrs = free_addrs(n).await;
-        let keychain = Keychain::derive(b"x", NodeId(0), n);
+        let keychain = delphi_crypto::Keychain::derive(b"x", NodeId(0), n);
         let node = BinAaNode::new(NodeId(0), n, 1, true, 4);
         let opts = RunOptions { deadline: Duration::from_millis(300), ..RunOptions::default() };
         let err = run_node(node, keychain, addrs, opts).await.unwrap_err();

@@ -1,5 +1,5 @@
-//! Per-peer authenticated sessions: framing format choice, batching, and
-//! drain-on-shutdown.
+//! Per-peer authenticated sessions: framing format choice, batching,
+//! adaptive flushing, and drain-on-shutdown.
 //!
 //! A [`SessionSet`] sits between the protocol-driving service layer and
 //! the [`transport`](crate::transport) write loops. It owns one outbound
@@ -11,6 +11,14 @@
 //! - a solo (single-instance) runner keeps the 4-bytes-cheaper v1 format
 //!   for single-envelope steps, while multi-instance runs speak pure v2 so
 //!   byte accounting matches the simulator's `Mux`;
+//! - both the one-shot and the epoch path accumulate entries in per-peer
+//!   pending buffers under a [`FlushPolicy`] — per-step for the classic
+//!   cost model, adaptive (size triggers here, the time trigger in the
+//!   service loop) to amortize frames and tags across steps;
+//! - routing and pending buffers are recycled between flushes (the
+//!   free-list in `PendingBatchesBy`), so a steady-state flush allocates
+//!   nothing but the frame itself; `NetStats::buffer_reuses` counts the
+//!   hits;
 //! - [`SessionSet::shutdown`] closes every queue and waits (bounded) for
 //!   the write loops to flush, so a slow peer still receives everything
 //!   that was queued.
@@ -22,9 +30,11 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::epoch::route_epoch_bursts;
-use delphi_primitives::mux::route_bursts;
-use delphi_primitives::{AgreementId, Envelope, FlushPolicy, InstanceId, NodeId, PendingBatches};
+use delphi_primitives::epoch::route_epoch_bursts_into;
+use delphi_primitives::mux::route_bursts_into;
+use delphi_primitives::{
+    AgreementId, Envelope, FlushPolicy, InstanceId, NodeId, PendingBatches, PendingBatchesBy,
+};
 use tokio::sync::mpsc;
 
 use crate::frame::{encode_batch_frame, encode_epoch_frame, encode_frame};
@@ -35,10 +45,11 @@ use crate::transport::{spawn_writer, Counters};
 ///
 /// One-shot runs queue whole steps ([`SessionSet::enqueue_step`]); epoch
 /// streams queue epoch-addressed entries
-/// ([`SessionSet::enqueue_epoch_step`]) that accumulate in per-peer
-/// pending buffers under a [`FlushPolicy`] — per-step for the classic
-/// cost model, adaptive (size triggers here, the time trigger in the
-/// service loop) to amortize frames and tags across steps.
+/// ([`SessionSet::enqueue_epoch_step`]). Both paths accumulate in pending
+/// buffers under the session's [`FlushPolicy`] — one buffer per
+/// *(destination, receive shard)*, so a sharded deployment's frames each
+/// land wholly on one of the receiver's dispatch workers, exactly like
+/// the simulator's `EpochProtocol::new_sharded` sender model.
 pub(crate) struct SessionSet {
     /// `peer_tx[p]` queues frames for peer `p`; `None` at our own slot.
     peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>>,
@@ -48,15 +59,30 @@ pub(crate) struct SessionSet {
     batching: bool,
     /// Single-instance runs keep the v1 format for lone envelopes.
     solo: bool,
-    /// Per-peer epoch entries awaiting flush (epoch streams only) —
+    /// Receive shards the deployment runs (1 = unsharded): pending slots
+    /// are indexed `dest * recv_shards + shard`.
+    recv_shards: usize,
+    /// Per-slot epoch entries awaiting flush (epoch streams only) —
     /// the same accumulator `EpochProtocol` uses under the simulator, so
     /// the two transports share one flush-trigger semantics.
     pending: PendingBatches,
+    /// Per-slot one-shot entries awaiting flush (`run_instances`).
+    pending_solo: PendingBatchesBy<InstanceId>,
+    /// Reused routing buffers, one set per address space.
+    route_epoch: Vec<Vec<(AgreementId, Bytes)>>,
+    route_solo: Vec<Vec<(InstanceId, Bytes)>>,
+    /// Reused per-shard partition buffers (sharded mode only).
+    shard_epoch: Vec<Vec<(AgreementId, Bytes)>>,
+    shard_solo: Vec<Vec<(InstanceId, Bytes)>>,
 }
 
 impl SessionSet {
     /// Opens a session (a lazy-dialing write loop) to every peer in
-    /// `addrs` except `keychain.node_id()` itself.
+    /// `addrs` except `keychain.node_id()` itself. `recv_shards` is the
+    /// deployment's receive-shard count: outbound batches are flushed per
+    /// `(destination, shard)` so every frame belongs wholly to one of the
+    /// receiver's dispatch workers.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn connect(
         keychain: Arc<Keychain>,
         addrs: &[SocketAddr],
@@ -65,7 +91,9 @@ impl SessionSet {
         batching: bool,
         solo: bool,
         flush: FlushPolicy,
+        recv_shards: usize,
     ) -> SessionSet {
+        assert!(recv_shards >= 1, "need at least one receive shard");
         let me = keychain.node_id();
         let n = addrs.len();
         let mut peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>> = Vec::with_capacity(n);
@@ -91,71 +119,103 @@ impl SessionSet {
             counters,
             batching,
             solo,
-            pending: PendingBatches::new(n, flush),
+            recv_shards,
+            pending: PendingBatches::new(n * recv_shards, flush),
+            pending_solo: PendingBatchesBy::new(n * recv_shards, flush),
+            route_epoch: Vec::new(),
+            route_solo: Vec::new(),
+            shard_epoch: std::iter::repeat_with(Vec::new).take(recv_shards).collect(),
+            shard_solo: std::iter::repeat_with(Vec::new).take(recv_shards).collect(),
         }
     }
 
     /// Queues one protocol step's output: the envelope bursts of every
-    /// instance that acted, coalesced into one frame per destination.
+    /// instance that acted, accumulated per destination (and receive
+    /// shard) and flushed per the session's [`FlushPolicy`] (per-step
+    /// immediately — the classic one-frame-per-step cost model; adaptive
+    /// on size triggers, with the service loop's flush timer as the time
+    /// trigger).
     ///
     /// Multi-instance runs speak pure v2 so `NetStats` byte counts equal
-    /// the simulator's `Mux` accounting; solo single-envelope steps keep
-    /// the (4 bytes cheaper) v1 format.
-    pub(crate) fn enqueue_step(&self, bursts: Vec<(InstanceId, Vec<Envelope>)>) {
+    /// the simulator's `Mux` accounting; solo single-envelope flushes
+    /// keep the (4 bytes cheaper) v1 format.
+    pub(crate) fn enqueue_step(&mut self, bursts: Vec<(InstanceId, Vec<Envelope>)>) {
         let me = self.keychain.node_id();
-        let n = self.peer_tx.len();
-        for (dest, entries) in route_bursts(bursts, n, me).into_iter().enumerate() {
-            let Some(Some(tx)) = self.peer_tx.get(dest) else { continue };
-            if entries.is_empty() {
-                continue;
-            }
-            self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-            let dest = NodeId(dest as u16);
-            if self.batching {
-                let frame = match &entries[..] {
-                    [(_, payload)] if self.solo => encode_frame(&self.keychain, dest, payload),
-                    _ => encode_batch_frame(&self.keychain, dest, &entries),
-                };
-                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(frame);
-            } else {
-                for (instance, payload) in entries {
-                    let frame = if self.solo {
-                        encode_frame(&self.keychain, dest, &payload)
-                    } else {
-                        encode_batch_frame(&self.keychain, dest, &[(instance, payload)])
-                    };
-                    self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(frame);
-                }
-            }
-        }
-    }
-
-    /// Queues one epoch-stream step: epoch-addressed bursts routed into
-    /// the per-peer pending buffers, flushed per the session's
-    /// [`FlushPolicy`] (per-step immediately; adaptive once a peer's
-    /// batch trips the entry or byte trigger — the time trigger is the
-    /// service loop's flush timer calling [`SessionSet::flush_epochs`]).
-    pub(crate) fn enqueue_epoch_step(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>) {
-        let me = self.keychain.node_id();
-        let n = self.peer_tx.len();
-        for (dest, entries) in route_epoch_bursts(bursts, n, me).into_iter().enumerate() {
+        let (n, shards) = (self.peer_tx.len(), self.recv_shards);
+        let mut routed = std::mem::take(&mut self.route_solo);
+        route_bursts_into(bursts, n, me, &mut routed);
+        for (dest, entries) in routed.iter_mut().enumerate() {
             if entries.is_empty() || self.peer_tx[dest].is_none() {
                 continue;
             }
             self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-            if self.pending.push(dest, entries) {
-                self.flush_epoch_dest(dest);
+            if shards == 1 {
+                if self.pending_solo.push_drain(dest, entries) {
+                    self.flush_solo_slot(dest);
+                }
+                continue;
             }
+            // Partition into shard classes so every flushed frame lands
+            // wholly on one of the receiver's dispatch workers.
+            let mut groups = std::mem::take(&mut self.shard_solo);
+            for (id, payload) in entries.drain(..) {
+                groups[id.shard(shards)].push((id, payload));
+            }
+            for (shard, group) in groups.iter_mut().enumerate() {
+                if self.pending_solo.push_drain(dest * shards + shard, group) {
+                    self.flush_solo_slot(dest * shards + shard);
+                }
+            }
+            self.shard_solo = groups;
+        }
+        self.route_solo = routed;
+    }
+
+    /// Queues one epoch-stream step: epoch-addressed bursts routed into
+    /// the per-(destination, shard) pending buffers, flushed per the
+    /// session's [`FlushPolicy`].
+    pub(crate) fn enqueue_epoch_step(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>) {
+        let me = self.keychain.node_id();
+        let (n, shards) = (self.peer_tx.len(), self.recv_shards);
+        let mut routed = std::mem::take(&mut self.route_epoch);
+        route_epoch_bursts_into(bursts, n, me, &mut routed);
+        for (dest, entries) in routed.iter_mut().enumerate() {
+            if entries.is_empty() || self.peer_tx[dest].is_none() {
+                continue;
+            }
+            self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+            if shards == 1 {
+                if self.pending.push_drain(dest, entries) {
+                    self.flush_epoch_slot(dest);
+                }
+                continue;
+            }
+            let mut groups = std::mem::take(&mut self.shard_epoch);
+            for (id, payload) in entries.drain(..) {
+                groups[id.shard(shards)].push((id, payload));
+            }
+            for (shard, group) in groups.iter_mut().enumerate() {
+                if self.pending.push_drain(dest * shards + shard, group) {
+                    self.flush_epoch_slot(dest * shards + shard);
+                }
+            }
+            self.shard_epoch = groups;
+        }
+        self.route_epoch = routed;
+    }
+
+    /// Flushes every slot's pending epoch entries (the time trigger, and
+    /// the pre-shutdown drain).
+    pub(crate) fn flush_epochs(&mut self) {
+        for slot in 0..self.pending.dests() {
+            self.flush_epoch_slot(slot);
         }
     }
 
-    /// Flushes every peer's pending epoch entries (the time trigger, and
-    /// the pre-shutdown drain).
-    pub(crate) fn flush_epochs(&mut self) {
-        for dest in 0..self.pending.dests() {
-            self.flush_epoch_dest(dest);
+    /// Flushes every slot's pending one-shot entries.
+    pub(crate) fn flush_steps(&mut self) {
+        for slot in 0..self.pending_solo.dests() {
+            self.flush_solo_slot(slot);
         }
     }
 
@@ -164,12 +224,55 @@ impl SessionSet {
         self.pending.has_pending()
     }
 
-    fn flush_epoch_dest(&mut self, dest: usize) {
-        let entries = self.pending.take(dest);
+    /// Whether any peer has unflushed one-shot entries.
+    pub(crate) fn has_pending_steps(&self) -> bool {
+        self.pending_solo.has_pending()
+    }
+
+    fn flush_solo_slot(&mut self, slot: usize) {
+        let entries = self.pending_solo.take(slot);
         if entries.is_empty() {
             return;
         }
-        let Some(Some(tx)) = self.peer_tx.get(dest) else { return };
+        let dest = slot / self.recv_shards;
+        let Some(Some(tx)) = self.peer_tx.get(dest) else {
+            self.pending_solo.recycle(entries);
+            return;
+        };
+        let to = NodeId(dest as u16);
+        if self.batching {
+            let frame = match &entries[..] {
+                [(_, payload)] if self.solo => encode_frame(&self.keychain, to, payload),
+                _ => encode_batch_frame(&self.keychain, to, &entries),
+            };
+            self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(frame);
+        } else {
+            // One frame per entry: the measurement baseline.
+            for (instance, payload) in &entries {
+                let frame = if self.solo {
+                    encode_frame(&self.keychain, to, payload)
+                } else {
+                    encode_batch_frame(&self.keychain, to, &[(*instance, payload.clone())])
+                };
+                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(frame);
+            }
+        }
+        self.pending_solo.recycle(entries);
+        self.sync_reuse_counter();
+    }
+
+    fn flush_epoch_slot(&mut self, slot: usize) {
+        let entries = self.pending.take(slot);
+        if entries.is_empty() {
+            return;
+        }
+        let dest = slot / self.recv_shards;
+        let Some(Some(tx)) = self.peer_tx.get(dest) else {
+            self.pending.recycle(entries);
+            return;
+        };
         let to = NodeId(dest as u16);
         if self.batching {
             let frame = encode_epoch_frame(&self.keychain, to, &entries);
@@ -177,12 +280,21 @@ impl SessionSet {
             let _ = tx.send(frame);
         } else {
             // One frame per entry: the measurement baseline.
-            for entry in entries {
-                let frame = encode_epoch_frame(&self.keychain, to, &[entry]);
+            for entry in &entries {
+                let frame = encode_epoch_frame(&self.keychain, to, std::slice::from_ref(entry));
                 self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(frame);
             }
         }
+        self.pending.recycle(entries);
+        self.sync_reuse_counter();
+    }
+
+    /// Publishes the pending-buffer reuse totals into the shared stats.
+    fn sync_reuse_counter(&self) {
+        self.counters
+            .buffer_reuses
+            .store(self.pending.reuse_hits() + self.pending_solo.reuse_hits(), Ordering::Relaxed);
     }
 
     /// Graceful drain: closes the per-peer queues so each write loop

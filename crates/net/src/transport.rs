@@ -23,12 +23,12 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use delphi_crypto::Keychain;
-use delphi_primitives::{AgreementId, NodeId};
+use delphi_primitives::NodeId;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 
-use crate::frame::{decode_inbound_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY};
+use crate::frame::{decode_inbound_frame_ref, FrameError, MAX_FRAME_BODY, MIN_FRAME_BODY};
 
 /// Cap on the dial-retry backoff, as a multiple of the initial delay.
 ///
@@ -36,6 +36,11 @@ use crate::frame::{decode_inbound_frame, FrameError, MAX_FRAME_BODY, MIN_FRAME_B
 /// doubles on every consecutive failure up to this factor, then resets on
 /// a successful connection.
 pub(crate) const MAX_BACKOFF_FACTOR: u32 = 16;
+
+/// Maximum receive dispatch shards a runner may use
+/// ([`crate::RunOptions::recv_shards`] is clamped to this), sized so
+/// [`NetStats`] can carry fixed per-shard counters.
+pub const MAX_RECV_SHARDS: usize = 8;
 
 /// Byte counters observed by the runner.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,6 +64,12 @@ pub struct NetStats {
     /// HMAC tag computations (one per frame encoded, one per tag
     /// verified). Batching lowers this together with `sent_frames`.
     pub mac_ops: u64,
+    /// Session-layer flush buffers reused from the free-list instead of
+    /// freshly allocated (see `PendingBatchesBy::recycle`).
+    pub buffer_reuses: u64,
+    /// Authenticated entries dispatched to each receive shard (index =
+    /// shard; unsharded runs count everything on shard 0).
+    pub shard_entries: [u64; MAX_RECV_SHARDS],
 }
 
 /// Shared mutable counters behind [`NetStats`].
@@ -72,10 +83,16 @@ pub(crate) struct Counters {
     pub(crate) dropped_frames: AtomicU64,
     pub(crate) late_entries: AtomicU64,
     pub(crate) mac_ops: AtomicU64,
+    pub(crate) buffer_reuses: AtomicU64,
+    pub(crate) shard_entries: [AtomicU64; MAX_RECV_SHARDS],
 }
 
 impl Counters {
     pub(crate) fn snapshot(&self) -> NetStats {
+        let mut shard_entries = [0u64; MAX_RECV_SHARDS];
+        for (out, counter) in shard_entries.iter_mut().zip(&self.shard_entries) {
+            *out = counter.load(Ordering::Relaxed);
+        }
         NetStats {
             sent_frames: self.sent_frames.load(Ordering::Relaxed),
             sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
@@ -85,30 +102,47 @@ impl Counters {
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
             late_entries: self.late_entries.load(Ordering::Relaxed),
             mac_ops: self.mac_ops.load(Ordering::Relaxed),
+            buffer_reuses: self.buffer_reuses.load(Ordering::Relaxed),
+            shard_entries,
         }
     }
 }
 
-/// One authenticated inbound frame: its sender and every epoch-addressed
-/// entry it carried (one-shot v1/v2 frames decode to epoch 0).
-pub(crate) type InboundFrame = (NodeId, Vec<(AgreementId, Bytes)>);
+/// One authenticated inbound frame, shipped as the shared body buffer:
+/// the read loop verified the tag and validated the batch structure, so
+/// receivers re-split it with [`crate::frame::split_verified_body`] —
+/// cheap structural walk, no MAC, no per-entry copies. Cloning is a
+/// refcount bump, which is how one frame fans out to several dispatch
+/// shards without duplicating bytes.
+#[derive(Clone, Debug)]
+pub(crate) struct VerifiedFrame {
+    /// The authenticated sender.
+    pub(crate) from: NodeId,
+    /// The complete frame body (shared allocation).
+    pub(crate) body: Bytes,
+}
 
-/// Spawns the accept loop on `listener`: every inbound connection gets its
-/// own [`read_loop`] task feeding `tx`.
+/// Per-shard ingress: `txs[s]` feeds the dispatch worker owning shard
+/// `s`'s instances. Unsharded runs use a single-element vector.
+pub(crate) type ShardSenders = Arc<Vec<mpsc::Sender<VerifiedFrame>>>;
+
+/// Spawns the accept loop on `listener`: every inbound connection gets
+/// its own [`read_loop`] task verifying frames and routing them to the
+/// dispatch shards in `txs` by entry ownership.
 pub(crate) fn spawn_acceptor(
     listener: TcpListener,
     keychain: Arc<Keychain>,
-    tx: mpsc::Sender<InboundFrame>,
+    txs: ShardSenders,
     counters: Arc<Counters>,
 ) -> tokio::task::JoinHandle<()> {
     tokio::spawn(async move {
         loop {
             let Ok((stream, _)) = listener.accept().await else { break };
             let kc = keychain.clone();
-            let tx = tx.clone();
+            let txs = txs.clone();
             let counters = counters.clone();
             tokio::spawn(async move {
-                let _ = read_loop(stream, kc, tx, counters).await;
+                let _ = read_loop(stream, kc, txs, counters).await;
             });
         }
     })
@@ -129,9 +163,10 @@ pub(crate) fn spawn_writer(
 pub(crate) async fn read_loop(
     mut stream: TcpStream,
     keychain: Arc<Keychain>,
-    tx: mpsc::Sender<InboundFrame>,
+    txs: ShardSenders,
     counters: Arc<Counters>,
 ) -> std::io::Result<()> {
+    let shards = txs.len();
     let mut len_buf = [0u8; 4];
     loop {
         if stream.read_exact(&mut len_buf).await.is_err() {
@@ -148,13 +183,35 @@ pub(crate) async fn read_loop(
         if stream.read_exact(&mut body).await.is_err() {
             return Ok(());
         }
-        match decode_inbound_frame(&keychain, &body) {
+        // The body buffer becomes the shared allocation everything
+        // downstream borrows from or refcounts: verify + validate here,
+        // then dispatch the whole frame — entries are never copied out.
+        let body = Bytes::from(body);
+        match decode_inbound_frame_ref(&keychain, &body) {
             Ok((from, entries)) => {
                 counters.mac_ops.fetch_add(1, Ordering::Relaxed);
                 counters.recv_frames.fetch_add(1, Ordering::Relaxed);
                 counters.recv_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-                if tx.send((from, entries)).await.is_err() {
-                    return Ok(()); // main loop gone
+                // Route the frame to every shard owning at least one of
+                // its entries (sharded senders batch per shard class, so
+                // the common case is exactly one target).
+                let mut shard_counts = [0u64; MAX_RECV_SHARDS];
+                if shards == 1 {
+                    shard_counts[0] = entries.len() as u64;
+                } else {
+                    for (id, _) in entries.iter() {
+                        shard_counts[id.shard(shards)] += 1;
+                    }
+                }
+                let frame = VerifiedFrame { from, body: body.clone() };
+                for (shard, &count) in shard_counts.iter().enumerate().take(shards) {
+                    if count == 0 {
+                        continue;
+                    }
+                    counters.shard_entries[shard].fetch_add(count, Ordering::Relaxed);
+                    if txs[shard].send(frame.clone()).await.is_err() {
+                        return Ok(()); // dispatch worker gone
+                    }
                 }
             }
             Err(err) => {
@@ -238,7 +295,8 @@ mod tests {
             let (tx, mut rx) = mpsc::channel(16);
             let mut client = TcpStream::connect(addr).await.unwrap();
             let (server, _) = listener.accept().await.unwrap();
-            let reader = tokio::spawn(read_loop(server, bob.clone(), tx, counters.clone()));
+            let reader =
+                tokio::spawn(read_loop(server, bob.clone(), Arc::new(vec![tx]), counters.clone()));
 
             client.write_all(&bad_len.to_be_bytes()).await.unwrap();
             // A perfectly valid frame behind the corrupt length word: the

@@ -151,6 +151,14 @@ impl AgreementId {
     pub fn solo(asset: InstanceId) -> AgreementId {
         AgreementId { epoch: EpochId::FIRST, asset }
     }
+
+    /// Stable receive-shard assignment, by asset: every epoch of one asset
+    /// lands on the same dispatch worker, so per-instance FIFO ordering
+    /// survives sharding. See [`InstanceId::shard`].
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        self.asset.shard(shards)
+    }
 }
 
 impl fmt::Display for AgreementId {
@@ -236,6 +244,100 @@ pub fn decode_epoch_batch(buf: &[u8]) -> Result<Vec<(AgreementId, Bytes)>, WireE
     Ok(entries)
 }
 
+/// A validated, borrowed view of an epoch batch payload: the zero-copy
+/// sibling of [`decode_epoch_batch`].
+///
+/// [`decode_epoch_batch_ref`] validates the whole structure up front
+/// (identical acceptance and errors to the owned decoder, property-tested),
+/// then [`EpochEntriesRef::iter`] yields `(agreement, payload)` entries as
+/// slices into the input — no per-entry allocation, no copies.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochEntriesRef<'a> {
+    /// Entry bytes (everything after the count), pre-validated.
+    entries: &'a [u8],
+    count: u16,
+}
+
+/// Parses a borrowed [`EpochEntriesRef`] view of an epoch batch payload.
+///
+/// # Errors
+///
+/// Identical to [`decode_epoch_batch`].
+pub fn decode_epoch_batch_ref(buf: &[u8]) -> Result<EpochEntriesRef<'_>, WireError> {
+    let mut rest = buf;
+    let count = take_u16(&mut rest)?;
+    let entries = rest;
+    for _ in 0..count {
+        let _epoch = take_u32(&mut rest)?;
+        let _asset = take_u16(&mut rest)?;
+        let len = take_u32(&mut rest)? as usize;
+        if len > rest.len() {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(EpochEntriesRef { entries, count })
+}
+
+impl<'a> EpochEntriesRef<'a> {
+    /// Number of entries in the batch.
+    pub fn len(&self) -> usize {
+        usize::from(self.count)
+    }
+
+    /// Whether the batch carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the entries as borrowed slices.
+    pub fn iter(&self) -> EpochEntryIter<'a> {
+        EpochEntryIter { rest: self.entries, remaining: self.count }
+    }
+
+    /// Materializes owned entries (the protocol-boundary escape hatch).
+    pub fn to_owned_entries(&self) -> Vec<(AgreementId, Bytes)> {
+        self.iter().map(|(id, p)| (id, Bytes::copy_from_slice(p))).collect()
+    }
+}
+
+/// Iterator over a pre-validated [`EpochEntriesRef`].
+#[derive(Clone, Debug)]
+pub struct EpochEntryIter<'a> {
+    rest: &'a [u8],
+    remaining: u16,
+}
+
+impl<'a> Iterator for EpochEntryIter<'a> {
+    type Item = (AgreementId, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Validated at parse time; the checks below are unreachable but
+        // keep the iterator panic-free on principle.
+        let epoch = EpochId(take_u32(&mut self.rest).ok()?);
+        let asset = InstanceId(take_u16(&mut self.rest).ok()?);
+        let len = take_u32(&mut self.rest).ok()? as usize;
+        if len > self.rest.len() {
+            self.remaining = 0;
+            return None;
+        }
+        let (payload, tail) = self.rest.split_at(len);
+        self.rest = tail;
+        Some((AgreementId::new(epoch, asset), payload))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::from(self.remaining), Some(usize::from(self.remaining)))
+    }
+}
+
 fn take_u16(rest: &mut &[u8]) -> Result<u16, WireError> {
     let Some((head, tail)) = rest.split_first_chunk::<2>() else {
         return Err(WireError::Truncated);
@@ -261,6 +363,17 @@ pub fn route_epoch_bursts(
     me: NodeId,
 ) -> Vec<Vec<(AgreementId, Bytes)>> {
     route_bursts_by(bursts, n, me)
+}
+
+/// [`route_epoch_bursts`] into caller-owned scratch buffers (see
+/// [`route_bursts_into`](crate::mux::route_bursts_into)).
+pub fn route_epoch_bursts_into(
+    bursts: Vec<(AgreementId, Vec<Envelope>)>,
+    n: usize,
+    me: NodeId,
+    per_dest: &mut Vec<Vec<(AgreementId, Bytes)>>,
+) {
+    crate::mux::route_bursts_by_into(bursts, n, me, per_dest);
 }
 
 /// When a transport flushes accumulated batch entries.
@@ -765,6 +878,199 @@ impl<P: Protocol> EpochMux<P> {
     }
 }
 
+impl<P: Protocol + 'static> EpochMux<P> {
+    /// Splits an **unstarted** pipeline into per-receive-shard
+    /// sub-pipelines, partitioning the basket by [`InstanceId::shard`].
+    ///
+    /// Each [`EpochShard`] owns the full epoch lifecycle (spawn, GC,
+    /// fast-forward, ordered emission) for *its* assets and nothing else,
+    /// so a sharded receive path dispatches entries to shard workers with
+    /// no locks on the per-entry path — the factory is the only shared
+    /// state, serialized behind a mutex that is touched once per
+    /// `(epoch, asset)` spawn, never per entry. Shards with no assets are
+    /// dropped, so the result holds `min(shards, assets)` pipelines.
+    ///
+    /// Merge the per-shard event streams back into basket order with
+    /// [`merge_epoch_shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was already started or `shards` is zero.
+    pub fn split_assets(self, shards: usize) -> Vec<EpochShard<P>> {
+        assert!(!self.started, "split_assets must precede start()");
+        assert!(shards >= 1, "need at least one shard");
+        let total = usize::from(self.cfg.assets);
+        let shards = shards.min(total);
+        let mut groups: Vec<Vec<InstanceId>> = vec![Vec::new(); shards];
+        for a in 0..total as u16 {
+            groups[InstanceId(a).shard(shards)].push(InstanceId(a));
+        }
+        let factory = std::sync::Arc::new(std::sync::Mutex::new(self.factory));
+        let (cfg, me, n) = (self.cfg, self.me, self.n);
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(shard_index, assets)| {
+                let shared = factory.clone();
+                let map = assets.clone();
+                let sub_cfg =
+                    EpochConfig::new(cfg.epochs, map.len() as u16, cfg.depth, cfg.window, cfg.t);
+                let mux = EpochMux::new(
+                    sub_cfg,
+                    me,
+                    n,
+                    Box::new(move |epoch, local| {
+                        (shared.lock().expect("shared factory"))(epoch, map[local.index()])
+                    }),
+                );
+                EpochShard { shard_index, assets, mux }
+            })
+            .collect()
+    }
+}
+
+/// One receive shard's slice of a split pipeline (see
+/// [`EpochMux::split_assets`]): a complete [`EpochMux`] over a subset of
+/// the basket, speaking **global** asset ids at its boundary.
+pub struct EpochShard<P: Protocol> {
+    /// Which shard index of the split this is (the [`InstanceId::shard`]
+    /// value of every asset it owns).
+    shard_index: usize,
+    /// The global asset ids this shard owns, ascending.
+    assets: Vec<InstanceId>,
+    mux: EpochMux<P>,
+}
+
+impl<P: Protocol> fmt::Debug for EpochShard<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochShard").field("assets", &self.assets).field("mux", &self.mux).finish()
+    }
+}
+
+impl<P: Protocol> EpochShard<P> {
+    /// Which shard index of the split this is.
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
+    }
+
+    /// The global asset ids this shard owns, ascending.
+    pub fn assets(&self) -> &[InstanceId] {
+        &self.assets
+    }
+
+    /// The ordered events emitted so far (shard-local asset order).
+    pub fn events(&self) -> &[EpochEvent<P::Output>] {
+        self.mux.events()
+    }
+
+    /// Whether this shard owns `asset`'s traffic.
+    pub fn owns(&self, asset: InstanceId) -> bool {
+        self.assets.binary_search(&asset).is_ok()
+    }
+
+    /// Whether every epoch of this shard's stream has resolved.
+    pub fn is_complete(&self) -> bool {
+        self.mux.is_complete()
+    }
+
+    /// The shard's epoch-layer counters.
+    pub fn stats(&self) -> EpochStats {
+        self.mux.stats()
+    }
+
+    /// Starts the shard's pipeline, returning globally-addressed bursts.
+    pub fn start(&mut self) -> Vec<(AgreementId, Vec<Envelope>)> {
+        let bursts = self.mux.start();
+        self.to_global(bursts)
+    }
+
+    /// Feeds one authenticated entry (global address). Entries for assets
+    /// this shard does not own are ignored — the dispatcher routes by the
+    /// same [`AgreementId::shard`] mapping, so they never arrive in a
+    /// correct deployment.
+    pub fn on_entry(
+        &mut self,
+        from: NodeId,
+        id: AgreementId,
+        payload: &[u8],
+    ) -> Vec<(AgreementId, Vec<Envelope>)> {
+        let Ok(local) = self.assets.binary_search(&id.asset) else {
+            return Vec::new();
+        };
+        let bursts =
+            self.mux.on_entry(from, AgreementId::new(id.epoch, InstanceId(local as u16)), payload);
+        self.to_global(bursts)
+    }
+
+    /// Consumes the shard, returning its asset map and ordered events for
+    /// [`merge_epoch_shards`].
+    pub fn into_events(self) -> (Vec<InstanceId>, Vec<EpochEvent<P::Output>>, EpochStats) {
+        let stats = self.mux.stats();
+        let EpochShard { assets, mut mux, .. } = self;
+        (assets, mux.drain_events(), stats)
+    }
+
+    fn to_global(
+        &self,
+        bursts: Vec<(AgreementId, Vec<Envelope>)>,
+    ) -> Vec<(AgreementId, Vec<Envelope>)> {
+        bursts
+            .into_iter()
+            .map(|(id, envs)| (AgreementId::new(id.epoch, self.assets[id.asset.index()]), envs))
+            .collect()
+    }
+}
+
+/// Reassembles per-shard event streams (from [`EpochShard::into_events`])
+/// into one basket-ordered stream over `assets` global assets.
+///
+/// An epoch merges to [`EpochOutcome::Agreed`] only when **every** shard
+/// agreed it; a skip on any shard skips the merged epoch — the same
+/// all-or-nothing contract a single pipeline gives per epoch.
+pub fn merge_epoch_shards<O: Clone + fmt::Debug>(
+    shards: Vec<(Vec<InstanceId>, Vec<EpochEvent<O>>)>,
+    assets: u16,
+) -> Vec<EpochEvent<O>> {
+    let epochs = shards.iter().map(|(_, ev)| ev.len()).max().unwrap_or(0);
+    (0..epochs)
+        .map(|e| {
+            let mut values: Vec<Option<O>> = vec![None; usize::from(assets)];
+            let mut skipped = false;
+            for (ids, events) in &shards {
+                match events.get(e).map(|ev| &ev.outcome) {
+                    Some(EpochOutcome::Agreed(vs)) => {
+                        for (local, v) in vs.iter().enumerate() {
+                            values[ids[local].index()] = Some(v.clone());
+                        }
+                    }
+                    Some(EpochOutcome::Skipped) | None => skipped = true,
+                }
+            }
+            let outcome = if skipped || values.iter().any(Option::is_none) {
+                EpochOutcome::Skipped
+            } else {
+                EpochOutcome::Agreed(values.into_iter().map(|v| v.expect("all present")).collect())
+            };
+            EpochEvent { epoch: EpochId(e as u32), outcome }
+        })
+        .collect()
+}
+
+/// Combines per-shard [`EpochStats`]: counters sum; `peak_resident` is the
+/// worst shard's residency (each shard bounds its own window).
+pub fn merge_epoch_stats(stats: impl IntoIterator<Item = EpochStats>) -> EpochStats {
+    let mut total = EpochStats::default();
+    for s in stats {
+        total.late_entries += s.late_entries;
+        total.early_dropped += s.early_dropped;
+        total.replayed_entries += s.replayed_entries;
+        total.stale_epochs += s.stale_epochs;
+        total.peak_resident = total.peak_resident.max(s.peak_resident);
+    }
+    total
+}
+
 /// [`Protocol`] adapter over [`EpochMux`]: the whole epoch pipeline as one
 /// state machine any envelope transport can drive.
 ///
@@ -773,32 +1079,68 @@ impl<P: Protocol> EpochMux<P> {
 /// and relies on the driver's time trigger ([`Protocol::on_tick`]) to
 /// bound the delay. The output is the complete ordered event stream, once
 /// every epoch has resolved.
+///
+/// With [`EpochProtocol::new_sharded`] the sender additionally flushes one
+/// batch per *(destination, receive shard)* — every entry of a batch
+/// shares one [`AgreementId::shard`] class, and the envelope is tagged
+/// with it — so a driver with a per-shard CPU model (the simulator's
+/// `recv_shards`) processes batches bound for different dispatch workers
+/// concurrently, mirroring `delphi-net`'s sharded receive path.
 pub struct EpochProtocol<P: Protocol> {
     mux: EpochMux<P>,
+    /// Pending entries per `(destination × recv_shards + shard)` slot.
     pending: PendingBatches,
+    /// Receive shards the deployment runs (1 = unsharded).
+    recv_shards: usize,
+    /// Reused routing buffers: one per destination, refilled per step.
+    route_scratch: Vec<Vec<(AgreementId, Bytes)>>,
+    /// Reused per-shard partition buffers (sharded mode only).
+    shard_scratch: Vec<Vec<(AgreementId, Bytes)>>,
     /// Batches flushed (what a transport turns into frames).
     sent_batches: u64,
     /// Entries flushed (envelopes after broadcast expansion).
     sent_entries: u64,
 }
 
-/// Per-destination pending epoch entries under one [`FlushPolicy`] — the
+/// Per-destination pending entries under one [`FlushPolicy`] — the
 /// accumulator shared by [`EpochProtocol`] (simulator path) and
 /// `delphi-net`'s session layer (TCP path), so the two transports can
 /// never diverge on when a batch is due. The caller owns what "flush"
 /// means (an envelope, an authenticated frame); this struct only decides
 /// *when* and hands the entries back.
+///
+/// Flushed buffers are meant to come home: [`PendingBatchesBy::recycle`]
+/// returns a drained buffer to a small free-list, and the next
+/// accumulation for any destination reuses it instead of allocating —
+/// [`PendingBatchesBy::reuse_hits`] counts how often that worked, which
+/// `NetStats` surfaces as `buffer_reuses`.
+///
+/// Generic over the entry key: epoch streams use [`AgreementId`]
+/// ([`PendingBatches`]), the one-shot session path uses
+/// [`InstanceId`](crate::InstanceId).
 #[derive(Debug)]
-pub struct PendingBatches {
+pub struct PendingBatchesBy<K> {
     policy: FlushPolicy,
-    pending: Vec<Vec<(AgreementId, Bytes)>>,
+    pending: Vec<Vec<(K, Bytes)>>,
     bytes: Vec<usize>,
+    /// Drained buffers awaiting reuse (bounded by the destination count).
+    free: Vec<Vec<(K, Bytes)>>,
+    reuse_hits: u64,
 }
 
-impl PendingBatches {
+/// The epoch-addressed accumulator (the historical name).
+pub type PendingBatches = PendingBatchesBy<AgreementId>;
+
+impl<K> PendingBatchesBy<K> {
     /// An empty accumulator for `n` destinations.
-    pub fn new(n: usize, policy: FlushPolicy) -> PendingBatches {
-        PendingBatches { policy, pending: vec![Vec::new(); n], bytes: vec![0; n] }
+    pub fn new(n: usize, policy: FlushPolicy) -> PendingBatchesBy<K> {
+        PendingBatchesBy {
+            policy,
+            pending: std::iter::repeat_with(Vec::new).take(n).collect(),
+            bytes: vec![0; n],
+            free: Vec::new(),
+            reuse_hits: 0,
+        }
     }
 
     /// Number of destinations.
@@ -810,12 +1152,30 @@ impl PendingBatches {
     /// is due for an immediate flush (always, per-step; on tripping the
     /// entry or byte trigger, adaptive — the time trigger is the
     /// driver's).
-    pub fn push(&mut self, dest: usize, entries: Vec<(AgreementId, Bytes)>) -> bool {
+    pub fn push(&mut self, dest: usize, entries: Vec<(K, Bytes)>) -> bool {
         if entries.is_empty() || dest >= self.pending.len() {
             return false;
         }
         self.bytes[dest] += entries.iter().map(|(_, p)| p.len()).sum::<usize>();
+        self.reuse_into(dest);
         self.pending[dest].extend(entries);
+        self.due(dest)
+    }
+
+    /// [`PendingBatchesBy::push`], draining a caller-owned scratch buffer
+    /// instead of consuming a fresh `Vec` (the scratch keeps its
+    /// capacity for the next step).
+    pub fn push_drain(&mut self, dest: usize, entries: &mut Vec<(K, Bytes)>) -> bool {
+        if entries.is_empty() || dest >= self.pending.len() {
+            return false;
+        }
+        self.bytes[dest] += entries.iter().map(|(_, p)| p.len()).sum::<usize>();
+        self.reuse_into(dest);
+        self.pending[dest].append(entries);
+        self.due(dest)
+    }
+
+    fn due(&self, dest: usize) -> bool {
         match self.policy {
             FlushPolicy::PerStep => true,
             FlushPolicy::Adaptive { max_entries, max_bytes, .. } => {
@@ -824,10 +1184,39 @@ impl PendingBatches {
         }
     }
 
-    /// Takes `dest`'s pending entries (empty when nothing is due).
-    pub fn take(&mut self, dest: usize) -> Vec<(AgreementId, Bytes)> {
+    /// Installs a recycled buffer at an empty `dest` slot, counting the
+    /// reuse hit.
+    fn reuse_into(&mut self, dest: usize) {
+        if self.pending[dest].capacity() == 0 {
+            if let Some(buf) = self.free.pop() {
+                self.pending[dest] = buf;
+                self.reuse_hits += 1;
+            }
+        }
+    }
+
+    /// Takes `dest`'s pending entries (empty when nothing is due). Hand
+    /// the drained buffer back via [`PendingBatchesBy::recycle`] once the
+    /// flush has consumed it.
+    pub fn take(&mut self, dest: usize) -> Vec<(K, Bytes)> {
         self.bytes[dest] = 0;
         std::mem::take(&mut self.pending[dest])
+    }
+
+    /// Returns a flushed buffer to the free-list (cleared; capacity kept).
+    /// Buffers beyond one per destination are dropped — the steady state
+    /// needs no more.
+    pub fn recycle(&mut self, mut buf: Vec<(K, Bytes)>) {
+        buf.clear();
+        if buf.capacity() > 0 && self.free.len() < self.pending.len() {
+            self.free.push(buf);
+        }
+    }
+
+    /// How often an accumulation reused a recycled buffer instead of
+    /// allocating a fresh one.
+    pub fn reuse_hits(&self) -> u64 {
+        self.reuse_hits
     }
 
     /// Whether any destination has unflushed entries.
@@ -846,12 +1235,31 @@ impl<P: Protocol> fmt::Debug for EpochProtocol<P> {
 }
 
 impl<P: Protocol> EpochProtocol<P> {
-    /// Wraps `mux` with the given flush policy.
+    /// Wraps `mux` with the given flush policy (unsharded receive).
     pub fn new(mux: EpochMux<P>, flush: FlushPolicy) -> EpochProtocol<P> {
+        EpochProtocol::new_sharded(mux, flush, 1)
+    }
+
+    /// Wraps `mux` flushing one batch per `(destination, receive shard)`,
+    /// with every envelope tagged by its [`AgreementId::shard`] class —
+    /// the sender half of a `recv_shards`-way sharded receive path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recv_shards` is zero.
+    pub fn new_sharded(
+        mux: EpochMux<P>,
+        flush: FlushPolicy,
+        recv_shards: usize,
+    ) -> EpochProtocol<P> {
+        assert!(recv_shards >= 1, "need at least one receive shard");
         let n = mux.n();
         EpochProtocol {
             mux,
-            pending: PendingBatches::new(n, flush),
+            pending: PendingBatches::new(n * recv_shards, flush),
+            recv_shards,
+            route_scratch: Vec::new(),
+            shard_scratch: std::iter::repeat_with(Vec::new).take(recv_shards).collect(),
             sent_batches: 0,
             sent_entries: 0,
         }
@@ -878,32 +1286,57 @@ impl<P: Protocol> EpochProtocol<P> {
         self.sent_entries
     }
 
-    /// Routes bursts into the per-destination pending buffers and flushes
-    /// whatever the policy says is due.
+    /// Routes bursts into the per-slot pending buffers and flushes
+    /// whatever the policy says is due. Routing and shard partitioning
+    /// run through reused scratch buffers: the steady state allocates
+    /// nothing.
     fn enqueue(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>, out: &mut Vec<Envelope>) {
-        for (dest, entries) in
-            route_epoch_bursts(bursts, self.mux.n(), self.mux.node_id()).into_iter().enumerate()
-        {
-            if self.pending.push(dest, entries) {
-                self.flush_dest(dest, out);
+        let (n, me, shards) = (self.mux.n(), self.mux.node_id(), self.recv_shards);
+        let mut routed = std::mem::take(&mut self.route_scratch);
+        crate::mux::route_bursts_by_into(bursts, n, me, &mut routed);
+        for (dest, entries) in routed.iter_mut().enumerate() {
+            if entries.is_empty() {
+                continue;
             }
+            if shards == 1 {
+                if self.pending.push_drain(dest, entries) {
+                    self.flush_slot(dest, out);
+                }
+                continue;
+            }
+            // Partition the destination's entries into shard classes so
+            // every flushed batch lands wholly on one dispatch worker.
+            let mut groups = std::mem::take(&mut self.shard_scratch);
+            for (id, payload) in entries.drain(..) {
+                groups[id.shard(shards)].push((id, payload));
+            }
+            for (shard, group) in groups.iter_mut().enumerate() {
+                if self.pending.push_drain(dest * shards + shard, group) {
+                    self.flush_slot(dest * shards + shard, out);
+                }
+            }
+            self.shard_scratch = groups;
         }
+        self.route_scratch = routed;
     }
 
-    fn flush_dest(&mut self, dest: usize, out: &mut Vec<Envelope>) {
-        let entries = self.pending.take(dest);
+    fn flush_slot(&mut self, slot: usize, out: &mut Vec<Envelope>) {
+        let entries = self.pending.take(slot);
         if entries.is_empty() {
             return;
         }
         self.sent_batches += 1;
         self.sent_entries += entries.len() as u64;
-        out.push(Envelope::to_one(NodeId(dest as u16), encode_epoch_batch(&entries)));
+        let dest = NodeId((slot / self.recv_shards) as u16);
+        let shard = (slot % self.recv_shards) as u16;
+        out.push(Envelope::to_one(dest, encode_epoch_batch(&entries)).with_shard(shard));
+        self.pending.recycle(entries);
     }
 
     fn flush_all(&mut self) -> Vec<Envelope> {
         let mut out = Vec::new();
-        for dest in 0..self.pending.dests() {
-            self.flush_dest(dest, &mut out);
+        for slot in 0..self.pending.dests() {
+            self.flush_slot(slot, &mut out);
         }
         out
     }
@@ -928,12 +1361,14 @@ impl<P: Protocol> Protocol for EpochProtocol<P> {
     }
 
     fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
-        let Ok(entries) = decode_epoch_batch(payload) else {
+        // Borrowed decode: entries stay slices into `payload` all the way
+        // into the per-instance protocols — validated once, never copied.
+        let Ok(entries) = decode_epoch_batch_ref(payload) else {
             return Vec::new(); // malformed batch: ignore, never panic
         };
         let mut out = Vec::new();
-        for (id, entry) in entries {
-            let bursts = self.mux.on_entry(from, id, &entry);
+        for (id, entry) in entries.iter() {
+            let bursts = self.mux.on_entry(from, id, entry);
             self.enqueue(bursts, &mut out);
         }
         out
@@ -1331,6 +1766,252 @@ mod tests {
     fn flush_policy_helpers() {
         assert!(FlushPolicy::adaptive().is_adaptive());
         assert!(!FlushPolicy::PerStep.is_adaptive());
+    }
+
+    #[test]
+    fn borrowed_epoch_view_matches_owned_decoder() {
+        let entries = vec![
+            (AgreementId::new(EpochId(0), InstanceId(0)), Bytes::from_static(b"alpha")),
+            (AgreementId::new(EpochId(u32::MAX), InstanceId(65535)), Bytes::from_static(b"")),
+            (AgreementId::new(EpochId(7), InstanceId(3)), Bytes::from_static(b"omega")),
+        ];
+        let encoded = encode_epoch_batch(&entries);
+        let view = decode_epoch_batch_ref(&encoded).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.to_owned_entries(), entries);
+        assert_eq!(view.iter().size_hint(), (3, Some(3)));
+        let first = view.iter().next().unwrap();
+        assert_eq!(first, (entries[0].0, &b"alpha"[..]));
+        assert!(decode_epoch_batch_ref(&encode_epoch_batch(&[])).unwrap().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Round-trip equivalence between the borrowed and owned epoch
+        /// batch decoders on arbitrary batches.
+        #[test]
+        fn prop_borrowed_epoch_roundtrip_equivalence(
+            entries in proptest::collection::vec(
+                (proptest::prelude::any::<u32>(), proptest::prelude::any::<u16>(),
+                 proptest::collection::vec(proptest::prelude::any::<u8>(), 0..24)),
+                0..12,
+            )
+        ) {
+            let entries: Vec<(AgreementId, Bytes)> = entries
+                .into_iter()
+                .map(|(e, a, p)| (AgreementId::new(EpochId(e), InstanceId(a)), Bytes::from(p)))
+                .collect();
+            let encoded = encode_epoch_batch(&entries);
+            let owned = decode_epoch_batch(&encoded).unwrap();
+            let view = decode_epoch_batch_ref(&encoded).unwrap();
+            proptest::prop_assert_eq!(view.to_owned_entries(), owned);
+        }
+
+        /// Error equivalence on garbage and truncated inputs.
+        #[test]
+        fn prop_borrowed_epoch_error_equivalence(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..80),
+            cut in 0usize..80,
+        ) {
+            let owned = decode_epoch_batch(&bytes);
+            let borrowed = decode_epoch_batch_ref(&bytes).map(|v| v.to_owned_entries());
+            proptest::prop_assert_eq!(owned, borrowed);
+            let cut = cut.min(bytes.len());
+            let owned = decode_epoch_batch(&bytes[..cut]);
+            let borrowed = decode_epoch_batch_ref(&bytes[..cut]).map(|v| v.to_owned_entries());
+            proptest::prop_assert_eq!(owned, borrowed);
+        }
+    }
+
+    #[test]
+    fn pending_batches_recycle_buffers_and_count_reuse() {
+        let mut pending: PendingBatchesBy<AgreementId> =
+            PendingBatchesBy::new(2, FlushPolicy::PerStep);
+        let entry = || vec![(AgreementId::solo(InstanceId(0)), Bytes::from_static(b"x"))];
+        assert!(pending.push(0, entry()), "per-step is always due");
+        let buf = pending.take(0);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(pending.reuse_hits(), 0, "nothing recycled yet");
+        pending.recycle(buf);
+        // The next accumulation (any destination) reuses the buffer.
+        assert!(pending.push(1, entry()));
+        assert_eq!(pending.reuse_hits(), 1, "recycled buffer reused");
+        let buf = pending.take(1);
+        assert!(buf.capacity() > 0);
+        pending.recycle(buf);
+        // push_drain reuses too, and drains the scratch in place.
+        let mut scratch = entry();
+        assert!(pending.push_drain(0, &mut scratch));
+        assert!(scratch.is_empty(), "scratch drained, capacity kept");
+        assert_eq!(pending.reuse_hits(), 2);
+        assert!(pending.has_pending());
+    }
+
+    #[test]
+    fn sharded_flushing_partitions_batches_by_shard_class() {
+        // 4 assets, 2 receive shards: one step's mixed burst must flush as
+        // one batch per (destination, shard) with homogeneous shard
+        // classes and matching envelope tags.
+        let shards = 2usize;
+        let cfg = EpochConfig::new(4, 4, 2, 4, 1);
+        let mut node = EpochProtocol::new_sharded(
+            EpochMux::new(cfg, NodeId(0), 3, gossip_factory(NodeId(0), 3)),
+            FlushPolicy::PerStep,
+            shards,
+        );
+        let envs = node.start();
+        assert!(!envs.is_empty());
+        for env in &envs {
+            let entries = decode_epoch_batch(&env.payload).unwrap();
+            assert!(!entries.is_empty());
+            let class = entries[0].0.shard(shards);
+            assert!(
+                entries.iter().all(|(id, _)| id.shard(shards) == class),
+                "mixed shard classes inside one batch"
+            );
+            assert_eq!(usize::from(env.shard), class, "envelope tag matches its entries");
+        }
+        // Both shard classes appear (4 dense assets spread over 2 shards).
+        let tags: std::collections::BTreeSet<u16> = envs.iter().map(|e| e.shard).collect();
+        assert!(tags.len() > 1, "start burst covers multiple shards: {tags:?}");
+    }
+
+    #[test]
+    fn sharded_mesh_completes_and_matches_unsharded_values() {
+        // The same 8-epoch, 4-asset stream run unsharded and with 2-way
+        // sharded flushing must produce identical agreement values —
+        // sharding is a transport-parallelism knob, never semantics.
+        let cfg = EpochConfig::new(8, 4, 2, 4, 1);
+        let run = |shards: usize| {
+            let mut nodes: Vec<EpochProtocol<Gossip>> = NodeId::all(3)
+                .map(|id| {
+                    EpochProtocol::new_sharded(
+                        EpochMux::new(cfg, id, 3, gossip_factory(id, 3)),
+                        FlushPolicy::PerStep,
+                        shards,
+                    )
+                })
+                .collect();
+            run_mesh(&mut nodes);
+            nodes.iter().map(|n| n.output().expect("complete")).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn split_assets_shards_complete_independently_and_merge_in_basket_order() {
+        // Drive a 2-node, 4-asset stream through split shards by hand:
+        // each node runs its shards, entries are routed by the stable
+        // shard mapping, and the merged streams equal basket order.
+        let n = 2;
+        let assets = 4u16;
+        let epochs = 5u32;
+        let shards_per_node = 2usize;
+        let cfg = EpochConfig::new(epochs, assets, 2, 4, 0);
+        let mut nodes: Vec<Vec<EpochShard<Gossip>>> = NodeId::all(n)
+            .map(|id| {
+                EpochMux::new(cfg, id, n, gossip_factory(id, n)).split_assets(shards_per_node)
+            })
+            .collect();
+        assert_eq!(nodes[0].len(), shards_per_node);
+        // Every asset is owned by exactly one shard, identically per node.
+        for a in 0..assets {
+            let owners: Vec<usize> = nodes[0]
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.owns(InstanceId(a)))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(owners.len(), 1, "asset {a} owners: {owners:?}");
+            assert!(nodes[1][owners[0]].owns(InstanceId(a)), "nodes shard identically");
+        }
+
+        // Hand-deliver: queue of (from, to, id, payload).
+        let mut queue: std::collections::VecDeque<(NodeId, NodeId, AgreementId, Bytes)> =
+            std::collections::VecDeque::new();
+        let push =
+            |queue: &mut std::collections::VecDeque<(NodeId, NodeId, AgreementId, Bytes)>,
+             from: NodeId,
+             n: usize,
+             bursts: Vec<(AgreementId, Vec<Envelope>)>| {
+                for (id, envs) in bursts {
+                    for env in envs {
+                        match env.to {
+                            crate::Recipient::All => {
+                                for d in NodeId::all(n) {
+                                    if d != from {
+                                        queue.push_back((from, d, id, env.payload.clone()));
+                                    }
+                                }
+                            }
+                            crate::Recipient::One(d) => queue.push_back((from, d, id, env.payload)),
+                        }
+                    }
+                }
+            };
+        for (i, shards) in nodes.iter_mut().enumerate() {
+            for shard in shards.iter_mut() {
+                let bursts = shard.start();
+                push(&mut queue, NodeId(i as u16), n, bursts);
+            }
+        }
+        while let Some((from, to, id, payload)) = queue.pop_front() {
+            let shard =
+                nodes[to.index()].iter_mut().find(|s| s.owns(id.asset)).expect("every asset owned");
+            let bursts = shard.on_entry(from, id, &payload);
+            push(&mut queue, to, n, bursts);
+        }
+
+        for (i, shards) in nodes.into_iter().enumerate() {
+            assert!(shards.iter().all(EpochShard::is_complete), "node {i} incomplete");
+            let stats = merge_epoch_stats(shards.iter().map(EpochShard::stats));
+            assert_eq!(stats.stale_epochs, 0);
+            assert!(stats.peak_resident <= 4);
+            let parts: Vec<(Vec<InstanceId>, Vec<EpochEvent<u8>>)> = shards
+                .into_iter()
+                .map(|s| {
+                    let (ids, events, _) = s.into_events();
+                    (ids, events)
+                })
+                .collect();
+            let merged = merge_epoch_shards(parts, assets);
+            assert_eq!(merged.len(), epochs as usize);
+            for (e, event) in merged.iter().enumerate() {
+                assert_eq!(event.epoch, EpochId(e as u32), "ordered after merge");
+                let EpochOutcome::Agreed(values) = &event.outcome else {
+                    panic!("node {i} epoch {e} skipped");
+                };
+                let expect: Vec<u8> =
+                    (0..assets as u8).map(|a| (e as u8).wrapping_mul(10).wrapping_add(a)).collect();
+                assert_eq!(values, &expect, "basket order preserved through the merge");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_outcome_is_skipped_if_any_shard_skipped() {
+        let shard_a = (
+            vec![InstanceId(0)],
+            vec![EpochEvent { epoch: EpochId(0), outcome: EpochOutcome::Agreed(vec![1u8]) }],
+        );
+        let shard_b = (
+            vec![InstanceId(1)],
+            vec![EpochEvent { epoch: EpochId(0), outcome: EpochOutcome::<u8>::Skipped }],
+        );
+        let merged = merge_epoch_shards(vec![shard_a, shard_b], 2);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].outcome, EpochOutcome::Skipped);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede start")]
+    fn split_after_start_rejected() {
+        let cfg = EpochConfig::new(2, 2, 1, 2, 0);
+        let mut mux = EpochMux::new(cfg, NodeId(0), 2, gossip_factory(NodeId(0), 2));
+        let _ = mux.start();
+        let _ = mux.split_assets(2);
     }
 
     impl EpochProtocol<Gossip> {

@@ -87,6 +87,100 @@ pub fn decode_batch(buf: &[u8]) -> Result<Vec<(InstanceId, Bytes)>, WireError> {
     Ok(entries)
 }
 
+/// A validated, borrowed view of a batch payload: the zero-copy sibling of
+/// [`decode_batch`].
+///
+/// [`decode_batch_ref`] validates the whole structure up front (rejecting
+/// exactly what the owned decoder rejects, with the same error), then
+/// [`BatchEntriesRef::iter`] yields `(instance, payload)` entries as slices
+/// into the input — no per-entry allocation, no copies. `to_owned` exists
+/// for the protocol boundary, where state must outlive the frame.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchEntriesRef<'a> {
+    /// Entry bytes (everything after the count), pre-validated.
+    entries: &'a [u8],
+    count: u16,
+}
+
+/// Parses a borrowed [`BatchEntriesRef`] view of a batch payload.
+///
+/// # Errors
+///
+/// Identical to [`decode_batch`]: the two decoders accept and reject
+/// exactly the same inputs (property-tested).
+pub fn decode_batch_ref(buf: &[u8]) -> Result<BatchEntriesRef<'_>, WireError> {
+    let mut rest = buf;
+    let count = take_u16(&mut rest)?;
+    let entries = rest;
+    for _ in 0..count {
+        let _instance = take_u16(&mut rest)?;
+        let len = take_u32(&mut rest)? as usize;
+        if len > rest.len() {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        rest = &rest[len..];
+    }
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(BatchEntriesRef { entries, count })
+}
+
+impl<'a> BatchEntriesRef<'a> {
+    /// Number of entries in the batch.
+    pub fn len(&self) -> usize {
+        usize::from(self.count)
+    }
+
+    /// Whether the batch carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the entries as borrowed slices.
+    pub fn iter(&self) -> BatchEntryIter<'a> {
+        BatchEntryIter { rest: self.entries, remaining: self.count }
+    }
+
+    /// Materializes owned entries (the protocol-boundary escape hatch).
+    pub fn to_owned_entries(&self) -> Vec<(InstanceId, Bytes)> {
+        self.iter().map(|(id, p)| (id, Bytes::copy_from_slice(p))).collect()
+    }
+}
+
+/// Iterator over a pre-validated [`BatchEntriesRef`].
+#[derive(Clone, Debug)]
+pub struct BatchEntryIter<'a> {
+    rest: &'a [u8],
+    remaining: u16,
+}
+
+impl<'a> Iterator for BatchEntryIter<'a> {
+    type Item = (InstanceId, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // The view was validated at parse time; these bounds checks are
+        // unreachable but keep the iterator panic-free on principle.
+        let instance = InstanceId(take_u16(&mut self.rest).ok()?);
+        let len = take_u32(&mut self.rest).ok()? as usize;
+        if len > self.rest.len() {
+            self.remaining = 0;
+            return None;
+        }
+        let (payload, tail) = self.rest.split_at(len);
+        self.rest = tail;
+        Some((instance, payload))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::from(self.remaining), Some(usize::from(self.remaining)))
+    }
+}
+
 fn take_u16(rest: &mut &[u8]) -> Result<u16, WireError> {
     let Some((head, tail)) = rest.split_first_chunk::<2>() else {
         return Err(WireError::Truncated);
@@ -117,6 +211,19 @@ pub fn route_bursts(
     route_bursts_by(bursts, n, me)
 }
 
+/// [`route_bursts`] into caller-owned scratch buffers: `per_dest` is
+/// resized to `n`, cleared, and refilled, so a steady-state sender (the
+/// session layer flushing step after step) reuses one set of routing
+/// buffers instead of allocating `n` fresh `Vec`s per step.
+pub fn route_bursts_into(
+    bursts: Vec<(InstanceId, Vec<Envelope>)>,
+    n: usize,
+    me: NodeId,
+    per_dest: &mut Vec<Vec<(InstanceId, Bytes)>>,
+) {
+    route_bursts_by_into(bursts, n, me, per_dest);
+}
+
 /// Id-generic burst router behind [`route_bursts`] and the epoch layer's
 /// [`route_epoch_bursts`](crate::epoch::route_epoch_bursts): one routing
 /// semantics, whatever the instance address type.
@@ -125,7 +232,26 @@ pub(crate) fn route_bursts_by<K: Copy>(
     n: usize,
     me: NodeId,
 ) -> Vec<Vec<(K, Bytes)>> {
-    let mut per_dest: Vec<Vec<(K, Bytes)>> = vec![Vec::new(); n];
+    let mut per_dest: Vec<Vec<(K, Bytes)>> = Vec::new();
+    route_bursts_by_into(bursts, n, me, &mut per_dest);
+    per_dest
+}
+
+/// [`route_bursts_by`] into caller-owned scratch: `per_dest` is resized to
+/// `n` and its inner vectors cleared and refilled, so a steady-state
+/// sender (the session layer flushing step after step) reuses one set of
+/// routing buffers instead of allocating `n` fresh `Vec`s per step.
+pub(crate) fn route_bursts_by_into<K: Copy>(
+    bursts: Vec<(K, Vec<Envelope>)>,
+    n: usize,
+    me: NodeId,
+    per_dest: &mut Vec<Vec<(K, Bytes)>>,
+) {
+    per_dest.truncate(n);
+    for entries in per_dest.iter_mut() {
+        entries.clear();
+    }
+    per_dest.resize_with(n, Vec::new);
     for (instance, envelopes) in bursts {
         for env in envelopes {
             match env.to {
@@ -143,7 +269,6 @@ pub(crate) fn route_bursts_by<K: Copy>(
             }
         }
     }
-    per_dest
 }
 
 /// Drives `k` instances of an inner protocol as one multiplexed state
@@ -260,15 +385,17 @@ impl<P: Protocol> Protocol for Mux<P> {
     }
 
     fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
-        let Ok(entries) = decode_batch(payload) else {
+        // Borrowed decode: entries are slices into `payload`, validated up
+        // front and handed to the instances without a single allocation.
+        let Ok(entries) = decode_batch_ref(payload) else {
             return Vec::new(); // malformed batch: ignore, never panic
         };
         let mut bursts = Vec::new();
-        for (instance, entry) in entries {
+        for (instance, entry) in entries.iter() {
             let Some(p) = self.instances.get_mut(instance.index()) else {
                 continue; // unknown instance: ignore the entry
             };
-            bursts.push((instance, p.on_message(from, &entry)));
+            bursts.push((instance, p.on_message(from, entry)));
         }
         self.coalesce(bursts)
     }
@@ -338,6 +465,68 @@ mod tests {
         // count = u16::MAX but no entry bytes: must fail fast, not allocate
         // 65 535 slots up front.
         assert_eq!(decode_batch(&[0xff, 0xff]), Err(WireError::Truncated));
+        assert_eq!(decode_batch_ref(&[0xff, 0xff]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn borrowed_batch_view_matches_owned_decoder() {
+        let entries = vec![
+            (InstanceId(0), Bytes::from_static(b"alpha")),
+            (InstanceId(7), Bytes::from_static(b"")),
+            (InstanceId(65535), Bytes::from_static(b"omega")),
+        ];
+        let encoded = encode_batch(&entries);
+        let view = decode_batch_ref(&encoded).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.to_owned_entries(), entries);
+        let borrowed: Vec<(InstanceId, &[u8])> = view.iter().collect();
+        assert_eq!(borrowed[0], (InstanceId(0), &b"alpha"[..]));
+        assert_eq!(view.iter().size_hint(), (3, Some(3)));
+        // Empty batches too.
+        let empty = encode_batch(&[]);
+        assert!(decode_batch_ref(&empty).unwrap().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Round-trip equivalence: the borrowed view materializes exactly
+        /// what the owned decoder produces, on arbitrary batches.
+        #[test]
+        fn prop_borrowed_batch_roundtrip_equivalence(
+            entries in proptest::collection::vec(
+                (proptest::prelude::any::<u16>(),
+                 proptest::collection::vec(proptest::prelude::any::<u8>(), 0..24)),
+                0..12,
+            )
+        ) {
+            let entries: Vec<(InstanceId, Bytes)> = entries
+                .into_iter()
+                .map(|(id, p)| (InstanceId(id), Bytes::from(p)))
+                .collect();
+            let encoded = encode_batch(&entries);
+            let owned = decode_batch(&encoded).unwrap();
+            let view = decode_batch_ref(&encoded).unwrap();
+            proptest::prop_assert_eq!(view.to_owned_entries(), owned);
+        }
+
+        /// Error equivalence: truncations and arbitrary garbage must fail
+        /// (or pass) identically in both decoders.
+        #[test]
+        fn prop_borrowed_batch_error_equivalence(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..64),
+            cut in 0usize..64,
+        ) {
+            let owned = decode_batch(&bytes);
+            let borrowed = decode_batch_ref(&bytes).map(|v| v.to_owned_entries());
+            proptest::prop_assert_eq!(owned, borrowed);
+            // Also on a truncated prefix of the same input.
+            let cut = cut.min(bytes.len());
+            let owned = decode_batch(&bytes[..cut]);
+            let borrowed = decode_batch_ref(&bytes[..cut]).map(|v| v.to_owned_entries());
+            proptest::prop_assert_eq!(owned, borrowed);
+        }
     }
 
     /// Broadcasts `rounds` numbered waves, one per message wave received.

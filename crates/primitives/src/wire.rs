@@ -220,6 +220,53 @@ impl<'a> Reader<'a> {
         self.remaining() == 0
     }
 
+    /// The not-yet-consumed bytes, borrowed at the input's lifetime.
+    ///
+    /// Zero-copy decoders use this to capture the raw slice behind a
+    /// value region: take `tail()` before and after reading a region and
+    /// the difference is the region's exact encoding, sliceable without
+    /// copying.
+    #[inline]
+    pub fn tail(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Validates and skips one unsigned varint without materializing its
+    /// value — the cheap half of [`Reader::get_u64`] for decoders that
+    /// only need to find a boundary (e.g. delta-coded id runs whose
+    /// wrapping sum cannot fail).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Reader::get_u64`]'s: [`WireError::Truncated`] on short
+    /// input, [`WireError::VarintOverflow`] past 10 bytes or 64 bits.
+    #[inline]
+    pub fn skip_u64(&mut self) -> Result<(), WireError> {
+        let mut pos = self.pos;
+        let Some(&first) = self.buf.get(pos) else { return Err(WireError::Truncated) };
+        pos += 1;
+        if first < 0x80 {
+            self.pos = pos;
+            return Ok(());
+        }
+        let mut shift = 7u32;
+        loop {
+            let Some(&byte) = self.buf.get(pos) else { return Err(WireError::Truncated) };
+            pos += 1;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            if byte & 0x80 == 0 {
+                self.pos = pos;
+                return Ok(());
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
     /// Reads one raw byte.
     ///
     /// # Errors
@@ -588,6 +635,44 @@ mod tests {
         // 10 bytes but the last contributes more than the single spare bit.
         let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
         assert_eq!(Reader::new(&bytes).get_u64(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn skip_u64_matches_get_u64_exactly() {
+        // Valid varints of every width, then the overflow and truncation
+        // edges: skip must consume and err exactly like get.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![0x00],
+            vec![0x7f],
+            vec![0x80, 0x01],
+            vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01], // u64::MAX
+            vec![0xff; 11],                                                   // too long
+            vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02], // top bits
+            vec![0x80],                                                       // truncated
+            vec![],
+        ];
+        cases.push((0..10).map(|_| 0x80).chain([0x01]).collect()); // max width, high bit clear
+        for bytes in cases {
+            let mut get = Reader::new(&bytes);
+            let mut skip = Reader::new(&bytes);
+            let got = get.get_u64().map(|_| ());
+            assert_eq!(skip.skip_u64(), got, "{bytes:?}");
+            assert_eq!(skip.remaining(), get.remaining(), "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn tail_exposes_unconsumed_bytes() {
+        let bytes = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.tail(), &bytes);
+        let _ = r.get_raw_u8().unwrap();
+        assert_eq!(r.tail(), &bytes[1..]);
+        let before = r.tail();
+        let _ = r.get_raw_u8().unwrap();
+        // The region read is the difference of the two tails.
+        let region = &before[..before.len() - r.tail().len()];
+        assert_eq!(region, &[2]);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use delphi_primitives::{Envelope, NodeId, Protocol, Recipient};
+use delphi_primitives::{Envelope, NodeId, Protocol};
 
 /// A crashed node: never sends, never outputs.
 #[derive(Debug)]
@@ -196,7 +196,7 @@ impl<P> ByteMutator<P> {
                     let mut bytes = env.payload.to_vec();
                     let idx = self.rng.random_range(0..bytes.len());
                     bytes[idx] ^= 1u8 << self.rng.random_range(0..8);
-                    Envelope { to: env.to, payload: Bytes::from(bytes) }
+                    Envelope { to: env.to, payload: Bytes::from(bytes), shard: env.shard }
                 } else {
                     env
                 }
@@ -263,7 +263,7 @@ impl<O: Clone + std::fmt::Debug> Protocol for Replayer<O> {
             return Vec::new();
         }
         self.budget -= 1;
-        vec![Envelope { to: Recipient::All, payload: Bytes::copy_from_slice(payload) }]
+        vec![Envelope::to_all(Bytes::copy_from_slice(payload))]
     }
     fn output(&self) -> Option<O> {
         None

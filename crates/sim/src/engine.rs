@@ -81,8 +81,9 @@ impl<O> RunReport<O> {
 
 #[derive(Debug)]
 enum EventKind {
-    /// A message delivery.
-    Msg { from: NodeId, to: NodeId, payload: Bytes },
+    /// A message delivery. `shard` is the sender's receive-shard tag
+    /// (see [`delphi_primitives::Envelope::shard`]).
+    Msg { from: NodeId, to: NodeId, payload: Bytes, shard: u16 },
     /// A global time trigger: every node's `on_tick` runs (adaptive batch
     /// flushing lives there). Scheduled only when
     /// [`Simulation::tick_interval_ns`] is set.
@@ -124,11 +125,13 @@ pub struct Simulation {
     max_events: u64,
     max_time_ns: u64,
     tick_interval_ns: Option<u64>,
+    recv_shards: usize,
 }
 
 impl Simulation {
     /// Creates a simulation over `topology` with default settings
-    /// (seed 0, no declared faults, 100M-event / 1-simulated-hour caps).
+    /// (seed 0, no declared faults, 100M-event / 1-simulated-hour caps,
+    /// one receive shard).
     pub fn new(topology: Topology) -> Simulation {
         let n = topology.n();
         Simulation {
@@ -138,6 +141,7 @@ impl Simulation {
             max_events: 100_000_000,
             max_time_ns: 3_600_000_000_000,
             tick_interval_ns: None,
+            recv_shards: 1,
         }
     }
 
@@ -166,6 +170,28 @@ impl Simulation {
     /// Overrides the simulated-time safety cap (nanoseconds).
     pub fn max_time_ns(mut self, cap: u64) -> Simulation {
         self.max_time_ns = cap;
+        self
+    }
+
+    /// Models a `shards`-way sharded receive path: each node's message
+    /// processing CPU becomes `shards` independent lanes, and a delivery
+    /// occupies the lane named by its envelope's
+    /// [`shard`](delphi_primitives::Envelope::shard) tag (mod `shards`).
+    ///
+    /// This is the simulator half of `delphi-net`'s sharded dispatch:
+    /// with a sender that flushes per receive shard (e.g.
+    /// `EpochProtocol::new_sharded` with the same count), batches bound
+    /// for different dispatch workers overlap in simulated time exactly
+    /// as they overlap on real worker tasks, while batches on one shard
+    /// still serialize. With the default of one shard (or untagged
+    /// senders) the model is unchanged: one CPU per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn recv_shards(mut self, shards: usize) -> Simulation {
+        assert!(shards > 0, "need at least one receive shard");
+        self.recv_shards = shards;
         self
     }
 
@@ -205,7 +231,10 @@ impl Simulation {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let mut cpu_free = vec![0u64; n];
+        // One CPU lane per (node, receive shard): deliveries on different
+        // shards of one node overlap, deliveries on one shard serialize.
+        let shards = self.recv_shards;
+        let mut cpu_free = vec![0u64; n * shards];
         let mut link_free = vec![0u64; n];
         let mut last_arrival = if self.topology.fifo() { vec![0u64; n * n] } else { Vec::new() };
         let mut metrics = Metrics::new(n);
@@ -253,6 +282,7 @@ impl Simulation {
                                 from: NodeId(from as u16),
                                 to: NodeId(dest as u16),
                                 payload: env.payload.clone(),
+                                shard: env.shard,
                             },
                         }));
                     }
@@ -298,11 +328,12 @@ impl Simulation {
                     break;
                 }
                 match ev.kind {
-                    EventKind::Msg { from, to, payload } => {
+                    EventKind::Msg { from, to, payload, shard } => {
                         let to = to.index();
+                        let lane = to * shards + usize::from(shard) % shards;
                         let done =
-                            cpu_free[to].max(now) + self.topology.cost().cost_ns(payload.len());
-                        cpu_free[to] = done;
+                            cpu_free[lane].max(now) + self.topology.cost().cost_ns(payload.len());
+                        cpu_free[lane] = done;
                         {
                             let m = &mut metrics.per_node[to];
                             m.recv_msgs += 1;
@@ -648,5 +679,77 @@ mod tests {
             .with_cost(crate::CostModel { per_message_ns: 10_000_000, per_byte_ns: 0 });
         let costly = Simulation::new(costly_topo).seed(3).run(gossip_nodes(4));
         assert!(costly.completion_ns().unwrap() > free.completion_ns().unwrap());
+    }
+
+    /// Sends `k` shard-tagged messages to node 1 and outputs immediately;
+    /// the receiver outputs after hearing all of them.
+    struct ShardBurst {
+        id: NodeId,
+        k: u16,
+        shards: u16,
+        heard: usize,
+    }
+
+    impl Protocol for ShardBurst {
+        type Output = usize;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            2
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            if self.id != NodeId(0) {
+                return Vec::new();
+            }
+            (0..self.k)
+                .map(|i| {
+                    Envelope::to_one(NodeId(1), Bytes::copy_from_slice(&[i as u8]))
+                        .with_shard(i % self.shards)
+                })
+                .collect()
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.heard += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<usize> {
+            if self.id == NodeId(0) {
+                Some(0)
+            } else {
+                (self.heard >= usize::from(self.k)).then_some(self.heard)
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_receive_overlaps_cpu_cost_across_lanes() {
+        // 8 messages at 10 ms receive CPU each: one lane serializes them
+        // (~80 ms), 4 lanes overlap them (~20 ms). Latency and bandwidth
+        // are negligible next to the CPU cost, so the ratio is clean.
+        let run = |sim_shards: usize, tag_shards: u16| {
+            let topo = Topology::lan(2)
+                .with_cost(crate::CostModel { per_message_ns: 10_000_000, per_byte_ns: 0 });
+            let nodes: Vec<Box<dyn Protocol<Output = usize>>> = NodeId::all(2)
+                .map(|id| {
+                    Box::new(ShardBurst { id, k: 8, shards: tag_shards, heard: 0 })
+                        as Box<dyn Protocol<Output = usize>>
+                })
+                .collect();
+            Simulation::new(topo).seed(4).recv_shards(sim_shards).run(nodes)
+        };
+        let single = run(1, 4);
+        let sharded = run(4, 4);
+        assert_eq!(single.outputs[1], Some(8));
+        assert_eq!(sharded.outputs[1], Some(8));
+        let (t1, t4) = (single.completion_ns().unwrap(), sharded.completion_ns().unwrap());
+        assert!(
+            t4 * 3 < t1,
+            "4 lanes must overlap the receive CPU: {t1} ns single vs {t4} ns sharded"
+        );
+        // Tagging without lanes (or lanes without tags) changes nothing:
+        // every message lands on lane 0 either way.
+        let untagged = run(4, 1);
+        assert_eq!(untagged.completion_ns(), single.completion_ns());
     }
 }

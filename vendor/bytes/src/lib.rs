@@ -2,9 +2,11 @@
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! the small API subset it actually uses: an immutable, cheaply cloneable,
-//! contiguous byte buffer. Semantics match `bytes::Bytes` for this subset;
-//! the zero-copy internals (`from_static` borrowing, sub-slicing without
-//! copying) are deliberately simplified to a reference-counted allocation.
+//! contiguous byte buffer. Semantics match `bytes::Bytes` for this subset.
+//! Like the real crate, `clone()`, `slice()`, and `From<Vec<u8>>` are
+//! zero-copy: a `Bytes` is a `(refcounted buffer, start, end)` view, so the
+//! receive hot path can share one frame-body allocation among every entry
+//! sliced out of it.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -12,9 +14,14 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous slice of memory.
+///
+/// Internally a `(buffer, start, end)` view over a shared allocation:
+/// cloning and sub-slicing bump a refcount instead of copying bytes.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -28,74 +35,86 @@ impl Bytes {
     /// borrows, but nothing in this workspace observes the difference).
     #[must_use]
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Creates `Bytes` by copying the given slice.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     /// Returns a slice view of the whole buffer.
     #[must_use]
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 
-    /// Returns a new `Bytes` for the given sub-range (copying).
+    /// Returns a new `Bytes` for the given sub-range **without copying**:
+    /// the result shares this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Bytes::copy_from_slice(&self.data[range])
+        assert!(range.start <= range.end, "slice range reversed");
+        assert!(range.end <= self.len(), "slice range out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from(v.into_vec())
     }
 }
 
@@ -125,7 +144,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -133,13 +152,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
@@ -151,20 +170,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -214,7 +233,7 @@ impl BytesMut {
         self.data.extend_from_slice(extend);
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] without copying.
     #[must_use]
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -318,6 +337,29 @@ mod tests {
         assert_eq!(b, c);
         assert!(!b.is_empty());
         assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        // The sub-view shares the parent allocation (no copy).
+        assert!(Arc::ptr_eq(&b.data, &mid.data));
+        // Slicing a slice stays within the view's own coordinates.
+        let inner = mid.slice(1..2);
+        assert_eq!(&inner[..], &[3]);
+        assert!(Arc::ptr_eq(&b.data, &inner.data));
+        // Empty and full ranges are fine.
+        assert!(b.slice(3..3).is_empty());
+        assert_eq!(b.slice(0..b.len()), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_out_of_bounds() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(0..3);
     }
 
     #[test]
