@@ -1,0 +1,119 @@
+//! [`QuorumSigner`]: minting slot-bound [`FeedAttestation`]s for served
+//! values, plus the hex transport helpers light clients use.
+//!
+//! DORA's certificate story (paper §V) has every node broadcast a
+//! signature over the rounded agreement value and any node aggregate
+//! `t + 1` of them. The workspace's vendored signature scheme is
+//! symmetric (HMAC under keys derived from the deployment seed — the
+//! same trust model as the transport's pairwise [`Keychain`] keys), so a
+//! holder of the seed can derive every signer's key locally. The signer
+//! exploits that: it derives `t + 1` signing keys once and mints the
+//! quorum certificate in-process instead of re-running the signature
+//! exchange per epoch. Under a real asymmetric scheme this type would
+//! aggregate the DORA broadcast instead; its output shape — a
+//! [`FeedAttestation`] that [`FeedAttestation::verify`] accepts — is the
+//! same either way, which is what the offline light-client check cares
+//! about.
+//!
+//! [`Keychain`]: delphi_crypto::Keychain
+
+use delphi_crypto::signing::SigningKey;
+use delphi_dora::{round_to_epsilon, Certificate, FeedAttestation};
+use delphi_primitives::wire::{Decode, Encode};
+use delphi_primitives::{EpochId, InstanceId, NodeId};
+
+/// Derives `t + 1` signing keys from the deployment seed and signs each
+/// served `(epoch, asset, value)` slot with all of them.
+#[derive(Debug)]
+pub struct QuorumSigner {
+    keys: Vec<SigningKey>,
+    epsilon: f64,
+}
+
+impl QuorumSigner {
+    /// A signer for a deployment with fault threshold `t`, rounding
+    /// values to the protocol's `epsilon` grid before signing (the DORA
+    /// rounding rule, so attestations cost one extra `ε` of validity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive.
+    pub fn new(seed: &[u8], t: usize, epsilon: f64) -> QuorumSigner {
+        assert!(epsilon > 0.0, "epsilon grid must be positive");
+        let keys = (0..=t).map(|i| SigningKey::derive(seed, NodeId(i as u16))).collect();
+        QuorumSigner { keys, epsilon }
+    }
+
+    /// Mints the quorum attestation for one served slot.
+    pub fn attest(&self, epoch: EpochId, asset: InstanceId, value: f64) -> FeedAttestation {
+        let k = round_to_epsilon(value, self.epsilon);
+        let ctx = FeedAttestation::context(epoch, asset);
+        let msg = Certificate::message_with_context(&ctx, k, self.epsilon);
+        let signatures = self.keys.iter().map(|key| key.sign(&msg)).collect();
+        FeedAttestation { epoch, asset, cert: Certificate { k, epsilon: self.epsilon, signatures } }
+    }
+}
+
+/// Renders an attestation as lowercase hex over its wire encoding — the
+/// form the HTTP routes serve.
+pub fn attestation_to_hex(att: &FeedAttestation) -> String {
+    let bytes = att.to_bytes();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes.as_ref() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parses an attestation back from its hex form — the light-client side
+/// of [`attestation_to_hex`]. `None` on anything but valid hex over a
+/// valid wire encoding.
+pub fn attestation_from_hex(hex: &str) -> Option<FeedAttestation> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect();
+    FeedAttestation::from_bytes(&bytes?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_crypto::signing::Verifier;
+
+    #[test]
+    fn minted_attestation_verifies_offline_and_survives_hex() {
+        let signer = QuorumSigner::new(b"api-attest-test", 1, 2.0);
+        let att = signer.attest(EpochId(3), InstanceId(1), 40_013.2);
+        // A process that never ran the protocol: only the seed.
+        let verifier = Verifier::new(b"api-attest-test");
+        assert!(att.verify(&verifier, 4, 1));
+        assert!((att.value() - 40_014.0).abs() < 1e-9, "rounded to the 2.0 grid");
+        let wire = attestation_from_hex(&attestation_to_hex(&att)).unwrap();
+        assert_eq!(wire, att);
+        assert!(wire.verify(&verifier, 4, 1));
+        // The hex survives a transport that lowercases/uppercases.
+        let upper = attestation_to_hex(&att).to_uppercase();
+        assert_eq!(attestation_from_hex(&upper).unwrap(), att);
+    }
+
+    #[test]
+    fn hex_parsing_rejects_garbage() {
+        assert!(attestation_from_hex("abc").is_none(), "odd length");
+        assert!(attestation_from_hex("zz").is_none(), "not hex");
+        assert!(attestation_from_hex("").is_none(), "truncated wire");
+        assert!(attestation_from_hex("00ff00").is_none(), "not an attestation");
+    }
+
+    #[test]
+    fn wrong_slot_or_seed_fails_offline_verification() {
+        let signer = QuorumSigner::new(b"api-attest-test", 1, 2.0);
+        let att = signer.attest(EpochId(3), InstanceId(1), 40_013.2);
+        let moved = FeedAttestation { epoch: EpochId(4), ..att.clone() };
+        assert!(!moved.verify(&Verifier::new(b"api-attest-test"), 4, 1));
+        assert!(!att.verify(&Verifier::new(b"other-seed"), 4, 1));
+    }
+}

@@ -1,0 +1,291 @@
+//! [`SubscriberHub`]: per-asset fan-out of feed updates over bounded
+//! queues with lag-kick.
+//!
+//! The publisher must never wait on a slow reader, and a reader that
+//! falls behind must not buffer unboundedly. Each subscription is a
+//! bounded queue; when a broadcast finds a subscriber's queue full, the
+//! subscriber is *kicked*: its queue is cleared, it observes
+//! [`RecvError::Lagged`] on its next receive, and it is dropped from the
+//! hub. A kicked reader re-syncs from the [`FeedState`](crate::FeedState)
+//! snapshot and may re-subscribe — the snapshot is always newer than
+//! anything its queue held, so no value is silently skipped relative to
+//! what the reader could have served.
+//!
+//! Queues are `Mutex` + `Condvar`, deliberately blocking: the vendored
+//! tokio runtime is thread-per-task, so a serving connection task may
+//! block on [`Subscription::recv`] without stalling anything else, and
+//! the publisher side ([`SubscriberHub::broadcast`]) only ever takes the
+//! short non-blocking push path.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use delphi_primitives::InstanceId;
+
+use crate::feed::FeedUpdate;
+
+/// Why a [`Subscription::recv`] returned no update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// The subscriber fell behind and was kicked; re-sync from the
+    /// snapshot cache and re-subscribe.
+    Lagged,
+    /// The feed is complete (or the hub was shut down); no further
+    /// updates will ever arrive.
+    Closed,
+    /// No update arrived within the timeout (the subscription is still
+    /// live).
+    Timeout,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum SubState {
+    Live,
+    Lagged,
+    Closed,
+}
+
+#[derive(Debug)]
+struct SubQueue {
+    items: VecDeque<Arc<FeedUpdate>>,
+    state: SubState,
+}
+
+#[derive(Debug)]
+struct SubShared {
+    queue: Mutex<SubQueue>,
+    ready: Condvar,
+}
+
+/// One reader's bounded tail of an asset's updates. Dropping it
+/// unsubscribes (the hub reaps it on the next broadcast).
+#[derive(Debug)]
+pub struct Subscription {
+    shared: Arc<SubShared>,
+}
+
+impl Subscription {
+    /// Blocks until the next update, a kick, or close.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Lagged`] after a kick, [`RecvError::Closed`] once the
+    /// feed ended.
+    pub fn recv(&self) -> Result<Arc<FeedUpdate>, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("subscription poisoned");
+        loop {
+            if let Some(update) = queue.items.pop_front() {
+                return Ok(update);
+            }
+            match queue.state {
+                SubState::Lagged => return Err(RecvError::Lagged),
+                SubState::Closed => return Err(RecvError::Closed),
+                SubState::Live => {
+                    queue = self.shared.ready.wait(queue).expect("subscription poisoned");
+                }
+            }
+        }
+    }
+
+    /// As [`recv`](Subscription::recv) but gives up after `timeout`
+    /// with [`RecvError::Timeout`] — the shape a serving loop needs to
+    /// interleave keep-alives and disconnect checks.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Lagged`], [`RecvError::Closed`], or
+    /// [`RecvError::Timeout`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Arc<FeedUpdate>, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("subscription poisoned");
+        loop {
+            if let Some(update) = queue.items.pop_front() {
+                return Ok(update);
+            }
+            match queue.state {
+                SubState::Lagged => return Err(RecvError::Lagged),
+                SubState::Closed => return Err(RecvError::Closed),
+                SubState::Live => {
+                    let Some(left) = deadline.checked_duration_since(std::time::Instant::now())
+                    else {
+                        return Err(RecvError::Timeout);
+                    };
+                    let (guard, result) =
+                        self.shared.ready.wait_timeout(queue, left).expect("subscription poisoned");
+                    queue = guard;
+                    if result.timed_out() && queue.items.is_empty() && queue.state == SubState::Live
+                    {
+                        return Err(RecvError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Mark closed so the hub's next broadcast reaps the slot instead
+        // of filling a queue nobody drains.
+        self.shared.queue.lock().expect("subscription poisoned").state = SubState::Closed;
+    }
+}
+
+/// The fan-out registry: per-asset subscriber lists, bounded queues,
+/// lag-kick on overflow.
+#[derive(Debug)]
+pub struct SubscriberHub {
+    /// Per-asset subscriber lists; a slot is reaped once Closed/Lagged.
+    subs: Vec<Mutex<Vec<Arc<SubShared>>>>,
+    capacity: usize,
+}
+
+impl SubscriberHub {
+    /// A hub for an `assets`-sized basket whose subscriptions buffer at
+    /// most `capacity` (≥ 1) undelivered updates before the kick.
+    pub fn new(assets: u16, capacity: usize) -> SubscriberHub {
+        SubscriberHub {
+            subs: (0..assets).map(|_| Mutex::new(Vec::new())).collect(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers a new subscriber for `asset`; `None` for an asset
+    /// outside the basket.
+    pub fn subscribe(&self, asset: InstanceId) -> Option<Subscription> {
+        let list = self.subs.get(asset.index())?;
+        let shared = Arc::new(SubShared {
+            queue: Mutex::new(SubQueue { items: VecDeque::new(), state: SubState::Live }),
+            ready: Condvar::new(),
+        });
+        list.lock().expect("hub poisoned").push(shared.clone());
+        Some(Subscription { shared })
+    }
+
+    /// Live subscriber count across all assets (kicked and dropped
+    /// subscribers linger until the next broadcast reaps them).
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.iter().map(|l| l.lock().expect("hub poisoned").len()).sum()
+    }
+
+    /// Delivers `update` to every live subscriber of its asset. A
+    /// subscriber whose queue is full is kicked (queue cleared, state
+    /// Lagged, woken) and reaped; the publisher never blocks.
+    pub fn broadcast(&self, update: &Arc<FeedUpdate>) {
+        let Some(list) = self.subs.get(update.asset.index()) else { return };
+        let mut list = list.lock().expect("hub poisoned");
+        list.retain(|shared| {
+            let mut queue = shared.queue.lock().expect("subscription poisoned");
+            match queue.state {
+                SubState::Closed | SubState::Lagged => return false,
+                SubState::Live if queue.items.len() == self.capacity => {
+                    queue.items.clear();
+                    queue.state = SubState::Lagged;
+                    shared.ready.notify_all();
+                    return false;
+                }
+                SubState::Live => {
+                    queue.items.push_back(update.clone());
+                    shared.ready.notify_all();
+                }
+            }
+            true
+        });
+    }
+
+    /// Closes every subscription on every asset: readers drain what they
+    /// already have, then observe [`RecvError::Closed`].
+    pub fn close_all(&self) {
+        for list in &self.subs {
+            let mut list = list.lock().expect("hub poisoned");
+            for shared in list.drain(..) {
+                let mut queue = shared.queue.lock().expect("subscription poisoned");
+                if queue.state == SubState::Live {
+                    queue.state = SubState::Closed;
+                }
+                shared.ready.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_primitives::EpochId;
+
+    fn update(epoch: u32) -> Arc<FeedUpdate> {
+        Arc::new(FeedUpdate {
+            epoch: EpochId(epoch),
+            asset: InstanceId(0),
+            value: f64::from(epoch),
+            attestation: None,
+        })
+    }
+
+    #[test]
+    fn subscribers_receive_in_order_then_closed() {
+        let hub = SubscriberHub::new(1, 8);
+        let sub = hub.subscribe(InstanceId(0)).unwrap();
+        assert!(hub.subscribe(InstanceId(3)).is_none(), "outside the basket");
+        for e in 0..3 {
+            hub.broadcast(&update(e));
+        }
+        hub.close_all();
+        // Already-queued updates survive the close.
+        for e in 0..3 {
+            assert_eq!(sub.recv().unwrap().epoch, EpochId(e));
+        }
+        assert_eq!(sub.recv().unwrap_err(), RecvError::Closed);
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn slow_subscriber_is_kicked_not_waited_on() {
+        let hub = SubscriberHub::new(1, 2);
+        let slow = hub.subscribe(InstanceId(0)).unwrap();
+        let fast = hub.subscribe(InstanceId(0)).unwrap();
+        hub.broadcast(&update(0));
+        hub.broadcast(&update(1));
+        assert_eq!(fast.recv().unwrap().epoch, EpochId(0));
+        assert_eq!(fast.recv().unwrap().epoch, EpochId(1));
+        // Third update overflows `slow` (capacity 2): kicked and reaped,
+        // while `fast` (drained) receives normally.
+        hub.broadcast(&update(2));
+        assert_eq!(slow.recv().unwrap_err(), RecvError::Lagged);
+        assert_eq!(fast.recv().unwrap().epoch, EpochId(2));
+        assert_eq!(hub.subscriber_count(), 1);
+        // The kicked reader re-subscribes and is live again.
+        let again = hub.subscribe(InstanceId(0)).unwrap();
+        hub.broadcast(&update(3));
+        assert_eq!(again.recv().unwrap().epoch, EpochId(3));
+    }
+
+    #[test]
+    fn dropped_subscription_is_reaped_on_next_broadcast() {
+        let hub = SubscriberHub::new(1, 2);
+        let sub = hub.subscribe(InstanceId(0)).unwrap();
+        drop(sub);
+        assert_eq!(hub.subscriber_count(), 1, "reaped lazily");
+        hub.broadcast(&update(0));
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let hub = Arc::new(SubscriberHub::new(1, 4));
+        let sub = hub.subscribe(InstanceId(0)).unwrap();
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)).unwrap_err(), RecvError::Timeout);
+        let publisher = {
+            let hub = hub.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                hub.broadcast(&update(9));
+            })
+        };
+        let got = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.epoch, EpochId(9));
+        publisher.join().unwrap();
+    }
+}

@@ -12,7 +12,7 @@
 //!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
 //!             [--delta-max 2000]
 //!             [--epochs K] [--depth D] [--window W] [--adaptive]
-//!             [--recv-shards S]
+//!             [--recv-shards S] [--api-bind 127.0.0.1:8080]
 //! ```
 //!
 //! Without `--input`, the node derives its input from one minute of the
@@ -36,16 +36,24 @@
 //! turns on adaptive batch flushing (size/time triggers) instead of
 //! per-step flushing. The report then carries every `(epoch, asset,
 //! value)` agreement so the launcher can check per-epoch ε-convergence.
+//!
+//! `--api-bind ADDR` (epoch runs only) additionally serves the read-side
+//! HTTP API on `ADDR` — snapshots, history, subscriptions, and signed
+//! attestations — off the protocol hot path, via
+//! `delphi::ServiceBuilder::serve`. Attestation keys derive from the
+//! node's cluster key material, so a light client holding the cluster
+//! seed verifies served values offline.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use delphi_api::ServiceBuilder;
 use delphi_bench::feed_price_source;
-use delphi_core::{DelphiConfig, DelphiNode, OracleService};
+use delphi_core::{DelphiConfig, DelphiNode};
 use delphi_net::cluster::NodeReport;
 use delphi_net::config::ClusterConfig;
 use delphi_net::{run_epoch_service, run_instances, FlushPolicy, RunOptions};
-use delphi_primitives::{EpochConfig, EpochOutcome};
+use delphi_primitives::EpochOutcome;
 use delphi_workloads::{deployment_inputs, EpochFeed, MultiAssetConfig};
 
 struct Args {
@@ -64,6 +72,7 @@ struct Args {
     window: usize,
     adaptive: bool,
     recv_shards: usize,
+    api_bind: Option<std::net::SocketAddr>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
     let mut window = 6usize;
     let mut adaptive = false;
     let mut recv_shards = 1usize;
+    let mut api_bind = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -128,6 +138,10 @@ fn parse_args() -> Result<Args, String> {
                 recv_shards =
                     value("--recv-shards")?.parse().map_err(|e| format!("--recv-shards: {e}"))?;
             }
+            "--api-bind" => {
+                api_bind =
+                    Some(value("--api-bind")?.parse().map_err(|e| format!("--api-bind: {e}"))?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -146,6 +160,9 @@ fn parse_args() -> Result<Args, String> {
     if recv_shards == 0 {
         return Err("--recv-shards must be at least 1".to_string());
     }
+    if api_bind.is_some() && epochs == 0 {
+        return Err("--api-bind only applies to an epoch run (--epochs)".to_string());
+    }
     Ok(Args {
         config: config.ok_or("--config is required")?,
         id: id.ok_or("--id is required")?,
@@ -162,6 +179,7 @@ fn parse_args() -> Result<Args, String> {
         window,
         adaptive,
         recv_shards,
+        api_bind,
     })
 }
 
@@ -203,14 +221,41 @@ async fn run(args: Args) -> Result<NodeReport, String> {
         // from the deterministic multi-epoch feed — every process derives
         // the same basket quote per epoch with no distribution step.
         let feed = EpochFeed::new(epoch_basket(args.assets), args.quote_seed);
-        let epoch_cfg =
-            EpochConfig::new(args.epochs, args.assets as u16, args.depth, args.window, cfg.t());
-        let service =
-            OracleService::new(cfg, me, epoch_cfg, opts.flush, feed_price_source(feed, me, n));
-        let (events, epoch_stats, stats) =
-            run_epoch_service(service.into_mux(), keychain, addrs, opts)
-                .await
-                .map_err(|e| format!("epoch run: {e}"))?;
+        let builder = ServiceBuilder::new(cfg, me)
+            .epochs(args.epochs)
+            .assets(args.assets as u16)
+            .pipeline_depth(args.depth)
+            .window(args.window)
+            .flush(opts.flush)
+            .recv_shards(args.recv_shards)
+            .batching(!args.unbatched)
+            .deadline(Duration::from_millis(args.deadline_ms));
+        let source = feed_price_source(feed, me, n);
+        let (events, epoch_stats, stats) = match args.api_bind {
+            Some(bind) => {
+                // Full served deployment: protocol + snapshot cache +
+                // subscriptions + signed attestations over HTTP.
+                let seed =
+                    cluster.key_material(args.id).map_err(|e| format!("key material: {e}"))?;
+                let handle = builder
+                    .api_bind(bind)
+                    .serve(seed, addrs, source)
+                    .await
+                    .map_err(|e| format!("epoch run: {e}"))?;
+                if let Some(api) = handle.api_addr() {
+                    eprintln!("delphi-node[{}]: serving readers on http://{api}", args.id);
+                }
+                handle.finish().await.map_err(|e| format!("epoch run: {e}"))?
+            }
+            None => {
+                run_epoch_service(builder.build_service(source).into_mux(), keychain, addrs, opts)
+                    .await
+                    .map_err(|e| format!("epoch run: {e}"))?
+                    .finish()
+                    .await
+                    .map_err(|e| format!("epoch run: {e}"))?
+            }
+        };
         let mut agreements = Vec::new();
         for event in &events {
             if let EpochOutcome::Agreed(values) = &event.outcome {

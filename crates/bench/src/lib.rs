@@ -362,7 +362,7 @@ pub fn run_epoch_delphi_sharded(
     let nodes: Vec<Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>> =
         NodeId::all(n)
             .map(|id| {
-                let inner = OracleService::new_sharded(
+                let inner = OracleService::from_parts(
                     cfg.clone(),
                     id,
                     epoch_cfg,

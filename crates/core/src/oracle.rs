@@ -33,6 +33,11 @@ pub type PriceSource = Box<dyn FnMut(EpochId, InstanceId) -> f64 + Send>;
 /// A long-lived Delphi oracle: one agreement per `(epoch, asset)` pair,
 /// pipelined under a bounded live window.
 ///
+/// The blessed way to construct one is `delphi_api::ServiceBuilder`
+/// (re-exported from the umbrella `delphi` crate), which also wires the
+/// TCP driver and the serving layer; [`OracleService::from_parts`] is the
+/// sans-io escape hatch the builder itself uses.
+///
 /// # Example
 ///
 /// ```
@@ -42,7 +47,7 @@ pub type PriceSource = Box<dyn FnMut(EpochId, InstanceId) -> f64 + Send>;
 /// let cfg = DelphiConfig::builder(4).space(0.0, 100.0).rho0(1.0)
 ///     .delta_max(8.0).epsilon(1.0).build().unwrap();
 /// let epochs = EpochConfig::new(5, 2, 2, 4, cfg.t());
-/// let mut node = OracleService::new(cfg, NodeId(0), epochs, FlushPolicy::PerStep,
+/// let mut node = OracleService::from_parts(cfg, NodeId(0), epochs, FlushPolicy::PerStep, 1,
 ///     Box::new(|e, a| 50.0 + f64::from(e.0) + f64::from(a.0)));
 /// assert!(!node.start().is_empty(), "the first epochs start immediately");
 /// ```
@@ -51,37 +56,24 @@ pub struct OracleService {
 }
 
 impl OracleService {
-    /// Creates the service for node `me`.
+    /// Creates the service for node `me` — the single low-level
+    /// constructor (the `new` / `new_sharded` pair it replaces is gone;
+    /// deployments go through `delphi_api::ServiceBuilder`).
     ///
     /// `epochs.t` should match `cfg.t()` (the protocol's fault threshold
     /// governs the rejoin quorum too); `source` supplies this node's input
-    /// per `(epoch, asset)` pair.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an invalid epoch config or `me` out of range for the
-    /// protocol config's `n`.
-    pub fn new(
-        cfg: DelphiConfig,
-        me: NodeId,
-        epochs: EpochConfig,
-        flush: FlushPolicy,
-        source: PriceSource,
-    ) -> OracleService {
-        OracleService::new_sharded(cfg, me, epochs, flush, 1, source)
-    }
-
-    /// [`OracleService::new`] with a sharded-receive deployment shape:
-    /// outgoing batches are flushed per `(destination, receive shard)` and
-    /// tagged with their [`AgreementId::shard`](delphi_primitives::AgreementId::shard)
+    /// per `(epoch, asset)` pair. With `recv_shards > 1` outgoing batches
+    /// are flushed per `(destination, receive shard)` and tagged with
+    /// their [`AgreementId::shard`](delphi_primitives::AgreementId::shard)
     /// class, so drivers with a per-shard receive CPU (the simulator's
     /// `recv_shards`, `delphi-net`'s sharded dispatch) overlap the
     /// processing of different assets' traffic.
     ///
     /// # Panics
     ///
-    /// Same as [`OracleService::new`], plus `recv_shards == 0`.
-    pub fn new_sharded(
+    /// Panics on an invalid epoch config, `me` out of range for the
+    /// protocol config's `n`, or `recv_shards == 0`.
+    pub fn from_parts(
         cfg: DelphiConfig,
         me: NodeId,
         epochs: EpochConfig,
@@ -96,7 +88,7 @@ impl OracleService {
             n,
             Box::new(move |epoch, asset| DelphiNode::new(cfg.clone(), me, source(epoch, asset))),
         );
-        OracleService { inner: EpochProtocol::new_sharded(mux, flush, recv_shards) }
+        OracleService { inner: EpochProtocol::new(mux, flush).recv_shards(recv_shards) }
     }
 
     /// The ordered agreement stream emitted so far.
@@ -210,11 +202,12 @@ mod tests {
             .map(|id| {
                 // Per-node spread around an epoch+asset-dependent center.
                 let offset = id.index() as f64 * 0.2;
-                OracleService::new(
+                OracleService::from_parts(
                     protocol_cfg.clone(),
                     id,
                     epoch_cfg,
                     FlushPolicy::PerStep,
+                    1,
                     Box::new(move |e, a| {
                         500.0 + f64::from(e.0) * 3.0 + f64::from(a.0) * 7.0 + offset
                     }),
@@ -259,11 +252,12 @@ mod tests {
     fn oracle_service_exposes_pipeline_for_native_transports() {
         let protocol_cfg = cfg(4);
         let epoch_cfg = EpochConfig::new(3, 1, 1, 2, protocol_cfg.t());
-        let service = OracleService::new(
+        let service = OracleService::from_parts(
             protocol_cfg,
             NodeId(2),
             epoch_cfg,
             FlushPolicy::adaptive(),
+            1,
             Box::new(|_, _| 42.0),
         );
         let mux = service.into_mux();

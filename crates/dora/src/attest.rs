@@ -47,8 +47,19 @@ impl Certificate {
 
     /// The byte string each signature covers.
     pub fn message_for(k: i64, epsilon: f64) -> Vec<u8> {
+        Self::message_with_context(&[], k, epsilon)
+    }
+
+    /// The byte string each signature covers when the attestation is
+    /// bound to a deployment-defined context (e.g. an `(epoch, asset)`
+    /// address, so a feed certificate cannot be replayed for a different
+    /// slot). An empty context reproduces [`Certificate::message_for`]
+    /// byte for byte; callers must use fixed-width contexts to keep the
+    /// encoding prefix-free.
+    pub fn message_with_context(context: &[u8], k: i64, epsilon: f64) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_raw(b"delphi-dora-attest");
+        w.put_raw(context);
         w.put_i64(k);
         w.put_f64(epsilon);
         w.into_vec()
@@ -57,7 +68,19 @@ impl Certificate {
     /// Verifies the certificate: at least `t + 1` valid signatures from
     /// distinct in-range signers over this certificate's value.
     pub fn verify(&self, verifier: &Verifier, n: usize, t: usize) -> bool {
-        let msg = Self::message_for(self.k, self.epsilon);
+        self.verify_with_context(&[], verifier, n, t)
+    }
+
+    /// [`Certificate::verify`] over a context-bound message (see
+    /// [`Certificate::message_with_context`]).
+    pub fn verify_with_context(
+        &self,
+        context: &[u8],
+        verifier: &Verifier,
+        n: usize,
+        t: usize,
+    ) -> bool {
+        let msg = Self::message_with_context(context, self.k, self.epsilon);
         let mut signers = NodeBitSet::new(n);
         let mut valid = 0usize;
         for sig in &self.signatures {

@@ -1,0 +1,125 @@
+//! Feed attestations: [`Certificate`]s bound to an `(epoch, asset)` slot.
+//!
+//! The epoch pipeline produces a stream of agreements, one per
+//! `(epoch, asset)`; a serving layer (the `delphi-api` crate) hands those
+//! to light clients together with a certificate. A bare [`Certificate`]
+//! only attests "some quorum agreed on `k · ε`" — replayable across
+//! slots — so the feed variant signs over a fixed-width context derived
+//! from the slot address, and verification re-derives that context. A
+//! light client holding the deployment's verifier checks a served value
+//! offline, without ever running the protocol.
+
+use delphi_crypto::signing::Verifier;
+use delphi_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use delphi_primitives::{EpochId, InstanceId};
+
+use crate::Certificate;
+
+/// A quorum certificate over one slot of the feed: the `(epoch, asset)`
+/// address plus a [`Certificate`] whose signatures cover the slot-bound
+/// message (see [`Certificate::message_with_context`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeedAttestation {
+    /// The epoch this value was agreed in.
+    pub epoch: EpochId,
+    /// The asset instance within the epoch's basket.
+    pub asset: InstanceId,
+    /// The slot-bound certificate (`value = k · ε`).
+    pub cert: Certificate,
+}
+
+impl FeedAttestation {
+    /// The fixed-width signing context for a slot: a domain tag plus the
+    /// big-endian epoch and asset ids. Fixed width keeps the composed
+    /// message prefix-free against the bare-certificate encoding.
+    pub fn context(epoch: EpochId, asset: InstanceId) -> [u8; 11] {
+        let mut ctx = [0u8; 11];
+        ctx[..5].copy_from_slice(b"feed:");
+        ctx[5..9].copy_from_slice(&epoch.0.to_be_bytes());
+        ctx[9..11].copy_from_slice(&asset.0.to_be_bytes());
+        ctx
+    }
+
+    /// The attested real value `k · ε`.
+    pub fn value(&self) -> f64 {
+        self.cert.value()
+    }
+
+    /// Verifies the certificate against this attestation's own slot:
+    /// at least `t + 1` valid signatures from distinct in-range signers
+    /// over the slot-bound message. An attestation lifted from another
+    /// `(epoch, asset)` never verifies.
+    pub fn verify(&self, verifier: &Verifier, n: usize, t: usize) -> bool {
+        let ctx = Self::context(self.epoch, self.asset);
+        self.cert.verify_with_context(&ctx, verifier, n, t)
+    }
+}
+
+impl Encode for FeedAttestation {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.epoch);
+        w.put(&self.asset);
+        w.put(&self.cert);
+    }
+}
+
+impl Decode for FeedAttestation {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FeedAttestation { epoch: r.get()?, asset: r.get()?, cert: r.get()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_to_epsilon;
+    use delphi_crypto::signing::SigningKey;
+    use delphi_primitives::wire::roundtrip;
+    use delphi_primitives::NodeId;
+
+    const SEED: &[u8] = b"feed-attest-test";
+
+    fn attest(epoch: EpochId, asset: InstanceId, value: f64, signers: usize) -> FeedAttestation {
+        let epsilon = 2.0;
+        let k = round_to_epsilon(value, epsilon);
+        let ctx = FeedAttestation::context(epoch, asset);
+        let msg = Certificate::message_with_context(&ctx, k, epsilon);
+        let signatures =
+            (0..signers).map(|i| SigningKey::derive(SEED, NodeId(i as u16)).sign(&msg)).collect();
+        FeedAttestation { epoch, asset, cert: Certificate { k, epsilon, signatures } }
+    }
+
+    #[test]
+    fn slot_bound_attestation_verifies_and_roundtrips() {
+        let att = attest(EpochId(7), InstanceId(2), 41_237.3, 2);
+        let verifier = Verifier::new(SEED);
+        assert!(att.verify(&verifier, 4, 1), "t + 1 = 2 distinct signers suffice");
+        assert!((att.value() - 41_238.0).abs() < 1e-9);
+        assert_eq!(roundtrip(&att).unwrap(), att);
+    }
+
+    #[test]
+    fn attestation_does_not_verify_for_another_slot_or_seed() {
+        let att = attest(EpochId(7), InstanceId(2), 41_237.3, 2);
+        let verifier = Verifier::new(SEED);
+        // Replay the same certificate under a shifted slot address.
+        let moved = FeedAttestation { epoch: EpochId(8), ..att.clone() };
+        assert!(!moved.verify(&verifier, 4, 1), "epoch swap must break the binding");
+        let moved = FeedAttestation { asset: InstanceId(3), ..att.clone() };
+        assert!(!moved.verify(&verifier, 4, 1), "asset swap must break the binding");
+        // A verifier from a different deployment seed rejects outright.
+        assert!(!att.verify(&Verifier::new(b"other-deployment"), 4, 1));
+        // Too few signers: t + 1 is a hard floor.
+        let thin = attest(EpochId(7), InstanceId(2), 41_237.3, 1);
+        assert!(!thin.verify(&verifier, 4, 1));
+    }
+
+    #[test]
+    fn empty_context_reproduces_the_bare_certificate_message() {
+        assert_eq!(
+            Certificate::message_with_context(&[], 99, 2.0),
+            Certificate::message_for(99, 2.0),
+            "DoraNode attestations must keep verifying unchanged"
+        );
+    }
+}

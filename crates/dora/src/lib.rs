@@ -18,6 +18,8 @@
 //!   that runs an inner Delphi node and then the attestation exchange,
 //!   counting signature operations for the Table III comparison;
 //! - [`Certificate`]: the aggregate the SMR channel verifies;
+//! - [`FeedAttestation`]: a certificate bound to an `(epoch, asset)`
+//!   slot of the streaming feed, for offline light-client checks;
 //! - [`SmrChannel`]: a simulated total-order ledger that accepts the
 //!   first valid certificate(s).
 
@@ -25,7 +27,9 @@
 #![warn(missing_docs)]
 
 mod attest;
+mod feed;
 mod smr;
 
 pub use attest::{round_to_epsilon, Certificate, DoraMsg, DoraNode, OpCounts};
+pub use feed::FeedAttestation;
 pub use smr::SmrChannel;

@@ -54,5 +54,8 @@ pub use frame::{
     FrameEntryIter, FrameError, BATCH_MARKER, EPOCH_MARKER, MAX_FRAME_BODY, MAX_FRAME_PAYLOAD,
     MIN_FRAME_BODY,
 };
-pub use service::{run_epoch_service, run_instances, run_node, NetError, RunOptions};
+pub use service::{
+    run_epoch_service, run_instances, run_node, EpochServiceHandle, NetError, RunOptions,
+    ServiceStats,
+};
 pub use transport::{NetStats, MAX_RECV_SHARDS};

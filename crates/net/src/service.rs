@@ -35,8 +35,8 @@ use std::time::Duration;
 
 use delphi_crypto::Keychain;
 use delphi_primitives::{
-    merge_epoch_shards, merge_epoch_stats, AgreementId, Envelope, EpochEvent, EpochMux, EpochShard,
-    EpochStats, FlushPolicy, InstanceId, Protocol,
+    merge_epoch_stats, AgreementId, Envelope, EpochEvent, EpochMux, EpochOutcome, EpochShard,
+    EpochStats, EpochStatsCell, FlushPolicy, InstanceId, Protocol,
 };
 use tokio::net::TcpListener;
 use tokio::sync::mpsc;
@@ -119,6 +119,50 @@ impl Default for RunOptions {
             flush: FlushPolicy::PerStep,
             recv_shards: 1,
         }
+    }
+}
+
+impl RunOptions {
+    /// Builder-style setter for [`RunOptions::linger`].
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::reconnect_delay`].
+    pub fn reconnect_delay(mut self, delay: Duration) -> Self {
+        self.reconnect_delay = delay;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::drain_timeout`].
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::batching`].
+    pub fn batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::flush`].
+    pub fn flush(mut self, flush: FlushPolicy) -> Self {
+        self.flush = flush;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::recv_shards`].
+    pub fn recv_shards(mut self, shards: usize) -> Self {
+        self.recv_shards = shards;
+        self
     }
 }
 
@@ -434,23 +478,25 @@ where
     Ok((outputs, counters.snapshot()))
 }
 
-/// One completed worker's merge input: its asset map and event stream.
-type ShardPart<O> = (Vec<InstanceId>, Vec<EpochEvent<O>>);
-
 /// What an epoch dispatch worker reports to the service loop.
 enum EpochShardMsg<O> {
     /// One pipeline step's bursts (global asset addressing).
     Step(Vec<(AgreementId, Vec<Envelope>)>),
-    /// This worker's stream slice has resolved every epoch. Events are
-    /// final at this point (every epoch resolved); the epoch-layer
-    /// *counters* keep moving while the worker serves lingering peers, so
-    /// they travel through a shared cell instead (read at shutdown).
-    Done {
-        /// Global asset ids the worker owned, ascending.
-        assets: Vec<InstanceId>,
-        /// The worker's ordered events (shard-local asset order).
+    /// Ordered events this worker's slice emitted since its last report
+    /// (shard-local asset order; `lane` selects the merge queue). Sent
+    /// live, as epochs resolve — this is what makes the service handle
+    /// tailable instead of collect-at-the-end.
+    Events {
+        /// The worker's merge-lane index (live shards only).
+        lane: usize,
+        /// The freshly drained slice of the worker's event stream.
         events: Vec<EpochEvent<O>>,
     },
+    /// This worker's stream slice has resolved every epoch (all of its
+    /// events have been shipped). The epoch-layer *counters* keep moving
+    /// while the worker serves lingering peers, so they travel through a
+    /// shared [`EpochStatsCell`] instead (snapshot at shutdown).
+    Done,
 }
 
 /// One sharded epoch dispatch worker: a complete sub-pipeline over its
@@ -461,14 +507,14 @@ enum EpochShardMsg<O> {
 /// read loop.
 async fn epoch_shard_worker<P>(
     mut rx: mpsc::Receiver<VerifiedFrame>,
-    slot: Option<EpochShard<P>>,
+    slot: Option<(usize, EpochShard<P>)>,
     out_tx: mpsc::Sender<EpochShardMsg<P::Output>>,
-    stats_cell: Arc<std::sync::Mutex<EpochStats>>,
+    stats_cell: Arc<EpochStatsCell>,
 ) where
     P: Protocol + Send + 'static,
     P::Output: Send,
 {
-    let Some(mut shard) = slot else {
+    let Some((lane, mut shard)) = slot else {
         while rx.recv().await.is_some() {}
         return;
     };
@@ -478,17 +524,19 @@ async fn epoch_shard_worker<P>(
     }
     let mut done_sent = false;
     loop {
+        let fresh = shard.drain_events();
+        if !fresh.is_empty()
+            && out_tx.send(EpochShardMsg::Events { lane, events: fresh }).await.is_err()
+        {
+            return;
+        }
         if !done_sent && shard.is_complete() {
             done_sent = true;
-            let done = EpochShardMsg::Done {
-                assets: shard.assets().to_vec(),
-                events: shard.events().to_vec(),
-            };
-            if out_tx.send(done).await.is_err() {
+            if out_tx.send(EpochShardMsg::Done).await.is_err() {
                 return;
             }
         }
-        *stats_cell.lock().expect("stats cell") = shard.stats();
+        stats_cell.publish(shard.stats());
         let Some(frame) = rx.recv().await else { return };
         let Ok((_, entries)) = split_verified_body(&frame.body) else {
             continue; // unreachable for verified bodies
@@ -508,6 +556,152 @@ async fn epoch_shard_worker<P>(
     }
 }
 
+/// Online cross-shard event merger: per-lane queues of shard-local
+/// events, merged into basket-ordered [`EpochEvent`]s as soon as *every*
+/// live lane has delivered an epoch. Each lane's stream is strictly
+/// epoch-ordered with every epoch present (skips included), so the queue
+/// fronts always describe the same epoch. The merge contract matches
+/// [`delphi_primitives::merge_epoch_shards`]: an epoch is `Agreed` only
+/// when every lane agreed it.
+struct EventMerger<O> {
+    /// Per-lane global asset ids (ascending), indexed by shard-local id.
+    maps: Vec<Vec<InstanceId>>,
+    queues: Vec<std::collections::VecDeque<EpochEvent<O>>>,
+    assets: u16,
+}
+
+impl<O: Clone> EventMerger<O> {
+    fn new(maps: Vec<Vec<InstanceId>>, assets: u16) -> EventMerger<O> {
+        let queues = maps.iter().map(|_| std::collections::VecDeque::new()).collect();
+        EventMerger { maps, queues, assets }
+    }
+
+    /// Queues `events` for `lane` and appends every epoch that just
+    /// became mergeable to `out`.
+    fn push(&mut self, lane: usize, events: Vec<EpochEvent<O>>, out: &mut Vec<EpochEvent<O>>) {
+        self.queues[lane].extend(events);
+        while self.queues.iter().all(|q| !q.is_empty()) {
+            let mut values: Vec<Option<O>> = vec![None; usize::from(self.assets)];
+            let mut skipped = false;
+            let mut epoch = None;
+            for (lane, queue) in self.queues.iter_mut().enumerate() {
+                let ev = queue.pop_front().expect("all lanes non-empty");
+                debug_assert!(
+                    epoch.is_none() || epoch == Some(ev.epoch),
+                    "lanes emit aligned epoch streams"
+                );
+                epoch = Some(ev.epoch);
+                match ev.outcome {
+                    EpochOutcome::Agreed(vs) => {
+                        for (local, v) in vs.into_iter().enumerate() {
+                            values[self.maps[lane][local].index()] = Some(v);
+                        }
+                    }
+                    EpochOutcome::Skipped => skipped = true,
+                }
+            }
+            let outcome = if skipped || values.iter().any(Option::is_none) {
+                EpochOutcome::Skipped
+            } else {
+                EpochOutcome::Agreed(values.into_iter().map(|v| v.expect("present")).collect())
+            };
+            out.push(EpochEvent { epoch: epoch.expect("at least one lane"), outcome });
+        }
+    }
+}
+
+/// Live observability probe for a running epoch service: cheap coherent
+/// snapshots of the epoch-layer counters (one [`EpochStatsCell`] per
+/// dispatch worker, merged) and the transport counters. Cloneable and
+/// detachable from the [`EpochServiceHandle`], so a stats route or a
+/// monitoring thread can read while the service runs — the consolidated
+/// accessor that replaces reaching into per-shard cells field by field.
+#[derive(Clone)]
+pub struct ServiceStats {
+    cells: Vec<Arc<EpochStatsCell>>,
+    counters: Arc<Counters>,
+}
+
+impl ServiceStats {
+    /// One coherent copy of the merged epoch-layer counters, readable at
+    /// any point of the run (during linger included).
+    pub fn epoch_snapshot(&self) -> EpochStats {
+        merge_epoch_stats(self.cells.iter().map(|c| c.stats_snapshot()))
+    }
+
+    /// The transport counters as of now.
+    pub fn net_snapshot(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+}
+
+/// A running epoch service, returned by [`run_epoch_service`]: a live,
+/// tailable view of the stream instead of only a collected vector.
+///
+/// - [`next_event`](EpochServiceHandle::next_event) yields merged,
+///   basket-ordered [`EpochEvent`]s as epochs resolve (a serving layer
+///   tails this without touching the protocol hot path);
+/// - [`stats`](EpochServiceHandle::stats) /
+///   [`stats_snapshot`](EpochServiceHandle::stats_snapshot) read live
+///   coherent counters;
+/// - [`finish`](EpochServiceHandle::finish) awaits the run and returns
+///   the complete stream plus final counters — the collected view the
+///   old API returned directly.
+pub struct EpochServiceHandle<O> {
+    events: Option<mpsc::UnboundedReceiver<EpochEvent<O>>>,
+    stats: ServiceStats,
+    task: tokio::task::JoinHandle<EpochRunResult<O>>,
+}
+
+/// What a finished epoch run resolves to: the complete ordered event
+/// stream, final epoch counters, and transport counters.
+pub type EpochRunResult<O> = Result<(Vec<EpochEvent<O>>, EpochStats, NetStats), NetError>;
+
+impl<O> EpochServiceHandle<O> {
+    /// The next merged epoch event, `None` once the stream is complete
+    /// (or after [`take_events`](EpochServiceHandle::take_events)).
+    pub async fn next_event(&mut self) -> Option<EpochEvent<O>> {
+        match self.events.as_mut() {
+            Some(rx) => rx.recv().await,
+            None => None,
+        }
+    }
+
+    /// Detaches the live event receiver (for a consumer task that owns
+    /// the tail while this handle is kept for `finish`).
+    pub fn take_events(&mut self) -> Option<mpsc::UnboundedReceiver<EpochEvent<O>>> {
+        self.events.take()
+    }
+
+    /// A cloneable live-stats probe (usable after `finish` consumed the
+    /// handle).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.clone()
+    }
+
+    /// One coherent copy of the merged epoch-layer counters, right now.
+    pub fn stats_snapshot(&self) -> EpochStats {
+        self.stats.epoch_snapshot()
+    }
+
+    /// Awaits the run: the complete ordered event stream, final epoch
+    /// counters, and transport counters.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if the stream is unresolved at the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service task itself panicked.
+    pub async fn finish(mut self) -> EpochRunResult<O> {
+        // Dropping the tail first keeps the service loop from buffering
+        // events nobody will read.
+        self.events = None;
+        self.task.await.unwrap_or_else(|e| panic!("epoch service task failed: {e}"))
+    }
+}
+
 /// Runs an epoch stream — a long-lived [`EpochMux`] pipeline — over one
 /// full TCP mesh until every epoch of the stream has resolved.
 ///
@@ -516,29 +710,41 @@ async fn epoch_shard_worker<P>(
 /// routes their traffic as epoch-addressed entries in authenticated v3
 /// frames, and the session layer flushes batches per
 /// [`RunOptions::flush`] — per step, or adaptively on size triggers plus
-/// this loop's flush timer. With [`RunOptions::recv_shards`] > 1 the
-/// pipeline is split by asset across dispatch workers
-/// ([`EpochMux::split_assets`]); the returned event stream is the merged,
-/// basket-ordered view ([`merge_epoch_shards`]). Entries addressed to
-/// epochs the pipeline has already garbage-collected are dropped and
-/// surface in [`NetStats::late_entries`].
+/// the service loop's flush timer. With [`RunOptions::recv_shards`] > 1
+/// the pipeline is split by asset across dispatch workers
+/// ([`EpochMux::split_assets`]); the event stream is the merged,
+/// basket-ordered view. Entries addressed to epochs the pipeline has
+/// already garbage-collected are dropped and surface in
+/// [`NetStats::late_entries`].
 ///
-/// Returns the complete ordered event stream and the transport counters.
+/// Config validation and the listener bind happen before this returns;
+/// the run itself proceeds in a background task owned by the returned
+/// [`EpochServiceHandle`]. Tail events live via
+/// [`EpochServiceHandle::next_event`], read live counters via
+/// [`EpochServiceHandle::stats`], and collect the completed stream via
+/// [`EpochServiceHandle::finish`]:
+///
+/// ```ignore
+/// let mut handle = run_epoch_service(mux, keychain, addrs, opts).await?;
+/// while let Some(event) = handle.next_event().await { /* serve it */ }
+/// let (events, epoch_stats, net_stats) = handle.finish().await?;
+/// ```
 ///
 /// # Errors
 ///
-/// Returns [`NetError::Config`] on a mismatched address list or identity,
-/// [`NetError::Io`] if the listener cannot be bound, and
-/// [`NetError::Timeout`] if the stream is unresolved at the deadline.
+/// Returns [`NetError::Config`] on a mismatched address list or identity
+/// and [`NetError::Io`] if the listener cannot be bound;
+/// [`NetError::Timeout`] (the stream unresolved at the deadline) arrives
+/// through [`EpochServiceHandle::finish`].
 pub async fn run_epoch_service<P>(
     mux: EpochMux<P>,
     keychain: Keychain,
     addrs: Vec<SocketAddr>,
     opts: RunOptions,
-) -> Result<(Vec<EpochEvent<P::Output>>, EpochStats, NetStats), NetError>
+) -> Result<EpochServiceHandle<P::Output>, NetError>
 where
     P: Protocol + Send + 'static,
-    P::Output: Send,
+    P::Output: Clone + Send,
 {
     let me = keychain.node_id();
     let n = keychain.n();
@@ -575,17 +781,20 @@ where
     );
 
     // Split the pipeline across the dispatch workers (a 1-shard run is a
-    // single worker owning the whole basket).
+    // single worker owning the whole basket), assigning each live shard a
+    // merge lane in shard order.
     let total_assets = mux.config().assets;
-    let mut slots: Vec<Option<EpochShard<P>>> = (0..shards).map(|_| None).collect();
+    let mut slots: Vec<Option<(usize, EpochShard<P>)>> = (0..shards).map(|_| None).collect();
+    let mut maps: Vec<Vec<InstanceId>> = Vec::new();
     for shard in mux.split_assets(shards) {
         let index = shard.shard_index();
-        slots[index] = Some(shard);
+        maps.push(shard.assets().to_vec());
+        slots[index] = Some((maps.len() - 1, shard));
     }
     let expected_done = slots.iter().filter(|s| s.is_some()).count();
     let (out_tx, mut out_rx) = mpsc::channel::<EpochShardMsg<P::Output>>(1024);
-    let stats_cells: Vec<Arc<std::sync::Mutex<EpochStats>>> =
-        (0..shards).map(|_| Arc::new(std::sync::Mutex::new(EpochStats::default()))).collect();
+    let stats_cells: Vec<Arc<EpochStatsCell>> =
+        (0..shards).map(|_| Arc::new(EpochStatsCell::new())).collect();
     let shard_tasks: Vec<tokio::task::JoinHandle<()>> = in_rxs
         .drain(..)
         .zip(slots)
@@ -596,94 +805,116 @@ where
         .collect();
     drop(out_tx);
 
-    let abort_all = |sessions: SessionSet, shard_tasks: &[tokio::task::JoinHandle<()>]| {
-        accept_task.abort();
-        for t in shard_tasks {
-            t.abort();
-        }
-        sessions.abort();
-    };
+    let stats = ServiceStats { cells: stats_cells.clone(), counters: counters.clone() };
+    let (event_tx, event_rx) = mpsc::unbounded_channel::<EpochEvent<P::Output>>();
+    let mut merger = EventMerger::new(maps, total_assets);
 
-    let deadline = tokio::time::Instant::now() + opts.deadline;
-    let mut parts: Vec<ShardPart<P::Output>> = Vec::new();
-    let mut flush_at: Option<tokio::time::Instant> = None;
-    // Start bursts must not wait for traffic (or for the adaptive flush
-    // timer): the first step from every live worker flushes immediately.
-    let mut start_flushes = expected_done;
-    while parts.len() < expected_done {
-        let wake = match flush_at {
-            Some(f) if f < deadline => f,
-            _ => deadline,
+    let task = tokio::spawn(async move {
+        let abort_all = |sessions: SessionSet, shard_tasks: &[tokio::task::JoinHandle<()>]| {
+            accept_task.abort();
+            for t in shard_tasks {
+                t.abort();
+            }
+            sessions.abort();
         };
-        let msg = tokio::select! {
-            m = out_rx.recv() => Some(m),
-            _ = tokio::time::sleep_until(wake) => None,
-        };
-        match msg {
-            Some(Some(EpochShardMsg::Step(bursts))) => {
-                sessions.enqueue_epoch_step(bursts);
-                if start_flushes > 0 {
-                    start_flushes -= 1;
+
+        let deadline = tokio::time::Instant::now() + opts.deadline;
+        let mut events: Vec<EpochEvent<P::Output>> = Vec::new();
+        let mut done_count = 0usize;
+        let mut flush_at: Option<tokio::time::Instant> = None;
+        // Start bursts must not wait for traffic (or for the adaptive
+        // flush timer): the first step from every live worker flushes
+        // immediately.
+        let mut start_flushes = expected_done;
+        while done_count < expected_done {
+            let wake = match flush_at {
+                Some(f) if f < deadline => f,
+                _ => deadline,
+            };
+            let msg = tokio::select! {
+                m = out_rx.recv() => Some(m),
+                _ = tokio::time::sleep_until(wake) => None,
+            };
+            match msg {
+                Some(Some(EpochShardMsg::Step(bursts))) => {
+                    sessions.enqueue_epoch_step(bursts);
+                    if start_flushes > 0 {
+                        start_flushes -= 1;
+                        sessions.flush_epochs();
+                    } else if let (Some(delay), true, None) =
+                        (flush_delay, sessions.has_pending_epochs(), flush_at)
+                    {
+                        flush_at = Some(tokio::time::Instant::now() + delay);
+                    }
+                }
+                Some(Some(EpochShardMsg::Events { lane, events: fresh })) => {
+                    let ready_from = events.len();
+                    merger.push(lane, fresh, &mut events);
+                    for ev in &events[ready_from..] {
+                        // A dropped tail is fine: finish() detaches it.
+                        let _ = event_tx.send(ev.clone());
+                    }
+                }
+                Some(Some(EpochShardMsg::Done)) => {
+                    done_count += 1;
+                }
+                Some(None) => {
+                    // Every worker exited (the ingress died): no more
+                    // traffic can ever arrive — fail now rather than
+                    // spinning until the deadline.
+                    abort_all(sessions, &shard_tasks);
+                    return Err(NetError::Timeout);
+                }
+                None if tokio::time::Instant::now() >= deadline => {
+                    abort_all(sessions, &shard_tasks);
+                    return Err(NetError::Timeout);
+                }
+                None => {
+                    // Flush timer fired: release every pending batch.
                     sessions.flush_epochs();
-                } else if let (Some(delay), true, None) =
-                    (flush_delay, sessions.has_pending_epochs(), flush_at)
-                {
-                    flush_at = Some(tokio::time::Instant::now() + delay);
+                    flush_at = None;
                 }
             }
-            Some(Some(EpochShardMsg::Done { assets, events })) => {
-                parts.push((assets, events));
-            }
-            Some(None) => {
-                // Every worker exited (the ingress died): no more traffic
-                // can ever arrive — fail now rather than spinning until
-                // the deadline.
-                abort_all(sessions, &shard_tasks);
-                return Err(NetError::Timeout);
-            }
-            None if tokio::time::Instant::now() >= deadline => {
-                abort_all(sessions, &shard_tasks);
-                return Err(NetError::Timeout);
-            }
-            None => {
-                // Flush timer fired: release every pending batch.
-                sessions.flush_epochs();
-                flush_at = None;
+        }
+        sessions.flush_epochs();
+        // Every worker shipped its whole stream before Done, so the
+        // merged view is complete; close the live tail at that boundary.
+        drop(event_tx);
+
+        // Linger: keep serving peers still working through the stream's
+        // tail.
+        let linger_end = tokio::time::Instant::now() + opts.linger;
+        loop {
+            let msg = tokio::select! {
+                m = out_rx.recv() => m,
+                _ = tokio::time::sleep_until(linger_end) => None,
+            };
+            match msg {
+                Some(EpochShardMsg::Step(bursts)) => {
+                    sessions.enqueue_epoch_step(bursts);
+                    sessions.flush_epochs();
+                }
+                Some(EpochShardMsg::Events { .. }) | Some(EpochShardMsg::Done) => {}
+                None => break,
             }
         }
-    }
-    sessions.flush_epochs();
-    let events = merge_epoch_shards(parts, total_assets);
 
-    // Linger: keep serving peers still working through the stream's tail.
-    let linger_end = tokio::time::Instant::now() + opts.linger;
-    loop {
-        let msg = tokio::select! {
-            m = out_rx.recv() => m,
-            _ = tokio::time::sleep_until(linger_end) => None,
-        };
-        match msg {
-            Some(EpochShardMsg::Step(bursts)) => {
-                sessions.enqueue_epoch_step(bursts);
-                sessions.flush_epochs();
-            }
-            Some(EpochShardMsg::Done { .. }) => {}
-            None => break,
+        for t in &shard_tasks {
+            t.abort();
         }
-    }
+        // Final counters come from the live cells, so late entries served
+        // during the linger window (traffic for already-GC'd epochs) are
+        // still counted — events were final at completion, counters were
+        // not.
+        let epoch_stats = merge_epoch_stats(stats_cells.iter().map(|c| c.stats_snapshot()));
+        counters.late_entries.fetch_add(epoch_stats.late_entries, Ordering::Relaxed);
+        sessions.flush_epochs();
+        sessions.shutdown(opts.drain_timeout).await;
+        accept_task.abort();
+        Ok((events, epoch_stats, counters.snapshot()))
+    });
 
-    for t in &shard_tasks {
-        t.abort();
-    }
-    // Final counters come from the live cells, so late entries served
-    // during the linger window (traffic for already-GC'd epochs) are
-    // still counted — events were final at completion, counters were not.
-    let epoch_stats = merge_epoch_stats(stats_cells.iter().map(|c| *c.lock().expect("stats cell")));
-    counters.late_entries.fetch_add(epoch_stats.late_entries, Ordering::Relaxed);
-    sessions.flush_epochs();
-    sessions.shutdown(opts.drain_timeout).await;
-    accept_task.abort();
-    Ok((events, epoch_stats, counters.snapshot()))
+    Ok(EpochServiceHandle { events: Some(event_rx), stats, task })
 }
 
 #[cfg(test)]
@@ -1203,7 +1434,7 @@ mod tests {
             let addrs = addrs.clone();
             let opts = RunOptions { flush, recv_shards, ..RunOptions::default() };
             handles.push(tokio::spawn(async move {
-                run_epoch_service(mux, keychain, addrs, opts).await
+                run_epoch_service(mux, keychain, addrs, opts).await?.finish().await
             }));
         }
         let mut all_stats = Vec::new();
@@ -1295,6 +1526,51 @@ mod tests {
         );
     }
 
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn live_tail_matches_the_finished_stream() {
+        use delphi_primitives::EpochConfig;
+        // One node tails its own stream while it runs; the tail must be
+        // the finished stream, event for event, and must end (None) as
+        // soon as the stream completes — not when the linger ends.
+        let n = 3;
+        let epochs = 6u32;
+        let addrs = free_addrs(n).await;
+        let mut peers = Vec::new();
+        for id in NodeId::all(n).skip(1) {
+            let keychain = delphi_crypto::Keychain::derive(b"live-tail", id, n);
+            let mux = epoch_mux(id, n, EpochConfig::new(epochs, 2, 2, 4, 1));
+            let addrs = addrs.clone();
+            peers.push(tokio::spawn(async move {
+                run_epoch_service(mux, keychain, addrs, RunOptions::default()).await?.finish().await
+            }));
+        }
+        let keychain = delphi_crypto::Keychain::derive(b"live-tail", NodeId(0), n);
+        let mux = epoch_mux(NodeId(0), n, EpochConfig::new(epochs, 2, 2, 4, 1));
+        let mut handle = run_epoch_service(mux, keychain, addrs, RunOptions::default())
+            .await
+            .expect("service starts");
+        // A detached stats probe stays readable while the stream runs and
+        // after it finishes.
+        let probe = handle.stats();
+        let mut tail = Vec::new();
+        while let Some(event) = handle.next_event().await {
+            // Mid-stream snapshots are coherent: sharded 2-asset basket
+            // under a window of 4 — never more resident, never stale.
+            let mid = probe.epoch_snapshot();
+            assert!(mid.peak_resident <= 4, "torn or wild snapshot: {mid:?}");
+            assert_eq!(mid.stale_epochs, 0);
+            tail.push(event);
+        }
+        let (events, epoch_stats, _) = handle.finish().await.expect("stream finished");
+        assert_eq!(tail, events, "the live tail is the finished stream");
+        assert_eq!(tail.len(), epochs as usize);
+        assert_eq!(probe.epoch_snapshot(), epoch_stats, "probe converges to the final stats");
+        assert!(probe.net_snapshot().recv_frames > 0);
+        for p in peers {
+            p.await.unwrap().expect("peer stream finished");
+        }
+    }
+
     #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
     async fn late_frames_to_evicted_epochs_counted_in_net_stats() {
         use crate::frame::encode_epoch_frame;
@@ -1313,7 +1589,7 @@ mod tests {
                 drain_timeout: Duration::from_millis(500),
                 ..RunOptions::default()
             };
-            run_epoch_service(mux, kc0, service_addrs, opts).await
+            run_epoch_service(mux, kc0, service_addrs, opts).await?.finish().await
         });
 
         // The peer accepts node 0's outbound connection and discards its
@@ -1365,14 +1641,16 @@ mod tests {
         use delphi_primitives::EpochConfig;
         let keychain = delphi_crypto::Keychain::derive(b"x", NodeId(0), 4);
         let mux = epoch_mux(NodeId(0), 2, EpochConfig::new(1, 1, 1, 1, 0));
-        let err = run_epoch_service(
+        let Err(err) = run_epoch_service(
             mux,
             keychain,
             vec!["127.0.0.1:1".parse().unwrap(); 4],
             RunOptions::default(),
         )
         .await
-        .unwrap_err();
+        else {
+            panic!("identity mismatch must be rejected before the stream starts");
+        };
         assert!(matches!(err, NetError::Config(_)), "{err}");
     }
 

@@ -50,6 +50,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::{BufMut, Bytes, BytesMut};
@@ -468,6 +469,72 @@ pub struct EpochStats {
     pub stale_epochs: u64,
     /// Most epochs resident in memory at once (live-window bound check).
     pub peak_resident: usize,
+}
+
+/// A single-writer, many-reader cell for live [`EpochStats`] publication —
+/// a seqlock built from plain atomics (no locks on either side, safe
+/// Rust only).
+///
+/// The sharded epoch workers each own one cell and
+/// [`publish`](EpochStatsCell::publish) after every frame; any number of
+/// observers (a stats route, a monitoring thread, the service handle) call
+/// [`stats_snapshot`](EpochStatsCell::stats_snapshot) and always see one
+/// *coherent* published value — never a mix of two publications — because
+/// the sequence number is bumped to odd before the fields are written and
+/// back to even after, and a reader retries until it observes the same
+/// even sequence on both sides of its field reads.
+#[derive(Debug, Default)]
+pub struct EpochStatsCell {
+    seq: AtomicU64,
+    late_entries: AtomicU64,
+    early_dropped: AtomicU64,
+    replayed_entries: AtomicU64,
+    stale_epochs: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+impl EpochStatsCell {
+    /// An empty cell (all counters zero).
+    pub fn new() -> EpochStatsCell {
+        EpochStatsCell::default()
+    }
+
+    /// Publishes a new coherent value. Single writer: the owning shard
+    /// worker. (Two concurrent writers would corrupt the seqlock's
+    /// odd/even discipline; the type is not built for that.)
+    pub fn publish(&self, stats: EpochStats) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::SeqCst); // odd: write in progress
+        self.late_entries.store(stats.late_entries, Ordering::SeqCst);
+        self.early_dropped.store(stats.early_dropped, Ordering::SeqCst);
+        self.replayed_entries.store(stats.replayed_entries, Ordering::SeqCst);
+        self.stale_epochs.store(stats.stale_epochs, Ordering::SeqCst);
+        self.peak_resident.store(stats.peak_resident as u64, Ordering::SeqCst);
+        self.seq.store(s.wrapping_add(2), Ordering::SeqCst); // even: consistent
+    }
+
+    /// One coherent copy of the latest published value. Lock-free for the
+    /// writer; the reader spins only while a publication is mid-flight.
+    pub fn stats_snapshot(&self) -> EpochStats {
+        loop {
+            let before = self.seq.load(Ordering::SeqCst);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = EpochStats {
+                late_entries: self.late_entries.load(Ordering::SeqCst),
+                early_dropped: self.early_dropped.load(Ordering::SeqCst),
+                replayed_entries: self.replayed_entries.load(Ordering::SeqCst),
+                stale_epochs: self.stale_epochs.load(Ordering::SeqCst),
+                peak_resident: self.peak_resident.load(Ordering::SeqCst) as usize,
+            };
+            if self.seq.load(Ordering::SeqCst) == before {
+                return stats;
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// How one epoch of the stream resolved.
@@ -964,6 +1031,14 @@ impl<P: Protocol> EpochShard<P> {
         self.mux.events()
     }
 
+    /// Drains the events emitted since the last drain (shard-local asset
+    /// order; translate through [`EpochShard::assets`] to recover global
+    /// ids). This is what lets a driver tail a shard's stream live
+    /// instead of collecting everything at the end.
+    pub fn drain_events(&mut self) -> Vec<EpochEvent<P::Output>> {
+        self.mux.drain_events()
+    }
+
     /// Whether this shard owns `asset`'s traffic.
     pub fn owns(&self, asset: InstanceId) -> bool {
         self.assets.binary_search(&asset).is_ok()
@@ -1080,7 +1155,7 @@ pub fn merge_epoch_stats(stats: impl IntoIterator<Item = EpochStats>) -> EpochSt
 /// bound the delay. The output is the complete ordered event stream, once
 /// every epoch has resolved.
 ///
-/// With [`EpochProtocol::new_sharded`] the sender additionally flushes one
+/// With [`EpochProtocol::recv_shards`] the sender additionally flushes one
 /// batch per *(destination, receive shard)* — every entry of a batch
 /// shares one [`AgreementId::shard`] class, and the envelope is tagged
 /// with it — so a driver with a per-shard CPU model (the simulator's
@@ -1146,6 +1221,11 @@ impl<K> PendingBatchesBy<K> {
     /// Number of destinations.
     pub fn dests(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The flush policy this accumulator runs under.
+    pub fn policy(&self) -> &FlushPolicy {
+        &self.policy
     }
 
     /// Appends entries for `dest`, returning `true` when the destination
@@ -1235,34 +1315,41 @@ impl<P: Protocol> fmt::Debug for EpochProtocol<P> {
 }
 
 impl<P: Protocol> EpochProtocol<P> {
-    /// Wraps `mux` with the given flush policy (unsharded receive).
+    /// Wraps `mux` with the given flush policy (unsharded receive). Chain
+    /// [`EpochProtocol::recv_shards`] before the first step for the
+    /// sharded-receive sender half; there is deliberately no second
+    /// constructor.
     pub fn new(mux: EpochMux<P>, flush: FlushPolicy) -> EpochProtocol<P> {
-        EpochProtocol::new_sharded(mux, flush, 1)
-    }
-
-    /// Wraps `mux` flushing one batch per `(destination, receive shard)`,
-    /// with every envelope tagged by its [`AgreementId::shard`] class —
-    /// the sender half of a `recv_shards`-way sharded receive path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `recv_shards` is zero.
-    pub fn new_sharded(
-        mux: EpochMux<P>,
-        flush: FlushPolicy,
-        recv_shards: usize,
-    ) -> EpochProtocol<P> {
-        assert!(recv_shards >= 1, "need at least one receive shard");
         let n = mux.n();
         EpochProtocol {
             mux,
-            pending: PendingBatches::new(n * recv_shards, flush),
-            recv_shards,
+            pending: PendingBatches::new(n, flush),
+            recv_shards: 1,
             route_scratch: Vec::new(),
-            shard_scratch: std::iter::repeat_with(Vec::new).take(recv_shards).collect(),
+            shard_scratch: vec![Vec::new()],
             sent_batches: 0,
             sent_entries: 0,
         }
+    }
+
+    /// Builder-style option: flush one batch per `(destination, receive
+    /// shard)`, with every envelope tagged by its [`AgreementId::shard`]
+    /// class — the sender half of a `recv_shards`-way sharded receive
+    /// path. Call before the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recv_shards` is zero, or if entries are already pending
+    /// (the slot layout cannot be rewired mid-stream).
+    pub fn recv_shards(mut self, recv_shards: usize) -> EpochProtocol<P> {
+        assert!(recv_shards >= 1, "need at least one receive shard");
+        assert!(!self.pending.has_pending(), "recv_shards must be set before the first step");
+        let n = self.mux.n();
+        let policy = *self.pending.policy();
+        self.pending = PendingBatches::new(n * recv_shards, policy);
+        self.recv_shards = recv_shards;
+        self.shard_scratch = std::iter::repeat_with(Vec::new).take(recv_shards).collect();
+        self
     }
 
     /// The underlying pipeline.
@@ -1443,6 +1530,41 @@ mod tests {
         assert_eq!(decode_epoch_batch(&trailing), Err(WireError::TrailingBytes));
         // Huge declared count with no entries must fail fast.
         assert_eq!(decode_epoch_batch(&[0xff, 0xff]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn stats_cell_snapshots_are_coherent_under_concurrent_publication() {
+        // The writer publishes values whose fields are all equal; a torn
+        // read would surface as a snapshot mixing two publications.
+        let cell = std::sync::Arc::new(EpochStatsCell::new());
+        let writer = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    cell.publish(EpochStats {
+                        late_entries: i,
+                        early_dropped: i,
+                        replayed_entries: i,
+                        stale_epochs: i,
+                        peak_resident: i as usize,
+                    });
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..20_000 {
+            let s = cell.stats_snapshot();
+            assert_eq!(
+                (s.late_entries, s.early_dropped, s.replayed_entries, s.stale_epochs),
+                (s.late_entries, s.late_entries, s.late_entries, s.late_entries),
+                "torn snapshot: {s:?}"
+            );
+            assert_eq!(s.peak_resident as u64, s.late_entries, "torn snapshot: {s:?}");
+            assert!(s.late_entries >= last, "publications observed out of order");
+            last = s.late_entries;
+        }
+        writer.join().expect("writer");
+        assert_eq!(cell.stats_snapshot().late_entries, 19_999);
     }
 
     /// One-round gossip: broadcasts once, outputs after hearing `n - 1`
@@ -1856,11 +1978,11 @@ mod tests {
         // classes and matching envelope tags.
         let shards = 2usize;
         let cfg = EpochConfig::new(4, 4, 2, 4, 1);
-        let mut node = EpochProtocol::new_sharded(
+        let mut node = EpochProtocol::new(
             EpochMux::new(cfg, NodeId(0), 3, gossip_factory(NodeId(0), 3)),
             FlushPolicy::PerStep,
-            shards,
-        );
+        )
+        .recv_shards(shards);
         let envs = node.start();
         assert!(!envs.is_empty());
         for env in &envs {
@@ -1887,11 +2009,11 @@ mod tests {
         let run = |shards: usize| {
             let mut nodes: Vec<EpochProtocol<Gossip>> = NodeId::all(3)
                 .map(|id| {
-                    EpochProtocol::new_sharded(
+                    EpochProtocol::new(
                         EpochMux::new(cfg, id, 3, gossip_factory(id, 3)),
                         FlushPolicy::PerStep,
-                        shards,
                     )
+                    .recv_shards(shards)
                 })
                 .collect();
             run_mesh(&mut nodes);

@@ -1,4 +1,11 @@
 //! Umbrella crate re-exporting the full Delphi reproduction workspace.
+//!
+//! The blessed public surface for building a node lives at the top
+//! level: [`ServiceBuilder`] assembles pipeline, transport, and serving
+//! layer in one chain; [`EpochEvent`] is the stream element every layer
+//! speaks; [`FeedState`] is the read-side snapshot cache. Everything
+//! else stays reachable through the per-crate modules.
+pub use delphi_api as api;
 pub use delphi_baselines as baselines;
 pub use delphi_core as core;
 pub use delphi_crypto as crypto;
@@ -8,3 +15,6 @@ pub use delphi_primitives as primitives;
 pub use delphi_sim as sim;
 pub use delphi_stats as stats;
 pub use delphi_workloads as workloads;
+
+pub use delphi_api::{FeedState, OracleHandle, ServiceBuilder};
+pub use delphi_primitives::{EpochEvent, EpochOutcome};

@@ -19,9 +19,10 @@ use std::time::Duration;
 use delphi::core::{DelphiConfig, DelphiNode, OracleService};
 use delphi::crypto::Keychain;
 use delphi::net::{encode_frame, run_epoch_service, run_node, RunOptions};
-use delphi::primitives::{EpochConfig, EpochOutcome, FlushPolicy, NodeId};
+use delphi::primitives::{EpochOutcome, NodeId};
 use delphi::sim::adversary::ByteMutator;
 use delphi::workloads::{EpochFeed, MultiAssetConfig};
+use delphi::ServiceBuilder;
 use tokio::io::AsyncWriteExt;
 use tokio::net::{TcpListener, TcpStream};
 
@@ -133,13 +134,12 @@ async fn honest_nodes_agree_despite_tamperer_and_forged_frames() {
 }
 
 fn oracle_service(cfg: &DelphiConfig, feed: &EpochFeed, id: NodeId, epochs: u32) -> OracleService {
-    OracleService::new(
-        cfg.clone(),
-        id,
-        EpochConfig::new(epochs, feed.assets() as u16, 2, 4, cfg.t()),
-        FlushPolicy::PerStep,
-        delphi_bench::feed_price_source(feed.clone(), id, cfg.n()),
-    )
+    ServiceBuilder::new(cfg.clone(), id)
+        .epochs(epochs)
+        .assets(feed.assets() as u16)
+        .pipeline_depth(2)
+        .window(4)
+        .build_service(delphi_bench::feed_price_source(feed.clone(), id, cfg.n()))
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -169,8 +169,9 @@ async fn crashed_node_rejoining_mid_stream_does_not_stall_honest_epochs() {
             linger: Duration::from_secs(1),
             ..RunOptions::default()
         };
-        honest
-            .push(tokio::spawn(async move { run_epoch_service(mux, keychain, addrs, opts).await }));
+        honest.push(tokio::spawn(async move {
+            run_epoch_service(mux, keychain, addrs, opts).await?.finish().await
+        }));
     }
 
     // The attacker floods honest listeners with forged frames mid-stream.
@@ -191,7 +192,7 @@ async fn crashed_node_rejoining_mid_stream_does_not_stall_honest_epochs() {
                 linger: Duration::ZERO,
                 ..RunOptions::default()
             };
-            run_epoch_service(mux, keychain, addrs, opts).await
+            run_epoch_service(mux, keychain, addrs, opts).await?.finish().await
         })
     };
     for f in forgers {

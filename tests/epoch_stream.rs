@@ -8,11 +8,10 @@
 //! epochs and rejoins mid-stream must not stall honest progress.
 
 use delphi::core::{DelphiConfig, OracleService};
-use delphi::primitives::{
-    Envelope, EpochConfig, EpochEvent, EpochId, EpochOutcome, FlushPolicy, NodeId, Protocol,
-};
+use delphi::primitives::{Envelope, EpochEvent, EpochId, EpochOutcome, NodeId, Protocol};
 use delphi::sim::{Simulation, StopReason, Topology};
 use delphi::workloads::{EpochFeed, MultiAssetConfig};
+use delphi::ServiceBuilder;
 
 fn oracle_cfg(n: usize) -> DelphiConfig {
     DelphiConfig::builder(n)
@@ -33,13 +32,12 @@ fn service(
     window: usize,
 ) -> OracleService {
     let n = cfg.n();
-    OracleService::new(
-        cfg.clone(),
-        id,
-        EpochConfig::new(epochs, feed.assets() as u16, depth, window, cfg.t()),
-        FlushPolicy::PerStep,
-        delphi_bench::feed_price_source(feed.clone(), id, n),
-    )
+    ServiceBuilder::new(cfg.clone(), id)
+        .epochs(epochs)
+        .assets(feed.assets() as u16)
+        .pipeline_depth(depth)
+        .window(window)
+        .build_service(delphi_bench::feed_price_source(feed.clone(), id, n))
 }
 
 #[test]

@@ -277,6 +277,10 @@ pub mod io {
     pub trait AsyncReadExt {
         /// Reads exactly `buf.len()` bytes.
         fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>>;
+
+        /// Reads up to `buf.len()` bytes, returning how many arrived
+        /// (0 at EOF) — the partial read an HTTP-style parser needs.
+        fn read(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>>;
     }
 
     /// Write methods. Same eager semantics as [`AsyncReadExt`].
@@ -289,6 +293,10 @@ pub mod io {
         fn read_exact(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>> {
             ready(self.inner.read_exact(buf).map(|()| buf.len()))
         }
+
+        fn read(&mut self, buf: &mut [u8]) -> Ready<std::io::Result<usize>> {
+            ready(self.inner.read(buf))
+        }
     }
 
     impl AsyncWriteExt for crate::net::TcpStream {
@@ -299,14 +307,96 @@ pub mod io {
 }
 
 /// Timers: genuinely pollable, so they compose with [`select!`].
+///
+/// All sleeps share one timer thread holding a deadline min-heap. The
+/// obvious thread-per-sleep stub falls over in practice: event loops
+/// re-create a far-deadline sleep every `select!` iteration, and a
+/// thread that parks until that deadline outlives the loop iteration by
+/// minutes — a busy multi-node process accumulates tens of thousands of
+/// parked threads and dies on `EAGAIN`. A heap entry costs bytes instead.
 pub mod time {
+    use std::cmp::Ordering as CmpOrdering;
+    use std::collections::BinaryHeap;
     use std::future::Future;
     use std::pin::Pin;
-    use std::sync::{Arc, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
     use std::task::{Context, Poll, Waker};
     use std::time::Duration;
 
     pub use std::time::Instant;
+
+    /// One registered sleep: wake whoever is in `slot` at `deadline`.
+    struct TimerEntry {
+        deadline: Instant,
+        slot: Arc<Mutex<Option<Waker>>>,
+    }
+
+    // `BinaryHeap` is a max-heap; invert the ordering so `peek` is the
+    // earliest deadline.
+    impl PartialEq for TimerEntry {
+        fn eq(&self, other: &TimerEntry) -> bool {
+            self.deadline == other.deadline
+        }
+    }
+    impl Eq for TimerEntry {}
+    impl PartialOrd for TimerEntry {
+        fn partial_cmp(&self, other: &TimerEntry) -> Option<CmpOrdering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for TimerEntry {
+        fn cmp(&self, other: &TimerEntry) -> CmpOrdering {
+            other.deadline.cmp(&self.deadline)
+        }
+    }
+
+    struct TimerShared {
+        heap: Mutex<BinaryHeap<TimerEntry>>,
+        tick: Condvar,
+    }
+
+    fn timer() -> &'static TimerShared {
+        static TIMER: OnceLock<&'static TimerShared> = OnceLock::new();
+        TIMER.get_or_init(|| {
+            let shared: &'static TimerShared = Box::leak(Box::new(TimerShared {
+                heap: Mutex::new(BinaryHeap::new()),
+                tick: Condvar::new(),
+            }));
+            std::thread::Builder::new()
+                .name("tokio-stub-timer".into())
+                .spawn(move || loop {
+                    let mut heap = shared.heap.lock().unwrap();
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|e| e.deadline <= now) {
+                        let entry = heap.pop().unwrap();
+                        let woken = entry.slot.lock().unwrap().take();
+                        if let Some(w) = woken {
+                            w.wake();
+                        }
+                    }
+                    let _unused = match heap.peek() {
+                        Some(next) => {
+                            let wait = next.deadline.saturating_duration_since(now);
+                            shared.tick.wait_timeout(heap, wait).unwrap().0
+                        }
+                        None => shared.tick.wait(heap).unwrap(),
+                    };
+                })
+                .expect("spawn timer thread");
+            shared
+        })
+    }
+
+    fn register(deadline: Instant, slot: Arc<Mutex<Option<Waker>>>) {
+        let shared = timer();
+        let mut heap = shared.heap.lock().unwrap();
+        let earliest_changed = heap.peek().is_none_or(|e| deadline < e.deadline);
+        heap.push(TimerEntry { deadline, slot });
+        drop(heap);
+        if earliest_changed {
+            shared.tick.notify_one();
+        }
+    }
 
     /// Future returned by [`sleep`]/[`sleep_until`].
     pub struct Sleep {
@@ -336,17 +426,7 @@ pub mod time {
             *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
             if !self.timer_started {
                 self.timer_started = true;
-                let slot = self.waker_slot.clone();
-                let remaining = self.deadline - now;
-                std::thread::Builder::new()
-                    .name("tokio-stub-timer".into())
-                    .spawn(move || {
-                        std::thread::sleep(remaining);
-                        if let Some(w) = slot.lock().unwrap().take() {
-                            w.wake();
-                        }
-                    })
-                    .expect("spawn timer thread");
+                register(self.deadline, self.waker_slot.clone());
             }
             Poll::Pending
         }
@@ -761,6 +841,33 @@ mod tests {
             let mut echo = [0u8; 5];
             client.read_exact(&mut echo).await.unwrap();
             assert_eq!(&echo, b"delph");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn tcp_partial_read_returns_available_bytes_and_eof() {
+        use crate::io::{AsyncReadExt, AsyncWriteExt};
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                sock.write_all(b"abc").await.unwrap();
+                // Dropping the socket closes it: the client sees EOF.
+            });
+            let mut client = crate::net::TcpStream::connect(addr).await.unwrap();
+            let mut buf = [0u8; 16];
+            let mut got = Vec::new();
+            loop {
+                let n = client.read(&mut buf).await.unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got, b"abc");
             server.await.unwrap();
         });
     }
