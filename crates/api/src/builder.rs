@@ -114,6 +114,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// Per-peer outbound writer queue capacity, in frames (see
+    /// `RunOptions::egress_capacity`): frames beyond it are dropped and
+    /// counted rather than buffered without bound.
+    pub fn egress_capacity(mut self, capacity: usize) -> ServiceBuilder {
+        self.opts = self.opts.egress_capacity(capacity);
+        self
+    }
+
     /// Whether to batch protocol steps into shared frames.
     pub fn batching(mut self, batching: bool) -> ServiceBuilder {
         self.opts = self.opts.batching(batching);

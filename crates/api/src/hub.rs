@@ -25,6 +25,15 @@ use delphi_primitives::InstanceId;
 
 use crate::feed::FeedUpdate;
 
+/// Locks `m`, recovering the inner data if a previous holder panicked:
+/// hub state is a plain queue + flag, valid at every await-free step, so
+/// the worst a poisoned lock can reflect is one missed or duplicate
+/// wake. Recovering keeps one panicking reader thread from cascading
+/// panics into the publisher and every other subscriber.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Why a [`Subscription::recv`] returned no update.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecvError {
@@ -73,7 +82,7 @@ impl Subscription {
     /// [`RecvError::Lagged`] after a kick, [`RecvError::Closed`] once the
     /// feed ended.
     pub fn recv(&self) -> Result<Arc<FeedUpdate>, RecvError> {
-        let mut queue = self.shared.queue.lock().expect("subscription poisoned");
+        let mut queue = lock_recover(&self.shared.queue);
         loop {
             if let Some(update) = queue.items.pop_front() {
                 return Ok(update);
@@ -82,7 +91,11 @@ impl Subscription {
                 SubState::Lagged => return Err(RecvError::Lagged),
                 SubState::Closed => return Err(RecvError::Closed),
                 SubState::Live => {
-                    queue = self.shared.ready.wait(queue).expect("subscription poisoned");
+                    queue = self
+                        .shared
+                        .ready
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             }
         }
@@ -98,7 +111,7 @@ impl Subscription {
     /// [`RecvError::Timeout`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Arc<FeedUpdate>, RecvError> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut queue = self.shared.queue.lock().expect("subscription poisoned");
+        let mut queue = lock_recover(&self.shared.queue);
         loop {
             if let Some(update) = queue.items.pop_front() {
                 return Ok(update);
@@ -111,8 +124,11 @@ impl Subscription {
                     else {
                         return Err(RecvError::Timeout);
                     };
-                    let (guard, result) =
-                        self.shared.ready.wait_timeout(queue, left).expect("subscription poisoned");
+                    let (guard, result) = self
+                        .shared
+                        .ready
+                        .wait_timeout(queue, left)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     queue = guard;
                     if result.timed_out() && queue.items.is_empty() && queue.state == SubState::Live
                     {
@@ -128,7 +144,7 @@ impl Drop for Subscription {
     fn drop(&mut self) {
         // Mark closed so the hub's next broadcast reaps the slot instead
         // of filling a queue nobody drains.
-        self.shared.queue.lock().expect("subscription poisoned").state = SubState::Closed;
+        lock_recover(&self.shared.queue).state = SubState::Closed;
     }
 }
 
@@ -159,14 +175,14 @@ impl SubscriberHub {
             queue: Mutex::new(SubQueue { items: VecDeque::new(), state: SubState::Live }),
             ready: Condvar::new(),
         });
-        list.lock().expect("hub poisoned").push(shared.clone());
+        lock_recover(list).push(shared.clone());
         Some(Subscription { shared })
     }
 
     /// Live subscriber count across all assets (kicked and dropped
     /// subscribers linger until the next broadcast reaps them).
     pub fn subscriber_count(&self) -> usize {
-        self.subs.iter().map(|l| l.lock().expect("hub poisoned").len()).sum()
+        self.subs.iter().map(|l| lock_recover(l).len()).sum()
     }
 
     /// Delivers `update` to every live subscriber of its asset. A
@@ -174,9 +190,9 @@ impl SubscriberHub {
     /// Lagged, woken) and reaped; the publisher never blocks.
     pub fn broadcast(&self, update: &Arc<FeedUpdate>) {
         let Some(list) = self.subs.get(update.asset.index()) else { return };
-        let mut list = list.lock().expect("hub poisoned");
+        let mut list = lock_recover(list);
         list.retain(|shared| {
-            let mut queue = shared.queue.lock().expect("subscription poisoned");
+            let mut queue = lock_recover(&shared.queue);
             match queue.state {
                 SubState::Closed | SubState::Lagged => return false,
                 SubState::Live if queue.items.len() == self.capacity => {
@@ -198,9 +214,9 @@ impl SubscriberHub {
     /// already have, then observe [`RecvError::Closed`].
     pub fn close_all(&self) {
         for list in &self.subs {
-            let mut list = list.lock().expect("hub poisoned");
+            let mut list = lock_recover(list);
             for shared in list.drain(..) {
-                let mut queue = shared.queue.lock().expect("subscription poisoned");
+                let mut queue = lock_recover(&shared.queue);
                 if queue.state == SubState::Live {
                     queue.state = SubState::Closed;
                 }

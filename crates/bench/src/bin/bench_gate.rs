@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Bench regression gate CLI: compares a fresh `BENCH_JSON` run against a
 //! checked-in reference and exits non-zero on regressions.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Cluster launcher: spawns one `delphi-node` OS process per `[[node]]`
 //! entry, collects the per-node JSON reports, and checks convergence —
 //! the paper's deployment shape (fig6) on one machine.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! One Delphi protocol node as one OS process — the unit the
 //! multi-process cluster harness deploys.
 //!

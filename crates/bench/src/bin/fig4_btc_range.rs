@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 4**: histogram of the per-minute BTC price range δ
 //! with Fréchet and Gumbel fits (Fréchet must fit better), plus the
 //! derived `Δ` for λ = 30 bits (§VI-A's `Δ = 2000$`).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 5**: histogram of detection IoU with a Gamma fit
 //! (thin-tailed, better than Fréchet), plus the §VI-B parameter
 //! derivation (`Δ = 50 m`, `ρ0 = ε = 0.5 m`).

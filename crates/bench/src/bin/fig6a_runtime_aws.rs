@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 6a**: runtime vs `n` on the geo-distributed AWS
 //! testbed — Delphi (δ = 20$ and δ = 180$) vs FIN vs Abraham et al.
 //!

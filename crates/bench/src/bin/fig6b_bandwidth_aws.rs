@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 6b**: network bandwidth vs `n` on AWS — Delphi is
 //! an order of magnitude below FIN and Abraham et al. and grows slower.
 //!

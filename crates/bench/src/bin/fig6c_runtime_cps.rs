@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 6c**: runtime vs `n` on the embedded CPS testbed
 //! (15 Raspberry-Pi-class hosts, shared links, slow CPUs) — Delphi
 //! (δ = 5 m and δ = 50 m) vs FIN vs Abraham et al.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Fig. 7**: Delphi runtime heatmaps over the agreement
 //! ratio `Δ/ε` (controls round count) and the range ratio `δ/ρ0`
 //! (controls per-round communication), on both testbeds.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **Read-side serving figure**: sustained protocol throughput
 //! (agreements/sec) for a real-socket epoch cluster, swept over HTTP
 //! reader count × epoch rate (pipeline depth).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **Streaming-oracle throughput figure**: sustained agreements/sec and
 //! wire bytes/agreement for a long-lived epoch pipeline, swept over
 //! basket size × epoch rate (pipeline depth), with adaptive batch

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Table I**: the asynchronous convex-BA comparison, with
 //! the asymptotic claims checked against *measured* traffic.
 //!

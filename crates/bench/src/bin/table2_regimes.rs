@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Table II**: Delphi's communication and round complexity
 //! under the three `(Δ, δ)` input regimes.
 //!

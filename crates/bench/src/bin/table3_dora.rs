@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates **Table III**: oracle-reporting protocol comparison.
 //!
 //! The Delphi-DORA row is *measured*: we drive a DORA cluster with a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates the **§VI-E validity-relaxation analysis**: how far
 //! Delphi's output strays from the honest-input average, compared with
 //! the strict-validity baselines, on both applications.

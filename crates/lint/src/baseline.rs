@@ -1,0 +1,202 @@
+//! The baseline ratchet: existing violations are frozen per
+//! `(rule, file)` in `lint-baseline.toml`; the checker fails on any new
+//! violation (count above baseline) and on any stale entry (count below
+//! baseline, which must be re-frozen with `--write-baseline`), so debt
+//! can only burn down — never regrow, not even back up to an old count.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Frozen violation counts, keyed `(rule, file)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), u64>,
+}
+
+/// One ratchet discrepancy between the current run and the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Drift {
+    /// The rule involved.
+    pub rule: String,
+    /// The file involved.
+    pub file: String,
+    /// Frozen count.
+    pub baseline: u64,
+    /// Current count.
+    pub current: u64,
+}
+
+/// The ratchet verdict for one run.
+#[derive(Clone, Debug, Default)]
+pub struct Ratchet {
+    /// Entries whose count grew (or appeared): each is a hard failure.
+    pub grown: Vec<Drift>,
+    /// Entries whose count shrank or vanished: the baseline is stale and
+    /// must be re-frozen so the lower count becomes the new ceiling.
+    pub stale: Vec<Drift>,
+}
+
+impl Ratchet {
+    /// Whether the run holds the ratchet (nothing grew, nothing stale).
+    pub fn clean(&self) -> bool {
+        self.grown.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline freezing the given violations.
+    pub fn freeze(violations: &[Violation]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for v in violations {
+            *counts.entry((v.rule.to_string(), v.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Frozen count for `(rule, file)`.
+    pub fn count(&self, rule: &str, file: &str) -> u64 {
+        self.counts.get(&(rule.to_string(), file.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Total frozen violations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Compares the current violations against this baseline.
+    pub fn compare(&self, violations: &[Violation]) -> Ratchet {
+        let current = Baseline::freeze(violations);
+        let mut ratchet = Ratchet::default();
+        for ((rule, file), &cur) in &current.counts {
+            let base = self.count(rule, file);
+            if cur > base {
+                ratchet.grown.push(Drift {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+        for ((rule, file), &base) in &self.counts {
+            let cur = current.count(rule, file);
+            if cur < base {
+                ratchet.stale.push(Drift {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+        ratchet
+    }
+
+    /// Renders the TOML document (`[rule]` sections, quoted file keys).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# delphi-lint baseline — frozen per-file violation counts.\n\
+             # Regenerate with `cargo run -p delphi-lint -- --write-baseline`.\n\
+             # The CI ratchet fails when any count grows OR shrinks without\n\
+             # re-freezing: debt only burns down.\n",
+        );
+        let mut last_rule = "";
+        for ((rule, file), count) in &self.counts {
+            if rule != last_rule {
+                out.push_str(&format!("\n[{rule}]\n"));
+                last_rule = rule;
+            }
+            out.push_str(&format!("\"{file}\" = {count}\n"));
+        }
+        out
+    }
+
+    /// Parses a baseline document (the same TOML subset [`render`]
+    /// emits: `[rule]` sections, `"file" = count` lines, `#` comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged description for malformed entries.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut rule = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                rule = header.trim_end_matches(']').trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("baseline line {}: expected `\"file\" = count`", i + 1));
+            };
+            if rule.is_empty() {
+                return Err(format!("baseline line {}: entry before any [rule] section", i + 1));
+            }
+            let file = key.trim().trim_matches('"').to_string();
+            let count: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("baseline line {}: bad count: {e}", i + 1))?;
+            counts.insert((rule.clone(), file), count);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(rule: &'static str, file: &str) -> Violation {
+        Violation { rule, file: file.to_string(), line: 1, message: String::new() }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let base = Baseline::freeze(&[
+            viol("no-panic", "a.rs"),
+            viol("no-panic", "a.rs"),
+            viol("bounded-channel", "b.rs"),
+        ]);
+        let parsed = Baseline::parse(&base.render()).expect("round-trips");
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn ratchet_fails_growth_and_stale_but_not_steady() {
+        let base = Baseline::freeze(&[viol("no-panic", "a.rs"), viol("no-panic", "a.rs")]);
+        assert!(base.compare(&[viol("no-panic", "a.rs"), viol("no-panic", "a.rs")]).clean());
+
+        let grown = base.compare(&[
+            viol("no-panic", "a.rs"),
+            viol("no-panic", "a.rs"),
+            viol("no-panic", "a.rs"),
+        ]);
+        assert_eq!(grown.grown.len(), 1);
+        assert!(grown.stale.is_empty());
+
+        let stale = base.compare(&[viol("no-panic", "a.rs")]);
+        assert!(stale.grown.is_empty());
+        assert_eq!(stale.stale.len(), 1);
+
+        // A brand-new (rule, file) pair is growth from zero.
+        let fresh = base.compare(&[
+            viol("no-panic", "a.rs"),
+            viol("no-panic", "a.rs"),
+            viol("layering", "c.rs"),
+        ]);
+        assert_eq!(fresh.grown.len(), 1);
+        assert_eq!(fresh.grown.first().map(|d| d.baseline), Some(0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("\"orphan.rs\" = 3").is_err());
+        assert!(Baseline::parse("[no-panic]\n\"a.rs\" = many").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+#![forbid(unsafe_code)]
+//! `delphi-lint`: the workspace invariant checker.
+//!
+//! The compiler cannot check the invariants Delphi's correctness
+//! arguments lean on, so this crate does:
+//!
+//! - **sans-io layering** — protocol crates never touch `tokio` /
+//!   `std::net`, so "sim bytes == TCP bytes" holds by construction;
+//! - **panic-freedom** — an honest node that panics is a crash fault
+//!   that silently spends the `t < n/3` budget the liveness proof needs;
+//! - **bounded queues** — a Byzantine peer must never be able to inflate
+//!   memory through a capacity-free queue;
+//! - **wire-constant hygiene** — the reserved frame markers live in one
+//!   place;
+//! - **bench-gate discipline** — every `BENCH_*.json` emitter is gated in
+//!   CI.
+//!
+//! Violations are either fixed, annotated
+//! (`// lint: allow(<rule>) — <reason>`), or frozen in
+//! `lint-baseline.toml`; the baseline is a ratchet — counts may only go
+//! down, and a shrink must be re-frozen so it becomes the new ceiling.
+//!
+//! The tool is dependency-free (no crates.io access in this environment):
+//! the lexer, manifest reader, and baseline format are hand-rolled, like
+//! the vendored stubs under `vendor/`.
+
+pub mod baseline;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use baseline::{Baseline, Ratchet};
+pub use rules::Violation;
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Every violation found (baselined ones included).
+    pub violations: Vec<Violation>,
+    /// The ratchet verdict against the provided baseline.
+    pub ratchet: Ratchet,
+}
+
+/// Lints the workspace at `root` against `baseline`.
+///
+/// # Errors
+///
+/// Returns a description when the workspace cannot be read.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<LintReport, String> {
+    let ws = workspace::load(root)?;
+    let violations = rules::check(&ws);
+    let ratchet = baseline.compare(&violations);
+    Ok(LintReport { violations, ratchet })
+}

@@ -1,0 +1,123 @@
+//! Minimal `Cargo.toml` reader for the dependency-graph rules.
+//!
+//! Dependency-free TOML subset, in the same spirit as the cluster-config
+//! parser in `delphi-net`: section headers, `key = value` lines, `#`
+//! comments. It extracts exactly what the rules need — the package name
+//! and the names of `[dependencies]` vs `[dev-dependencies]` entries —
+//! and tolerates everything else.
+
+/// The slice of a crate manifest the rules consume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// `package.name`.
+    pub name: String,
+    /// Names (and line numbers) of `[dependencies]` entries.
+    pub deps: Vec<(String, u32)>,
+    /// Names of `[dev-dependencies]` entries.
+    pub dev_deps: Vec<String>,
+}
+
+/// Parses the manifest text. Unknown sections and values are ignored;
+/// this never fails — a manifest the parser cannot read yields an empty
+/// [`Manifest`], which the rules treat as dependency-free.
+pub fn parse(text: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut out = Manifest::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.trim_end_matches(']').trim_matches('[').trim();
+            section = match header {
+                "package" => Section::Package,
+                "dependencies" => Section::Deps,
+                "dev-dependencies" => Section::DevDeps,
+                _ => {
+                    // `[dependencies.foo]`-style headers name one entry.
+                    if let Some(dep) = header.strip_prefix("dependencies.") {
+                        out.deps.push((unquote(dep), line_no));
+                    } else if let Some(dep) = header.strip_prefix("dev-dependencies.") {
+                        out.dev_deps.push(unquote(dep));
+                    }
+                    Section::Other
+                }
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        // `foo.workspace = true` names the dependency `foo`.
+        let key = unquote(key.trim().split('.').next().unwrap_or(""));
+        match section {
+            Section::Package if key == "name" => out.name = unquote(value.trim()),
+            Section::Deps => out.deps.push((key, line_no)),
+            Section::DevDeps => out.dev_deps.push(key),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_name_and_dependency_kinds() {
+        let m = parse(
+            r#"
+            [package]
+            name = "delphi-net"   # the net crate
+            edition.workspace = true
+
+            [dependencies]
+            bytes = { workspace = true }
+            tokio = { workspace = true }
+
+            [dev-dependencies]
+            delphi-core = { workspace = true }
+
+            [dependencies.extra]
+            path = "nowhere"
+
+            [lints]
+            workspace = true
+            "#,
+        );
+        assert_eq!(m.name, "delphi-net");
+        let dep_names: Vec<&str> = m.deps.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(dep_names, ["bytes", "tokio", "extra"]);
+        assert_eq!(m.dev_deps, ["delphi-core"]);
+    }
+
+    #[test]
+    fn garbage_yields_empty_manifest() {
+        assert_eq!(parse("]]]] = [ not toml"), Manifest::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! Workspace discovery: which crates exist, which `.rs` files are live
+//! code, and which files are crate roots.
+//!
+//! The scan covers the root package plus every `crates/*` member. It
+//! deliberately skips:
+//!
+//! - `vendor/` — offline stand-ins for external crates, not workspace
+//!   code (they carry their own upstream idioms);
+//! - `target/`, `.git/`, and hidden directories;
+//! - `tests/` and `benches/` directories — wholly test/harness code, the
+//!   rules only police what ships in a node.
+//!
+//! Crate roots (where `#![forbid(unsafe_code)]` must live) are
+//! `src/lib.rs`, `src/main.rs`, direct children of `src/bin/`, and direct
+//! children of `examples/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, LexedFile};
+use crate::manifest::{self, Manifest};
+
+/// One workspace member.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from the manifest.
+    pub name: String,
+    /// Manifest path relative to the workspace root.
+    pub manifest_rel: String,
+    /// Parsed manifest.
+    pub manifest: Manifest,
+}
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (forward slashes).
+    pub rel: String,
+    /// Owning crate's package name.
+    pub crate_name: String,
+    /// Whether this file is a compilation root.
+    pub is_crate_root: bool,
+    /// Lexed content.
+    pub lexed: LexedFile,
+}
+
+/// Everything the rules need about the workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace members (root package first).
+    pub crates: Vec<CrateInfo>,
+    /// Live source files, lexed.
+    pub files: Vec<SourceFile>,
+    /// The CI workflow text, when present (for the bench-gate rule).
+    pub ci_text: Option<String>,
+}
+
+/// Reads and lexes the workspace under `root`.
+///
+/// # Errors
+///
+/// Returns a description when the root is not a workspace (no readable
+/// `Cargo.toml`) or a directory listing fails.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let root_manifest = read(root.join("Cargo.toml"))?;
+    let mut crates = Vec::new();
+    let mut files = Vec::new();
+
+    let root_info = manifest::parse(&root_manifest);
+    if root_info.name.is_empty() {
+        return Err(format!("{} has no [package] name", root.join("Cargo.toml").display()));
+    }
+    collect_crate(root, root, root_info, "Cargo.toml", &mut crates, &mut files)?;
+
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(iter) => iter.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => return Err(format!("cannot list {}: {e}", crates_dir.display())),
+    };
+    members.sort();
+    for dir in members {
+        let manifest_path = dir.join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest_path) else { continue };
+        let info = manifest::parse(&text);
+        let manifest_rel = rel_of(root, &manifest_path);
+        collect_crate(root, &dir, info, &manifest_rel, &mut crates, &mut files)?;
+    }
+
+    let ci_text = fs::read_to_string(root.join(".github/workflows/ci.yml")).ok();
+    Ok(Workspace { crates, files, ci_text })
+}
+
+fn read(path: PathBuf) -> Result<String, String> {
+    fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Forward slashes keep baseline files identical across platforms.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn collect_crate(
+    root: &Path,
+    dir: &Path,
+    info: Manifest,
+    manifest_rel: &str,
+    crates: &mut Vec<CrateInfo>,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let name = info.name.clone();
+    crates.push(CrateInfo {
+        name: name.clone(),
+        manifest_rel: manifest_rel.to_string(),
+        manifest: info,
+    });
+    for sub in ["src", "examples"] {
+        let base = dir.join(sub);
+        if base.is_dir() {
+            walk_sources(root, &base, &name, files)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk_sources(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(iter) => iter.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => return Err(format!("cannot list {}: {e}", dir.display())),
+    };
+    entries.sort();
+    for path in entries {
+        let file_name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let Some(file_name) = file_name else { continue };
+        if path.is_dir() {
+            if matches!(file_name.as_str(), "tests" | "benches" | "target")
+                || file_name.starts_with('.')
+            {
+                continue;
+            }
+            walk_sources(root, &path, crate_name, files)?;
+        } else if file_name.ends_with(".rs") {
+            let text = read(path.clone())?;
+            let rel = rel_of(root, &path);
+            files.push(SourceFile {
+                is_crate_root: is_crate_root(&rel),
+                rel,
+                crate_name: crate_name.to_string(),
+                lexed: lexer::lex(&text),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether a workspace-relative path is a compilation root.
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        [.., "src", "lib.rs"] | [.., "src", "main.rs"] => true,
+        [.., "src", "bin", f] | [.., "examples", f] => f.ends_with(".rs"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_classification() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/net/src/lib.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/fig_throughput.rs"));
+        assert!(is_crate_root("examples/quickstart.rs"));
+        assert!(!is_crate_root("crates/net/src/frame.rs"));
+        assert!(!is_crate_root("crates/net/src/bin/nested/helper.rs"));
+    }
+}

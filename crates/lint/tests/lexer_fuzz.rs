@@ -1,0 +1,43 @@
+//! The lexer must never panic, whatever bytes it is fed: it runs in CI
+//! over every workspace file, including ones mid-edit or malformed.
+
+use delphi_lint::lexer;
+use proptest::prelude::*;
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary (usually invalid UTF-8) byte soup, decoded lossily the
+    /// way a caller reading an arbitrary file would.
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let lexed = lexer::lex(&text);
+        // Sanity on the invariants rules rely on: line numbers are
+        // 1-based and non-decreasing.
+        let mut last = 1;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+    }
+
+    /// Token-shaped soup: unterminated strings, stray quotes, half-open
+    /// comments, raw-string hash runs — the constructs with the most
+    /// delicate cursor arithmetic.
+    #[test]
+    fn lexer_never_panics_on_adversarial_fragments(
+        picks in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        const FRAGMENTS: [&str; 23] = [
+            "\"", "'", "r#\"", "#\"", "\"#", "r##", "//", "/*", "*/",
+            "b'", "br\"", "'a", "0x", "0xFFFF", "\\", "\\u{", "\n",
+            "lint: allow(", ")", "—", "#[cfg(test)]", "mod tests {", "}",
+        ];
+        let text: String =
+            picks.iter().map(|p| FRAGMENTS[usize::from(*p) % FRAGMENTS.len()]).collect();
+        let _ = lexer::lex(&text);
+    }
+}

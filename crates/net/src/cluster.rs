@@ -62,7 +62,8 @@ impl NodeReport {
              \"stats\":{{\
              \"sent_frames\":{},\"sent_bytes\":{},\"sent_entries\":{},\
              \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
-             \"late_entries\":{},\"mac_ops\":{},\"buffer_reuses\":{},\
+             \"dropped_egress\":{},\"late_entries\":{},\"mac_ops\":{},\
+             \"buffer_reuses\":{},\
              \"shard_entries\":[{shard_entries}]}}}}",
             self.id,
             fmt_f64(self.output),
@@ -73,6 +74,7 @@ impl NodeReport {
             s.recv_frames,
             s.recv_entries,
             s.dropped_frames,
+            s.dropped_egress,
             s.late_entries,
             s.mac_ops,
             s.buffer_reuses,
@@ -84,8 +86,9 @@ impl NodeReport {
     /// The parser is schema-bound (flat keys, one nested `stats` object,
     /// one `agreements` triple array, one `shard_entries` number array)
     /// but order-insensitive and tolerant of whitespace. The
-    /// `agreements`, `late_entries`, `buffer_reuses`, and `shard_entries`
-    /// keys are optional so reports from older node binaries still parse.
+    /// `agreements`, `dropped_egress`, `late_entries`, `buffer_reuses`,
+    /// and `shard_entries` keys are optional so reports from older node
+    /// binaries still parse.
     ///
     /// # Errors
     ///
@@ -104,6 +107,7 @@ impl NodeReport {
             recv_frames: json_number(text, "recv_frames")? as u64,
             recv_entries: json_number(text, "recv_entries")? as u64,
             dropped_frames: json_number(text, "dropped_frames")? as u64,
+            dropped_egress: json_number(text, "dropped_egress").unwrap_or(0.0) as u64,
             late_entries: json_number(text, "late_entries").unwrap_or(0.0) as u64,
             mac_ops: json_number(text, "mac_ops")? as u64,
             buffer_reuses: json_number(text, "buffer_reuses").unwrap_or(0.0) as u64,
@@ -238,6 +242,7 @@ impl ClusterOutcome {
             total.recv_frames += r.stats.recv_frames;
             total.recv_entries += r.stats.recv_entries;
             total.dropped_frames += r.stats.dropped_frames;
+            total.dropped_egress += r.stats.dropped_egress;
             total.late_entries += r.stats.late_entries;
             total.mac_ops += r.stats.mac_ops;
         }
@@ -462,6 +467,7 @@ mod tests {
                 recv_frames: 30,
                 recv_entries: 33,
                 dropped_frames: 0,
+                dropped_egress: 1,
                 late_entries: 2,
                 mac_ops: 40,
                 buffer_reuses: 5,

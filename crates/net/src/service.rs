@@ -54,6 +54,11 @@ pub enum NetError {
     Config(String),
     /// The protocol did not produce an output within the deadline.
     Timeout,
+    /// A runner invariant broke (a worker died or reported inconsistent
+    /// completion). Surfaced as an error instead of a panic: a node that
+    /// panics is a crash fault silently spending the `t < n/3` budget,
+    /// while a reported error lets the operator restart the node.
+    Internal(String),
 }
 
 impl fmt::Display for NetError {
@@ -62,6 +67,7 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "network io error: {e}"),
             NetError::Config(msg) => write!(f, "invalid network configuration: {msg}"),
             NetError::Timeout => write!(f, "protocol did not finish before the deadline"),
+            NetError::Internal(msg) => write!(f, "runner invariant broke: {msg}"),
         }
     }
 }
@@ -106,6 +112,17 @@ pub struct RunOptions {
     /// simulator's `recv_shards` models — and each worker owns its
     /// instances' protocol state.
     pub recv_shards: usize,
+    /// Capacity (frames) of each peer's outbound writer queue.
+    ///
+    /// Egress queues are bounded so a slow or unreachable peer cannot
+    /// inflate memory without limit; once a peer falls `egress_capacity`
+    /// frames behind, further frames to it are dropped and counted in
+    /// [`NetStats::dropped_egress`]. Dropping is safe where blocking is
+    /// not: a peer slower than the queue is indistinguishable from a
+    /// crashed one, and the protocol already tolerates `t < n/3` of
+    /// those, while blocking the flush path would let one Byzantine peer
+    /// stall progress toward every honest one. Must be at least 1.
+    pub egress_capacity: usize,
 }
 
 impl Default for RunOptions {
@@ -118,6 +135,7 @@ impl Default for RunOptions {
             batching: true,
             flush: FlushPolicy::PerStep,
             recv_shards: 1,
+            egress_capacity: 1024,
         }
     }
 }
@@ -164,6 +182,12 @@ impl RunOptions {
         self.recv_shards = shards;
         self
     }
+
+    /// Builder-style setter for [`RunOptions::egress_capacity`].
+    pub fn egress_capacity(mut self, capacity: usize) -> Self {
+        self.egress_capacity = capacity;
+        self
+    }
 }
 
 /// Runs `protocol` over a full TCP mesh until it produces an output.
@@ -187,7 +211,10 @@ where
     P::Output: Send,
 {
     let (mut outputs, stats) = run_instances(vec![protocol], keychain, addrs, opts).await?;
-    Ok((outputs.pop().expect("exactly one instance"), stats))
+    match outputs.pop() {
+        Some(output) => Ok((output, stats)),
+        None => Err(NetError::Internal("one instance in, no output out".into())),
+    }
 }
 
 /// Builds the per-shard ingress channels and the accept loop.
@@ -265,7 +292,7 @@ async fn instance_shard_worker<P>(
         if !*done_sent && owned.iter().all(|(_, p)| p.output().is_some()) {
             *done_sent = true;
             return Some(ShardMsg::Done(
-                owned.iter().map(|(i, p)| (*i, p.output().expect("checked"))).collect(),
+                owned.iter().filter_map(|(i, p)| Some((*i, p.output()?))).collect(),
             ));
         }
         None
@@ -344,6 +371,9 @@ where
             return Err(NetError::Config("protocol identity mismatch".into()));
         }
     }
+    if opts.egress_capacity == 0 {
+        return Err(NetError::Config("egress_capacity must be at least 1".into()));
+    }
     let shards = opts.recv_shards.clamp(1, MAX_RECV_SHARDS);
 
     let counters = Arc::new(Counters::default());
@@ -365,6 +395,7 @@ where
         instances.len() == 1,
         opts.flush,
         shards,
+        opts.egress_capacity,
     );
     let flush_delay = match opts.flush {
         FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
@@ -448,8 +479,12 @@ where
         }
     }
     sessions.flush_steps();
-    let outputs: Vec<P::Output> =
-        outputs.into_iter().map(|o| o.expect("all workers done")).collect();
+    let Some(outputs) = outputs.into_iter().collect::<Option<Vec<P::Output>>>() else {
+        // A worker reported Done without covering every instance it owns:
+        // an invariant break surfaced as an error, not a crash fault.
+        abort_all(sessions, &shard_tasks);
+        return Err(NetError::Internal("a done worker left an instance without output".into()));
+    };
 
     // Linger: keep relaying worker responses so peers can finish too.
     let linger_end = tokio::time::Instant::now() + opts.linger;
@@ -585,7 +620,9 @@ impl<O: Clone> EventMerger<O> {
             let mut skipped = false;
             let mut epoch = None;
             for (lane, queue) in self.queues.iter_mut().enumerate() {
-                let ev = queue.pop_front().expect("all lanes non-empty");
+                let Some(ev) = queue.pop_front() else {
+                    continue; // unreachable: the while guard checked every lane
+                };
                 debug_assert!(
                     epoch.is_none() || epoch == Some(ev.epoch),
                     "lanes emit aligned epoch streams"
@@ -603,9 +640,15 @@ impl<O: Clone> EventMerger<O> {
             let outcome = if skipped || values.iter().any(Option::is_none) {
                 EpochOutcome::Skipped
             } else {
-                EpochOutcome::Agreed(values.into_iter().map(|v| v.expect("present")).collect())
+                // The `any(is_none)` arm above makes `flatten` lossless.
+                EpochOutcome::Agreed(values.into_iter().flatten().collect())
             };
-            out.push(EpochEvent { epoch: epoch.expect("at least one lane"), outcome });
+            let Some(epoch) = epoch else {
+                // No lanes at all: nothing mergeable, and looping again
+                // on the vacuously-true guard would spin forever.
+                break;
+            };
+            out.push(EpochEvent { epoch, outcome });
         }
     }
 }
@@ -689,16 +732,17 @@ impl<O> EpochServiceHandle<O> {
     ///
     /// # Errors
     ///
-    /// [`NetError::Timeout`] if the stream is unresolved at the deadline.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the service task itself panicked.
+    /// [`NetError::Timeout`] if the stream is unresolved at the deadline,
+    /// [`NetError::Internal`] if the service task itself panicked or was
+    /// aborted.
     pub async fn finish(mut self) -> EpochRunResult<O> {
         // Dropping the tail first keeps the service loop from buffering
         // events nobody will read.
         self.events = None;
-        self.task.await.unwrap_or_else(|e| panic!("epoch service task failed: {e}"))
+        match self.task.await {
+            Ok(result) => result,
+            Err(e) => Err(NetError::Internal(format!("epoch service task failed: {e}"))),
+        }
     }
 }
 
@@ -754,6 +798,9 @@ where
     if mux.n() != n || mux.node_id() != me {
         return Err(NetError::Config("epoch mux identity mismatch".into()));
     }
+    if opts.egress_capacity == 0 {
+        return Err(NetError::Config("egress_capacity must be at least 1".into()));
+    }
     // Clamp to the basket too: `split_assets` groups by
     // `shard(min(shards, assets))`, and ingress must route with the SAME
     // modulus the split used — otherwise entries hash to workers that do
@@ -778,6 +825,7 @@ where
         false,
         opts.flush,
         shards,
+        opts.egress_capacity,
     );
 
     // Split the pipeline across the dispatch workers (a 1-shard run is a
@@ -806,6 +854,11 @@ where
     drop(out_tx);
 
     let stats = ServiceStats { cells: stats_cells.clone(), counters: counters.clone() };
+    // Locally produced events, already bounded by the pipeline: at most
+    // `window` epochs are in flight, each emitting one event, and no remote
+    // peer can make the producer outrun that; a capacity here would only
+    // back-pressure the protocol loop on a slow event reader.
+    // lint: allow(bounded-channel) — producer is pipeline-bounded (see above)
     let (event_tx, event_rx) = mpsc::unbounded_channel::<EpochEvent<P::Output>>();
     let mut merger = EventMerger::new(maps, total_assets);
 

@@ -40,6 +40,19 @@ use tokio::sync::mpsc;
 use crate::frame::{encode_batch_frame, encode_epoch_frame, encode_frame};
 use crate::transport::{spawn_writer, Counters};
 
+/// Hands `frame` to a peer's bounded writer queue, dropping (and
+/// counting) it when the peer is `egress_capacity` frames behind. The
+/// flush paths are synchronous, so blocking for room is not an option —
+/// and is not wanted: a peer slower than its queue is treated like a
+/// crashed peer (the `t < n/3` budget) instead of a memory leak. A
+/// closed queue means the writer already exited (shutdown/abort); the
+/// frame is silently discarded exactly as the old unbounded send was.
+fn send_or_drop(tx: &mpsc::Sender<Bytes>, frame: Bytes, counters: &Counters) {
+    if let Err(mpsc::error::TrySendError::Full(_)) = tx.try_send(frame) {
+        counters.dropped_egress.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The outbound half of a full-mesh node: one authenticated session per
 /// peer, plus the framing/batching policy shared by all of them.
 ///
@@ -52,7 +65,12 @@ use crate::transport::{spawn_writer, Counters};
 /// the simulator's `EpochProtocol::new_sharded` sender model.
 pub(crate) struct SessionSet {
     /// `peer_tx[p]` queues frames for peer `p`; `None` at our own slot.
-    peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>>,
+    /// Queues are bounded (`egress_capacity` frames): a peer that falls
+    /// further behind has its frames dropped and counted in
+    /// `NetStats::dropped_egress` — a slower-than-capacity peer is
+    /// treated as crashed (within the `t < n/3` budget) rather than
+    /// allowed to inflate memory or stall the flush path.
+    peer_tx: Vec<Option<mpsc::Sender<Bytes>>>,
     writer_tasks: Vec<tokio::task::JoinHandle<()>>,
     keychain: Arc<Keychain>,
     counters: Arc<Counters>,
@@ -92,18 +110,20 @@ impl SessionSet {
         solo: bool,
         flush: FlushPolicy,
         recv_shards: usize,
+        egress_capacity: usize,
     ) -> SessionSet {
         assert!(recv_shards >= 1, "need at least one receive shard");
+        assert!(egress_capacity >= 1, "need at least one frame of egress capacity");
         let me = keychain.node_id();
         let n = addrs.len();
-        let mut peer_tx: Vec<Option<mpsc::UnboundedSender<Bytes>>> = Vec::with_capacity(n);
+        let mut peer_tx: Vec<Option<mpsc::Sender<Bytes>>> = Vec::with_capacity(n);
         let mut writer_tasks = Vec::new();
         for peer in NodeId::all(n) {
             if peer == me {
                 peer_tx.push(None);
                 continue;
             }
-            let (tx, rx) = mpsc::unbounded_channel::<Bytes>();
+            let (tx, rx) = mpsc::channel::<Bytes>(egress_capacity);
             peer_tx.push(Some(tx));
             writer_tasks.push(spawn_writer(
                 addrs[peer.index()],
@@ -246,7 +266,7 @@ impl SessionSet {
                 _ => encode_batch_frame(&self.keychain, to, &entries),
             };
             self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(frame);
+            send_or_drop(tx, frame, &self.counters);
         } else {
             // One frame per entry: the measurement baseline.
             for (instance, payload) in &entries {
@@ -256,7 +276,7 @@ impl SessionSet {
                     encode_batch_frame(&self.keychain, to, &[(*instance, payload.clone())])
                 };
                 self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(frame);
+                send_or_drop(tx, frame, &self.counters);
             }
         }
         self.pending_solo.recycle(entries);
@@ -277,13 +297,13 @@ impl SessionSet {
         if self.batching {
             let frame = encode_epoch_frame(&self.keychain, to, &entries);
             self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(frame);
+            send_or_drop(tx, frame, &self.counters);
         } else {
             // One frame per entry: the measurement baseline.
             for entry in &entries {
                 let frame = encode_epoch_frame(&self.keychain, to, std::slice::from_ref(entry));
                 self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(frame);
+                send_or_drop(tx, frame, &self.counters);
             }
         }
         self.pending.recycle(entries);
@@ -320,5 +340,71 @@ impl SessionSet {
         for w in self.writer_tasks {
             w.abort();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delphi_primitives::Envelope;
+
+    #[test]
+    fn send_or_drop_counts_overflow_and_keeps_capacity_frames() {
+        let counters = Counters::default();
+        let (tx, mut rx) = mpsc::channel::<Bytes>(4);
+        for i in 0u8..100 {
+            send_or_drop(&tx, Bytes::from(vec![i]), &counters);
+        }
+        assert_eq!(counters.dropped_egress.load(Ordering::Relaxed), 96);
+        // The frames that made it are the first four, in order.
+        drop(tx);
+        let mut delivered = Vec::new();
+        while let Some(frame) = futures_recv(&mut rx) {
+            delivered.push(frame[0]);
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+    }
+
+    /// Drains one value from a receiver without a runtime (the channel
+    /// stub resolves immediately when a value or closure is available).
+    fn futures_recv(rx: &mut mpsc::Receiver<Bytes>) -> Option<Bytes> {
+        tokio::runtime::Runtime::new().ok()?.block_on(rx.recv())
+    }
+
+    #[tokio::test]
+    async fn full_writer_queue_drops_frames_instead_of_growing() {
+        // Peer 1 lives at a dead address (nothing listens on port 1), so
+        // its writer can never drain. With `egress_capacity = 4`, flushing
+        // 100 single-envelope steps must keep at most capacity frames
+        // queued (+1 the writer may already hold while dialing) and count
+        // every other frame as dropped egress — never grow memory.
+        let keychain = Arc::new(Keychain::derive(b"egress", NodeId(0), 2));
+        let addrs: Vec<SocketAddr> =
+            vec!["127.0.0.1:9".parse().unwrap(), "127.0.0.1:1".parse().unwrap()];
+        let counters = Arc::new(Counters::default());
+        let mut sessions = SessionSet::connect(
+            keychain,
+            &addrs,
+            Duration::from_secs(60), // park the writer after its first dial fails
+            counters.clone(),
+            true,
+            true,
+            FlushPolicy::PerStep,
+            1,
+            4,
+        );
+        for step in 0..100u16 {
+            sessions.enqueue_step(vec![(
+                InstanceId(0),
+                vec![Envelope::to_one(NodeId(1), Bytes::from(step.to_be_bytes().to_vec()))],
+            )]);
+        }
+        let dropped = counters.dropped_egress.load(Ordering::Relaxed);
+        assert!(
+            (95..=96).contains(&dropped),
+            "expected all but capacity(+1 in-flight) frames dropped, got {dropped}"
+        );
+        assert_eq!(counters.sent_frames.load(Ordering::Relaxed), 0);
+        sessions.abort();
     }
 }

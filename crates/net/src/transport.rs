@@ -57,6 +57,11 @@ pub struct NetStats {
     pub recv_entries: u64,
     /// Frames dropped by authentication or framing checks.
     pub dropped_frames: u64,
+    /// Outbound frames dropped because a peer's bounded writer queue was
+    /// full (see [`crate::RunOptions::egress_capacity`]). A peer slower
+    /// than the queue is treated like a crashed peer — within the
+    /// `t < n/3` fault budget — instead of inflating memory.
+    pub dropped_egress: u64,
     /// Authenticated entries addressed to an epoch the node has already
     /// garbage-collected — expected stream traffic from slower peers,
     /// dropped and counted here rather than treated as protocol errors.
@@ -81,6 +86,7 @@ pub(crate) struct Counters {
     pub(crate) recv_frames: AtomicU64,
     pub(crate) recv_entries: AtomicU64,
     pub(crate) dropped_frames: AtomicU64,
+    pub(crate) dropped_egress: AtomicU64,
     pub(crate) late_entries: AtomicU64,
     pub(crate) mac_ops: AtomicU64,
     pub(crate) buffer_reuses: AtomicU64,
@@ -100,6 +106,7 @@ impl Counters {
             recv_frames: self.recv_frames.load(Ordering::Relaxed),
             recv_entries: self.recv_entries.load(Ordering::Relaxed),
             dropped_frames: self.dropped_frames.load(Ordering::Relaxed),
+            dropped_egress: self.dropped_egress.load(Ordering::Relaxed),
             late_entries: self.late_entries.load(Ordering::Relaxed),
             mac_ops: self.mac_ops.load(Ordering::Relaxed),
             buffer_reuses: self.buffer_reuses.load(Ordering::Relaxed),
@@ -151,7 +158,7 @@ pub(crate) fn spawn_acceptor(
 /// Spawns a [`write_loop`] task owning the outbound connection to `addr`.
 pub(crate) fn spawn_writer(
     addr: SocketAddr,
-    rx: mpsc::UnboundedReceiver<Bytes>,
+    rx: mpsc::Receiver<Bytes>,
     reconnect_delay: Duration,
     counters: Arc<Counters>,
 ) -> tokio::task::JoinHandle<()> {
@@ -227,7 +234,7 @@ pub(crate) async fn read_loop(
 
 pub(crate) async fn write_loop(
     addr: SocketAddr,
-    mut rx: mpsc::UnboundedReceiver<Bytes>,
+    mut rx: mpsc::Receiver<Bytes>,
     reconnect_delay: Duration,
     counters: Arc<Counters>,
 ) -> std::io::Result<()> {
@@ -326,9 +333,9 @@ mod tests {
         drop(holder);
 
         let counters = Arc::new(Counters::default());
-        let (tx, rx) = mpsc::unbounded_channel();
+        let (tx, rx) = mpsc::channel(16);
         let writer = spawn_writer(addr, rx, Duration::from_millis(5), counters.clone());
-        tx.send(encode_frame(&alice, NodeId(1), b"patience")).unwrap();
+        tx.try_send(encode_frame(&alice, NodeId(1), b"patience")).unwrap();
 
         // Let several backoff rounds elapse before the listener appears.
         tokio::time::sleep(Duration::from_millis(120)).await;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Head-to-head: Delphi vs the two baselines of Fig. 6 on identical
 //! inputs and an identical simulated geo-distributed network.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's CPS application (§VI-B): a drone swarm localizes a car by
 //! agreeing on each coordinate with a separate Delphi instance.
 //!

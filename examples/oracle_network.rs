@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's oracle-network application (§VI-A): 16 oracles report the
 //! BTC price once a minute, tolerate Byzantine members, and produce a
 //! DORA certificate for the blockchain.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Quickstart: seven temperature sensors agree on a reading.
 //!
 //! Run with: `cargo run --example quickstart`

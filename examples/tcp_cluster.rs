@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A real Delphi cluster on localhost, driven by the deployment harness:
 //! a TOML cluster config (`delphi::net::config`) describes the nodes, and
 //! the run happens over HMAC-authenticated sockets — the same shape as

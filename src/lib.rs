@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate re-exporting the full Delphi reproduction workspace.
 //!
 //! The blessed public surface for building a node lives at the top

@@ -455,6 +455,31 @@ pub mod sync {
 
         impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
+        /// Error returned by [`Sender::try_send`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The channel is at capacity; the value is handed back.
+            Full(T),
+            /// The receiver is gone; the value is handed back.
+            Closed(T),
+        }
+
+        impl<T> std::fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "no available capacity"),
+                    TrySendError::Closed(_) => write!(f, "channel closed"),
+                }
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+        /// Channel error types, at tokio's canonical path.
+        pub mod error {
+            pub use super::{SendError, TrySendError};
+        }
+
         struct Shared<T> {
             queue: VecDeque<T>,
             capacity: Option<usize>,
@@ -535,6 +560,25 @@ pub mod sync {
             /// Sends `value`, waiting for room in a full channel.
             pub fn send(&self, value: T) -> SendFuture<'_, T> {
                 SendFuture { chan: &self.chan, value: Some(value) }
+            }
+
+            /// Sends `value` without waiting; fails fast when the channel
+            /// is full or the receiver is gone.
+            ///
+            /// # Errors
+            /// [`TrySendError::Full`] at capacity, [`TrySendError::Closed`]
+            /// when the receiver was dropped; both return the value.
+            pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+                let mut s = self.chan.lock().unwrap();
+                if !s.rx_alive {
+                    return Err(TrySendError::Closed(value));
+                }
+                if s.capacity.is_some_and(|cap| s.queue.len() >= cap) {
+                    return Err(TrySendError::Full(value));
+                }
+                s.queue.push_back(value);
+                s.wake_rx();
+                Ok(())
             }
         }
 
