@@ -114,6 +114,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Egress send lanes (see `RunOptions::send_shards`): per-lane
+    /// workers that batch, encode, and HMAC outbound frames in parallel.
+    /// Wire output is identical for any value; parallelism tops out at
+    /// `recv_shards`.
+    pub fn send_shards(mut self, shards: usize) -> ServiceBuilder {
+        self.opts = self.opts.send_shards(shards);
+        self
+    }
+
     /// Per-peer outbound writer queue capacity, in frames (see
     /// `RunOptions::egress_capacity`): frames beyond it are dropped and
     /// counted rather than buffered without bound.

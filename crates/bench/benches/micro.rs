@@ -129,6 +129,37 @@ fn bench_dispatch(c: &mut Criterion) {
             })
         });
     }
+
+    // The egress mirror: partition one step's entries into shard-class
+    // groups and encode + MAC one epoch frame per group — what a single
+    // `EgressLane` does per flush, so `send_entries_shard{k}` rows track
+    // the per-lane cost of the sharded send pipeline exactly as
+    // `recv_entries_shard{k}` tracks sharded dispatch.
+    let step_entries: Vec<(AgreementId, Bytes)> = (0..16u32)
+        .flat_map(|step| {
+            (0..assets).map(move |a| {
+                (AgreementId::new(EpochId(step), InstanceId(a)), Bytes::from(vec![a as u8; 40]))
+            })
+        })
+        .collect();
+    for shards in [1usize, 2, 4] {
+        let name = format!("send_entries_shard{shards}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut groups: Vec<Vec<(AgreementId, Bytes)>> = vec![Vec::new(); shards];
+                for (id, payload) in &step_entries {
+                    groups[id.shard(shards)].push((*id, payload.clone()));
+                }
+                let mut bytes = 0usize;
+                for group in &groups {
+                    if !group.is_empty() {
+                        bytes += encode_epoch_frame(&alice, NodeId(1), group).len();
+                    }
+                }
+                bytes
+            })
+        });
+    }
     group.finish();
 }
 

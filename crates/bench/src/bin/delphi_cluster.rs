@@ -9,7 +9,7 @@
 //!                [--assets 1] [--unbatched] [--quote-seed 7] [--epsilon 2]
 //!                [--node-binary path/to/delphi-node] [--deadline-ms 60000]
 //!                [--epochs K] [--depth D] [--window W] [--adaptive]
-//!                [--recv-shards S]
+//!                [--recv-shards S] [--send-shards S]
 //! ```
 //!
 //! With `--n`, a localhost config on freshly reserved ports is written to
@@ -45,6 +45,7 @@ struct Args {
     window: usize,
     adaptive: bool,
     recv_shards: usize,
+    send_shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         window: 6,
         adaptive: false,
         recv_shards: 1,
+        send_shards: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -99,6 +101,10 @@ fn parse_args() -> Result<Args, String> {
                 out.recv_shards =
                     value("--recv-shards")?.parse().map_err(|e| format!("--recv-shards: {e}"))?;
             }
+            "--send-shards" => {
+                out.send_shards =
+                    value("--send-shards")?.parse().map_err(|e| format!("--send-shards: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -110,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.recv_shards == 0 {
         return Err("--recv-shards must be at least 1".to_string());
+    }
+    if out.send_shards == 0 {
+        return Err("--send-shards must be at least 1".to_string());
     }
     Ok(out)
 }
@@ -151,6 +160,7 @@ fn main() -> ExitCode {
     spec.window = args.window;
     spec.adaptive = args.adaptive;
     spec.recv_shards = args.recv_shards;
+    spec.send_shards = args.send_shards;
 
     let mode = match (args.epochs, args.unbatched, args.adaptive) {
         (0, true, _) => "one-shot, unbatched: one frame per envelope".to_string(),

@@ -13,7 +13,7 @@
 //!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
 //!             [--delta-max 2000]
 //!             [--epochs K] [--depth D] [--window W] [--adaptive]
-//!             [--recv-shards S] [--api-bind 127.0.0.1:8080]
+//!             [--recv-shards S] [--send-shards S] [--api-bind 127.0.0.1:8080]
 //! ```
 //!
 //! Without `--input`, the node derives its input from one minute of the
@@ -73,6 +73,7 @@ struct Args {
     window: usize,
     adaptive: bool,
     recv_shards: usize,
+    send_shards: usize,
     api_bind: Option<std::net::SocketAddr>,
 }
 
@@ -92,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
     let mut window = 6usize;
     let mut adaptive = false;
     let mut recv_shards = 1usize;
+    let mut send_shards = 1usize;
     let mut api_bind = None;
 
     let mut args = std::env::args().skip(1);
@@ -139,6 +141,10 @@ fn parse_args() -> Result<Args, String> {
                 recv_shards =
                     value("--recv-shards")?.parse().map_err(|e| format!("--recv-shards: {e}"))?;
             }
+            "--send-shards" => {
+                send_shards =
+                    value("--send-shards")?.parse().map_err(|e| format!("--send-shards: {e}"))?;
+            }
             "--api-bind" => {
                 api_bind =
                     Some(value("--api-bind")?.parse().map_err(|e| format!("--api-bind: {e}"))?);
@@ -161,6 +167,9 @@ fn parse_args() -> Result<Args, String> {
     if recv_shards == 0 {
         return Err("--recv-shards must be at least 1".to_string());
     }
+    if send_shards == 0 {
+        return Err("--send-shards must be at least 1".to_string());
+    }
     if api_bind.is_some() && epochs == 0 {
         return Err("--api-bind only applies to an epoch run (--epochs)".to_string());
     }
@@ -180,6 +189,7 @@ fn parse_args() -> Result<Args, String> {
         window,
         adaptive,
         recv_shards,
+        send_shards,
         api_bind,
     })
 }
@@ -213,6 +223,7 @@ async fn run(args: Args) -> Result<NodeReport, String> {
         batching: !args.unbatched,
         flush: if args.adaptive { FlushPolicy::adaptive() } else { FlushPolicy::PerStep },
         recv_shards: args.recv_shards,
+        send_shards: args.send_shards,
         ..RunOptions::default()
     };
     let started = Instant::now();
@@ -229,6 +240,7 @@ async fn run(args: Args) -> Result<NodeReport, String> {
             .window(args.window)
             .flush(opts.flush)
             .recv_shards(args.recv_shards)
+            .send_shards(args.send_shards)
             .batching(!args.unbatched)
             .deadline(Duration::from_millis(args.deadline_ms));
         let source = feed_price_source(feed, me, n);

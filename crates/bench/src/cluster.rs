@@ -46,6 +46,8 @@ pub struct ClusterRunSpec {
     pub adaptive: bool,
     /// Receive dispatch shards per node (1 = unsharded).
     pub recv_shards: usize,
+    /// Egress send lanes per node (1 = single lane).
+    pub send_shards: usize,
 }
 
 impl ClusterRunSpec {
@@ -64,6 +66,7 @@ impl ClusterRunSpec {
             window: 6,
             adaptive: false,
             recv_shards: 1,
+            send_shards: 1,
         }
     }
 }
@@ -107,6 +110,9 @@ pub fn run_cluster(spec: &ClusterRunSpec) -> Result<ClusterOutcome, ClusterError
     }
     if spec.recv_shards > 1 {
         extra.extend(["--recv-shards".to_string(), spec.recv_shards.to_string()]);
+    }
+    if spec.send_shards > 1 {
+        extra.extend(["--send-shards".to_string(), spec.send_shards.to_string()]);
     }
     if spec.unbatched {
         extra.push("--unbatched".to_string());

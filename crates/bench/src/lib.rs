@@ -354,6 +354,30 @@ pub fn run_epoch_delphi_sharded(
     seed: u64,
     recv_shards: usize,
 ) -> EpochSimPoint {
+    run_epoch_delphi_full_sharded(cfg, feed, epoch_cfg, flush, topology, seed, recv_shards, None)
+}
+
+/// [`run_epoch_delphi_sharded`] with per-node *send* CPU lanes as well:
+/// `send_shards = Some(k)` adds `k` egress lanes per node, each costed on
+/// the encode bytes of the envelopes whose shard class maps to it —
+/// modelling the TCP runtime's sharded egress pipeline
+/// (`RunOptions::send_shards`). `None` leaves sends serial on the link,
+/// exactly as [`run_epoch_delphi_sharded`] (the legacy sweep numbers).
+///
+/// # Panics
+///
+/// As [`run_epoch_delphi_sharded`], plus `send_shards == Some(0)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_epoch_delphi_full_sharded(
+    cfg: &DelphiConfig,
+    feed: &EpochFeed,
+    epoch_cfg: EpochConfig,
+    flush: FlushPolicy,
+    topology: Topology,
+    seed: u64,
+    recv_shards: usize,
+    send_shards: Option<usize>,
+) -> EpochSimPoint {
     let n = cfg.n();
     let assets = feed.assets();
     let epochs = epoch_cfg.epochs;
@@ -377,6 +401,9 @@ pub fn run_epoch_delphi_sharded(
             })
             .collect();
     let mut sim = Simulation::new(topology).seed(seed).recv_shards(recv_shards);
+    if let Some(lanes) = send_shards {
+        sim = sim.send_shards(lanes);
+    }
     if let FlushPolicy::Adaptive { max_delay, .. } = flush {
         sim = sim.tick_interval_ns(max_delay.as_nanos().max(1) as u64);
     }

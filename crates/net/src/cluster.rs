@@ -55,8 +55,11 @@ impl NodeReport {
             .map(|(e, a, v)| format!("[{e},{a},{}]", fmt_f64(*v)))
             .collect::<Vec<_>>()
             .join(",");
-        let shard_entries =
-            s.shard_entries.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+        let u64_array = |a: &[u64]| a.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+        let shard_entries = u64_array(&s.shard_entries);
+        let egress_shard_entries = u64_array(&s.egress_shard_entries);
+        let egress_shard_macs = u64_array(&s.egress_shard_macs);
+        let dropped_egress_shard = u64_array(&s.dropped_egress_shard);
         format!(
             "{{\"id\":{},\"output\":{},\"elapsed_ms\":{},\"agreements\":[{agreements}],\
              \"stats\":{{\
@@ -64,7 +67,10 @@ impl NodeReport {
              \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
              \"dropped_egress\":{},\"late_entries\":{},\"mac_ops\":{},\
              \"buffer_reuses\":{},\
-             \"shard_entries\":[{shard_entries}]}}}}",
+             \"shard_entries\":[{shard_entries}],\
+             \"egress_shard_entries\":[{egress_shard_entries}],\
+             \"egress_shard_macs\":[{egress_shard_macs}],\
+             \"dropped_egress_shard\":[{dropped_egress_shard}]}}}}",
             self.id,
             fmt_f64(self.output),
             fmt_f64(self.elapsed_ms),
@@ -84,11 +90,12 @@ impl NodeReport {
     /// Parses the JSON line printed by a node process.
     ///
     /// The parser is schema-bound (flat keys, one nested `stats` object,
-    /// one `agreements` triple array, one `shard_entries` number array)
-    /// but order-insensitive and tolerant of whitespace. The
-    /// `agreements`, `dropped_egress`, `late_entries`, `buffer_reuses`,
-    /// and `shard_entries` keys are optional so reports from older node
-    /// binaries still parse.
+    /// one `agreements` triple array, per-shard number arrays) but
+    /// order-insensitive and tolerant of whitespace. The `agreements`,
+    /// `dropped_egress`, `late_entries`, `buffer_reuses`,
+    /// `shard_entries`, `egress_shard_entries`, `egress_shard_macs`, and
+    /// `dropped_egress_shard` keys are optional so reports from older
+    /// node binaries still parse.
     ///
     /// # Errors
     ///
@@ -96,10 +103,18 @@ impl NodeReport {
     pub fn parse_json(text: &str) -> Result<NodeReport, ClusterError> {
         let text = text.trim();
         let id = json_number(text, "id")?;
-        let mut shard_entries = [0u64; crate::transport::MAX_RECV_SHARDS];
-        for (slot, v) in shard_entries.iter_mut().zip(json_u64_array(text, "shard_entries")?) {
-            *slot = v;
-        }
+        let shard_array =
+            |key: &str| -> Result<[u64; crate::transport::MAX_RECV_SHARDS], ClusterError> {
+                let mut out = [0u64; crate::transport::MAX_RECV_SHARDS];
+                for (slot, v) in out.iter_mut().zip(json_u64_array(text, key)?) {
+                    *slot = v;
+                }
+                Ok(out)
+            };
+        let shard_entries = shard_array("shard_entries")?;
+        let egress_shard_entries = shard_array("egress_shard_entries")?;
+        let egress_shard_macs = shard_array("egress_shard_macs")?;
+        let dropped_egress_shard = shard_array("dropped_egress_shard")?;
         let stats = NetStats {
             sent_frames: json_number(text, "sent_frames")? as u64,
             sent_bytes: json_number(text, "sent_bytes")? as u64,
@@ -112,6 +127,9 @@ impl NodeReport {
             mac_ops: json_number(text, "mac_ops")? as u64,
             buffer_reuses: json_number(text, "buffer_reuses").unwrap_or(0.0) as u64,
             shard_entries,
+            egress_shard_entries,
+            egress_shard_macs,
+            dropped_egress_shard,
         };
         Ok(NodeReport {
             id: id as u16,
@@ -245,6 +263,12 @@ impl ClusterOutcome {
             total.dropped_egress += r.stats.dropped_egress;
             total.late_entries += r.stats.late_entries;
             total.mac_ops += r.stats.mac_ops;
+            for lane in 0..r.stats.shard_entries.len() {
+                total.shard_entries[lane] += r.stats.shard_entries[lane];
+                total.egress_shard_entries[lane] += r.stats.egress_shard_entries[lane];
+                total.egress_shard_macs[lane] += r.stats.egress_shard_macs[lane];
+                total.dropped_egress_shard[lane] += r.stats.dropped_egress_shard[lane];
+            }
         }
         total
     }
@@ -472,6 +496,9 @@ mod tests {
                 mac_ops: 40,
                 buffer_reuses: 5,
                 shard_entries: [20, 13, 0, 0, 0, 0, 0, 0],
+                egress_shard_entries: [7, 4, 0, 0, 0, 0, 0, 0],
+                egress_shard_macs: [6, 4, 0, 0, 0, 0, 0, 0],
+                dropped_egress_shard: [1, 0, 0, 0, 0, 0, 0, 0],
             },
         }
     }
@@ -509,6 +536,10 @@ mod tests {
         assert_eq!(r.stats.mac_ops, 7);
         assert_eq!(r.stats.dropped_frames, 6);
         assert_eq!(r.stats.late_entries, 0);
+        // Per-shard arrays are optional too: absent keys parse to zeros.
+        assert_eq!(r.stats.egress_shard_entries, [0; 8]);
+        assert_eq!(r.stats.egress_shard_macs, [0; 8]);
+        assert_eq!(r.stats.dropped_egress_shard, [0; 8]);
         assert!(r.agreements.is_empty());
     }
 
@@ -581,6 +612,11 @@ mod tests {
         let total = outcome.total_stats();
         assert_eq!(total.sent_frames, 30);
         assert_eq!(total.mac_ops, 120);
+        // Per-shard arrays sum element-wise across nodes.
+        assert_eq!(total.shard_entries[..2], [60, 39]);
+        assert_eq!(total.egress_shard_entries[..2], [21, 12]);
+        assert_eq!(total.egress_shard_macs[..2], [18, 12]);
+        assert_eq!(total.dropped_egress_shard[..2], [3, 0]);
         assert_eq!(outcome.max_elapsed_ms(), 12.5);
     }
 

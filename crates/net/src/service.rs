@@ -25,6 +25,16 @@
 //!    feed payload slices straight to the protocol state machines;
 //!    outbound bursts flow back to the session layer, which accumulates
 //!    and flushes them under the run's [`FlushPolicy`].
+//!
+//! # The send hot path
+//!
+//! Outbound bursts take the mirrored, optionally sharded path: the
+//! service loop routes each step's envelopes to the session layer's
+//! egress lanes ([`RunOptions::send_shards`]), where batching, flush
+//! triggers, frame encode, and HMAC all run on per-lane tasks instead of
+//! inline on the select loop — the loop itself never encodes or MACs a
+//! frame. Lanes own whole `(destination, receive shard)` batches, so
+//! the frames on the wire are identical for any lane count.
 
 use std::error::Error;
 use std::fmt;
@@ -112,6 +122,18 @@ pub struct RunOptions {
     /// simulator's `recv_shards` models — and each worker owns its
     /// instances' protocol state.
     pub recv_shards: usize,
+    /// Egress send lanes (clamped to 1..=[`MAX_RECV_SHARDS`]).
+    ///
+    /// With more than one, the session layer routes outbound batches to
+    /// per-lane workers by receive-shard class (`class % send_shards`),
+    /// and each lane runs flush triggers, frame encode, and HMAC on its
+    /// own task — so MAC work parallelizes instead of serializing on the
+    /// service loop. The wire output is identical for any value (lanes
+    /// never split a `(destination, shard)` batch); this is pure send-
+    /// side CPU parallelism. Because a lane owns whole shard classes,
+    /// send parallelism tops out at `recv_shards`: an unsharded receive
+    /// deployment keeps all egress on lane 0.
+    pub send_shards: usize,
     /// Capacity (frames) of each peer's outbound writer queue.
     ///
     /// Egress queues are bounded so a slow or unreachable peer cannot
@@ -135,6 +157,7 @@ impl Default for RunOptions {
             batching: true,
             flush: FlushPolicy::PerStep,
             recv_shards: 1,
+            send_shards: 1,
             egress_capacity: 1024,
         }
     }
@@ -180,6 +203,12 @@ impl RunOptions {
     /// Builder-style setter for [`RunOptions::recv_shards`].
     pub fn recv_shards(mut self, shards: usize) -> Self {
         self.recv_shards = shards;
+        self
+    }
+
+    /// Builder-style setter for [`RunOptions::send_shards`].
+    pub fn send_shards(mut self, shards: usize) -> Self {
+        self.send_shards = shards;
         self
     }
 
@@ -375,6 +404,7 @@ where
         return Err(NetError::Config("egress_capacity must be at least 1".into()));
     }
     let shards = opts.recv_shards.clamp(1, MAX_RECV_SHARDS);
+    let send_shards = opts.send_shards.clamp(1, MAX_RECV_SHARDS);
 
     let counters = Arc::new(Counters::default());
     let keychain = Arc::new(keychain);
@@ -383,9 +413,10 @@ where
         open_ingress(listener, keychain.clone(), counters.clone(), shards);
 
     // Outbound: one authenticated session (lazy-dialing write loop) per
-    // peer, with this run's batching + flush policy; batches flush per
-    // (destination, receive shard) so every frame belongs wholly to one
-    // dispatch worker at the receiver.
+    // peer, partitioned across the egress lanes, with this run's
+    // batching + flush policy; batches flush per (destination, receive
+    // shard) so every frame belongs wholly to one dispatch worker at the
+    // receiver, and the owning lane encodes + MACs off this loop.
     let mut sessions = SessionSet::connect(
         keychain.clone(),
         &addrs,
@@ -395,12 +426,9 @@ where
         instances.len() == 1,
         opts.flush,
         shards,
+        send_shards,
         opts.egress_capacity,
     );
-    let flush_delay = match opts.flush {
-        FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
-        FlushPolicy::PerStep => None,
-    };
     let deadline = tokio::time::Instant::now() + opts.deadline;
     let total = instances.len();
 
@@ -430,29 +458,22 @@ where
     // has an output, flushing per the run's policy.
     let mut outputs: Vec<Option<P::Output>> = (0..total).map(|_| None).collect();
     let mut done_workers = 0usize;
-    let mut flush_at: Option<tokio::time::Instant> = None;
     // Start bursts must not wait for traffic (or for the adaptive flush
-    // timer): the first step from every worker flushes immediately.
+    // timer): the first step from every worker flushes immediately. The
+    // time trigger itself runs on the egress lanes' own timers — this
+    // loop only routes bursts; it never encodes, MACs, or arms a flush.
     let mut start_flushes = shards;
     while done_workers < shards {
-        let wake = match flush_at {
-            Some(f) if f < deadline => f,
-            _ => deadline,
-        };
         let msg = tokio::select! {
             m = out_rx.recv() => Some(m),
-            _ = tokio::time::sleep_until(wake) => None,
+            _ = tokio::time::sleep_until(deadline) => None,
         };
         match msg {
             Some(Some(ShardMsg::Step(bursts))) => {
-                sessions.enqueue_step(bursts);
+                sessions.enqueue_step(bursts).await;
                 if start_flushes > 0 {
                     start_flushes -= 1;
-                    sessions.flush_steps();
-                } else if let (Some(delay), true, None) =
-                    (flush_delay, sessions.has_pending_steps(), flush_at)
-                {
-                    flush_at = Some(tokio::time::Instant::now() + delay);
+                    sessions.flush_steps().await;
                 }
             }
             Some(Some(ShardMsg::Done(outs))) => {
@@ -467,18 +488,13 @@ where
                 abort_all(sessions, &shard_tasks);
                 return Err(NetError::Timeout);
             }
-            None if tokio::time::Instant::now() >= deadline => {
+            None => {
                 abort_all(sessions, &shard_tasks);
                 return Err(NetError::Timeout);
             }
-            None => {
-                // Flush timer fired: release every pending batch.
-                sessions.flush_steps();
-                flush_at = None;
-            }
         }
     }
-    sessions.flush_steps();
+    sessions.flush_steps().await;
     let Some(outputs) = outputs.into_iter().collect::<Option<Vec<P::Output>>>() else {
         // A worker reported Done without covering every instance it owns:
         // an invariant break surfaced as an error, not a crash fault.
@@ -495,8 +511,8 @@ where
         };
         match msg {
             Some(ShardMsg::Step(bursts)) => {
-                sessions.enqueue_step(bursts);
-                sessions.flush_steps();
+                sessions.enqueue_step(bursts).await;
+                sessions.flush_steps().await;
             }
             Some(ShardMsg::Done(_)) => {}
             None => break,
@@ -506,7 +522,7 @@ where
     for t in &shard_tasks {
         t.abort();
     }
-    sessions.flush_steps();
+    sessions.flush_steps().await;
     sessions.shutdown(opts.drain_timeout).await;
     accept_task.abort();
 
@@ -752,9 +768,10 @@ impl<O> EpochServiceHandle<O> {
 /// This is the deployment shape of a streaming oracle: the mux keeps
 /// spawning per-asset agreement instances epoch after epoch, the service
 /// routes their traffic as epoch-addressed entries in authenticated v3
-/// frames, and the session layer flushes batches per
-/// [`RunOptions::flush`] — per step, or adaptively on size triggers plus
-/// the service loop's flush timer. With [`RunOptions::recv_shards`] > 1
+/// frames, and the session layer's egress lanes
+/// ([`RunOptions::send_shards`]) flush batches per [`RunOptions::flush`]
+/// — per step, or adaptively on size triggers plus each lane's own
+/// flush timer. With [`RunOptions::recv_shards`] > 1
 /// the pipeline is split by asset across dispatch workers
 /// ([`EpochMux::split_assets`]); the event stream is the merged,
 /// basket-ordered view. Entries addressed to epochs the pipeline has
@@ -806,10 +823,9 @@ where
     // modulus the split used — otherwise entries hash to workers that do
     // not own their asset and the stream wedges.
     let shards = opts.recv_shards.clamp(1, MAX_RECV_SHARDS).min(usize::from(mux.config().assets));
-    let flush_delay = match opts.flush {
-        FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
-        FlushPolicy::PerStep => None,
-    };
+    // Send lanes take no basket clamp: `class % send_shards` is a valid
+    // owner for any class/lane combination (extra lanes just idle).
+    let send_shards = opts.send_shards.clamp(1, MAX_RECV_SHARDS);
 
     let counters = Arc::new(Counters::default());
     let keychain = Arc::new(keychain);
@@ -825,6 +841,7 @@ where
         false,
         opts.flush,
         shards,
+        send_shards,
         opts.egress_capacity,
     );
 
@@ -874,30 +891,23 @@ where
         let deadline = tokio::time::Instant::now() + opts.deadline;
         let mut events: Vec<EpochEvent<P::Output>> = Vec::new();
         let mut done_count = 0usize;
-        let mut flush_at: Option<tokio::time::Instant> = None;
         // Start bursts must not wait for traffic (or for the adaptive
         // flush timer): the first step from every live worker flushes
-        // immediately.
+        // immediately. The time trigger itself runs on the egress lanes'
+        // own timers — this loop only routes bursts; it never encodes,
+        // MACs, or arms a flush.
         let mut start_flushes = expected_done;
         while done_count < expected_done {
-            let wake = match flush_at {
-                Some(f) if f < deadline => f,
-                _ => deadline,
-            };
             let msg = tokio::select! {
                 m = out_rx.recv() => Some(m),
-                _ = tokio::time::sleep_until(wake) => None,
+                _ = tokio::time::sleep_until(deadline) => None,
             };
             match msg {
                 Some(Some(EpochShardMsg::Step(bursts))) => {
-                    sessions.enqueue_epoch_step(bursts);
+                    sessions.enqueue_epoch_step(bursts).await;
                     if start_flushes > 0 {
                         start_flushes -= 1;
-                        sessions.flush_epochs();
-                    } else if let (Some(delay), true, None) =
-                        (flush_delay, sessions.has_pending_epochs(), flush_at)
-                    {
-                        flush_at = Some(tokio::time::Instant::now() + delay);
+                        sessions.flush_epochs().await;
                     }
                 }
                 Some(Some(EpochShardMsg::Events { lane, events: fresh })) => {
@@ -918,18 +928,13 @@ where
                     abort_all(sessions, &shard_tasks);
                     return Err(NetError::Timeout);
                 }
-                None if tokio::time::Instant::now() >= deadline => {
+                None => {
                     abort_all(sessions, &shard_tasks);
                     return Err(NetError::Timeout);
                 }
-                None => {
-                    // Flush timer fired: release every pending batch.
-                    sessions.flush_epochs();
-                    flush_at = None;
-                }
             }
         }
-        sessions.flush_epochs();
+        sessions.flush_epochs().await;
         // Every worker shipped its whole stream before Done, so the
         // merged view is complete; close the live tail at that boundary.
         drop(event_tx);
@@ -944,8 +949,8 @@ where
             };
             match msg {
                 Some(EpochShardMsg::Step(bursts)) => {
-                    sessions.enqueue_epoch_step(bursts);
-                    sessions.flush_epochs();
+                    sessions.enqueue_epoch_step(bursts).await;
+                    sessions.flush_epochs().await;
                 }
                 Some(EpochShardMsg::Events { .. }) | Some(EpochShardMsg::Done) => {}
                 None => break,
@@ -961,7 +966,7 @@ where
         // not.
         let epoch_stats = merge_epoch_stats(stats_cells.iter().map(|c| c.stats_snapshot()));
         counters.late_entries.fetch_add(epoch_stats.late_entries, Ordering::Relaxed);
-        sessions.flush_epochs();
+        sessions.flush_epochs().await;
         sessions.shutdown(opts.drain_timeout).await;
         accept_task.abort();
         Ok((events, epoch_stats, counters.snapshot()))
@@ -1166,7 +1171,12 @@ mod tests {
     const WAVE_INSTANCES: usize = 4;
     const WAVE_ROUNDS: u8 = 3;
 
-    async fn run_wave_cluster(seed: &'static [u8], batching: bool, flush: FlushPolicy) -> NetStats {
+    async fn run_wave_cluster(
+        seed: &'static [u8],
+        batching: bool,
+        flush: FlushPolicy,
+        send_shards: usize,
+    ) -> NetStats {
         let addrs = free_addrs(WAVE_N).await;
         let mut handles = Vec::new();
         for id in NodeId::all(WAVE_N) {
@@ -1174,7 +1184,7 @@ mod tests {
             let nodes: Vec<Wave> =
                 (0..WAVE_INSTANCES).map(|_| Wave::new(id, WAVE_N, WAVE_ROUNDS)).collect();
             let addrs = addrs.clone();
-            let opts = RunOptions { batching, flush, ..RunOptions::default() };
+            let opts = RunOptions { batching, flush, send_shards, ..RunOptions::default() };
             handles.push(tokio::spawn(
                 async move { run_instances(nodes, keychain, addrs, opts).await },
             ));
@@ -1184,6 +1194,12 @@ mod tests {
             let (outs, stats) = h.await.unwrap().expect("node finished");
             assert_eq!(outs.len(), WAVE_INSTANCES);
             assert_eq!(stats.dropped_frames, 0);
+            assert_eq!(stats.dropped_egress, 0);
+            // Per-lane egress accounting is complete: every routed entry
+            // was flushed by exactly one lane, and every frame paid
+            // exactly one encode-side tag.
+            assert_eq!(stats.egress_shard_entries.iter().sum::<u64>(), stats.sent_entries);
+            assert_eq!(stats.egress_shard_macs.iter().sum::<u64>(), stats.sent_frames);
             total.sent_frames += stats.sent_frames;
             total.sent_bytes += stats.sent_bytes;
             total.sent_entries += stats.sent_entries;
@@ -1213,8 +1229,8 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn batching_reduces_frames_and_macs_at_equal_envelope_count() {
-        let batched = run_wave_cluster(b"wave-batched", true, FlushPolicy::PerStep).await;
-        let unbatched = run_wave_cluster(b"wave-unbatched", false, FlushPolicy::PerStep).await;
+        let batched = run_wave_cluster(b"wave-batched", true, FlushPolicy::PerStep, 1).await;
+        let unbatched = run_wave_cluster(b"wave-unbatched", false, FlushPolicy::PerStep, 1).await;
         // Same protocols, schedule-independent envelope counts: the
         // workloads are identical.
         assert_eq!(batched.sent_entries, unbatched.sent_entries);
@@ -1246,6 +1262,30 @@ mod tests {
         let (sim_msgs, sim_entries) = run_wave_simulation();
         assert_eq!(batched.sent_frames, sim_msgs, "TCP frames == simulated messages");
         assert_eq!(batched.sent_entries, sim_entries, "TCP entries == simulated envelopes");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sharded_egress_matches_simulated_accounting_exactly() {
+        // The PR 5 parity test extended to the send side: egress lanes
+        // never split a (destination, shard) batch, so the frames,
+        // entries, and encode-side MACs the sharded TCP sender puts on
+        // the wire stay EXACTLY equal to the simulated Mux accounting at
+        // every send-shard count — send sharding is pure CPU
+        // parallelism, invisible on the wire.
+        let (sim_msgs, sim_entries) = run_wave_simulation();
+        for (seed, send_shards) in
+            [(b"wave-ss1" as &'static [u8], 1usize), (b"wave-ss2", 2), (b"wave-ss4", 4)]
+        {
+            let total = run_wave_cluster(seed, true, FlushPolicy::PerStep, send_shards).await;
+            assert_eq!(
+                total.sent_frames, sim_msgs,
+                "TCP frames == simulated messages at {send_shards} send shards"
+            );
+            assert_eq!(
+                total.sent_entries, sim_entries,
+                "TCP entries == simulated envelopes at {send_shards} send shards"
+            );
+        }
     }
 
     /// Responds to *every* inbound message with a broadcast until its
@@ -1422,6 +1462,62 @@ mod tests {
         assert_eq!(reader.await.unwrap(), k, "slow peer received every frame");
     }
 
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn shutdown_drains_every_egress_lane_before_writer_close() {
+        // Four Burst instances across 4 receive shards × 4 egress lanes,
+        // all firing at a peer that comes up late: shutdown must close
+        // the LANES first — each flushing what it still buffers into the
+        // writer queue — and only then close the writer, or whole lanes'
+        // worth of frames would vanish. Every one of the 4 × k frames
+        // must reach the slow peer.
+        let k = 50usize;
+        let instances = 4usize;
+        let total = k * instances;
+        let addrs = free_addrs(2).await;
+        let peer_addr = addrs[1];
+        let keychain = delphi_crypto::Keychain::derive(b"lane-drain", NodeId(0), 2);
+        let opts = RunOptions {
+            linger: Duration::ZERO,
+            batching: false, // one frame per envelope: all of them must arrive
+            recv_shards: 4,
+            send_shards: 4,
+            ..RunOptions::default()
+        };
+        let runner = tokio::spawn(async move {
+            let nodes: Vec<Burst> = (0..instances).map(|_| Burst { id: NodeId(0), k }).collect();
+            run_instances(nodes, keychain, addrs, opts).await
+        });
+
+        tokio::time::sleep(Duration::from_millis(250)).await;
+        let listener = TcpListener::bind(peer_addr).await.unwrap();
+        let reader = tokio::spawn(async move {
+            let kc = delphi_crypto::Keychain::derive(b"lane-drain", NodeId(1), 2);
+            let (mut stream, _) = listener.accept().await.unwrap();
+            let mut got = 0usize;
+            while got < total {
+                let mut len_buf = [0u8; 4];
+                stream.read_exact(&mut len_buf).await.unwrap();
+                let mut body = vec![0u8; u32::from_be_bytes(len_buf) as usize];
+                stream.read_exact(&mut body).await.unwrap();
+                let (from, entries) = decode_any_frame(&kc, &body).expect("authentic frame");
+                assert_eq!(from, NodeId(0));
+                got += entries.len();
+            }
+            got
+        });
+
+        let (_, stats) = runner.await.unwrap().expect("run ok");
+        assert_eq!(stats.sent_frames, total as u64, "every lane drained before writer close");
+        assert_eq!(stats.sent_entries, total as u64);
+        assert_eq!(stats.egress_shard_entries.iter().sum::<u64>(), total as u64);
+        assert!(
+            stats.egress_shard_entries.iter().filter(|&&c| c > 0).count() > 1,
+            "the burst must have exercised more than one lane: {:?}",
+            stats.egress_shard_entries
+        );
+        assert_eq!(reader.await.unwrap(), total, "slow peer received every frame");
+    }
+
     /// One-round epoch gossip: each `(epoch, asset)` instance broadcasts
     /// once and outputs after `n - 1` greetings — completion needs every
     /// peer, so the stream exercises real multi-epoch coordination.
@@ -1474,6 +1570,7 @@ mod tests {
         seed: &'static [u8],
         flush: FlushPolicy,
         recv_shards: usize,
+        send_shards: usize,
     ) -> Vec<NetStats> {
         use delphi_primitives::{EpochConfig, EpochOutcome};
         let n = 3;
@@ -1485,7 +1582,7 @@ mod tests {
             let keychain = delphi_crypto::Keychain::derive(seed, id, n);
             let mux = epoch_mux(id, n, EpochConfig::new(epochs, assets, 2, 4, 1));
             let addrs = addrs.clone();
-            let opts = RunOptions { flush, recv_shards, ..RunOptions::default() };
+            let opts = RunOptions { flush, recv_shards, send_shards, ..RunOptions::default() };
             handles.push(tokio::spawn(async move {
                 run_epoch_service(mux, keychain, addrs, opts).await?.finish().await
             }));
@@ -1513,7 +1610,7 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn epoch_service_streams_over_loopback() {
-        let stats = run_epoch_cluster(b"epoch-stream", FlushPolicy::PerStep, 1).await;
+        let stats = run_epoch_cluster(b"epoch-stream", FlushPolicy::PerStep, 1, 1).await;
         for s in &stats {
             assert!(s.sent_frames > 0 && s.recv_frames > 0);
             assert!(s.recv_entries >= s.recv_frames);
@@ -1525,7 +1622,7 @@ mod tests {
         // The same stream with a 2-way sharded receive path: identical
         // (merged, basket-ordered) events — run_epoch_cluster asserts the
         // values — with dispatch spread over both shard counters.
-        let stats = run_epoch_cluster(b"epoch-sharded", FlushPolicy::PerStep, 2).await;
+        let stats = run_epoch_cluster(b"epoch-sharded", FlushPolicy::PerStep, 2, 1).await;
         for s in &stats {
             assert_eq!(s.dropped_frames, 0);
             let spread = s.shard_entries.iter().filter(|&&c| c > 0).count();
@@ -1535,12 +1632,41 @@ mod tests {
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sharded_send_lanes_preserve_epoch_stream() {
+        // Receive shards 2 × send shards 2: with two shard classes, lane
+        // assignment is `class % 2 == class`, so each egress lane's entry
+        // count must equal the count the RECEIVERS dispatch on that shard
+        // — the per-shard egress load the simulator models is the real
+        // per-lane load, by construction. run_epoch_cluster already
+        // asserts the merged events are identical to every other
+        // configuration's.
+        let stats = run_epoch_cluster(b"epoch-send-sharded", FlushPolicy::PerStep, 2, 2).await;
+        let mut egress_lane_totals = [0u64; MAX_RECV_SHARDS];
+        let mut recv_shard_totals = [0u64; MAX_RECV_SHARDS];
+        for s in &stats {
+            assert_eq!(s.dropped_egress, 0);
+            assert_eq!(s.egress_shard_entries.iter().sum::<u64>(), s.sent_entries);
+            assert_eq!(s.egress_shard_macs.iter().sum::<u64>(), s.sent_frames);
+            let spread = s.egress_shard_entries.iter().filter(|&&c| c > 0).count();
+            assert!(spread > 1, "egress must spread across lanes: {:?}", s.egress_shard_entries);
+            for lane in 0..MAX_RECV_SHARDS {
+                egress_lane_totals[lane] += s.egress_shard_entries[lane];
+                recv_shard_totals[lane] += s.shard_entries[lane];
+            }
+        }
+        assert_eq!(
+            egress_lane_totals, recv_shard_totals,
+            "per-lane egress load == per-shard dispatch load across the cluster"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn more_shards_than_assets_clamps_instead_of_wedging() {
         // recv_shards = 4 with a 2-asset basket: the service must clamp
         // the shard count to the basket so ingress routing and the
         // pipeline split agree — a mismatched modulus would strand
         // entries on workers that own nothing and time the stream out.
-        let stats = run_epoch_cluster(b"epoch-overshard", FlushPolicy::PerStep, 4).await;
+        let stats = run_epoch_cluster(b"epoch-overshard", FlushPolicy::PerStep, 4, 1).await;
         for s in &stats {
             assert_eq!(s.dropped_frames, 0);
             assert_eq!(s.shard_entries.iter().sum::<u64>(), s.recv_entries);
@@ -1554,7 +1680,7 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn adaptive_flush_cuts_frames_per_entry_over_tcp() {
-        let per_step = run_epoch_cluster(b"epoch-perstep", FlushPolicy::PerStep, 1).await;
+        let per_step = run_epoch_cluster(b"epoch-perstep", FlushPolicy::PerStep, 1, 1).await;
         let adaptive = run_epoch_cluster(
             b"epoch-adaptive",
             FlushPolicy::Adaptive {
@@ -1562,6 +1688,7 @@ mod tests {
                 max_bytes: 4096,
                 max_delay: Duration::from_millis(5),
             },
+            1,
             1,
         )
         .await;

@@ -1,30 +1,46 @@
 //! Per-peer authenticated sessions: framing format choice, batching,
-//! adaptive flushing, and drain-on-shutdown.
+//! adaptive flushing, sharded egress lanes, and drain-on-shutdown.
 //!
 //! A [`SessionSet`] sits between the protocol-driving service layer and
-//! the [`transport`](crate::transport) write loops. It owns one outbound
-//! queue per peer and encodes every protocol step's envelope bursts into
-//! authenticated frames:
+//! the [`transport`](crate::transport) write loops. Since the send path
+//! was sharded it is a thin router in front of `send_shards` egress lane
+//! workers ([`EgressLane`]), each owning a disjoint set of the
+//! *(destination, receive shard)* pending buffers:
 //!
+//! - the router partitions every step's envelope bursts by destination
+//!   and receive-shard class (the same stable `shard()` hash the
+//!   receive path dispatches by) and hands each group to the lane owning
+//!   that class (`class % send_shards`);
+//! - each lane accumulates entries under the session's [`FlushPolicy`]
+//!   on its own task — running the size triggers inline and the
+//!   adaptive time trigger on its own timer — and performs frame encode
+//!   plus HMAC there, so MAC work parallelizes across lanes instead of
+//!   serializing on the service loop;
+//! - lane assignment never splits a `(destination, shard)` buffer, so
+//!   the frames on the wire are byte-identical for any `send_shards`:
+//!   send sharding is pure CPU parallelism, which is what keeps the
+//!   sim/TCP frame-accounting parity tests exact;
 //! - with batching on, all envelopes of one step bound for the same peer
-//!   share one v2 frame (one HMAC tag for the whole step);
-//! - a solo (single-instance) runner keeps the 4-bytes-cheaper v1 format
-//!   for single-envelope steps, while multi-instance runs speak pure v2 so
-//!   byte accounting matches the simulator's `Mux`;
-//! - both the one-shot and the epoch path accumulate entries in per-peer
-//!   pending buffers under a [`FlushPolicy`] — per-step for the classic
-//!   cost model, adaptive (size triggers here, the time trigger in the
-//!   service loop) to amortize frames and tags across steps;
+//!   share one v2 frame (one HMAC tag for the whole step); a solo
+//!   (single-instance) runner keeps the 4-bytes-cheaper v1 format for
+//!   single-envelope flushes;
 //! - routing and pending buffers are recycled between flushes (the
 //!   free-list in `PendingBatchesBy`), so a steady-state flush allocates
 //!   nothing but the frame itself; `NetStats::buffer_reuses` counts the
 //!   hits;
-//! - [`SessionSet::shutdown`] closes every queue and waits (bounded) for
-//!   the write loops to flush, so a slow peer still receives everything
-//!   that was queued.
+//! - encoded frames are `try_send`-handed to the bounded per-peer writer
+//!   queues; a full queue drops the frame, counted globally
+//!   (`dropped_egress`), per lane (`dropped_egress_shard`) and per
+//!   `(peer, lane)` site — so a single slow peer (drops in one peer's
+//!   row, across lanes) is never confused with a saturated lane (drops
+//!   in one lane's column, across peers);
+//! - [`SessionSet::shutdown`] closes the lanes first — each flushes
+//!   everything it still buffers — and only then closes the writer
+//!   queues and waits (bounded) for the write loops to flush, so a slow
+//!   peer still receives everything that was queued.
 
 use std::net::SocketAddr;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,54 +54,288 @@ use delphi_primitives::{
 use tokio::sync::mpsc;
 
 use crate::frame::{encode_batch_frame, encode_epoch_frame, encode_frame};
-use crate::transport::{spawn_writer, Counters};
+use crate::transport::{spawn_writer, Counters, MAX_RECV_SHARDS};
 
-/// Hands `frame` to a peer's bounded writer queue, dropping (and
-/// counting) it when the peer is `egress_capacity` frames behind. The
-/// flush paths are synchronous, so blocking for room is not an option —
-/// and is not wanted: a peer slower than its queue is treated like a
-/// crashed peer (the `t < n/3` budget) instead of a memory leak. A
-/// closed queue means the writer already exited (shutdown/abort); the
+/// Capacity (messages) of each egress lane's inbox. The router `await`s
+/// when a lane falls this far behind — backpressure on the protocol
+/// loop, never unbounded growth; actual frame dropping happens only at
+/// the bounded per-peer writer queues.
+const LANE_QUEUE_MSGS: usize = 1024;
+
+/// Hands `frame` to a peer's bounded writer queue, returning whether it
+/// was dropped because the peer is `egress_capacity` frames behind. The
+/// lane flush paths are synchronous, so blocking for room is not an
+/// option — and is not wanted: a peer slower than its queue is treated
+/// like a crashed peer (the `t < n/3` budget) instead of a memory leak.
+/// A closed queue means the writer already exited (shutdown/abort); the
 /// frame is silently discarded exactly as the old unbounded send was.
-fn send_or_drop(tx: &mpsc::Sender<Bytes>, frame: Bytes, counters: &Counters) {
+fn send_or_drop(tx: &mpsc::Sender<Bytes>, frame: Bytes, counters: &Counters) -> bool {
     if let Err(mpsc::error::TrySendError::Full(_)) = tx.try_send(frame) {
         counters.dropped_egress.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+/// Per-`(peer, lane)` egress drop sites: the attribution that separates
+/// "peer 2 is slow" (one row lights up, across lanes) from "lane 0 is
+/// saturated" (one column lights up, across peers). Shared between the
+/// lanes; the first drop at a site emits one log line.
+struct EgressDropSites {
+    /// `counts[peer * MAX_RECV_SHARDS + lane]`.
+    counts: Vec<AtomicU64>,
+}
+
+impl EgressDropSites {
+    fn new(n: usize) -> EgressDropSites {
+        EgressDropSites { counts: (0..n * MAX_RECV_SHARDS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Records one drop at `(peer, lane)`, returning the new site count.
+    fn record(&self, peer: usize, lane: usize) -> u64 {
+        self.counts[peer * MAX_RECV_SHARDS + lane].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Per-peer rows of per-lane drop counts.
+    #[cfg(test)]
+    fn snapshot(&self) -> Vec<[u64; MAX_RECV_SHARDS]> {
+        self.counts
+            .chunks(MAX_RECV_SHARDS)
+            .map(|row| {
+                let mut out = [0u64; MAX_RECV_SHARDS];
+                for (slot, c) in out.iter_mut().zip(row) {
+                    *slot = c.load(Ordering::Relaxed);
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// Work shipped from the router to an egress lane. Entries arrive
+/// already partitioned to one *(destination, receive shard)* pending
+/// slot; `Flush` releases everything the lane still buffers (the start
+/// bursts and pre-drain flushes the service loop requests explicitly —
+/// the adaptive time trigger runs on the lane's own timer).
+enum LaneMsg {
+    Solo { slot: usize, entries: Vec<(InstanceId, Bytes)> },
+    Epoch { slot: usize, entries: Vec<(AgreementId, Bytes)> },
+    Flush,
+}
+
+/// One egress shard worker: owns the pending buffers of its receive-
+/// shard classes, runs the flush policy's size and time triggers, and
+/// performs frame encode + HMAC on its own task.
+struct EgressLane {
+    lane: usize,
+    keychain: Arc<Keychain>,
+    counters: Arc<Counters>,
+    drop_sites: Arc<EgressDropSites>,
+    /// Clones of the per-peer writer senders: writers observe close only
+    /// once every lane has exited *and* the router dropped its copies.
+    peer_tx: Vec<Option<mpsc::Sender<Bytes>>>,
+    batching: bool,
+    solo: bool,
+    recv_shards: usize,
+    /// Per-slot epoch entries awaiting flush (epoch streams only) —
+    /// the same accumulator `EpochProtocol` uses under the simulator, so
+    /// the two transports share one flush-trigger semantics. Full-size
+    /// (`n * recv_shards` slots); only this lane's classes see traffic.
+    pending: PendingBatches,
+    /// Per-slot one-shot entries awaiting flush (`run_instances`).
+    pending_solo: PendingBatchesBy<InstanceId>,
+    /// The adaptive policy's time trigger (None per-step).
+    flush_delay: Option<Duration>,
+    /// Reuse hits already published into the shared counter.
+    published_reuses: u64,
+}
+
+impl EgressLane {
+    /// The lane's event loop: accumulate, flush on size/time triggers or
+    /// explicit `Flush`, and drain everything when the router closes the
+    /// inbox (shutdown) — before the writer queues close behind it.
+    async fn run(mut self, mut rx: mpsc::Receiver<LaneMsg>) {
+        let mut flush_at: Option<tokio::time::Instant> = None;
+        loop {
+            let msg = match flush_at {
+                Some(at) => tokio::select! {
+                    m = rx.recv() => Some(m),
+                    _ = tokio::time::sleep_until(at) => None,
+                },
+                None => Some(rx.recv().await),
+            };
+            match msg {
+                Some(Some(LaneMsg::Solo { slot, mut entries })) => {
+                    if self.pending_solo.push_drain(slot, &mut entries) {
+                        self.flush_solo_slot(slot);
+                    }
+                }
+                Some(Some(LaneMsg::Epoch { slot, mut entries })) => {
+                    if self.pending.push_drain(slot, &mut entries) {
+                        self.flush_epoch_slot(slot);
+                    }
+                }
+                Some(Some(LaneMsg::Flush)) | None => {
+                    self.flush_all();
+                    flush_at = None;
+                }
+                Some(None) => break,
+            }
+            // The lane's own time trigger: armed while anything is
+            // pending, disarmed once a flush emptied every slot.
+            if let Some(delay) = self.flush_delay {
+                if !(self.pending.has_pending() || self.pending_solo.has_pending()) {
+                    flush_at = None;
+                } else if flush_at.is_none() {
+                    flush_at = Some(tokio::time::Instant::now() + delay);
+                }
+            }
+        }
+        // Inbox closed: final drain, while the writer queues are still
+        // open (shutdown joins the lanes before closing them).
+        self.flush_all();
+    }
+
+    fn flush_all(&mut self) {
+        for slot in 0..self.pending.dests() {
+            self.flush_epoch_slot(slot);
+        }
+        for slot in 0..self.pending_solo.dests() {
+            self.flush_solo_slot(slot);
+        }
+    }
+
+    /// Hands one encoded frame to `dest`'s writer queue, attributing any
+    /// overflow drop to this lane and the `(peer, lane)` site.
+    fn ship_frame(&self, dest: usize, tx: &mpsc::Sender<Bytes>, frame: Bytes) {
+        if send_or_drop(tx, frame, &self.counters) {
+            self.counters.dropped_egress_shard[self.lane].fetch_add(1, Ordering::Relaxed);
+            if self.drop_sites.record(dest, self.lane) == 1 {
+                eprintln!(
+                    "delphi-net: egress lane {} started dropping frames to peer {} \
+                     (writer queue full)",
+                    self.lane, dest
+                );
+            }
+        }
+    }
+
+    fn flush_solo_slot(&mut self, slot: usize) {
+        let entries = self.pending_solo.take(slot);
+        if entries.is_empty() {
+            return;
+        }
+        let dest = slot / self.recv_shards;
+        let Some(Some(tx)) = self.peer_tx.get(dest) else {
+            self.pending_solo.recycle(entries);
+            return;
+        };
+        self.counters.egress_shard_entries[self.lane]
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let to = NodeId(dest as u16);
+        if self.batching {
+            let frame = match &entries[..] {
+                [(_, payload)] if self.solo => encode_frame(&self.keychain, to, payload),
+                _ => encode_batch_frame(&self.keychain, to, &entries),
+            };
+            self.count_mac();
+            self.ship_frame(dest, tx, frame);
+        } else {
+            // One frame per entry: the measurement baseline.
+            for (instance, payload) in &entries {
+                let frame = if self.solo {
+                    encode_frame(&self.keychain, to, payload)
+                } else {
+                    encode_batch_frame(&self.keychain, to, &[(*instance, payload.clone())])
+                };
+                self.count_mac();
+                self.ship_frame(dest, tx, frame);
+            }
+        }
+        self.pending_solo.recycle(entries);
+        self.publish_reuses();
+    }
+
+    fn flush_epoch_slot(&mut self, slot: usize) {
+        let entries = self.pending.take(slot);
+        if entries.is_empty() {
+            return;
+        }
+        let dest = slot / self.recv_shards;
+        let Some(Some(tx)) = self.peer_tx.get(dest) else {
+            self.pending.recycle(entries);
+            return;
+        };
+        self.counters.egress_shard_entries[self.lane]
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let to = NodeId(dest as u16);
+        if self.batching {
+            let frame = encode_epoch_frame(&self.keychain, to, &entries);
+            self.count_mac();
+            self.ship_frame(dest, tx, frame);
+        } else {
+            // One frame per entry: the measurement baseline.
+            for entry in &entries {
+                let frame = encode_epoch_frame(&self.keychain, to, std::slice::from_ref(entry));
+                self.count_mac();
+                self.ship_frame(dest, tx, frame);
+            }
+        }
+        self.pending.recycle(entries);
+        self.publish_reuses();
+    }
+
+    /// One encode-side HMAC: counted globally and attributed to the lane.
+    fn count_mac(&self) {
+        self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
+        self.counters.egress_shard_macs[self.lane].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes fresh pending-buffer reuse hits into the shared stats
+    /// (per-lane deltas: lanes share the counter, so `store` would race).
+    fn publish_reuses(&mut self) {
+        let total = self.pending.reuse_hits() + self.pending_solo.reuse_hits();
+        let delta = total - self.published_reuses;
+        if delta > 0 {
+            self.counters.buffer_reuses.fetch_add(delta, Ordering::Relaxed);
+            self.published_reuses = total;
+        }
     }
 }
 
 /// The outbound half of a full-mesh node: one authenticated session per
-/// peer, plus the framing/batching policy shared by all of them.
+/// peer, partitioned across `send_shards` egress lane workers.
 ///
 /// One-shot runs queue whole steps ([`SessionSet::enqueue_step`]); epoch
 /// streams queue epoch-addressed entries
-/// ([`SessionSet::enqueue_epoch_step`]). Both paths accumulate in pending
-/// buffers under the session's [`FlushPolicy`] — one buffer per
-/// *(destination, receive shard)*, so a sharded deployment's frames each
-/// land wholly on one of the receiver's dispatch workers, exactly like
-/// the simulator's `EpochProtocol::new_sharded` sender model.
+/// ([`SessionSet::enqueue_epoch_step`]). Both paths route per
+/// *(destination, receive shard)* — so a sharded deployment's frames
+/// each land wholly on one of the receiver's dispatch workers, exactly
+/// like the simulator's `EpochProtocol::new_sharded` sender model — and
+/// the owning lane (`shard class % send_shards`) batches, encodes, and
+/// MACs them off the service loop.
 pub(crate) struct SessionSet {
     /// `peer_tx[p]` queues frames for peer `p`; `None` at our own slot.
     /// Queues are bounded (`egress_capacity` frames): a peer that falls
     /// further behind has its frames dropped and counted in
     /// `NetStats::dropped_egress` — a slower-than-capacity peer is
     /// treated as crashed (within the `t < n/3` budget) rather than
-    /// allowed to inflate memory or stall the flush path.
+    /// allowed to inflate memory or stall the flush path. The router
+    /// keeps these originals so writers close only after the lanes (which
+    /// hold clones) have drained and exited.
     peer_tx: Vec<Option<mpsc::Sender<Bytes>>>,
     writer_tasks: Vec<tokio::task::JoinHandle<()>>,
-    keychain: Arc<Keychain>,
+    /// `lane_tx[l]` feeds egress lane `l`; closing them (shutdown) makes
+    /// each lane flush its remaining buffers and exit.
+    lane_tx: Vec<mpsc::Sender<LaneMsg>>,
+    lane_tasks: Vec<tokio::task::JoinHandle<()>>,
+    me: NodeId,
     counters: Arc<Counters>,
-    batching: bool,
-    /// Single-instance runs keep the v1 format for lone envelopes.
-    solo: bool,
+    #[cfg_attr(not(test), allow(dead_code))]
+    drop_sites: Arc<EgressDropSites>,
     /// Receive shards the deployment runs (1 = unsharded): pending slots
     /// are indexed `dest * recv_shards + shard`.
     recv_shards: usize,
-    /// Per-slot epoch entries awaiting flush (epoch streams only) —
-    /// the same accumulator `EpochProtocol` uses under the simulator, so
-    /// the two transports share one flush-trigger semantics.
-    pending: PendingBatches,
-    /// Per-slot one-shot entries awaiting flush (`run_instances`).
-    pending_solo: PendingBatchesBy<InstanceId>,
     /// Reused routing buffers, one set per address space.
     route_epoch: Vec<Vec<(AgreementId, Bytes)>>,
     route_solo: Vec<Vec<(InstanceId, Bytes)>>,
@@ -96,10 +346,13 @@ pub(crate) struct SessionSet {
 
 impl SessionSet {
     /// Opens a session (a lazy-dialing write loop) to every peer in
-    /// `addrs` except `keychain.node_id()` itself. `recv_shards` is the
+    /// `addrs` except `keychain.node_id()` itself, and spawns
+    /// `send_shards` egress lane workers over them. `recv_shards` is the
     /// deployment's receive-shard count: outbound batches are flushed per
     /// `(destination, shard)` so every frame belongs wholly to one of the
-    /// receiver's dispatch workers.
+    /// receiver's dispatch workers; lane `class % send_shards` owns each
+    /// shard class end to end (send parallelism therefore tops out at
+    /// `recv_shards` lanes).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn connect(
         keychain: Arc<Keychain>,
@@ -110,9 +363,14 @@ impl SessionSet {
         solo: bool,
         flush: FlushPolicy,
         recv_shards: usize,
+        send_shards: usize,
         egress_capacity: usize,
     ) -> SessionSet {
         assert!(recv_shards >= 1, "need at least one receive shard");
+        assert!(
+            (1..=MAX_RECV_SHARDS).contains(&send_shards),
+            "send shards must be in 1..={MAX_RECV_SHARDS}"
+        );
         assert!(egress_capacity >= 1, "need at least one frame of egress capacity");
         let me = keychain.node_id();
         let n = addrs.len();
@@ -132,16 +390,41 @@ impl SessionSet {
                 counters.clone(),
             ));
         }
+        let flush_delay = match flush {
+            FlushPolicy::Adaptive { max_delay, .. } => Some(max_delay),
+            FlushPolicy::PerStep => None,
+        };
+        let drop_sites = Arc::new(EgressDropSites::new(n));
+        let mut lane_tx = Vec::with_capacity(send_shards);
+        let mut lane_tasks = Vec::with_capacity(send_shards);
+        for lane in 0..send_shards {
+            let (tx, rx) = mpsc::channel::<LaneMsg>(LANE_QUEUE_MSGS);
+            lane_tx.push(tx);
+            let worker = EgressLane {
+                lane,
+                keychain: keychain.clone(),
+                counters: counters.clone(),
+                drop_sites: drop_sites.clone(),
+                peer_tx: peer_tx.clone(),
+                batching,
+                solo,
+                recv_shards,
+                pending: PendingBatches::new(n * recv_shards, flush),
+                pending_solo: PendingBatchesBy::new(n * recv_shards, flush),
+                flush_delay,
+                published_reuses: 0,
+            };
+            lane_tasks.push(tokio::spawn(worker.run(rx)));
+        }
         SessionSet {
             peer_tx,
             writer_tasks,
-            keychain,
+            lane_tx,
+            lane_tasks,
+            me,
             counters,
-            batching,
-            solo,
+            drop_sites,
             recv_shards,
-            pending: PendingBatches::new(n * recv_shards, flush),
-            pending_solo: PendingBatchesBy::new(n * recv_shards, flush),
             route_epoch: Vec::new(),
             route_solo: Vec::new(),
             shard_epoch: std::iter::repeat_with(Vec::new).take(recv_shards).collect(),
@@ -149,30 +432,37 @@ impl SessionSet {
         }
     }
 
+    /// Hands one partitioned group to the lane owning `class`. An `await`
+    /// here is backpressure on a lane more than [`LANE_QUEUE_MSGS`]
+    /// behind; a closed lane means shutdown already ran and the group is
+    /// discarded exactly like a send on a closed writer queue was.
+    async fn ship(&self, class: usize, msg: LaneMsg) {
+        let lane = class % self.lane_tx.len();
+        let _ = self.lane_tx[lane].send(msg).await;
+    }
+
     /// Queues one protocol step's output: the envelope bursts of every
-    /// instance that acted, accumulated per destination (and receive
-    /// shard) and flushed per the session's [`FlushPolicy`] (per-step
+    /// instance that acted, routed per destination (and receive shard)
+    /// and handed to the owning egress lane, which accumulates and
+    /// flushes them per the session's [`FlushPolicy`] (per-step
     /// immediately — the classic one-frame-per-step cost model; adaptive
-    /// on size triggers, with the service loop's flush timer as the time
-    /// trigger).
+    /// on size triggers, with the lane's own timer as the time trigger).
     ///
     /// Multi-instance runs speak pure v2 so `NetStats` byte counts equal
     /// the simulator's `Mux` accounting; solo single-envelope flushes
     /// keep the (4 bytes cheaper) v1 format.
-    pub(crate) fn enqueue_step(&mut self, bursts: Vec<(InstanceId, Vec<Envelope>)>) {
-        let me = self.keychain.node_id();
+    pub(crate) async fn enqueue_step(&mut self, bursts: Vec<(InstanceId, Vec<Envelope>)>) {
         let (n, shards) = (self.peer_tx.len(), self.recv_shards);
         let mut routed = std::mem::take(&mut self.route_solo);
-        route_bursts_into(bursts, n, me, &mut routed);
+        route_bursts_into(bursts, n, self.me, &mut routed);
         for (dest, entries) in routed.iter_mut().enumerate() {
             if entries.is_empty() || self.peer_tx[dest].is_none() {
                 continue;
             }
             self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
             if shards == 1 {
-                if self.pending_solo.push_drain(dest, entries) {
-                    self.flush_solo_slot(dest);
-                }
+                let entries = std::mem::take(entries);
+                self.ship(0, LaneMsg::Solo { slot: dest, entries }).await;
                 continue;
             }
             // Partition into shard classes so every flushed frame lands
@@ -182,32 +472,31 @@ impl SessionSet {
                 groups[id.shard(shards)].push((id, payload));
             }
             for (shard, group) in groups.iter_mut().enumerate() {
-                if self.pending_solo.push_drain(dest * shards + shard, group) {
-                    self.flush_solo_slot(dest * shards + shard);
+                if group.is_empty() {
+                    continue;
                 }
+                let entries = std::mem::take(group);
+                self.ship(shard, LaneMsg::Solo { slot: dest * shards + shard, entries }).await;
             }
             self.shard_solo = groups;
         }
         self.route_solo = routed;
     }
 
-    /// Queues one epoch-stream step: epoch-addressed bursts routed into
-    /// the per-(destination, shard) pending buffers, flushed per the
-    /// session's [`FlushPolicy`].
-    pub(crate) fn enqueue_epoch_step(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>) {
-        let me = self.keychain.node_id();
+    /// Queues one epoch-stream step: epoch-addressed bursts routed per
+    /// (destination, shard) and handed to the owning egress lane.
+    pub(crate) async fn enqueue_epoch_step(&mut self, bursts: Vec<(AgreementId, Vec<Envelope>)>) {
         let (n, shards) = (self.peer_tx.len(), self.recv_shards);
         let mut routed = std::mem::take(&mut self.route_epoch);
-        route_epoch_bursts_into(bursts, n, me, &mut routed);
+        route_epoch_bursts_into(bursts, n, self.me, &mut routed);
         for (dest, entries) in routed.iter_mut().enumerate() {
             if entries.is_empty() || self.peer_tx[dest].is_none() {
                 continue;
             }
             self.counters.sent_entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
             if shards == 1 {
-                if self.pending.push_drain(dest, entries) {
-                    self.flush_epoch_slot(dest);
-                }
+                let entries = std::mem::take(entries);
+                self.ship(0, LaneMsg::Epoch { slot: dest, entries }).await;
                 continue;
             }
             let mut groups = std::mem::take(&mut self.shard_epoch);
@@ -215,116 +504,61 @@ impl SessionSet {
                 groups[id.shard(shards)].push((id, payload));
             }
             for (shard, group) in groups.iter_mut().enumerate() {
-                if self.pending.push_drain(dest * shards + shard, group) {
-                    self.flush_epoch_slot(dest * shards + shard);
+                if group.is_empty() {
+                    continue;
                 }
+                let entries = std::mem::take(group);
+                self.ship(shard, LaneMsg::Epoch { slot: dest * shards + shard, entries }).await;
             }
             self.shard_epoch = groups;
         }
         self.route_epoch = routed;
     }
 
-    /// Flushes every slot's pending epoch entries (the time trigger, and
-    /// the pre-shutdown drain).
-    pub(crate) fn flush_epochs(&mut self) {
-        for slot in 0..self.pending.dests() {
-            self.flush_epoch_slot(slot);
+    /// Asks every lane to flush its pending epoch entries (start bursts
+    /// and pre-shutdown drains; the adaptive time trigger runs on the
+    /// lanes' own timers). Lane inboxes are FIFO, so the flush lands
+    /// after everything enqueued before it.
+    pub(crate) async fn flush_epochs(&mut self) {
+        for tx in &self.lane_tx {
+            let _ = tx.send(LaneMsg::Flush).await;
         }
     }
 
-    /// Flushes every slot's pending one-shot entries.
-    pub(crate) fn flush_steps(&mut self) {
-        for slot in 0..self.pending_solo.dests() {
-            self.flush_solo_slot(slot);
+    /// Asks every lane to flush its pending one-shot entries.
+    pub(crate) async fn flush_steps(&mut self) {
+        for tx in &self.lane_tx {
+            let _ = tx.send(LaneMsg::Flush).await;
         }
     }
 
-    /// Whether any peer has unflushed epoch entries.
-    pub(crate) fn has_pending_epochs(&self) -> bool {
-        self.pending.has_pending()
+    /// The shared per-`(peer, lane)` drop sites (test observability).
+    #[cfg(test)]
+    fn drop_sites(&self) -> Arc<EgressDropSites> {
+        self.drop_sites.clone()
     }
 
-    /// Whether any peer has unflushed one-shot entries.
-    pub(crate) fn has_pending_steps(&self) -> bool {
-        self.pending_solo.has_pending()
-    }
-
-    fn flush_solo_slot(&mut self, slot: usize) {
-        let entries = self.pending_solo.take(slot);
-        if entries.is_empty() {
-            return;
-        }
-        let dest = slot / self.recv_shards;
-        let Some(Some(tx)) = self.peer_tx.get(dest) else {
-            self.pending_solo.recycle(entries);
-            return;
-        };
-        let to = NodeId(dest as u16);
-        if self.batching {
-            let frame = match &entries[..] {
-                [(_, payload)] if self.solo => encode_frame(&self.keychain, to, payload),
-                _ => encode_batch_frame(&self.keychain, to, &entries),
-            };
-            self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-            send_or_drop(tx, frame, &self.counters);
-        } else {
-            // One frame per entry: the measurement baseline.
-            for (instance, payload) in &entries {
-                let frame = if self.solo {
-                    encode_frame(&self.keychain, to, payload)
-                } else {
-                    encode_batch_frame(&self.keychain, to, &[(*instance, payload.clone())])
-                };
-                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                send_or_drop(tx, frame, &self.counters);
-            }
-        }
-        self.pending_solo.recycle(entries);
-        self.sync_reuse_counter();
-    }
-
-    fn flush_epoch_slot(&mut self, slot: usize) {
-        let entries = self.pending.take(slot);
-        if entries.is_empty() {
-            return;
-        }
-        let dest = slot / self.recv_shards;
-        let Some(Some(tx)) = self.peer_tx.get(dest) else {
-            self.pending.recycle(entries);
-            return;
-        };
-        let to = NodeId(dest as u16);
-        if self.batching {
-            let frame = encode_epoch_frame(&self.keychain, to, &entries);
-            self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-            send_or_drop(tx, frame, &self.counters);
-        } else {
-            // One frame per entry: the measurement baseline.
-            for entry in &entries {
-                let frame = encode_epoch_frame(&self.keychain, to, std::slice::from_ref(entry));
-                self.counters.mac_ops.fetch_add(1, Ordering::Relaxed);
-                send_or_drop(tx, frame, &self.counters);
-            }
-        }
-        self.pending.recycle(entries);
-        self.sync_reuse_counter();
-    }
-
-    /// Publishes the pending-buffer reuse totals into the shared stats.
-    fn sync_reuse_counter(&self) {
-        self.counters
-            .buffer_reuses
-            .store(self.pending.reuse_hits() + self.pending_solo.reuse_hits(), Ordering::Relaxed);
-    }
-
-    /// Graceful drain: closes the per-peer queues so each write loop
-    /// flushes its remaining frames and exits at channel-close, then joins
-    /// every writer with a shared `drain_timeout` deadline. A fixed sleep
-    /// + abort here would lose whatever a slow peer had not yet accepted.
+    /// Graceful drain, in dependency order: close the lane inboxes so
+    /// every lane flushes its remaining buffers into the writer queues
+    /// and exits; then close the per-peer queues so each write loop
+    /// flushes its remaining frames and exits at channel-close; join
+    /// both layers against a shared `drain_timeout` deadline. Closing
+    /// the writers first would lose whatever the lanes still buffered —
+    /// the lanes-flush-before-writer-close ordering is load-bearing.
     pub(crate) async fn shutdown(self, drain_timeout: Duration) {
-        let SessionSet { peer_tx, writer_tasks, .. } = self;
-        drop(peer_tx);
+        let SessionSet { peer_tx, writer_tasks, lane_tx, lane_tasks, .. } = self;
         let drain_deadline = tokio::time::Instant::now() + drain_timeout;
+        drop(lane_tx);
+        for task in lane_tasks {
+            let mut task = task;
+            tokio::select! {
+                _ = &mut task => {},
+                _ = tokio::time::sleep_until(drain_deadline) => task.abort(),
+            }
+        }
+        // Lanes are gone (their peer_tx clones dropped); releasing the
+        // router's originals is what lets the writers observe close.
+        drop(peer_tx);
         for task in writer_tasks {
             let mut task = task;
             tokio::select! {
@@ -334,9 +568,13 @@ impl SessionSet {
         }
     }
 
-    /// Aborts every writer immediately, dropping queued frames (used on
-    /// deadline failure, where there is no output worth draining for).
+    /// Aborts every lane and writer immediately, dropping queued frames
+    /// (used on deadline failure, where there is no output worth
+    /// draining for).
     pub(crate) fn abort(self) {
+        for l in self.lane_tasks {
+            l.abort();
+        }
         for w in self.writer_tasks {
             w.abort();
         }
@@ -371,7 +609,7 @@ mod tests {
         tokio::runtime::Runtime::new().ok()?.block_on(rx.recv())
     }
 
-    #[tokio::test]
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
     async fn full_writer_queue_drops_frames_instead_of_growing() {
         // Peer 1 lives at a dead address (nothing listens on port 1), so
         // its writer can never drain. With `egress_capacity = 4`, flushing
@@ -391,20 +629,116 @@ mod tests {
             true,
             FlushPolicy::PerStep,
             1,
+            1,
             4,
         );
         for step in 0..100u16 {
-            sessions.enqueue_step(vec![(
-                InstanceId(0),
-                vec![Envelope::to_one(NodeId(1), Bytes::from(step.to_be_bytes().to_vec()))],
-            )]);
+            sessions
+                .enqueue_step(vec![(
+                    InstanceId(0),
+                    vec![Envelope::to_one(NodeId(1), Bytes::from(step.to_be_bytes().to_vec()))],
+                )])
+                .await;
         }
+        // Joining the (asynchronous) lane is the barrier that makes the
+        // drop count final; the parked writer is aborted at the deadline.
+        sessions.shutdown(Duration::from_millis(500)).await;
         let dropped = counters.dropped_egress.load(Ordering::Relaxed);
         assert!(
             (95..=96).contains(&dropped),
             "expected all but capacity(+1 in-flight) frames dropped, got {dropped}"
         );
+        assert_eq!(counters.dropped_egress_shard[0].load(Ordering::Relaxed), dropped);
         assert_eq!(counters.sent_frames.load(Ordering::Relaxed), 0);
-        sessions.abort();
+    }
+
+    /// Finds an instance id hashing to shard class `want` of 2.
+    fn id_of_class(want: usize) -> InstanceId {
+        (0u16..64)
+            .map(InstanceId)
+            .find(|i| i.shard(2) == want)
+            .expect("both classes occur within 64 ids")
+    }
+
+    /// One step carrying one envelope of shard class `class` to `dest`.
+    async fn send_one(sessions: &mut SessionSet, dest: u16, class: usize) {
+        sessions
+            .enqueue_step(vec![(
+                id_of_class(class),
+                vec![Envelope::to_one(NodeId(dest), Bytes::from_static(b"x"))],
+            )])
+            .await;
+    }
+
+    /// Builds a 3-node SessionSet (me = 0, peers 1 and 2 at dead
+    /// addresses) with 2 receive shards and 2 egress lanes.
+    fn dead_peer_sessions(counters: &Arc<Counters>) -> SessionSet {
+        let keychain = Arc::new(Keychain::derive(b"drop-attr", NodeId(0), 3));
+        let addrs: Vec<SocketAddr> = vec![
+            "127.0.0.1:9".parse().unwrap(),
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:1".parse().unwrap(),
+        ];
+        SessionSet::connect(
+            keychain,
+            &addrs,
+            Duration::from_secs(60), // park the writers after their first dial fails
+            counters.clone(),
+            true,
+            false,
+            FlushPolicy::PerStep,
+            2,
+            2,
+            2,
+        )
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn egress_drops_attribute_slow_peer_vs_saturated_lane() {
+        // Cause 1 — a slow peer: overflow traffic on BOTH shard classes,
+        // but only toward peer 1. Drops must land in peer 1's row across
+        // both lanes, and nowhere in peer 2's row — the signature that
+        // says "that peer is behind", not "a lane is saturated".
+        let counters = Arc::new(Counters::default());
+        let sessions = {
+            let mut s = dead_peer_sessions(&counters);
+            for _ in 0..30 {
+                send_one(&mut s, 1, 0).await;
+                send_one(&mut s, 1, 1).await;
+            }
+            s
+        };
+        let sites = sessions.drop_sites();
+        sessions.shutdown(Duration::from_millis(500)).await;
+        let rows = sites.snapshot();
+        assert!(rows[1][0] > 0 && rows[1][1] > 0, "slow peer drops on both lanes: {rows:?}");
+        assert!(rows[2].iter().all(|&c| c == 0), "no drops to the idle peer: {rows:?}");
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.dropped_egress_shard.iter().sum::<u64>(),
+            snap.dropped_egress,
+            "every drop is attributed to a lane"
+        );
+
+        // Cause 2 — a saturated lane: overflow traffic on ONE shard class
+        // toward both peers. Drops must land in lane 0's column across
+        // both peers, and never on lane 1.
+        let counters = Arc::new(Counters::default());
+        let sessions = {
+            let mut s = dead_peer_sessions(&counters);
+            for _ in 0..30 {
+                send_one(&mut s, 1, 0).await;
+                send_one(&mut s, 2, 0).await;
+            }
+            s
+        };
+        let sites = sessions.drop_sites();
+        sessions.shutdown(Duration::from_millis(500)).await;
+        let rows = sites.snapshot();
+        assert!(rows[1][0] > 0 && rows[2][0] > 0, "lane-0 drops for both peers: {rows:?}");
+        assert!(rows.iter().all(|row| row[1] == 0), "the idle lane must stay clean: {rows:?}");
+        let snap = counters.snapshot();
+        assert_eq!(snap.dropped_egress_shard[1], 0);
+        assert_eq!(snap.dropped_egress_shard[0], snap.dropped_egress);
     }
 }

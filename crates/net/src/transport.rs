@@ -39,7 +39,9 @@ pub(crate) const MAX_BACKOFF_FACTOR: u32 = 16;
 
 /// Maximum receive dispatch shards a runner may use
 /// ([`crate::RunOptions::recv_shards`] is clamped to this), sized so
-/// [`NetStats`] can carry fixed per-shard counters.
+/// [`NetStats`] can carry fixed per-shard counters. Send lanes
+/// ([`crate::RunOptions::send_shards`]) share the same bound: an egress
+/// lane serves one or more receive-shard classes, never the reverse.
 pub const MAX_RECV_SHARDS: usize = 8;
 
 /// Byte counters observed by the runner.
@@ -75,6 +77,20 @@ pub struct NetStats {
     /// Authenticated entries dispatched to each receive shard (index =
     /// shard; unsharded runs count everything on shard 0).
     pub shard_entries: [u64; MAX_RECV_SHARDS],
+    /// Entries flushed (encoded into frames) by each egress send lane
+    /// (index = lane; runs with one send shard count everything on
+    /// lane 0). Summed over lanes this equals `sent_entries` once the
+    /// lanes have drained.
+    pub egress_shard_entries: [u64; MAX_RECV_SHARDS],
+    /// HMAC tag computations performed by each egress send lane — the
+    /// per-lane attribution of the encode share of `mac_ops`.
+    pub egress_shard_macs: [u64; MAX_RECV_SHARDS],
+    /// Outbound frames dropped by each egress send lane because the
+    /// destination's bounded writer queue was full — the per-lane
+    /// attribution of `dropped_egress`. A saturated lane concentrates
+    /// drops on one index across peers; a slow peer spreads them across
+    /// lanes (the per-peer split lives in the session-layer drop log).
+    pub dropped_egress_shard: [u64; MAX_RECV_SHARDS],
 }
 
 /// Shared mutable counters behind [`NetStats`].
@@ -91,14 +107,23 @@ pub(crate) struct Counters {
     pub(crate) mac_ops: AtomicU64,
     pub(crate) buffer_reuses: AtomicU64,
     pub(crate) shard_entries: [AtomicU64; MAX_RECV_SHARDS],
+    pub(crate) egress_shard_entries: [AtomicU64; MAX_RECV_SHARDS],
+    pub(crate) egress_shard_macs: [AtomicU64; MAX_RECV_SHARDS],
+    pub(crate) dropped_egress_shard: [AtomicU64; MAX_RECV_SHARDS],
+}
+
+/// Loads a fixed-size atomic counter array into its snapshot form.
+fn load_array(counters: &[AtomicU64; MAX_RECV_SHARDS]) -> [u64; MAX_RECV_SHARDS] {
+    let mut out = [0u64; MAX_RECV_SHARDS];
+    for (slot, counter) in out.iter_mut().zip(counters) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    out
 }
 
 impl Counters {
     pub(crate) fn snapshot(&self) -> NetStats {
-        let mut shard_entries = [0u64; MAX_RECV_SHARDS];
-        for (out, counter) in shard_entries.iter_mut().zip(&self.shard_entries) {
-            *out = counter.load(Ordering::Relaxed);
-        }
+        let shard_entries = load_array(&self.shard_entries);
         NetStats {
             sent_frames: self.sent_frames.load(Ordering::Relaxed),
             sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
@@ -111,6 +136,9 @@ impl Counters {
             mac_ops: self.mac_ops.load(Ordering::Relaxed),
             buffer_reuses: self.buffer_reuses.load(Ordering::Relaxed),
             shard_entries,
+            egress_shard_entries: load_array(&self.egress_shard_entries),
+            egress_shard_macs: load_array(&self.egress_shard_macs),
+            dropped_egress_shard: load_array(&self.dropped_egress_shard),
         }
     }
 }

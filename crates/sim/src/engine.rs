@@ -126,6 +126,7 @@ pub struct Simulation {
     max_time_ns: u64,
     tick_interval_ns: Option<u64>,
     recv_shards: usize,
+    send_shards: Option<usize>,
 }
 
 impl Simulation {
@@ -142,6 +143,7 @@ impl Simulation {
             max_time_ns: 3_600_000_000_000,
             tick_interval_ns: None,
             recv_shards: 1,
+            send_shards: None,
         }
     }
 
@@ -195,6 +197,30 @@ impl Simulation {
         self
     }
 
+    /// Models a `shards`-way sharded send path: each node's outbound
+    /// frame preparation (encode + MAC) becomes `shards` independent CPU
+    /// lanes, and every per-destination copy of an envelope occupies the
+    /// lane named by its [`shard`](delphi_primitives::Envelope::shard)
+    /// tag (mod `shards`) — per the [`Topology::cost`](crate::Topology)
+    /// model on payload bytes — before the link serializes it.
+    ///
+    /// This is the simulator half of `delphi-net`'s egress lanes
+    /// (`RunOptions::send_shards`): the lane an envelope is costed on
+    /// here is by construction the lane that encodes and MACs it on the
+    /// TCP path, because both sides key on the same shard tag. Unset
+    /// (the default), outbound CPU is not modeled at all — the legacy
+    /// model, where the link is the only egress resource — so existing
+    /// calibrated sweeps are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn send_shards(mut self, shards: usize) -> Simulation {
+        assert!(shards > 0, "need at least one send shard");
+        self.send_shards = Some(shards);
+        self
+    }
+
     /// Enables periodic time triggers: every `interval` simulated
     /// nanoseconds, each node's [`Protocol::on_tick`] runs (the hook
     /// adaptive batch flushing hangs off). Ticks stop rescheduling once
@@ -235,6 +261,10 @@ impl Simulation {
         // shards of one node overlap, deliveries on one shard serialize.
         let shards = self.recv_shards;
         let mut cpu_free = vec![0u64; n * shards];
+        // One egress CPU lane per (node, send shard) when the sharded
+        // send path is modeled; zero lanes = legacy (no outbound CPU).
+        let send_lanes = self.send_shards.unwrap_or(0);
+        let mut send_free = vec![0u64; n * send_lanes];
         let mut link_free = vec![0u64; n];
         let mut last_arrival = if self.topology.fifo() { vec![0u64; n * n] } else { Vec::new() };
         let mut metrics = Metrics::new(n);
@@ -259,8 +289,20 @@ impl Simulation {
                         }
                     };
                     for dest in dests {
+                        // Egress lane CPU: encoding + MACing this frame
+                        // occupies the sender's lane for the envelope's
+                        // shard class before the link takes it — the
+                        // same (frame, lane) granularity the TCP egress
+                        // workers parallelize on.
+                        let mut ready = $t;
+                        if send_lanes > 0 {
+                            let lane = from * send_lanes + usize::from(env.shard) % send_lanes;
+                            send_free[lane] = send_free[lane].max($t)
+                                + self.topology.cost().cost_ns(env.payload.len());
+                            ready = send_free[lane];
+                        }
                         let ser = self.topology.serialize_ns(from, wire_len);
-                        link_free[from] = link_free[from].max($t) + ser;
+                        link_free[from] = link_free[from].max(ready) + ser;
                         let depart = link_free[from];
                         let base = self.topology.latency().base_ns(from, dest);
                         let factor = self.topology.jitter().sample(&mut rng);
@@ -751,5 +793,38 @@ mod tests {
         // every message lands on lane 0 either way.
         let untagged = run(4, 1);
         assert_eq!(untagged.completion_ns(), single.completion_ns());
+    }
+
+    #[test]
+    fn sharded_send_overlaps_encode_cost_across_lanes() {
+        // 8 frames at 10 ms encode CPU each, with the receive side spread
+        // over 4 lanes so it keeps up: one egress lane serializes the
+        // encodes (the last frame cannot even depart before ~80 ms), 4
+        // lanes overlap them. The completion ratio isolates egress CPU —
+        // the single-sender funnel the sharded send path removes.
+        let run = |send_lanes: usize, tag_shards: u16| {
+            let topo = Topology::lan(2)
+                .with_cost(crate::CostModel { per_message_ns: 10_000_000, per_byte_ns: 0 });
+            let nodes: Vec<Box<dyn Protocol<Output = usize>>> = NodeId::all(2)
+                .map(|id| {
+                    Box::new(ShardBurst { id, k: 8, shards: tag_shards, heard: 0 })
+                        as Box<dyn Protocol<Output = usize>>
+                })
+                .collect();
+            Simulation::new(topo).seed(4).recv_shards(4).send_shards(send_lanes).run(nodes)
+        };
+        let single = run(1, 4);
+        let sharded = run(4, 4);
+        assert_eq!(single.outputs[1], Some(8));
+        assert_eq!(sharded.outputs[1], Some(8));
+        let (t1, t4) = (single.completion_ns().unwrap(), sharded.completion_ns().unwrap());
+        assert!(
+            t4 * 2 < t1,
+            "4 egress lanes must overlap the encode CPU: {t1} ns single vs {t4} ns sharded"
+        );
+        // Lanes without tags change nothing: every frame encodes on lane
+        // 0 no matter how many lanes exist — send parallelism requires a
+        // sharded (tagging) sender, exactly as on the TCP path.
+        assert_eq!(run(4, 1).completion_ns(), run(1, 1).completion_ns());
     }
 }
