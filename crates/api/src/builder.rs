@@ -30,13 +30,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use delphi_core::oracle::PriceSource;
-use delphi_core::{DelphiConfig, OracleService};
+use delphi_core::{DelphiConfig, OracleService, VectorOracleService};
 use delphi_crypto::Keychain;
 use delphi_net::{
     run_epoch_service, EpochServiceHandle, NetError, NetStats, RunOptions, ServiceStats,
 };
 use delphi_primitives::{
-    EpochConfig, EpochEvent, EpochOutcome, EpochStats, FlushPolicy, InstanceId, NodeId,
+    flatten_vector_events, EpochConfig, EpochEvent, EpochOutcome, EpochStats, FlushPolicy,
+    InstanceId, NodeId,
 };
 
 use crate::attest::QuorumSigner;
@@ -58,6 +59,7 @@ pub struct ServiceBuilder {
     api_bind: Option<SocketAddr>,
     history: usize,
     subscriber_capacity: usize,
+    vector: bool,
 }
 
 impl ServiceBuilder {
@@ -75,6 +77,7 @@ impl ServiceBuilder {
             api_bind: None,
             history: 64,
             subscriber_capacity: 32,
+            vector: false,
         }
     }
 
@@ -173,6 +176,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Run each epoch's basket as ONE vector-valued agreement instance
+    /// instead of [`assets`](ServiceBuilder::assets) independent scalar
+    /// instances. The basket exchanges a single bundle per round and
+    /// walks the quorum machinery once per round rather than once per
+    /// asset; readers see the same per-asset feed either way. Off by
+    /// default — the per-asset path is byte-identical when unset.
+    pub fn vector_baskets(mut self, vector: bool) -> ServiceBuilder {
+        self.vector = vector;
+        self
+    }
+
     fn epoch_config(&self) -> EpochConfig {
         EpochConfig::new(self.epochs, self.assets, self.depth, self.window, self.cfg.t())
     }
@@ -183,8 +197,14 @@ impl ServiceBuilder {
     /// # Panics
     ///
     /// Panics on an invalid pipeline shape (zero epochs/assets/depth or
-    /// `window < depth`) or `me` out of range.
+    /// `window < depth`), `me` out of range, or if
+    /// [`vector_baskets`](ServiceBuilder::vector_baskets) was set (use
+    /// [`build_vector_service`](ServiceBuilder::build_vector_service)).
     pub fn build_service(self, source: PriceSource) -> OracleService {
+        assert!(
+            !self.vector,
+            "vector_baskets(true) describes a VectorOracleService; call build_vector_service"
+        );
         let epochs = self.epoch_config();
         OracleService::from_parts(
             self.cfg,
@@ -194,6 +214,20 @@ impl ServiceBuilder {
             self.opts.recv_shards,
             source,
         )
+    }
+
+    /// The sans-io [`VectorOracleService`] this builder describes when
+    /// [`vector_baskets`](ServiceBuilder::vector_baskets) is on: one
+    /// multidimensional agreement instance per epoch, with
+    /// [`assets`](ServiceBuilder::assets) as the basket dimension count.
+    ///
+    /// # Panics
+    ///
+    /// As [`build_service`](ServiceBuilder::build_service), plus a basket
+    /// larger than `MAX_VECTOR_DIMS`.
+    pub fn build_vector_service(self, source: PriceSource) -> VectorOracleService {
+        let epochs = self.epoch_config();
+        VectorOracleService::from_parts(self.cfg, self.me, epochs, self.opts.flush, source)
     }
 
     /// Runs the full node: the epoch stream over TCP against `addrs`,
@@ -229,36 +263,58 @@ impl ServiceBuilder {
         let keychain = Keychain::derive(seed, self.me, n);
         let signer = QuorumSigner::new(seed, t, epsilon);
         let opts = self.opts.clone();
-        let service = self.build_service(source);
-
-        let mut handle = run_epoch_service(service.into_mux(), keychain, addrs, opts).await?;
 
         let feed = Arc::new(FeedState::new(assets, history));
         let hub = Arc::new(SubscriberHub::new(assets, subscriber_capacity));
-        let mut rx = handle.take_events().expect("fresh handle has the event tail");
-        let publisher = {
+
+        // Both lanes publish the same per-asset feed shape: a vector
+        // epoch's basket values land as assets 0..dims in slot order, so
+        // readers cannot tell which agreement mode produced an update.
+        let publish = {
             let feed = feed.clone();
             let hub = hub.clone();
-            tokio::spawn(async move {
+            move |epoch, a: usize, value: f64| {
+                let asset = InstanceId(a as u16);
+                let attestation = Some(signer.attest(epoch, asset, value));
+                let update = feed.publish(FeedUpdate { epoch, asset, value, attestation });
+                hub.broadcast(&update);
+            }
+        };
+
+        let (service, publisher) = if self.vector {
+            let service = self.build_vector_service(source);
+            let mut handle = run_epoch_service(service.into_mux(), keychain, addrs, opts).await?;
+            let mut rx = handle.take_events().expect("fresh handle has the event tail");
+            let hub = hub.clone();
+            let publisher = tokio::spawn(async move {
+                while let Some(event) = rx.recv().await {
+                    if let EpochOutcome::Agreed(slots) = event.outcome {
+                        for (a, value) in slots.into_iter().flatten().enumerate() {
+                            publish(event.epoch, a, value);
+                        }
+                    }
+                }
+                hub.close_all();
+            });
+            (ServiceLane::Vector(handle), publisher)
+        } else {
+            let service = self.build_service(source);
+            let mut handle = run_epoch_service(service.into_mux(), keychain, addrs, opts).await?;
+            let mut rx = handle.take_events().expect("fresh handle has the event tail");
+            let hub = hub.clone();
+            let publisher = tokio::spawn(async move {
                 while let Some(event) = rx.recv().await {
                     if let EpochOutcome::Agreed(values) = event.outcome {
                         for (a, value) in values.into_iter().enumerate() {
-                            let asset = InstanceId(a as u16);
-                            let attestation = Some(signer.attest(event.epoch, asset, value));
-                            let update = feed.publish(FeedUpdate {
-                                epoch: event.epoch,
-                                asset,
-                                value,
-                                attestation,
-                            });
-                            hub.broadcast(&update);
+                            publish(event.epoch, a, value);
                         }
                     }
                 }
                 // The stream is over (or the service errored): end every
                 // subscription so serving tasks wind down.
                 hub.close_all();
-            })
+            });
+            (ServiceLane::Scalar(handle), publisher)
         };
 
         let api = match api_bind {
@@ -266,7 +322,7 @@ impl ServiceBuilder {
                 let ctx = Arc::new(ApiContext {
                     feed: feed.clone(),
                     hub: hub.clone(),
-                    stats: Some(handle.stats()),
+                    stats: Some(service.stats()),
                     quorum: Some((n, t)),
                 });
                 Some(ApiServer::bind(addr, ctx).await.map_err(NetError::from)?)
@@ -274,14 +330,50 @@ impl ServiceBuilder {
             None => None,
         };
 
-        Ok(OracleHandle { service: handle, publisher, api, feed, hub })
+        Ok(OracleHandle { service, publisher, api, feed, hub })
+    }
+}
+
+/// The running transport handle, in whichever agreement mode the builder
+/// selected. Everything downstream (feed, attestations, finish shape) is
+/// mode-agnostic; only the in-flight event payload differs.
+enum ServiceLane {
+    /// Per-asset scalar instances (the default path).
+    Scalar(EpochServiceHandle<f64>),
+    /// One vector instance per epoch ([`ServiceBuilder::vector_baskets`]).
+    Vector(EpochServiceHandle<Vec<f64>>),
+}
+
+impl ServiceLane {
+    fn stats(&self) -> ServiceStats {
+        match self {
+            ServiceLane::Scalar(h) => h.stats(),
+            ServiceLane::Vector(h) => h.stats(),
+        }
+    }
+
+    fn stats_snapshot(&self) -> EpochStats {
+        match self {
+            ServiceLane::Scalar(h) => h.stats_snapshot(),
+            ServiceLane::Vector(h) => h.stats_snapshot(),
+        }
+    }
+
+    async fn finish(self) -> Result<(Vec<EpochEvent<f64>>, EpochStats, NetStats), NetError> {
+        match self {
+            ServiceLane::Scalar(h) => h.finish().await,
+            ServiceLane::Vector(h) => {
+                let (events, epoch_stats, net_stats) = h.finish().await?;
+                Ok((flatten_vector_events(events), epoch_stats, net_stats))
+            }
+        }
     }
 }
 
 /// A running oracle node with its serving layer, returned by
 /// [`ServiceBuilder::serve`].
 pub struct OracleHandle {
-    service: EpochServiceHandle<f64>,
+    service: ServiceLane,
     publisher: tokio::task::JoinHandle<()>,
     api: Option<ApiServer>,
     feed: Arc<FeedState>,

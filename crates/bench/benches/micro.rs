@@ -188,6 +188,36 @@ fn bench_bv_round(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // The frontier workload: echoes spread over many distinct values, so
+    // quorum detection rides the cached per-value counts and crossing
+    // queues instead of (pre-frontier) rescanning every value list on
+    // every progress step.
+    let mut group = c.benchmark_group("core");
+    group.bench_function("bv_round", |b| {
+        b.iter_batched(
+            || {
+                let mut bv = BvRound::new(NodeId(0), n, t);
+                let _ = bv.set_input(Dyadic::ONE);
+                bv
+            },
+            |mut bv| {
+                for i in 1..n as u16 {
+                    let _ = bv.on_echo1(NodeId(i), Dyadic::new(u64::from(i % 8), 3));
+                }
+                for i in 1..n as u16 {
+                    let _ = bv.on_echo1(NodeId(i), Dyadic::ONE);
+                }
+                for i in 1..n as u16 {
+                    let _ = bv.on_echo2(NodeId(i), Dyadic::ONE);
+                }
+                assert!(bv.is_terminated());
+                bv
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
 }
 
 fn bench_dyadic(c: &mut Criterion) {

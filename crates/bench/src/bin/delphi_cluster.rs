@@ -9,7 +9,7 @@
 //!                [--assets 1] [--unbatched] [--quote-seed 7] [--epsilon 2]
 //!                [--node-binary path/to/delphi-node] [--deadline-ms 60000]
 //!                [--epochs K] [--depth D] [--window W] [--adaptive]
-//!                [--recv-shards S] [--send-shards S]
+//!                [--recv-shards S] [--send-shards S] [--vector]
 //! ```
 //!
 //! With `--n`, a localhost config on freshly reserved ports is written to
@@ -21,7 +21,10 @@
 //! pipelining `--depth` epochs under a `--window`-epoch live window
 //! (`--adaptive` enables adaptive batch flushing). The launcher then
 //! checks *per-epoch* ε-convergence across nodes and that every node
-//! completed the whole stream.
+//! completed the whole stream. `--vector` makes each epoch's basket ONE
+//! vector-valued agreement instance (one bundle exchange per round for
+//! the whole basket); the launcher-side checks are unchanged because
+//! reports keep the per-asset agreement shape.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,6 +49,7 @@ struct Args {
     adaptive: bool,
     recv_shards: usize,
     send_shards: usize,
+    vector: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         adaptive: false,
         recv_shards: 1,
         send_shards: 1,
+        vector: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -105,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                 out.send_shards =
                     value("--send-shards")?.parse().map_err(|e| format!("--send-shards: {e}"))?;
             }
+            "--vector" => out.vector = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -119,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.send_shards == 0 {
         return Err("--send-shards must be at least 1".to_string());
+    }
+    if out.vector && out.epochs == 0 {
+        return Err("--vector only applies to a streaming run (--epochs)".to_string());
     }
     Ok(out)
 }
@@ -161,13 +170,15 @@ fn main() -> ExitCode {
     spec.adaptive = args.adaptive;
     spec.recv_shards = args.recv_shards;
     spec.send_shards = args.send_shards;
+    spec.vector = args.vector;
 
     let mode = match (args.epochs, args.unbatched, args.adaptive) {
         (0, true, _) => "one-shot, unbatched: one frame per envelope".to_string(),
         (0, false, _) => "one-shot, batched v2 frames".to_string(),
         (k, _, adaptive) => format!(
-            "streaming oracle: {k} epochs x {} assets, depth {}, window {}, {} flushing",
+            "streaming oracle: {k} epochs x {} assets ({}), depth {}, window {}, {} flushing",
             args.assets,
+            if args.vector { "one vector instance per epoch" } else { "per-asset instances" },
             args.depth,
             args.window,
             if adaptive { "adaptive" } else { "per-step" }

@@ -13,7 +13,8 @@
 //!             [--deadline-ms 60000] [--rho0 2] [--epsilon 2]
 //!             [--delta-max 2000]
 //!             [--epochs K] [--depth D] [--window W] [--adaptive]
-//!             [--recv-shards S] [--send-shards S] [--api-bind 127.0.0.1:8080]
+//!             [--recv-shards S] [--send-shards S] [--vector]
+//!             [--api-bind 127.0.0.1:8080]
 //! ```
 //!
 //! Without `--input`, the node derives its input from one minute of the
@@ -37,6 +38,13 @@
 //! turns on adaptive batch flushing (size/time triggers) instead of
 //! per-step flushing. The report then carries every `(epoch, asset,
 //! value)` agreement so the launcher can check per-epoch ε-convergence.
+//!
+//! `--vector` (epoch runs only) runs each epoch's basket as ONE
+//! vector-valued agreement instance — a single bundle exchange and one
+//! quorum walk per round for the whole basket — instead of `--assets`
+//! independent scalar instances. Agreements in the report keep the same
+//! `(epoch, asset, value)` shape; the `vector_instances`/`vector_dims`
+//! counters in `stats` mark the mode.
 //!
 //! `--api-bind ADDR` (epoch runs only) additionally serves the read-side
 //! HTTP API on `ADDR` — snapshots, history, subscriptions, and signed
@@ -74,6 +82,7 @@ struct Args {
     adaptive: bool,
     recv_shards: usize,
     send_shards: usize,
+    vector: bool,
     api_bind: Option<std::net::SocketAddr>,
 }
 
@@ -94,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
     let mut adaptive = false;
     let mut recv_shards = 1usize;
     let mut send_shards = 1usize;
+    let mut vector = false;
     let mut api_bind = None;
 
     let mut args = std::env::args().skip(1);
@@ -145,6 +155,7 @@ fn parse_args() -> Result<Args, String> {
                 send_shards =
                     value("--send-shards")?.parse().map_err(|e| format!("--send-shards: {e}"))?;
             }
+            "--vector" => vector = true,
             "--api-bind" => {
                 api_bind =
                     Some(value("--api-bind")?.parse().map_err(|e| format!("--api-bind: {e}"))?);
@@ -173,6 +184,9 @@ fn parse_args() -> Result<Args, String> {
     if api_bind.is_some() && epochs == 0 {
         return Err("--api-bind only applies to an epoch run (--epochs)".to_string());
     }
+    if vector && epochs == 0 {
+        return Err("--vector only applies to an epoch run (--epochs)".to_string());
+    }
     Ok(Args {
         config: config.ok_or("--config is required")?,
         id: id.ok_or("--id is required")?,
@@ -190,6 +204,7 @@ fn parse_args() -> Result<Args, String> {
         adaptive,
         recv_shards,
         send_shards,
+        vector,
         api_bind,
     })
 }
@@ -242,7 +257,8 @@ async fn run(args: Args) -> Result<NodeReport, String> {
             .recv_shards(args.recv_shards)
             .send_shards(args.send_shards)
             .batching(!args.unbatched)
-            .deadline(Duration::from_millis(args.deadline_ms));
+            .deadline(Duration::from_millis(args.deadline_ms))
+            .vector_baskets(args.vector);
         let source = feed_price_source(feed, me, n);
         let (events, epoch_stats, stats) = match args.api_bind {
             Some(bind) => {
@@ -259,6 +275,22 @@ async fn run(args: Args) -> Result<NodeReport, String> {
                     eprintln!("delphi-node[{}]: serving readers on http://{api}", args.id);
                 }
                 handle.finish().await.map_err(|e| format!("epoch run: {e}"))?
+            }
+            None if args.vector => {
+                // Vector lane: events arrive one basket per epoch; flatten
+                // to the scalar per-asset shape the report expects.
+                let (events, epoch_stats, stats) = run_epoch_service(
+                    builder.build_vector_service(source).into_mux(),
+                    keychain,
+                    addrs,
+                    opts,
+                )
+                .await
+                .map_err(|e| format!("epoch run: {e}"))?
+                .finish()
+                .await
+                .map_err(|e| format!("epoch run: {e}"))?;
+                (delphi_primitives::flatten_vector_events(events), epoch_stats, stats)
             }
             None => {
                 run_epoch_service(builder.build_service(source).into_mux(), keychain, addrs, opts)

@@ -48,6 +48,9 @@ pub struct ClusterRunSpec {
     pub recv_shards: usize,
     /// Egress send lanes per node (1 = single lane).
     pub send_shards: usize,
+    /// Run each epoch's basket as one vector-valued agreement instance
+    /// (streaming runs only) instead of per-asset scalar instances.
+    pub vector: bool,
 }
 
 impl ClusterRunSpec {
@@ -67,6 +70,7 @@ impl ClusterRunSpec {
             adaptive: false,
             recv_shards: 1,
             send_shards: 1,
+            vector: false,
         }
     }
 }
@@ -104,6 +108,9 @@ pub fn run_cluster(spec: &ClusterRunSpec) -> Result<ClusterOutcome, ClusterError
             "--window".to_string(),
             spec.window.to_string(),
         ]);
+        if spec.vector {
+            extra.push("--vector".to_string());
+        }
     }
     if spec.adaptive {
         extra.push("--adaptive".to_string());
@@ -172,14 +179,24 @@ pub fn summarize(outcome: &ClusterOutcome, epsilon: f64) -> String {
 }
 
 /// Renders a one-line summary of a finished epoch-stream cluster run.
+/// Vector-mode runs (nonzero `vector_dims` in the node stats) get their
+/// basket counters appended so smoke logs show the mode actually ran.
 pub fn summarize_epochs(outcome: &ClusterOutcome, epsilon: f64, expected: u64) -> String {
     let total = outcome.total_stats();
     let secs = outcome.max_elapsed_ms() / 1e3;
     let agreements = outcome.epoch_agreements();
+    let vector = if total.vector_dims > 0 {
+        format!(
+            " | vector baskets: {} instances x {} dims",
+            total.vector_instances, total.vector_dims
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{} nodes | {agreements} agreements per node (expected {expected}) | worst epoch spread \
          {:.6}$ (eps = {epsilon}$, converged: {}) | {:.1} agreements/s | {:.0} wire B/agreement | \
-         {:.2} frames/agreement | {} late entries",
+         {:.2} frames/agreement | {} late entries{vector}",
         outcome.reports.len(),
         outcome.epoch_spread(),
         outcome.epoch_converged(epsilon, expected),

@@ -18,7 +18,7 @@ pub mod cluster;
 pub mod regression;
 
 use delphi_baselines::{AadNode, AcsNode};
-use delphi_core::{DelphiConfig, DelphiNode, OracleService};
+use delphi_core::{DelphiConfig, DelphiNode, OracleService, VectorOracleService};
 use delphi_primitives::{EpochConfig, EpochOutcome, FlushPolicy, Mux, NodeId, Protocol};
 use delphi_sim::{
     run_sharded, BatchSavings, EpochThroughput, RunReport, SimJob, Simulation, Topology,
@@ -240,6 +240,10 @@ pub struct EpochSimPoint {
     pub peak_resident: usize,
     /// Epochs any node skipped (0 in honest runs).
     pub stale_epochs: u64,
+    /// Protocol rounds advanced across all nodes (from the shared round
+    /// probe): a scalar basket pays `(l_max+1)·r_max` per *asset* per
+    /// epoch, a vector basket pays it once per epoch.
+    pub rounds: u64,
 }
 
 /// Builds node `me`'s streaming price source over `feed`, caching one
@@ -268,20 +272,48 @@ struct ProbeData {
     entries: u64,
 }
 
-/// [`OracleService`] wrapper exporting its counters through a shared cell.
-struct ProbedOracle {
-    inner: OracleService,
-    probe: std::sync::Arc<std::sync::Mutex<ProbeData>>,
+/// The epoch counters both oracle services expose, so one probe wrapper
+/// serves the scalar and the vector lane.
+trait EpochCounters {
+    fn epoch_stats(&self) -> delphi_primitives::EpochStats;
+    fn entries(&self) -> u64;
 }
 
-impl ProbedOracle {
-    fn sync(&self) {
-        *self.probe.lock().expect("probe") =
-            ProbeData { stats: self.inner.stats(), entries: self.inner.sent_entries() };
+impl EpochCounters for OracleService {
+    fn epoch_stats(&self) -> delphi_primitives::EpochStats {
+        self.stats()
+    }
+    fn entries(&self) -> u64 {
+        self.sent_entries()
     }
 }
 
-impl Protocol for ProbedOracle {
+impl EpochCounters for VectorOracleService {
+    fn epoch_stats(&self) -> delphi_primitives::EpochStats {
+        self.stats()
+    }
+    fn entries(&self) -> u64 {
+        self.sent_entries()
+    }
+}
+
+/// Oracle-service wrapper exporting its counters through a shared cell.
+struct ProbedOracle<S> {
+    inner: S,
+    probe: std::sync::Arc<std::sync::Mutex<ProbeData>>,
+}
+
+impl<S: EpochCounters> ProbedOracle<S> {
+    fn sync(&self) {
+        *self.probe.lock().expect("probe") =
+            ProbeData { stats: self.inner.epoch_stats(), entries: self.inner.entries() };
+    }
+}
+
+impl<S> Protocol for ProbedOracle<S>
+where
+    S: Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>> + EpochCounters,
+{
     type Output = Vec<delphi_primitives::EpochEvent<f64>>;
 
     fn node_id(&self) -> NodeId {
@@ -380,19 +412,22 @@ pub fn run_epoch_delphi_full_sharded(
 ) -> EpochSimPoint {
     let n = cfg.n();
     let assets = feed.assets();
-    let epochs = epoch_cfg.epochs;
     assert_eq!(usize::from(epoch_cfg.assets), assets, "epoch config vs basket size");
     let mut probes = Vec::with_capacity(n);
+    let mut round_probes = Vec::with_capacity(n);
     let nodes: Vec<Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>> =
         NodeId::all(n)
             .map(|id| {
-                let inner = OracleService::from_parts(
+                let rounds = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                round_probes.push(rounds.clone());
+                let inner = OracleService::from_parts_probed(
                     cfg.clone(),
                     id,
                     epoch_cfg,
                     flush,
                     recv_shards,
                     feed_price_source(feed.clone(), id, n),
+                    rounds,
                 );
                 let probe = std::sync::Arc::new(std::sync::Mutex::new(ProbeData::default()));
                 probes.push(probe.clone());
@@ -413,8 +448,73 @@ pub fn run_epoch_delphi_full_sharded(
         "epoch stream stalled ({:?}): {epoch_cfg:?}",
         report.stop
     );
+    measure_epoch_run(&report, epoch_cfg.epochs, assets, &probes, &round_probes)
+}
 
-    // Per-(epoch, asset) agreement quality across honest nodes.
+/// [`run_epoch_delphi`] with every epoch's basket as ONE vector-valued
+/// agreement instance (`VectorOracleService`): a single bundle exchange
+/// and one quorum walk per round for the whole basket. Events are already
+/// flattened to the scalar per-asset shape, so throughput and spread are
+/// computed identically to the scalar runners — the comparison the
+/// vector-vs-scalar fig sweep rides on.
+///
+/// # Panics
+///
+/// As [`run_epoch_delphi`].
+pub fn run_epoch_vector_delphi(
+    cfg: &DelphiConfig,
+    feed: &EpochFeed,
+    epoch_cfg: EpochConfig,
+    flush: FlushPolicy,
+    topology: Topology,
+    seed: u64,
+) -> EpochSimPoint {
+    let n = cfg.n();
+    let assets = feed.assets();
+    assert_eq!(usize::from(epoch_cfg.assets), assets, "epoch config vs basket size");
+    let mut probes = Vec::with_capacity(n);
+    let mut round_probes = Vec::with_capacity(n);
+    let nodes: Vec<Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>> =
+        NodeId::all(n)
+            .map(|id| {
+                let rounds = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+                round_probes.push(rounds.clone());
+                let inner = VectorOracleService::from_parts_probed(
+                    cfg.clone(),
+                    id,
+                    epoch_cfg,
+                    flush,
+                    feed_price_source(feed.clone(), id, n),
+                    rounds,
+                );
+                let probe = std::sync::Arc::new(std::sync::Mutex::new(ProbeData::default()));
+                probes.push(probe.clone());
+                Box::new(ProbedOracle { inner, probe })
+                    as Box<dyn Protocol<Output = Vec<delphi_primitives::EpochEvent<f64>>>>
+            })
+            .collect();
+    let mut sim = Simulation::new(topology).seed(seed);
+    if let FlushPolicy::Adaptive { max_delay, .. } = flush {
+        sim = sim.tick_interval_ns(max_delay.as_nanos().max(1) as u64);
+    }
+    let report = sim.run(nodes);
+    assert!(
+        report.all_honest_finished(),
+        "vector epoch stream stalled ({:?}): {epoch_cfg:?}",
+        report.stop
+    );
+    measure_epoch_run(&report, epoch_cfg.epochs, assets, &probes, &round_probes)
+}
+
+/// Shared tail of the epoch runners: per-(epoch, asset) spread across
+/// honest nodes plus the probed counters, folded into one point.
+fn measure_epoch_run(
+    report: &RunReport<Vec<delphi_primitives::EpochEvent<f64>>>,
+    epochs: u32,
+    assets: usize,
+    probes: &[std::sync::Arc<std::sync::Mutex<ProbeData>>],
+    round_probes: &[std::sync::Arc<std::sync::atomic::AtomicU64>],
+) -> EpochSimPoint {
     let streams: Vec<&Vec<delphi_primitives::EpochEvent<f64>>> = report.honest_outputs().collect();
     let mut worst_spread = 0.0f64;
     for e in 0..epochs as usize {
@@ -434,11 +534,12 @@ pub fn run_epoch_delphi_full_sharded(
     }
     let data: Vec<ProbeData> = probes.iter().map(|p| *p.lock().expect("probe")).collect();
     EpochSimPoint {
-        throughput: EpochThroughput::from_report(&report),
+        throughput: EpochThroughput::from_report(report),
         worst_spread,
         sent_entries: data.iter().map(|d| d.entries).sum(),
         peak_resident: data.iter().map(|d| d.stats.peak_resident).max().unwrap_or(0),
         stale_epochs: data.iter().map(|d| d.stats.stale_epochs).sum(),
+        rounds: round_probes.iter().map(|r| r.load(std::sync::atomic::Ordering::Relaxed)).sum(),
     }
 }
 

@@ -87,10 +87,27 @@ pub struct BvRound {
     e2: Vec<(Dyadic, NodeBitSet)>,
     /// Distinct `ECHO1` values counted per sender.
     e1_count: Vec<u8>,
+    /// Cached sender count per `e1` value (parallel to `e1`), maintained
+    /// on insert so threshold checks never re-popcount the bitsets.
+    e1_sizes: Vec<u32>,
     /// Values we have already `ECHO1`d.
     sent_e1: Vec<Dyadic>,
     /// Whether we have sent our (single) `ECHO2`.
     sent_e2: bool,
+    /// Cached threshold frontier: `e1` indices that crossed `t + 1`
+    /// (amplification candidates), in crossing order. Drained by
+    /// [`BvRound::progress`] via `amp_cursor`; a crossed index is never
+    /// re-scanned.
+    amp_pending: Vec<usize>,
+    /// How much of `amp_pending` has been drained.
+    amp_cursor: usize,
+    /// `e1` indices that crossed the `n − t` quorum, in crossing order
+    /// (at most two values can ever get there, see
+    /// [`MAX_ECHO1_VALUES_PER_SENDER`]).
+    q1: Vec<usize>,
+    /// The `e2` index that crossed the `n − t` quorum, if any (unique:
+    /// one `ECHO2` per sender and `n − t` is a majority).
+    e2_quorum: Option<usize>,
     outcome: Option<BvOutcome>,
 }
 
@@ -112,8 +129,13 @@ impl BvRound {
             e1: Vec::new(),
             e2: Vec::new(),
             e1_count: vec![0; n],
+            e1_sizes: Vec::new(),
             sent_e1: Vec::new(),
             sent_e2: false,
+            amp_pending: Vec::new(),
+            amp_cursor: 0,
+            q1: Vec::new(),
+            e2_quorum: None,
             outcome: None,
         }
     }
@@ -158,8 +180,11 @@ impl BvRound {
         if from.index() >= self.n {
             return;
         }
-        if let Some((_, set)) = self.e1.iter_mut().find(|(v, _)| *v == value) {
-            set.insert(from);
+        if let Some(idx) = self.e1.iter().position(|(v, _)| *v == value) {
+            if self.e1[idx].1.insert(from) {
+                self.e1_sizes[idx] += 1;
+                self.note_e1_crossing(idx);
+            }
             return;
         }
         // New value for this sender: enforce the per-sender cap.
@@ -170,6 +195,22 @@ impl BvRound {
         let mut set = NodeBitSet::new(self.n);
         set.insert(from);
         self.e1.push((value, set));
+        self.e1_sizes.push(1);
+        self.note_e1_crossing(self.e1.len() - 1);
+    }
+
+    /// Records threshold crossings for `e1` value-index `idx` after a new
+    /// sender was inserted. Each threshold is crossed exactly once (counts
+    /// grow by one per distinct sender), so the frontier vectors never see
+    /// duplicates and [`BvRound::progress`] needs no rescans.
+    fn note_e1_crossing(&mut self, idx: usize) {
+        let count = self.e1_sizes[idx] as usize;
+        if count == self.t + 1 {
+            self.amp_pending.push(idx);
+        }
+        if count == self.n - self.t {
+            self.q1.push(idx);
+        }
     }
 
     fn insert_e2(&mut self, from: NodeId, value: Dyadic) {
@@ -180,13 +221,25 @@ impl BvRound {
         if self.e2.iter().any(|(_, set)| set.contains(from)) {
             return;
         }
-        if let Some((_, set)) = self.e2.iter_mut().find(|(v, _)| *v == value) {
-            set.insert(from);
+        if let Some(idx) = self.e2.iter().position(|(v, _)| *v == value) {
+            if self.e2[idx].1.insert(from) {
+                self.note_e2_crossing(idx);
+            }
             return;
         }
         let mut set = NodeBitSet::new(self.n);
         set.insert(from);
         self.e2.push((value, set));
+        self.note_e2_crossing(self.e2.len() - 1);
+    }
+
+    /// Records an `n − t` `ECHO2` quorum crossing for `e2` value-index
+    /// `idx`, if it just happened. The quorum is unique (one `ECHO2` per
+    /// sender, and `n − t > n / 2`), so `Some` is final once set.
+    fn note_e2_crossing(&mut self, idx: usize) {
+        if self.e2_quorum.is_none() && self.e2[idx].1.len() == self.n - self.t {
+            self.e2_quorum = Some(idx);
+        }
     }
 
     fn send_echo1(&mut self, value: Dyadic, actions: &mut Vec<BvAction>) {
@@ -209,23 +262,32 @@ impl BvRound {
 
     /// Runs the amplification/echo2 triggers to a fixed point, then checks
     /// the termination conditions.
+    ///
+    /// Unlike the original linear re-scan, this drains the cached threshold
+    /// frontier (`amp_pending` / `q1` / `e2_quorum`): each quorum crossing
+    /// is recorded once at insert time, so a `progress` call is O(work
+    /// actually triggered) instead of O(values tracked).
     fn progress(&mut self, actions: &mut Vec<BvAction>) {
         loop {
             // Amplify: t + 1 ECHO1s for a value we have not echoed yet.
-            let amplify = self
-                .e1
-                .iter()
-                .find(|(v, set)| set.len() > self.t && !self.sent_e1.contains(v))
-                .map(|(v, _)| *v);
-            if let Some(v) = amplify {
-                self.send_echo1(v, actions);
+            // Crossings are drained in e1-index order (FIFO matches it:
+            // a value's t + 1 crossing happens at most once, and echoes
+            // sent below can only cross *later-known* values).
+            if self.amp_cursor < self.amp_pending.len() {
+                let idx = self.amp_pending[self.amp_cursor];
+                self.amp_cursor += 1;
+                let v = self.e1[idx].0;
+                if !self.sent_e1.contains(&v) {
+                    self.send_echo1(v, actions);
+                }
                 continue;
             }
-            // ECHO2: n − t ECHO1s for a value, once per round.
+            // ECHO2: n − t ECHO1s for a value, once per round. Pick the
+            // lowest e1 index with a quorum — the same value the old
+            // in-order scan chose.
             if !self.sent_e2 {
-                let ready =
-                    self.e1.iter().find(|(_, set)| set.len() >= self.n - self.t).map(|(v, _)| *v);
-                if let Some(v) = ready {
+                if let Some(&idx) = self.q1.iter().min() {
+                    let v = self.e1[idx].0;
                     self.send_echo2(v, actions);
                     continue;
                 }
@@ -233,20 +295,16 @@ impl BvRound {
             break;
         }
         if self.outcome.is_none() {
-            // Condition (1): two values with n − t ECHO1s each.
-            let quorum1: Vec<Dyadic> = self
-                .e1
-                .iter()
-                .filter(|(_, set)| set.len() >= self.n - self.t)
-                .map(|(v, _)| *v)
-                .collect();
-            if quorum1.len() >= 2 {
-                self.outcome = Some(BvOutcome::pair(quorum1[0], quorum1[1]));
+            // Condition (1): two values with n − t ECHO1s each. At most
+            // two values can ever reach that quorum (three would need
+            // 3(n − t) ≤ 2n distinct echo slots, i.e. n ≤ 3t).
+            if self.q1.len() >= 2 {
+                self.outcome = Some(BvOutcome::pair(self.e1[self.q1[0]].0, self.e1[self.q1[1]].0));
                 return;
             }
             // Condition (2): one value with n − t ECHO2s.
-            if let Some((v, _)) = self.e2.iter().find(|(_, set)| set.len() >= self.n - self.t) {
-                self.outcome = Some(BvOutcome::single(*v));
+            if let Some(idx) = self.e2_quorum {
+                self.outcome = Some(BvOutcome::single(self.e2[idx].0));
             }
         }
     }
@@ -477,6 +535,186 @@ mod tests {
         let rounds = run_mesh(&inputs, 2);
         for r in &rounds {
             assert!(r.is_terminated());
+        }
+    }
+
+    /// The pre-frontier-cache `BvRound` logic (linear re-scan in
+    /// `progress`), kept verbatim as a reference oracle for differential
+    /// testing of the event-driven threshold frontier.
+    struct NaiveBv {
+        me: NodeId,
+        n: usize,
+        t: usize,
+        e1: Vec<(Dyadic, NodeBitSet)>,
+        e2: Vec<(Dyadic, NodeBitSet)>,
+        e1_count: Vec<u8>,
+        sent_e1: Vec<Dyadic>,
+        sent_e2: bool,
+        outcome: Option<BvOutcome>,
+    }
+
+    impl NaiveBv {
+        fn new(me: NodeId, n: usize, t: usize) -> NaiveBv {
+            NaiveBv {
+                me,
+                n,
+                t,
+                e1: Vec::new(),
+                e2: Vec::new(),
+                e1_count: vec![0; n],
+                sent_e1: Vec::new(),
+                sent_e2: false,
+                outcome: None,
+            }
+        }
+
+        fn set_input(&mut self, value: Dyadic) -> Vec<BvAction> {
+            let mut actions = Vec::new();
+            self.send_echo1(value, &mut actions);
+            self.progress(&mut actions);
+            actions
+        }
+
+        fn on_echo1(&mut self, from: NodeId, value: Dyadic) -> Vec<BvAction> {
+            let mut actions = Vec::new();
+            self.insert_e1(from, value);
+            self.progress(&mut actions);
+            actions
+        }
+
+        fn on_echo2(&mut self, from: NodeId, value: Dyadic) -> Vec<BvAction> {
+            let mut actions = Vec::new();
+            self.insert_e2(from, value);
+            self.progress(&mut actions);
+            actions
+        }
+
+        fn insert_e1(&mut self, from: NodeId, value: Dyadic) {
+            if from.index() >= self.n {
+                return;
+            }
+            if let Some((_, set)) = self.e1.iter_mut().find(|(v, _)| *v == value) {
+                set.insert(from);
+                return;
+            }
+            if usize::from(self.e1_count[from.index()]) >= MAX_ECHO1_VALUES_PER_SENDER {
+                return;
+            }
+            self.e1_count[from.index()] += 1;
+            let mut set = NodeBitSet::new(self.n);
+            set.insert(from);
+            self.e1.push((value, set));
+        }
+
+        fn insert_e2(&mut self, from: NodeId, value: Dyadic) {
+            if from.index() >= self.n {
+                return;
+            }
+            if self.e2.iter().any(|(_, set)| set.contains(from)) {
+                return;
+            }
+            if let Some((_, set)) = self.e2.iter_mut().find(|(v, _)| *v == value) {
+                set.insert(from);
+                return;
+            }
+            let mut set = NodeBitSet::new(self.n);
+            set.insert(from);
+            self.e2.push((value, set));
+        }
+
+        fn send_echo1(&mut self, value: Dyadic, actions: &mut Vec<BvAction>) {
+            if self.sent_e1.contains(&value) {
+                return;
+            }
+            self.sent_e1.push(value);
+            self.insert_e1(self.me, value);
+            actions.push(BvAction::Echo1(value));
+        }
+
+        fn send_echo2(&mut self, value: Dyadic, actions: &mut Vec<BvAction>) {
+            if self.sent_e2 {
+                return;
+            }
+            self.sent_e2 = true;
+            self.insert_e2(self.me, value);
+            actions.push(BvAction::Echo2(value));
+        }
+
+        fn progress(&mut self, actions: &mut Vec<BvAction>) {
+            loop {
+                let amplify = self
+                    .e1
+                    .iter()
+                    .find(|(v, set)| set.len() > self.t && !self.sent_e1.contains(v))
+                    .map(|(v, _)| *v);
+                if let Some(v) = amplify {
+                    self.send_echo1(v, actions);
+                    continue;
+                }
+                if !self.sent_e2 {
+                    let ready = self
+                        .e1
+                        .iter()
+                        .find(|(_, set)| set.len() >= self.n - self.t)
+                        .map(|(v, _)| *v);
+                    if let Some(v) = ready {
+                        self.send_echo2(v, actions);
+                        continue;
+                    }
+                }
+                break;
+            }
+            if self.outcome.is_none() {
+                let quorum1: Vec<Dyadic> = self
+                    .e1
+                    .iter()
+                    .filter(|(_, set)| set.len() >= self.n - self.t)
+                    .map(|(v, _)| *v)
+                    .collect();
+                if quorum1.len() >= 2 {
+                    self.outcome = Some(BvOutcome::pair(quorum1[0], quorum1[1]));
+                    return;
+                }
+                if let Some((v, _)) = self.e2.iter().find(|(_, set)| set.len() >= self.n - self.t) {
+                    self.outcome = Some(BvOutcome::single(*v));
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Differential test: the cached-frontier `BvRound` emits exactly
+        /// the same actions and reaches exactly the same outcome as the
+        /// original linear-scan implementation, on arbitrary echo streams
+        /// (including duplicate senders, value floods past the per-sender
+        /// cap, out-of-range senders, and `set_input` at any point).
+        #[test]
+        fn prop_frontier_matches_linear_scan(
+            n_choice in 0usize..3,
+            events in proptest::collection::vec(
+                (0usize..3, 0u16..12, 0u64..4),
+                1..80,
+            ),
+        ) {
+            let (n, t) = [(4usize, 1usize), (7, 2), (10, 3)][n_choice];
+            let me = NodeId(0);
+            let mut fast = BvRound::new(me, n, t);
+            let mut naive = NaiveBv::new(me, n, t);
+            for (op, from, num) in events {
+                let v = Dyadic::new(num, 2);
+                let from = NodeId(from);
+                let (a, b) = match op {
+                    0 => (fast.on_echo1(from, v), naive.on_echo1(from, v)),
+                    1 => (fast.on_echo2(from, v), naive.on_echo2(from, v)),
+                    _ => (fast.set_input(v), naive.set_input(v)),
+                };
+                proptest::prop_assert_eq!(a, b, "actions diverged");
+                proptest::prop_assert_eq!(fast.outcome.as_ref(), naive.outcome.as_ref());
+                proptest::prop_assert_eq!(fast.sent_e2, naive.sent_e2);
+                proptest::prop_assert_eq!(&fast.sent_e1, &naive.sent_e1);
+            }
         }
     }
 }

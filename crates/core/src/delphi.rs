@@ -31,13 +31,17 @@
 //! all, and we prefer bounded memory with this documented, narrow caveat.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use delphi_primitives::wire::Encode;
+use delphi_primitives::wire::{Encode, VectorValue, MAX_VECTOR_DIMS};
 use delphi_primitives::{Dyadic, Envelope, NodeId, Protocol, Round};
 
 use crate::aggregate::{combine_levels, level_summary, LevelSummary};
 use crate::bv::{BvAction, BvRound};
-use crate::messages::{DelphiBundle, DelphiBundleRef, EchoKind, Section};
+use crate::messages::{
+    BasketBundle, BasketBundleRef, BasketSection, DelphiBundle, DelphiBundleRef, EchoKind, Section,
+};
 use crate::params::DelphiConfig;
 
 /// Per-sender, per-level cap on checkpoint introductions (see module docs).
@@ -152,6 +156,9 @@ pub struct DelphiNode {
     input: f64,
     levels: Vec<LevelState>,
     output: Option<f64>,
+    /// Optional shared counter bumped once per completed `(level, round)`
+    /// (see [`DelphiNode::with_round_probe`]).
+    round_probe: Option<Arc<AtomicU64>>,
     /// Reused decode target: each inbound section is materialized into
     /// this one scratch buffer (capacity kept across messages), so the
     /// receive path stays allocation-free at steady state.
@@ -189,6 +196,7 @@ impl DelphiNode {
             input,
             levels,
             output: None,
+            round_probe: None,
             scratch: Section::new(0, Round(1), EchoKind::Echo1),
         }
     }
@@ -196,6 +204,17 @@ impl DelphiNode {
     /// Boxes the node for use with heterogeneous drivers.
     pub fn boxed(self) -> Box<dyn Protocol<Output = f64>> {
         Box::new(self)
+    }
+
+    /// Attaches a shared round counter, bumped once every time any level
+    /// completes a round at this node. Agreement cost instrumentation:
+    /// a full scalar run adds `(l_max + 1) × r_max` to the counter per
+    /// asset, so a probe shared across a basket measures total
+    /// rounds-per-agreement directly.
+    #[must_use]
+    pub fn with_round_probe(mut self, probe: Arc<AtomicU64>) -> DelphiNode {
+        self.round_probe = Some(probe);
+        self
     }
 
     /// The configuration this node runs under.
@@ -372,6 +391,7 @@ impl DelphiNode {
     fn advance(&mut self, out: &mut Collector) {
         let cfg = self.cfg.clone();
         let me = self.me;
+        let probe = self.round_probe.clone();
         for level in &mut self.levels {
             'rounds: while level.round <= cfg.r_max() {
                 let round = Round(level.round);
@@ -388,6 +408,9 @@ impl DelphiNode {
                     level.actives.get_mut(k).expect("listed above").value = *next;
                 }
                 level.round += 1;
+                if let Some(p) = &probe {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
                 if level.round > cfg.r_max() {
                     // Level complete: final values are the weights.
                     let eps_prime = cfg.eps_prime();
@@ -554,6 +577,631 @@ impl Protocol for DelphiNode {
 
     fn output(&self) -> Option<f64> {
         self.output
+    }
+}
+
+/// Per-dimension state of one level in a vector node: the dimension's
+/// own background instance, distinguished checkpoints, introduction
+/// budgets, and final summary. This is [`LevelState`] minus the round
+/// counter, which a vector level shares across all dimensions.
+#[derive(Clone, Debug)]
+struct DimLevel {
+    background: Instance,
+    actives: BTreeMap<i64, Instance>,
+    /// Remaining introduction budget per sender, charged per (sender,
+    /// dimension) so a flood in one asset cannot starve another.
+    intro_budget: Vec<u8>,
+    summary: Option<LevelSummary>,
+}
+
+impl DimLevel {
+    fn new(cfg: &DelphiConfig) -> DimLevel {
+        DimLevel {
+            background: Instance::new(cfg.r_max(), Dyadic::ZERO),
+            actives: BTreeMap::new(),
+            intro_budget: vec![INTRO_BUDGET_PER_LEVEL; cfg.n()],
+            summary: None,
+        }
+    }
+}
+
+/// Per-level state of a vector node: one shared round counter driving
+/// every dimension in lock step, plus the per-dimension instance trees.
+#[derive(Clone, Debug)]
+struct VLevelState {
+    level: u8,
+    k_min: i64,
+    k_max: i64,
+    /// Current round (1-based, shared by all dimensions); `r_max + 1`
+    /// once the level has finished.
+    round: u16,
+    dims: Vec<DimLevel>,
+}
+
+/// Outgoing-echo collector for the vector node: groups per-dimension
+/// echoes into [`BasketSection`]s so every section's id-run is shared
+/// across the basket.
+#[derive(Debug, Default)]
+struct VCollector {
+    sections: Vec<BasketSection>,
+}
+
+impl VCollector {
+    /// The level-advance burst: one merged section carrying every
+    /// dimension's background and active-checkpoint inputs.
+    fn initial(
+        &mut self,
+        level: u8,
+        round: Round,
+        backgrounds: VectorValue,
+        entries: Vec<(i64, VectorValue)>,
+    ) {
+        let mut s = BasketSection::new(level, round, EchoKind::Echo1);
+        s.backgrounds = backgrounds;
+        s.entries = entries;
+        self.sections.push(s);
+    }
+
+    /// A trigger-driven echo for one distinguished checkpoint in one
+    /// dimension; merged into the matching background-free section (and
+    /// into an existing entry for the same checkpoint where possible).
+    fn entry(&mut self, level: u8, round: Round, kind: EchoKind, dim: u16, k: i64, v: Dyadic) {
+        if let Some(s) = self.sections.iter_mut().find(|s| {
+            s.level == level && s.round == round && s.kind == kind && s.backgrounds.is_empty()
+        }) {
+            if let Some((_, vv)) =
+                s.entries.iter_mut().find(|(ek, vv)| *ek == k && !vv.contains(dim))
+            {
+                vv.set(dim, v);
+            } else {
+                s.entries.push((k, VectorValue::single(dim, v)));
+            }
+            return;
+        }
+        let mut s = BasketSection::new(level, round, kind);
+        s.entries.push((k, VectorValue::single(dim, v)));
+        self.sections.push(s);
+    }
+
+    /// A trigger-driven background echo for one dimension; `exclude_ids`
+    /// is the emit-time snapshot of that dimension's distinguished
+    /// checkpoints.
+    fn background(
+        &mut self,
+        level: u8,
+        round: Round,
+        kind: EchoKind,
+        dim: u16,
+        v: Dyadic,
+        exclude_ids: Vec<i64>,
+    ) {
+        let mut s = BasketSection::new(level, round, kind);
+        s.backgrounds = VectorValue::single(dim, v);
+        s.exclude = exclude_ids.into_iter().map(|k| (k, 1u64 << dim)).collect();
+        self.sections.push(s);
+    }
+
+    fn into_bundle(self) -> BasketBundle {
+        BasketBundle { sections: self.sections }
+    }
+}
+
+/// A vector-valued Delphi node: **one** agreement instance covering a
+/// whole basket of assets (up to [`MAX_VECTOR_DIMS`] dimensions).
+///
+/// Every dimension runs exactly the per-checkpoint BinAA machinery of
+/// [`DelphiNode`] — same forking, same budgets, same plausibility gates —
+/// but the *round walk is shared*: a level advances to round `r + 1` only
+/// once **all** dimensions have terminated round `r`, and the resulting
+/// initial burst is a single [`BasketSection`] carrying every dimension's
+/// echoes behind one shared checkpoint id-run. Compared with per-asset
+/// fan-out this divides sections, wire entries, and rounds-per-agreement
+/// by roughly the basket size, at the cost of coupling the basket's
+/// latency to its slowest dimension.
+#[derive(Debug)]
+pub struct VectorDelphiNode {
+    cfg: DelphiConfig,
+    me: NodeId,
+    dims: u16,
+    inputs: Vec<f64>,
+    levels: Vec<VLevelState>,
+    output: Option<Vec<f64>>,
+    /// Optional shared counter bumped once per completed `(level, round)`
+    /// (see [`VectorDelphiNode::with_round_probe`]).
+    round_probe: Option<Arc<AtomicU64>>,
+    /// Reused decode target, mirroring [`DelphiNode`]'s scratch section.
+    scratch: BasketSection,
+}
+
+impl VectorDelphiNode {
+    /// Creates a vector node over `values` — one input per basket
+    /// dimension, each clamped into `[s, e]` (NaN maps to `s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range, `values` is empty, or the basket
+    /// exceeds [`MAX_VECTOR_DIMS`] dimensions.
+    pub fn new(cfg: DelphiConfig, me: NodeId, values: &[f64]) -> VectorDelphiNode {
+        assert!(me.index() < cfg.n(), "node id out of range");
+        assert!(!values.is_empty(), "vector node needs at least one dimension");
+        assert!(
+            values.len() <= usize::from(MAX_VECTOR_DIMS),
+            "basket of {} exceeds {MAX_VECTOR_DIMS} dimensions",
+            values.len()
+        );
+        let inputs: Vec<f64> =
+            values.iter().map(|&v| if v.is_nan() { cfg.s() } else { cfg.clamp_input(v) }).collect();
+        let levels = (0..=cfg.l_max())
+            .map(|level| {
+                let (k_min, k_max) = cfg.checkpoint_range(level);
+                VLevelState {
+                    level,
+                    k_min,
+                    k_max,
+                    round: 1,
+                    dims: (0..values.len()).map(|_| DimLevel::new(&cfg)).collect(),
+                }
+            })
+            .collect();
+        VectorDelphiNode {
+            cfg,
+            me,
+            dims: values.len() as u16,
+            inputs,
+            levels,
+            output: None,
+            round_probe: None,
+            scratch: BasketSection::new(0, Round(1), EchoKind::Echo1),
+        }
+    }
+
+    /// Boxes the node for use with heterogeneous drivers.
+    pub fn boxed(self) -> Box<dyn Protocol<Output = Vec<f64>>> {
+        Box::new(self)
+    }
+
+    /// Attaches a shared round counter, bumped once every time any level
+    /// completes a round at this node. A full vector run adds
+    /// `(l_max + 1) × r_max` to the counter *per basket* — compare with
+    /// the same probe on per-asset [`DelphiNode`]s, which pay that cost
+    /// per asset.
+    #[must_use]
+    pub fn with_round_probe(mut self, probe: Arc<AtomicU64>) -> VectorDelphiNode {
+        self.round_probe = Some(probe);
+        self
+    }
+
+    /// The configuration this node runs under.
+    pub fn config(&self) -> &DelphiConfig {
+        &self.cfg
+    }
+
+    /// Number of basket dimensions.
+    pub fn dims(&self) -> u16 {
+        self.dims
+    }
+
+    /// The (clamped) per-dimension inputs this node contributes.
+    pub fn inputs(&self) -> &[f64] {
+        &self.inputs
+    }
+
+    /// Total distinguished checkpoints currently tracked at `level`,
+    /// summed across dimensions (diagnostics).
+    pub fn active_checkpoints(&self, level: u8) -> usize {
+        self.levels
+            .get(usize::from(level))
+            .map_or(0, |l| l.dims.iter().map(|d| d.actives.len()).sum())
+    }
+
+    /// Forks checkpoint `k` off dimension `dim`'s background if not yet
+    /// distinguished there, charging `sponsor`'s (sender, dimension)
+    /// budget. Returns whether the checkpoint is distinguished after.
+    fn distinguish(dim: &mut DimLevel, k_min: i64, k_max: i64, k: i64, sponsor: NodeId) -> bool {
+        if k < k_min || k > k_max {
+            return false;
+        }
+        if dim.actives.contains_key(&k) {
+            return true;
+        }
+        let budget = &mut dim.intro_budget[sponsor.index()];
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let fork = dim.background.clone();
+        dim.actives.insert(k, fork);
+        true
+    }
+
+    /// Applies one echo to one instance of one dimension, translating its
+    /// actions into collector output.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_echo(
+        cfg: &DelphiConfig,
+        me: NodeId,
+        instance: &mut Instance,
+        scope: Option<i64>,
+        dim: u16,
+        level: u8,
+        round: Round,
+        kind: EchoKind,
+        from: NodeId,
+        value: Dyadic,
+        out: &mut VCollector,
+        deferred_bg: &mut Vec<(u8, Round, EchoKind, u16, Dyadic)>,
+    ) {
+        let bv = instance.round_mut(round, me, cfg.n(), cfg.t());
+        let actions = match kind {
+            EchoKind::Echo1 => bv.on_echo1(from, value),
+            EchoKind::Echo2 => bv.on_echo2(from, value),
+        };
+        for action in actions {
+            let (k2, v2) = match action {
+                BvAction::Echo1(v) => (EchoKind::Echo1, v),
+                BvAction::Echo2(v) => (EchoKind::Echo2, v),
+            };
+            match scope {
+                Some(k) => out.entry(level, round, k2, dim, k, v2),
+                // Background echoes need an exclude snapshot of the whole
+                // dimension; defer so the caller can take it without
+                // aliasing.
+                None => deferred_bg.push((level, round, k2, dim, v2)),
+            }
+        }
+    }
+
+    /// Processes one decoded basket section, collecting triggered echoes.
+    fn process_section(&mut self, from: NodeId, section: &BasketSection, out: &mut VCollector) {
+        let level_idx = usize::from(section.level);
+        if level_idx >= self.levels.len() {
+            return;
+        }
+        if section.round.0 < 1 || section.round.0 > self.cfg.r_max() {
+            return;
+        }
+        // A section whose backgrounds carry any implausible value is
+        // dropped whole, mirroring the scalar path's section gate.
+        for (_, bg) in section.backgrounds.dims() {
+            if !DelphiNode::plausible(bg, section.round) {
+                return;
+            }
+        }
+
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        let n_dims = self.dims;
+        let level = &mut self.levels[level_idx];
+        let (k_min, k_max) = (level.k_min, level.k_max);
+        let mut deferred_bg: Vec<(u8, Round, EchoKind, u16, Dyadic)> = Vec::new();
+
+        // 1. Every mentioned (dimension, checkpoint) pair becomes
+        //    distinguished in that dimension. Dimensions beyond our
+        //    basket are ignored throughout (Byzantine senders cannot
+        //    spend budget on phantom assets).
+        for &(k, mask) in &section.exclude {
+            for d in 0..n_dims {
+                if mask & (1u64 << d) != 0 {
+                    let _ =
+                        Self::distinguish(&mut level.dims[usize::from(d)], k_min, k_max, k, from);
+                }
+            }
+        }
+        for (k, values) in &section.entries {
+            for (d, _) in values.dims() {
+                if d < n_dims {
+                    let _ =
+                        Self::distinguish(&mut level.dims[usize::from(d)], k_min, k_max, *k, from);
+                }
+            }
+        }
+
+        // 2. Explicit per-checkpoint echoes, dimension by dimension.
+        for (k, values) in &section.entries {
+            for (d, value) in values.dims() {
+                if d >= n_dims || !DelphiNode::plausible(value, section.round) {
+                    continue;
+                }
+                let dim = &mut level.dims[usize::from(d)];
+                if let Some(instance) = dim.actives.get_mut(k) {
+                    Self::apply_echo(
+                        &cfg,
+                        me,
+                        instance,
+                        Some(*k),
+                        d,
+                        section.level,
+                        section.round,
+                        section.kind,
+                        from,
+                        value,
+                        out,
+                        &mut deferred_bg,
+                    );
+                }
+            }
+        }
+
+        // 3. Background echoes: per dimension, the background value
+        //    applies to that dimension's background instance and every
+        //    distinguished checkpoint the sender did not mention *in that
+        //    dimension* (an entry or exclude mention in dim d shields
+        //    only dim d).
+        for (d, bg_value) in section.backgrounds.dims() {
+            if d >= n_dims {
+                continue;
+            }
+            let bit = 1u64 << d;
+            let mentioned = |k: i64| {
+                section.exclude.iter().any(|&(ek, mask)| ek == k && mask & bit != 0)
+                    || section.entries.iter().any(|(ek, vv)| *ek == k && vv.contains(d))
+            };
+            let dim = &mut level.dims[usize::from(d)];
+            let keys: Vec<i64> = dim.actives.keys().copied().filter(|&k| !mentioned(k)).collect();
+            for k in keys {
+                let instance = dim.actives.get_mut(&k).expect("key just listed");
+                Self::apply_echo(
+                    &cfg,
+                    me,
+                    instance,
+                    Some(k),
+                    d,
+                    section.level,
+                    section.round,
+                    section.kind,
+                    from,
+                    bg_value,
+                    out,
+                    &mut deferred_bg,
+                );
+            }
+            Self::apply_echo(
+                &cfg,
+                me,
+                &mut dim.background,
+                None,
+                d,
+                section.level,
+                section.round,
+                section.kind,
+                from,
+                bg_value,
+                out,
+                &mut deferred_bg,
+            );
+        }
+
+        // 4. Flush deferred background echoes with per-dimension exclude
+        //    snapshots.
+        for (lvl, round, kind, d, value) in deferred_bg {
+            let exclude: Vec<i64> = level.dims[usize::from(d)].actives.keys().copied().collect();
+            out.background(lvl, round, kind, d, value, exclude);
+        }
+    }
+
+    /// Advances every level through rounds whose outcomes are complete in
+    /// **all** dimensions, emitting one merged burst per advance.
+    fn advance(&mut self, out: &mut VCollector) {
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        let probe = self.round_probe.clone();
+        for level in &mut self.levels {
+            'rounds: while level.round <= cfg.r_max() {
+                let round = Round(level.round);
+                // Shared round walk: the whole basket advances together,
+                // or not at all.
+                let mut bg_nexts: Vec<Dyadic> = Vec::with_capacity(level.dims.len());
+                let mut nexts: Vec<Vec<(i64, Dyadic)>> = Vec::with_capacity(level.dims.len());
+                for dim in &level.dims {
+                    let Some(bg_next) = dim.background.outcome_at(round) else { break 'rounds };
+                    let mut dim_nexts = Vec::with_capacity(dim.actives.len());
+                    for (&k, inst) in &dim.actives {
+                        let Some(next) = inst.outcome_at(round) else { break 'rounds };
+                        dim_nexts.push((k, next));
+                    }
+                    bg_nexts.push(bg_next);
+                    nexts.push(dim_nexts);
+                }
+                for (dim, (bg_next, dim_nexts)) in
+                    level.dims.iter_mut().zip(bg_nexts.into_iter().zip(nexts))
+                {
+                    dim.background.value = bg_next;
+                    for (k, next) in dim_nexts {
+                        dim.actives.get_mut(&k).expect("listed above").value = next;
+                    }
+                }
+                level.round += 1;
+                if let Some(p) = &probe {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
+                if level.round > cfg.r_max() {
+                    // Level complete in every dimension simultaneously.
+                    let eps_prime = cfg.eps_prime();
+                    for (d, dim) in level.dims.iter_mut().enumerate() {
+                        let checkpoints: Vec<(f64, f64)> = dim
+                            .actives
+                            .iter()
+                            .map(|(&k, inst)| {
+                                (cfg.checkpoint_value(level.level, k), inst.value.to_f64())
+                            })
+                            .collect();
+                        debug_assert!(dim.background.value.is_zero());
+                        let own = cfg.clamp_input(self.inputs[d]);
+                        dim.summary = Some(level_summary(&checkpoints, own, eps_prime));
+                    }
+                    break 'rounds;
+                }
+                // One merged initial burst for the next round.
+                let next_round = Round(level.round);
+                let mut deferred: Vec<(u8, Round, EchoKind, u16, Dyadic)> = Vec::new();
+                let mut backgrounds = VectorValue::new();
+                let mut entry_map: BTreeMap<i64, VectorValue> = BTreeMap::new();
+                for (d, dim) in level.dims.iter_mut().enumerate() {
+                    let d16 = d as u16;
+                    let keys: Vec<i64> = dim.actives.keys().copied().collect();
+                    for k in keys {
+                        let inst = dim.actives.get_mut(&k).expect("key just listed");
+                        let value = inst.value;
+                        let actions =
+                            inst.round_mut(next_round, me, cfg.n(), cfg.t()).set_input(value);
+                        entry_map.entry(k).or_default().set(d16, value);
+                        for action in actions {
+                            match action {
+                                // The initial Echo1 rides in the burst
+                                // entry itself.
+                                BvAction::Echo1(v) if v == value => {}
+                                BvAction::Echo1(v) => {
+                                    out.entry(level.level, next_round, EchoKind::Echo1, d16, k, v)
+                                }
+                                BvAction::Echo2(v) => {
+                                    out.entry(level.level, next_round, EchoKind::Echo2, d16, k, v)
+                                }
+                            }
+                        }
+                    }
+                    let bg_value = dim.background.value;
+                    let bg_actions = dim
+                        .background
+                        .round_mut(next_round, me, cfg.n(), cfg.t())
+                        .set_input(bg_value);
+                    backgrounds.set(d16, bg_value);
+                    for action in bg_actions {
+                        match action {
+                            BvAction::Echo1(v) if v == bg_value => {}
+                            BvAction::Echo1(v) => {
+                                deferred.push((level.level, next_round, EchoKind::Echo1, d16, v))
+                            }
+                            BvAction::Echo2(v) => {
+                                deferred.push((level.level, next_round, EchoKind::Echo2, d16, v))
+                            }
+                        }
+                    }
+                }
+                out.initial(level.level, next_round, backgrounds, entry_map.into_iter().collect());
+                for (lvl, round, kind, d, value) in deferred {
+                    let exclude: Vec<i64> =
+                        level.dims[usize::from(d)].actives.keys().copied().collect();
+                    out.background(lvl, round, kind, d, value, exclude);
+                }
+            }
+        }
+        if self.output.is_none()
+            && self.levels.iter().all(|l| l.dims.iter().all(|d| d.summary.is_some()))
+        {
+            let outputs: Vec<f64> = (0..usize::from(self.dims))
+                .map(|d| {
+                    let summaries: Vec<LevelSummary> =
+                        self.levels.iter().map(|l| l.dims[d].summary.expect("checked")).collect();
+                    combine_levels(&summaries)
+                })
+                .collect();
+            self.output = Some(outputs);
+        }
+    }
+
+    fn flush(&self, out: VCollector) -> Vec<Envelope> {
+        let bundle = out.into_bundle();
+        if bundle.is_empty() {
+            Vec::new()
+        } else {
+            vec![Envelope::to_all(bundle.to_bytes())]
+        }
+    }
+}
+
+impl Protocol for VectorDelphiNode {
+    type Output = Vec<f64>;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n()
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        let cfg = self.cfg.clone();
+        let me = self.me;
+        let mut out = VCollector::default();
+        for level in &mut self.levels {
+            let (k_min, k_max) = (level.k_min, level.k_max);
+            let round = Round(1);
+            let mut backgrounds = VectorValue::new();
+            let mut entry_map: BTreeMap<i64, VectorValue> = BTreeMap::new();
+            let mut deferred: Vec<(EchoKind, u16, Dyadic)> = Vec::new();
+            for (d, dim) in level.dims.iter_mut().enumerate() {
+                let d16 = d as u16;
+                // This dimension's own 1-checkpoints become distinguished
+                // with input 1 (charged against our own budget).
+                for k in cfg.one_checkpoints(level.level, self.inputs[d]) {
+                    if Self::distinguish(dim, k_min, k_max, k, me) {
+                        dim.actives.get_mut(&k).expect("just distinguished").value = Dyadic::ONE;
+                    }
+                }
+                let keys: Vec<i64> = dim.actives.keys().copied().collect();
+                for k in keys {
+                    let inst = dim.actives.get_mut(&k).expect("key just listed");
+                    let value = inst.value;
+                    let actions = inst.round_mut(round, me, cfg.n(), cfg.t()).set_input(value);
+                    entry_map.entry(k).or_default().set(d16, value);
+                    for action in actions {
+                        match action {
+                            BvAction::Echo1(v) if v == value => {}
+                            BvAction::Echo1(v) => {
+                                out.entry(level.level, round, EchoKind::Echo1, d16, k, v)
+                            }
+                            BvAction::Echo2(v) => {
+                                out.entry(level.level, round, EchoKind::Echo2, d16, k, v)
+                            }
+                        }
+                    }
+                }
+                let bg_actions =
+                    dim.background.round_mut(round, me, cfg.n(), cfg.t()).set_input(Dyadic::ZERO);
+                backgrounds.set(d16, Dyadic::ZERO);
+                for action in bg_actions {
+                    match action {
+                        BvAction::Echo1(v) if v.is_zero() => {}
+                        BvAction::Echo1(v) => deferred.push((EchoKind::Echo1, d16, v)),
+                        BvAction::Echo2(v) => deferred.push((EchoKind::Echo2, d16, v)),
+                    }
+                }
+            }
+            out.initial(level.level, round, backgrounds, entry_map.into_iter().collect());
+            for (kind, d, value) in deferred {
+                let exclude: Vec<i64> =
+                    level.dims[usize::from(d)].actives.keys().copied().collect();
+                out.background(level.level, round, kind, d, value, exclude);
+            }
+        }
+        self.advance(&mut out);
+        self.flush(out)
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
+        if from == self.me || from.index() >= self.cfg.n() {
+            return Vec::new();
+        }
+        // Zero-copy decode, mirroring the scalar path: one validating
+        // pass, then each section is walked into the reused scratch.
+        let Ok(bundle) = BasketBundleRef::parse(payload) else {
+            return Vec::new(); // malformed: Byzantine, drop
+        };
+        let mut out = VCollector::default();
+        let mut scratch =
+            std::mem::replace(&mut self.scratch, BasketSection::new(0, Round(1), EchoKind::Echo1));
+        for section in bundle.sections() {
+            section.fill_section(&mut scratch);
+            self.process_section(from, &scratch, &mut out);
+        }
+        self.scratch = scratch;
+        self.advance(&mut out);
+        self.flush(out)
+    }
+
+    fn output(&self) -> Option<Vec<f64>> {
+        self.output.clone()
     }
 }
 
@@ -900,6 +1548,246 @@ mod tests {
         };
         let outs = run_delphi(&cfg, &inputs, &[3], make_flooder, 50);
         assert_agreement_validity(&outs, &inputs[..3], &cfg);
+    }
+
+    fn run_vector_delphi(
+        cfg: &DelphiConfig,
+        inputs: &[Vec<f64>],
+        faulty: &[usize],
+        make_faulty: impl Fn(NodeId) -> Box<dyn Protocol<Output = Vec<f64>>>,
+        seed: u64,
+        probe: Option<Arc<AtomicU64>>,
+    ) -> Vec<Vec<f64>> {
+        let n = cfg.n();
+        assert_eq!(inputs.len(), n);
+        let nodes: Vec<Box<dyn Protocol<Output = Vec<f64>>>> = NodeId::all(n)
+            .map(|id| {
+                if faulty.contains(&id.index()) {
+                    make_faulty(id)
+                } else {
+                    let mut node = VectorDelphiNode::new(cfg.clone(), id, &inputs[id.index()]);
+                    if let Some(p) = &probe {
+                        node = node.with_round_probe(p.clone());
+                    }
+                    node.boxed()
+                }
+            })
+            .collect();
+        let faulty_ids: Vec<NodeId> = faulty.iter().map(|&i| NodeId(i as u16)).collect();
+        let report = Simulation::new(Topology::lan(n)).seed(seed).faulty(&faulty_ids).run(nodes);
+        assert!(
+            report.all_honest_finished(),
+            "vector Delphi did not terminate (seed {seed}, stop {:?})",
+            report.stop
+        );
+        report.honest_outputs().cloned().collect()
+    }
+
+    #[test]
+    fn vector_basket_agrees_and_validates_per_dimension() {
+        let cfg = small_cfg(4);
+        let dims = 4usize;
+        // Four assets at very different price points, small honest spread.
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..dims).map(|d| 150.0 + d as f64 * 180.0 + i as f64 * 0.3).collect())
+            .collect();
+        let outs = run_vector_delphi(&cfg, &inputs, &[], |_| unreachable!(), 11, None);
+        for d in 0..dims {
+            let douts: Vec<f64> = outs.iter().map(|o| o[d]).collect();
+            let dins: Vec<f64> = inputs.iter().map(|o| o[d]).collect();
+            assert_agreement_validity(&douts, &dins, &cfg);
+        }
+    }
+
+    #[test]
+    fn vector_single_dimension_behaves_like_scalar() {
+        let cfg = small_cfg(4);
+        let inputs: Vec<Vec<f64>> = vec![vec![500.2], vec![499.8], vec![500.5], vec![500.0]];
+        let outs = run_vector_delphi(&cfg, &inputs, &[], |_| unreachable!(), 12, None);
+        let flat: Vec<f64> = outs.iter().map(|o| o[0]).collect();
+        let scalar_ins: Vec<f64> = inputs.iter().map(|o| o[0]).collect();
+        assert_agreement_validity(&flat, &scalar_ins, &cfg);
+    }
+
+    #[test]
+    fn vector_tolerates_crash_fault() {
+        let cfg = small_cfg(4);
+        let inputs: Vec<Vec<f64>> =
+            (0..4).map(|i| vec![200.0 + i as f64 * 0.4, 700.0 - i as f64 * 0.4]).collect();
+        let outs =
+            run_vector_delphi(&cfg, &inputs, &[3], |id| Box::new(Crash::new(id, 4)), 13, None);
+        for d in 0..2 {
+            let douts: Vec<f64> = outs.iter().map(|o| o[d]).collect();
+            let dins: Vec<f64> = inputs[..3].iter().map(|o| o[d]).collect();
+            assert_agreement_validity(&douts, &dins, &cfg);
+        }
+    }
+
+    #[test]
+    fn vector_tolerates_garbage_spammer() {
+        let cfg = small_cfg(4);
+        let inputs: Vec<Vec<f64>> =
+            (0..4).map(|i| vec![300.0 + i as f64 * 0.3, 301.0, 299.5]).collect();
+        let outs = run_vector_delphi(
+            &cfg,
+            &inputs,
+            &[3],
+            |id| Box::new(GarbageSpammer::new(id, 4, 3, 2, 200, 60)),
+            14,
+            None,
+        );
+        for d in 0..3 {
+            let douts: Vec<f64> = outs.iter().map(|o| o[d]).collect();
+            let dins: Vec<f64> = inputs[..3].iter().map(|o| o[d]).collect();
+            assert_agreement_validity(&douts, &dins, &cfg);
+        }
+    }
+
+    #[test]
+    fn vector_rounds_are_shared_across_the_basket() {
+        // The round probe counts (level, round) completions. A scalar
+        // deployment pays that walk once per asset; the vector node pays
+        // it once per basket, so at basket size m the scalar total is
+        // exactly m× the vector total.
+        let cfg = small_cfg(4);
+        let m = 4usize;
+        let vector_probe = Arc::new(AtomicU64::new(0));
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..m).map(|d| 400.0 + d as f64 * 30.0 + i as f64 * 0.2).collect())
+            .collect();
+        let _ = run_vector_delphi(
+            &cfg,
+            &inputs,
+            &[],
+            |_| unreachable!(),
+            15,
+            Some(vector_probe.clone()),
+        );
+
+        let scalar_probe = Arc::new(AtomicU64::new(0));
+        #[allow(clippy::needless_range_loop)] // d also seeds each per-dimension sim
+        for d in 0..m {
+            let nodes: Vec<Box<dyn Protocol<Output = f64>>> = NodeId::all(4)
+                .map(|id| {
+                    Box::new(
+                        DelphiNode::new(cfg.clone(), id, inputs[id.index()][d])
+                            .with_round_probe(scalar_probe.clone()),
+                    ) as Box<dyn Protocol<Output = f64>>
+                })
+                .collect();
+            let report = Simulation::new(Topology::lan(4)).seed(16 + d as u64).run(nodes);
+            assert!(report.all_honest_finished());
+        }
+
+        let vector_rounds = vector_probe.load(Ordering::Relaxed);
+        let scalar_rounds = scalar_probe.load(Ordering::Relaxed);
+        let expected_per_basket = 4 * u64::from(cfg.l_max() + 1) * u64::from(cfg.r_max());
+        assert_eq!(vector_rounds, expected_per_basket);
+        assert_eq!(scalar_rounds, vector_rounds * m as u64);
+    }
+
+    #[test]
+    fn vector_malformed_messages_ignored() {
+        let cfg = small_cfg(4);
+        let mut node = VectorDelphiNode::new(cfg, NodeId(0), &[500.0, 600.0]);
+        let _ = node.start();
+        assert!(node.on_message(NodeId(1), b"\xff\xff\xff").is_empty());
+        assert!(node.on_message(NodeId(1), b"").is_empty());
+        assert!(node.on_message(NodeId(0), b"").is_empty());
+        // A scalar-codec bundle is not a valid basket bundle here either:
+        // feeding one must not panic (it is simply dropped or ignored).
+        let mut s = Section::new(0, Round(1), EchoKind::Echo1);
+        s.entries = vec![(500, Dyadic::ONE)];
+        let bundle = DelphiBundle { sections: vec![s] };
+        let _ = node.on_message(NodeId(2), &bundle.to_bytes());
+    }
+
+    #[test]
+    fn vector_intro_budget_is_per_dimension() {
+        let cfg = small_cfg(4);
+        let mut node = VectorDelphiNode::new(cfg, NodeId(0), &[500.0, 500.0]);
+        let _ = node.start();
+        let before = node.active_checkpoints(0);
+        // A Byzantine sender floods checkpoint mentions in dimension 0
+        // only; dimension 1 must keep its own untouched budget.
+        for wave in 0..20i64 {
+            let mut s = BasketSection::new(0, Round(1), EchoKind::Echo1);
+            s.entries =
+                (0..10).map(|i| (wave * 10 + i, VectorValue::single(0, Dyadic::ONE))).collect();
+            let bundle = BasketBundle { sections: vec![s] };
+            let _ = node.on_message(NodeId(3), &bundle.to_bytes());
+        }
+        let after_flood = node.active_checkpoints(0);
+        assert!(
+            after_flood <= before + usize::from(INTRO_BUDGET_PER_LEVEL),
+            "dim-0 flood created {after_flood} actives from {before}"
+        );
+        // The same sender can still introduce checkpoints in dimension 1.
+        let mut s = BasketSection::new(0, Round(1), EchoKind::Echo1);
+        s.entries = vec![(300, VectorValue::single(1, Dyadic::ONE))];
+        let bundle = BasketBundle { sections: vec![s] };
+        let _ = node.on_message(NodeId(3), &bundle.to_bytes());
+        assert_eq!(node.active_checkpoints(0), after_flood + 1);
+    }
+
+    #[test]
+    fn vector_ignores_dimensions_beyond_basket() {
+        let cfg = small_cfg(4);
+        let mut node = VectorDelphiNode::new(cfg, NodeId(0), &[500.0]);
+        let _ = node.start();
+        let before = node.active_checkpoints(0);
+        let mut s = BasketSection::new(0, Round(1), EchoKind::Echo1);
+        s.entries = vec![(300, {
+            let mut v = VectorValue::single(0, Dyadic::ONE);
+            v.set(7, Dyadic::ONE); // phantom asset
+            v
+        })];
+        let bundle = BasketBundle { sections: vec![s] };
+        let _ = node.on_message(NodeId(2), &bundle.to_bytes());
+        // Dim 0's mention lands; the phantom dim-7 mention is discarded.
+        assert_eq!(node.active_checkpoints(0), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn vector_basket_size_is_bounded() {
+        let inputs = vec![500.0; usize::from(MAX_VECTOR_DIMS) + 1];
+        let _ = VectorDelphiNode::new(small_cfg(4), NodeId(0), &inputs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn prop_vector_agreement_and_validity_per_dimension(
+            dims in 1usize..6,
+            base in 100.0..900.0f64,
+            spreads in proptest::collection::vec(0.0..1.0f64, 4 * 6),
+            delta in 0.5..16.0f64,
+            seed in 0u64..u64::MAX,
+        ) {
+            let cfg = small_cfg(4);
+            let inputs: Vec<Vec<f64>> = (0..4)
+                .map(|i| {
+                    (0..dims)
+                        .map(|d| base + d as f64 * 11.0 + spreads[i * 6 + d] * delta)
+                        .collect()
+                })
+                .collect();
+            let outs = run_vector_delphi(&cfg, &inputs, &[], |_| unreachable!(), seed, None);
+            for d in 0..dims {
+                let douts: Vec<f64> = outs.iter().map(|o| o[d]).collect();
+                let dins: Vec<f64> = inputs.iter().map(|o| o[d]).collect();
+                let m = dins.iter().copied().fold(f64::INFINITY, f64::min);
+                let big_m = dins.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let relax = cfg.rho0().max(big_m - m);
+                for a in &douts {
+                    prop_assert!(*a >= m - relax - 1e-9 && *a <= big_m + relax + 1e-9);
+                    for b in &douts {
+                        prop_assert!((a - b).abs() <= cfg.epsilon() + 1e-9);
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

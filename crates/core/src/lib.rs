@@ -70,7 +70,10 @@ pub mod params;
 
 pub use binaa::BinAaNode;
 pub use compact::CompactBinAaNode;
-pub use delphi::DelphiNode;
-pub use messages::{BinAaMsg, DelphiBundle, DelphiBundleRef, EchoKind, Section, SectionRef};
-pub use oracle::{OracleService, PriceSource};
+pub use delphi::{DelphiNode, VectorDelphiNode};
+pub use messages::{
+    BasketBundle, BasketBundleRef, BasketSection, BasketSectionRef, BinAaMsg, DelphiBundle,
+    DelphiBundleRef, EchoKind, Section, SectionRef,
+};
+pub use oracle::{OracleService, PriceSource, VectorOracleService};
 pub use params::{ConfigError, DelphiConfig, DelphiConfigBuilder, InputRule};

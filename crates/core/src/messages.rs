@@ -8,7 +8,7 @@
 //! for "every checkpoint of this level that nobody has distinguished",
 //! while `entries` carry the handful of checkpoints near honest inputs.
 
-use delphi_primitives::wire::{Decode, Encode, Reader, WireError, Writer};
+use delphi_primitives::wire::{Decode, Encode, Reader, VectorValue, WireError, Writer};
 use delphi_primitives::{Dyadic, Round};
 
 /// Maximum sections per bundle accepted from the wire.
@@ -475,6 +475,465 @@ fn read_section_ref<'a>(r: &mut Reader<'a>) -> Result<SectionRef<'a>, WireError>
     })
 }
 
+/// All echoes of one `(level, round, kind)` in one *vector-basket* bundle
+/// — the multidimensional counterpart of [`Section`].
+///
+/// Where a scalar section carries one [`Dyadic`] per echo, a basket
+/// section carries a [`VectorValue`] per echo: up to 64 basket dimensions
+/// share one id-run, one header, and one frame, which is what makes a
+/// whole basket cost one bundle exchange per round. Scope rules are the
+/// scalar rules applied *per dimension*:
+///
+/// - each `(k, values)` in `entries` echoes `values.get(d)` for
+///   checkpoint `k` in every dimension `d` the value set covers;
+/// - `backgrounds.get(d)`, when present, additionally echoes that value
+///   for every checkpoint of the level in dimension `d` **except** those
+///   whose entry value set covers `d` or whose `exclude` mask has bit `d`
+///   set;
+/// - a checkpoint id mentioned in an entry or exclude run distinguishes
+///   the checkpoint at the receiver *only in the dimensions its mask
+///   covers* — mentioning `(k, {0})` says nothing about `k` in dimension
+///   1, whose background echo still applies there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasketSection {
+    /// Level index (`0..=l_max`).
+    pub level: u8,
+    /// BinAA round within the level (shared by every dimension).
+    pub round: Round,
+    /// Echo phase.
+    pub kind: EchoKind,
+    /// Per-dimension background echoes, if any.
+    pub backgrounds: VectorValue,
+    /// `(checkpoint, dimension mask)` pairs **not** covered by the
+    /// matching background dimensions.
+    pub exclude: Vec<(i64, u64)>,
+    /// Per-checkpoint, per-dimension echoes.
+    pub entries: Vec<(i64, VectorValue)>,
+}
+
+impl BasketSection {
+    /// Creates an empty basket section for `(level, round, kind)`.
+    pub fn new(level: u8, round: Round, kind: EchoKind) -> BasketSection {
+        BasketSection {
+            level,
+            round,
+            kind,
+            backgrounds: VectorValue::new(),
+            exclude: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether the section carries no echo at all.
+    pub fn is_empty(&self) -> bool {
+        self.backgrounds.is_empty() && self.entries.is_empty()
+    }
+}
+
+impl Encode for BasketSection {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw_u8(self.level);
+        w.put(&self.round);
+        w.put(&self.kind);
+        w.put(&self.backgrounds);
+        if !self.backgrounds.is_empty() {
+            put_id_deltas(w, self.exclude.iter().map(|(id, _)| id));
+            for &(_, mask) in &self.exclude {
+                w.put_u64(mask);
+            }
+        }
+        put_id_deltas(w, self.entries.iter().map(|(id, _)| id));
+        for (_, values) in &self.entries {
+            w.put(values);
+        }
+    }
+}
+
+impl Decode for BasketSection {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let level = r.get_raw_u8()?;
+        let round = r.get::<Round>()?;
+        let kind = r.get::<EchoKind>()?;
+        let backgrounds = r.get::<VectorValue>()?;
+        let exclude = if !backgrounds.is_empty() {
+            let n = r.get_usize()?;
+            if n > MAX_IDS {
+                return Err(WireError::LengthOutOfBounds);
+            }
+            let mut exclude = Vec::with_capacity(n.min(1024));
+            let mut prev = 0i64;
+            for _ in 0..n {
+                prev = prev.wrapping_add(r.get_i64()?);
+                exclude.push((prev, 0u64));
+            }
+            for (_, mask) in &mut exclude {
+                *mask = r.get_u64()?;
+            }
+            exclude
+        } else {
+            Vec::new()
+        };
+        let n = r.get_usize()?;
+        if n > MAX_IDS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let mut entries = Vec::with_capacity(n.min(1024));
+        let mut prev = 0i64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(r.get_i64()?);
+            entries.push((prev, VectorValue::new()));
+        }
+        for (_, values) in &mut entries {
+            *values = r.get::<VectorValue>()?;
+        }
+        Ok(BasketSection { level, round, kind, backgrounds, exclude, entries })
+    }
+}
+
+/// A vector-basket network message: one or more bundled
+/// [`BasketSection`]s.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BasketBundle {
+    /// The bundled sections.
+    pub sections: Vec<BasketSection>,
+}
+
+impl BasketBundle {
+    /// Creates an empty bundle.
+    pub fn new() -> BasketBundle {
+        BasketBundle::default()
+    }
+
+    /// Whether no section carries any echo.
+    pub fn is_empty(&self) -> bool {
+        self.sections.iter().all(BasketSection::is_empty)
+    }
+}
+
+impl Encode for BasketBundle {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.sections);
+    }
+}
+
+impl Decode for BasketBundle {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BasketBundle { sections: r.get_seq(MAX_SECTIONS)? })
+    }
+}
+
+/// A validated, borrowed view of an encoded [`BasketBundle`] — the
+/// vector-basket counterpart of [`DelphiBundleRef`], built on the same
+/// pattern: one validating pass in [`BasketBundleRef::parse`] (identical
+/// errors to the owned decoder, property-tested), then allocation-free
+/// iteration over sections straight out of the input bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct BasketBundleRef<'a> {
+    /// Section bytes (everything after the count), pre-validated.
+    sections: &'a [u8],
+    count: usize,
+}
+
+impl<'a> BasketBundleRef<'a> {
+    /// Validates `bytes` as a complete basket-bundle encoding and returns
+    /// the borrowed view.
+    ///
+    /// # Errors
+    ///
+    /// Exactly what `BasketBundle::from_bytes` returns on the same input,
+    /// including [`WireError::TrailingBytes`] on unconsumed bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<BasketBundleRef<'a>, WireError> {
+        let mut r = Reader::new(bytes);
+        let count = r.get_usize()?;
+        if count > MAX_SECTIONS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let sections = r.tail();
+        for _ in 0..count {
+            let _ = read_basket_section_ref(&mut r)?;
+        }
+        r.finish()?;
+        Ok(BasketBundleRef { sections, count })
+    }
+
+    /// Number of sections in the bundle.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the bundle holds no sections at all.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the sections as borrowed views.
+    pub fn sections(&self) -> BasketSectionRefIter<'a> {
+        BasketSectionRefIter { r: Reader::new(self.sections), remaining: self.count }
+    }
+
+    /// Materializes the owned bundle (the protocol-boundary escape hatch).
+    pub fn to_owned_bundle(&self) -> BasketBundle {
+        BasketBundle { sections: self.sections().map(|s| s.to_owned_section()).collect() }
+    }
+}
+
+/// Iterator over a pre-validated [`BasketBundleRef`].
+#[derive(Clone, Debug)]
+pub struct BasketSectionRefIter<'a> {
+    r: Reader<'a>,
+    remaining: usize,
+}
+
+impl<'a> Iterator for BasketSectionRefIter<'a> {
+    type Item = BasketSectionRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Parse validated the region; a failure here is unreachable but
+        // ends iteration instead of panicking.
+        match read_basket_section_ref(&mut self.r) {
+            Ok(section) => Some(section),
+            Err(_) => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// One section of a [`BasketBundleRef`]: decoded header fields plus
+/// borrowed slices for the background values, id runs, masks, and entry
+/// value sets.
+#[derive(Clone, Copy, Debug)]
+pub struct BasketSectionRef<'a> {
+    /// Level index (`0..=l_max`).
+    pub level: u8,
+    /// BinAA round within the level.
+    pub round: Round,
+    /// Echo phase.
+    pub kind: EchoKind,
+    backgrounds_mask: u64,
+    backgrounds_bytes: &'a [u8],
+    exclude_count: usize,
+    exclude_id_bytes: &'a [u8],
+    exclude_mask_bytes: &'a [u8],
+    entry_count: usize,
+    id_bytes: &'a [u8],
+    value_bytes: &'a [u8],
+}
+
+impl<'a> BasketSectionRef<'a> {
+    /// The background membership mask (bit `d` set iff dimension `d` has
+    /// a background echo).
+    pub fn backgrounds_mask(&self) -> u64 {
+        self.backgrounds_mask
+    }
+
+    /// Iterates the `(dimension, value)` background echoes, ascending by
+    /// dimension.
+    pub fn backgrounds(&self) -> DimValueIter<'a> {
+        DimValueIter { mask: self.backgrounds_mask, r: Reader::new(self.backgrounds_bytes) }
+    }
+
+    /// Number of `(checkpoint, mask)` exclude pairs.
+    pub fn exclude_len(&self) -> usize {
+        self.exclude_count
+    }
+
+    /// Number of per-checkpoint entries.
+    pub fn entries_len(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Iterates the `(checkpoint, dimension mask)` exclude pairs.
+    pub fn exclude(&self) -> ExcludeRunIter<'a> {
+        ExcludeRunIter {
+            ids: IdRunIter {
+                r: Reader::new(self.exclude_id_bytes),
+                remaining: self.exclude_count,
+                prev: 0,
+            },
+            masks: Reader::new(self.exclude_mask_bytes),
+        }
+    }
+
+    /// Iterates the `(checkpoint, values)` entries.
+    pub fn entries(&self) -> BasketEntryIter<'a> {
+        BasketEntryIter {
+            ids: IdRunIter { r: Reader::new(self.id_bytes), remaining: self.entry_count, prev: 0 },
+            values: Reader::new(self.value_bytes),
+        }
+    }
+
+    /// Materializes an owned [`BasketSection`].
+    pub fn to_owned_section(&self) -> BasketSection {
+        let mut section = BasketSection::new(self.level, self.round, self.kind);
+        self.fill_section(&mut section);
+        section
+    }
+
+    /// Fills a reusable scratch [`BasketSection`] in place (cf.
+    /// [`SectionRef::fill_section`]): the outer vectors keep their
+    /// capacity across messages.
+    pub fn fill_section(&self, section: &mut BasketSection) {
+        section.level = self.level;
+        section.round = self.round;
+        section.kind = self.kind;
+        section.backgrounds.clear();
+        for (dim, value) in self.backgrounds() {
+            section.backgrounds.set(dim, value);
+        }
+        section.exclude.clear();
+        section.exclude.extend(self.exclude());
+        section.entries.clear();
+        section.entries.extend(self.entries());
+    }
+}
+
+/// Iterator over one [`VectorValue`] region: `(dimension, value)` pairs,
+/// ascending by dimension.
+#[derive(Clone, Debug)]
+pub struct DimValueIter<'a> {
+    mask: u64,
+    r: Reader<'a>,
+}
+
+impl Iterator for DimValueIter<'_> {
+    type Item = (u16, Dyadic);
+
+    fn next(&mut self) -> Option<(u16, Dyadic)> {
+        if self.mask == 0 {
+            return None;
+        }
+        let dim = self.mask.trailing_zeros() as u16;
+        self.mask &= self.mask - 1;
+        // Pre-validated region: failure is unreachable.
+        let value = self.r.get::<Dyadic>().ok()?;
+        Some((dim, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+/// Iterator over a section's `(checkpoint, dimension mask)` exclude run.
+#[derive(Clone, Debug)]
+pub struct ExcludeRunIter<'a> {
+    ids: IdRunIter<'a>,
+    masks: Reader<'a>,
+}
+
+impl Iterator for ExcludeRunIter<'_> {
+    type Item = (i64, u64);
+
+    fn next(&mut self) -> Option<(i64, u64)> {
+        let id = self.ids.next()?;
+        let mask = self.masks.get_u64().ok()?;
+        Some((id, mask))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+/// Iterator over a section's `(checkpoint, values)` entries.
+#[derive(Clone, Debug)]
+pub struct BasketEntryIter<'a> {
+    ids: IdRunIter<'a>,
+    values: Reader<'a>,
+}
+
+impl Iterator for BasketEntryIter<'_> {
+    type Item = (i64, VectorValue);
+
+    fn next(&mut self) -> Option<(i64, VectorValue)> {
+        let id = self.ids.next()?;
+        let values = self.values.get::<VectorValue>().ok()?;
+        Some((id, values))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+/// Reads one basket section as a borrowed view, validating everything the
+/// owned decoder validates — the single code path behind both
+/// [`BasketBundleRef::parse`] and [`BasketSectionRefIter`], mirroring
+/// [`read_section_ref`].
+fn read_basket_section_ref<'a>(r: &mut Reader<'a>) -> Result<BasketSectionRef<'a>, WireError> {
+    let level = r.get_raw_u8()?;
+    let round = r.get::<Round>()?;
+    let kind = r.get::<EchoKind>()?;
+    let backgrounds_mask = r.get_u64()?;
+    let bg_start = r.tail();
+    for _ in 0..backgrounds_mask.count_ones() {
+        let _ = r.get::<Dyadic>()?;
+    }
+    let backgrounds_bytes = &bg_start[..bg_start.len() - r.tail().len()];
+    let (exclude_count, exclude_id_bytes, exclude_mask_bytes) = if backgrounds_mask != 0 {
+        let n = r.get_usize()?;
+        if n > MAX_IDS {
+            return Err(WireError::LengthOutOfBounds);
+        }
+        let id_start = r.tail();
+        for _ in 0..n {
+            // Deltas are wrapping sums: any well-formed varint is a valid
+            // id, so validation only needs the boundary.
+            r.skip_u64()?;
+        }
+        let id_bytes = &id_start[..id_start.len() - r.tail().len()];
+        let mask_start = r.tail();
+        for _ in 0..n {
+            r.skip_u64()?;
+        }
+        let mask_bytes = &mask_start[..mask_start.len() - r.tail().len()];
+        (n, id_bytes, mask_bytes)
+    } else {
+        (0, &[][..], &[][..])
+    };
+    let entry_count = r.get_usize()?;
+    if entry_count > MAX_IDS {
+        return Err(WireError::LengthOutOfBounds);
+    }
+    let id_start = r.tail();
+    for _ in 0..entry_count {
+        r.skip_u64()?;
+    }
+    let id_bytes = &id_start[..id_start.len() - r.tail().len()];
+    let value_start = r.tail();
+    for _ in 0..entry_count {
+        let mask = r.get_u64()?;
+        for _ in 0..mask.count_ones() {
+            let _ = r.get::<Dyadic>()?;
+        }
+    }
+    let value_bytes = &value_start[..value_start.len() - r.tail().len()];
+    Ok(BasketSectionRef {
+        level,
+        round,
+        kind,
+        backgrounds_mask,
+        backgrounds_bytes,
+        exclude_count,
+        exclude_id_bytes,
+        exclude_mask_bytes,
+        entry_count,
+        id_bytes,
+        value_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,6 +1177,229 @@ mod tests {
             let owned = DelphiBundle::from_bytes(&bytes[..cut]).map(|b| b.sections.len());
             let borrowed =
                 DelphiBundleRef::parse(&bytes[..cut]).map(|v| v.to_owned_bundle().sections.len());
+            proptest::prop_assert_eq!(owned, borrowed);
+        }
+    }
+
+    fn sample_basket_bundle() -> BasketBundle {
+        let mut b = BasketBundle::new();
+        for level in 0..3u8 {
+            let mut s = BasketSection::new(level, Round(2 + u16::from(level)), EchoKind::Echo1);
+            let mut bg = VectorValue::new();
+            bg.set(0, Dyadic::ZERO);
+            bg.set(5, Dyadic::new(1, 2));
+            bg.set(63, Dyadic::ONE);
+            s.backgrounds = bg;
+            s.exclude = vec![(-5, 0b1), (40_000, u64::MAX), (i64::MIN, 0)];
+            let mut v1 = VectorValue::single(0, Dyadic::ONE);
+            v1.set(7, Dyadic::new(3, 4));
+            s.entries = vec![
+                (19_999, v1),
+                (20_000, VectorValue::single(5, Dyadic::new(1, 2))),
+                (i64::MAX, VectorValue::new()),
+            ];
+            b.sections.push(s);
+        }
+        // Background-free section: exclude run is not encoded.
+        let mut s = BasketSection::new(9, Round(1), EchoKind::Echo2);
+        s.entries = vec![(7, VectorValue::single(2, Dyadic::ONE))];
+        b.sections.push(s);
+        b.sections.push(BasketSection::new(11, Round(1), EchoKind::Echo1));
+        b
+    }
+
+    #[test]
+    fn basket_section_roundtrip() {
+        let bundle = sample_basket_bundle();
+        for s in &bundle.sections {
+            assert_eq!(&roundtrip(s).unwrap(), s);
+        }
+        assert_eq!(roundtrip(&bundle).unwrap(), bundle);
+        assert!(!bundle.is_empty());
+        assert!(BasketBundle::new().is_empty());
+        assert!(BasketBundle { sections: vec![BasketSection::new(0, Round(1), EchoKind::Echo1)] }
+            .is_empty());
+    }
+
+    #[test]
+    fn basket_section_without_backgrounds_omits_exclude_run() {
+        // The exclude run rides the background flag exactly like the
+        // scalar section's: no backgrounds, no run on the wire.
+        let mut with_ex = BasketSection::new(0, Round(1), EchoKind::Echo1);
+        with_ex.exclude = vec![(1, 1), (2, 2)];
+        let bare = BasketSection::new(0, Round(1), EchoKind::Echo1);
+        assert_eq!(with_ex.to_bytes(), bare.to_bytes());
+        assert_eq!(roundtrip(&with_ex).unwrap(), bare);
+    }
+
+    #[test]
+    fn basket_shares_one_id_run_across_dimensions() {
+        // The vector win on the wire: m dimensions echoing the same
+        // checkpoints cost one id-run, not m scalar sections.
+        let ids = 0..8i64;
+        let mut vector = BasketSection::new(0, Round(1), EchoKind::Echo1);
+        vector.entries = ids
+            .clone()
+            .map(|k| {
+                let mut vv = VectorValue::new();
+                for d in 0..8 {
+                    vv.set(d, Dyadic::new(1, 1));
+                }
+                (20_000 + k, vv)
+            })
+            .collect();
+        let mut scalar_total = 0;
+        for _ in 0..8 {
+            let mut s = Section::new(0, Round(1), EchoKind::Echo1);
+            s.entries = ids.clone().map(|k| (20_000 + k, Dyadic::new(1, 1))).collect();
+            scalar_total += s.to_bytes().len();
+        }
+        let vector_total = vector.to_bytes().len();
+        assert!(
+            vector_total < scalar_total,
+            "vector {vector_total}B vs 8 scalar sections {scalar_total}B"
+        );
+        // The 64 Dyadic values are irreducible payload either way; the
+        // id-run sharing shows up in the framing overhead (headers, id
+        // runs, counts), which must shrink by at least 3x.
+        let value_bytes = 64 * Dyadic::new(1, 1).to_bytes().len();
+        let vector_overhead = vector_total - value_bytes;
+        let scalar_overhead = scalar_total - value_bytes;
+        assert!(
+            vector_overhead * 3 < scalar_overhead,
+            "vector overhead {vector_overhead}B vs scalar overhead {scalar_overhead}B"
+        );
+    }
+
+    #[test]
+    fn borrowed_basket_view_matches_owned_decoder() {
+        let bundle = sample_basket_bundle();
+        let bytes = bundle.to_bytes();
+        let view = BasketBundleRef::parse(&bytes).unwrap();
+        assert_eq!(view.len(), bundle.sections.len());
+        assert!(!view.is_empty());
+        assert_eq!(view.to_owned_bundle(), bundle);
+        assert_eq!(view.sections().size_hint(), (5, Some(5)));
+        for (sref, owned) in view.sections().zip(&bundle.sections) {
+            assert_eq!(sref.level, owned.level);
+            assert_eq!(sref.round, owned.round);
+            assert_eq!(sref.kind, owned.kind);
+            assert_eq!(sref.backgrounds_mask(), owned.backgrounds.mask());
+            assert_eq!(
+                sref.backgrounds().collect::<Vec<_>>(),
+                owned.backgrounds.dims().collect::<Vec<_>>()
+            );
+            assert_eq!(sref.exclude_len(), owned.exclude.len());
+            assert_eq!(sref.entries_len(), owned.entries.len());
+            assert_eq!(sref.exclude().collect::<Vec<_>>(), owned.exclude);
+            assert_eq!(sref.entries().collect::<Vec<_>>(), owned.entries);
+            let mut scratch = BasketSection::new(0, Round(1), EchoKind::Echo1);
+            sref.fill_section(&mut scratch);
+            assert_eq!(&scratch, owned);
+            let cap = (scratch.exclude.capacity(), scratch.entries.capacity());
+            sref.fill_section(&mut scratch);
+            assert_eq!(&scratch, owned);
+            assert_eq!((scratch.exclude.capacity(), scratch.entries.capacity()), cap);
+        }
+        let empty = BasketBundle::new().to_bytes();
+        assert!(BasketBundleRef::parse(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn borrowed_basket_rejects_what_owned_rejects() {
+        let bytes = sample_basket_bundle().to_bytes();
+        for cut in 0..bytes.len() {
+            let owned = BasketBundle::from_bytes(&bytes[..cut]).unwrap_err();
+            let borrowed = BasketBundleRef::parse(&bytes[..cut]).unwrap_err();
+            assert_eq!(owned, borrowed, "cut at {cut}");
+        }
+        let mut trailing = bytes.to_vec();
+        trailing.push(0x55);
+        assert_eq!(
+            BasketBundle::from_bytes(&trailing).unwrap_err(),
+            BasketBundleRef::parse(&trailing).unwrap_err(),
+        );
+        assert_eq!(BasketBundleRef::parse(&trailing).unwrap_err(), WireError::TrailingBytes);
+        let mut w = Writer::new();
+        w.put_usize(MAX_SECTIONS + 1);
+        let over = w.into_vec();
+        assert_eq!(
+            BasketBundle::from_bytes(&over).unwrap_err(),
+            BasketBundleRef::parse(&over).unwrap_err(),
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Round-trip equivalence on arbitrary well-formed basket bundles:
+        /// `parse(bytes).to_owned() == decode(bytes)`.
+        #[test]
+        fn prop_borrowed_basket_roundtrip_equivalence(
+            sections in proptest::collection::vec(
+                (
+                    // (level, round, kind)
+                    (proptest::prelude::any::<u8>(), 1u16..32, proptest::prelude::any::<bool>()),
+                    // background dims: (dim, numerator, exponent)
+                    proptest::collection::vec(
+                        (0u16..64, proptest::prelude::any::<u8>(), 0u8..60), 0..4),
+                    // exclude: (id, mask)
+                    proptest::collection::vec(
+                        (proptest::prelude::any::<i64>(), proptest::prelude::any::<u64>()), 0..4),
+                    // entries: (id, dims)
+                    proptest::collection::vec(
+                        (proptest::prelude::any::<i64>(),
+                         proptest::collection::vec(
+                             (0u16..64, proptest::prelude::any::<u8>(), 0u8..60), 0..4)),
+                        0..4,
+                    ),
+                ),
+                0..5,
+            )
+        ) {
+            let mut bundle = BasketBundle::new();
+            for ((level, round, echo2), bg, exclude, entries) in sections {
+                let kind = if echo2 { EchoKind::Echo2 } else { EchoKind::Echo1 };
+                let mut s = BasketSection::new(level, Round(round), kind);
+                for (dim, num, den) in bg {
+                    s.backgrounds.set(dim, Dyadic::new(u64::from(num), den));
+                }
+                if !s.backgrounds.is_empty() {
+                    s.exclude = exclude;
+                }
+                s.entries = entries
+                    .into_iter()
+                    .map(|(k, dims)| {
+                        let mut vv = VectorValue::new();
+                        for (dim, num, den) in dims {
+                            vv.set(dim, Dyadic::new(u64::from(num), den));
+                        }
+                        (k, vv)
+                    })
+                    .collect();
+                bundle.sections.push(s);
+            }
+            let bytes = bundle.to_bytes();
+            let owned = BasketBundle::from_bytes(&bytes).unwrap();
+            let view = BasketBundleRef::parse(&bytes).unwrap();
+            proptest::prop_assert_eq!(view.to_owned_bundle(), owned);
+        }
+
+        /// Error equivalence on garbage bytes and truncated prefixes: the
+        /// borrowed basket parser accepts and rejects exactly what the
+        /// owned decoder does, with the same error.
+        #[test]
+        fn prop_borrowed_basket_error_equivalence(
+            bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..96),
+            cut in 0usize..96,
+        ) {
+            let owned = BasketBundle::from_bytes(&bytes).map(|b| b.sections.len());
+            let borrowed = BasketBundleRef::parse(&bytes).map(|v| v.to_owned_bundle().sections.len());
+            proptest::prop_assert_eq!(owned, borrowed);
+            let cut = cut.min(bytes.len());
+            let owned = BasketBundle::from_bytes(&bytes[..cut]).map(|b| b.sections.len());
+            let borrowed =
+                BasketBundleRef::parse(&bytes[..cut]).map(|v| v.to_owned_bundle().sections.len());
             proptest::prop_assert_eq!(owned, borrowed);
         }
     }

@@ -14,12 +14,16 @@
 //! `run_epoch_service` for a real TCP deployment via
 //! [`OracleService::into_mux`].
 
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use delphi_primitives::wire::MAX_VECTOR_DIMS;
 use delphi_primitives::{
-    Envelope, EpochConfig, EpochEvent, EpochId, EpochMux, EpochProtocol, EpochStats, FlushPolicy,
-    InstanceId, NodeId, Protocol,
+    flatten_vector_events, Envelope, EpochConfig, EpochEvent, EpochId, EpochMux, EpochProtocol,
+    EpochStats, FlushPolicy, InstanceId, NodeId, Protocol,
 };
 
-use crate::delphi::DelphiNode;
+use crate::delphi::{DelphiNode, VectorDelphiNode};
 use crate::params::DelphiConfig;
 
 /// Streaming price source: this node's protocol input for one
@@ -79,14 +83,50 @@ impl OracleService {
         epochs: EpochConfig,
         flush: FlushPolicy,
         recv_shards: usize,
+        source: PriceSource,
+    ) -> OracleService {
+        Self::build(cfg, me, epochs, flush, recv_shards, source, None)
+    }
+
+    /// [`OracleService::from_parts`] with a shared round counter attached
+    /// to every spawned [`DelphiNode`] (see
+    /// [`DelphiNode::with_round_probe`]): the counter measures total BinAA
+    /// rounds completed across all `(epoch, asset)` instances, the
+    /// denominator-free half of a rounds-per-agreement figure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_probed(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        recv_shards: usize,
+        source: PriceSource,
+        probe: Arc<AtomicU64>,
+    ) -> OracleService {
+        Self::build(cfg, me, epochs, flush, recv_shards, source, Some(probe))
+    }
+
+    fn build(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        recv_shards: usize,
         mut source: PriceSource,
+        probe: Option<Arc<AtomicU64>>,
     ) -> OracleService {
         let n = cfg.n();
         let mux = EpochMux::new(
             epochs,
             me,
             n,
-            Box::new(move |epoch, asset| DelphiNode::new(cfg.clone(), me, source(epoch, asset))),
+            Box::new(move |epoch, asset| {
+                let node = DelphiNode::new(cfg.clone(), me, source(epoch, asset));
+                match &probe {
+                    Some(p) => node.with_round_probe(p.clone()),
+                    None => node,
+                }
+            }),
         );
         OracleService { inner: EpochProtocol::new(mux, flush).recv_shards(recv_shards) }
     }
@@ -157,6 +197,162 @@ impl Protocol for OracleService {
     }
 }
 
+/// A vector-basket Delphi oracle: **one** multidimensional agreement
+/// instance per epoch, instead of one instance per `(epoch, asset)` pair.
+///
+/// Each epoch spawns a single [`VectorDelphiNode`] whose basket covers
+/// every configured asset; the epoch layer sees one instance (asset 0 on
+/// the wire), and the per-asset agreement stream is recovered by
+/// flattening each epoch's `Vec<f64>` output — so consumers (and the
+/// throughput accounting built on
+/// [`EpochEvent`]) still count one agreement per `(epoch, asset)`.
+///
+/// Compared with [`OracleService`] + per-asset sharding, this trades
+/// receive-side parallelism (all basket traffic lands in one shard class)
+/// for an ~basket-size reduction in sections, wire entries, and BinAA
+/// rounds per agreement. Prefer it when per-message overhead — framing,
+/// MACs, syscalls — dominates; prefer per-asset sharding when receive CPU
+/// is the bottleneck.
+pub struct VectorOracleService {
+    inner: EpochProtocol<VectorDelphiNode>,
+    dims: u16,
+}
+
+impl VectorOracleService {
+    /// Creates the vector service for node `me`. `epochs.assets` becomes
+    /// the basket dimension count; on the wire each epoch carries a single
+    /// agreement instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid epoch config, `me` out of range, or a basket
+    /// larger than [`MAX_VECTOR_DIMS`].
+    pub fn from_parts(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        source: PriceSource,
+    ) -> VectorOracleService {
+        Self::build(cfg, me, epochs, flush, source, None)
+    }
+
+    /// [`VectorOracleService::from_parts`] with a shared round counter
+    /// attached to every spawned [`VectorDelphiNode`]. One basket adds
+    /// `(l_max + 1) × r_max` per epoch regardless of its size — compare
+    /// with [`OracleService::from_parts_probed`], which pays that per
+    /// asset.
+    pub fn from_parts_probed(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        source: PriceSource,
+        probe: Arc<AtomicU64>,
+    ) -> VectorOracleService {
+        Self::build(cfg, me, epochs, flush, source, Some(probe))
+    }
+
+    fn build(
+        cfg: DelphiConfig,
+        me: NodeId,
+        epochs: EpochConfig,
+        flush: FlushPolicy,
+        mut source: PriceSource,
+        probe: Option<Arc<AtomicU64>>,
+    ) -> VectorOracleService {
+        let n = cfg.n();
+        let dims = epochs.assets;
+        assert!(dims >= 1, "vector service needs at least one asset");
+        assert!(dims <= MAX_VECTOR_DIMS, "basket of {dims} exceeds {MAX_VECTOR_DIMS} dimensions");
+        let mux = EpochMux::new_vector(
+            epochs,
+            me,
+            n,
+            Box::new(move |epoch| {
+                let inputs: Vec<f64> = (0..dims).map(|a| source(epoch, InstanceId(a))).collect();
+                let node = VectorDelphiNode::new(cfg.clone(), me, &inputs);
+                match &probe {
+                    Some(p) => node.with_round_probe(p.clone()),
+                    None => node,
+                }
+            }),
+        );
+        VectorOracleService { inner: EpochProtocol::new(mux, flush), dims }
+    }
+
+    /// Basket dimension count (the configured asset count).
+    pub fn dims(&self) -> u16 {
+        self.dims
+    }
+
+    /// The ordered agreement stream emitted so far, flattened to one
+    /// [`EpochEvent`] per epoch with all basket values in asset order —
+    /// the same shape [`OracleService::events`] produces.
+    pub fn events(&self) -> Vec<EpochEvent<f64>> {
+        flatten_vector_events(self.inner.mux().events().to_vec())
+    }
+
+    /// Epoch-layer counters (GC drops, skips, peak residency).
+    pub fn stats(&self) -> EpochStats {
+        self.inner.mux().stats()
+    }
+
+    /// Epoch-batch entries flushed so far (envelopes after broadcast
+    /// expansion).
+    pub fn sent_entries(&self) -> u64 {
+        self.inner.sent_entries()
+    }
+
+    /// Batches flushed so far (one transport frame each).
+    pub fn sent_batches(&self) -> u64 {
+        self.inner.sent_batches()
+    }
+
+    /// Consumes the service, returning the bare pipeline for transports
+    /// that route epoch entries natively (`delphi_net::run_epoch_service`).
+    pub fn into_mux(self) -> EpochMux<VectorDelphiNode> {
+        self.inner.into_mux()
+    }
+
+    /// Boxes the service for the simulator's node vectors.
+    pub fn boxed(self) -> Box<dyn Protocol<Output = Vec<EpochEvent<f64>>>> {
+        Box::new(self)
+    }
+}
+
+impl Protocol for VectorOracleService {
+    type Output = Vec<EpochEvent<f64>>;
+
+    fn node_id(&self) -> NodeId {
+        self.inner.node_id()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn start(&mut self) -> Vec<Envelope> {
+        self.inner.start()
+    }
+
+    fn on_message(&mut self, from: NodeId, payload: &[u8]) -> Vec<Envelope> {
+        self.inner.on_message(from, payload)
+    }
+
+    fn on_tick(&mut self) -> Vec<Envelope> {
+        self.inner.on_tick()
+    }
+
+    fn output(&self) -> Option<Vec<EpochEvent<f64>>> {
+        self.inner.output().map(flatten_vector_events)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,7 +369,7 @@ mod tests {
     }
 
     /// Hand-delivered mesh run (no simulator dependency in this crate).
-    fn run_mesh(nodes: &mut [OracleService]) {
+    fn run_mesh<P: Protocol>(nodes: &mut [P]) {
         use delphi_primitives::Recipient;
         let mut queue: std::collections::VecDeque<(NodeId, NodeId, bytes::Bytes)> =
             std::collections::VecDeque::new();
@@ -246,6 +442,78 @@ mod tests {
             assert_eq!(node.stats().stale_epochs, 0);
             assert!(node.stats().peak_resident <= 4);
         }
+    }
+
+    #[test]
+    fn vector_oracle_streams_epsilon_converged_baskets() {
+        use std::sync::atomic::Ordering;
+
+        let n = 4;
+        let epochs = 6u32;
+        let assets = 4u16;
+        let protocol_cfg = cfg(n);
+        let epoch_cfg = EpochConfig::new(epochs, assets, 2, 4, protocol_cfg.t());
+        let probe = Arc::new(AtomicU64::new(0));
+        let mut nodes: Vec<VectorOracleService> = NodeId::all(n)
+            .map(|id| {
+                let offset = id.index() as f64 * 0.2;
+                VectorOracleService::from_parts_probed(
+                    protocol_cfg.clone(),
+                    id,
+                    epoch_cfg,
+                    FlushPolicy::PerStep,
+                    Box::new(move |e, a| {
+                        500.0 + f64::from(e.0) * 3.0 + f64::from(a.0) * 7.0 + offset
+                    }),
+                    probe.clone(),
+                )
+            })
+            .collect();
+        run_mesh(&mut nodes);
+        let streams: Vec<Vec<EpochEvent<f64>>> =
+            nodes.iter().map(|nd| nd.output().expect("stream complete")).collect();
+        // Flattened shape matches the per-asset service: one event per
+        // epoch, `assets` agreed values each, in asset order.
+        for events in &streams {
+            assert_eq!(events.len(), epochs as usize);
+            for (e, event) in events.iter().enumerate() {
+                assert_eq!(event.epoch, EpochId(e as u32));
+                match &event.outcome {
+                    EpochOutcome::Agreed(v) => assert_eq!(v.len(), assets as usize),
+                    EpochOutcome::Skipped => panic!("skipped"),
+                }
+            }
+        }
+        // Per-dimension epsilon-agreement across the cluster, plus
+        // relaxed validity inside each dimension's honest input band.
+        for e in 0..epochs as usize {
+            for a in 0..assets as usize {
+                let vals: Vec<f64> = streams
+                    .iter()
+                    .map(|events| match &events[e].outcome {
+                        EpochOutcome::Agreed(v) => v[a],
+                        EpochOutcome::Skipped => panic!("skipped"),
+                    })
+                    .collect();
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                assert!(hi - lo <= 1.0 + 1e-9, "epoch {e} dim {a}: spread {}", hi - lo);
+                let center = 500.0 + e as f64 * 3.0 + a as f64 * 7.0;
+                assert!(lo >= center - 1e-9 && hi <= center + 0.6 + 1e-9, "validity");
+            }
+        }
+        for node in &nodes {
+            assert_eq!(node.stats().stale_epochs, 0);
+            assert!(node.stats().peak_resident <= 4);
+            assert_eq!(node.dims(), assets);
+        }
+        // The shared round walk: epochs × (l_max + 1) × r_max completions
+        // per node, independent of basket size.
+        let expected = u64::from(epochs)
+            * n as u64
+            * u64::from(protocol_cfg.l_max() + 1)
+            * u64::from(protocol_cfg.r_max());
+        assert_eq!(probe.load(Ordering::Relaxed), expected);
     }
 
     #[test]

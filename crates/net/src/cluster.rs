@@ -67,6 +67,7 @@ impl NodeReport {
              \"recv_frames\":{},\"recv_entries\":{},\"dropped_frames\":{},\
              \"dropped_egress\":{},\"late_entries\":{},\"mac_ops\":{},\
              \"buffer_reuses\":{},\
+             \"vector_instances\":{},\"vector_dims\":{},\
              \"shard_entries\":[{shard_entries}],\
              \"egress_shard_entries\":[{egress_shard_entries}],\
              \"egress_shard_macs\":[{egress_shard_macs}],\
@@ -84,6 +85,8 @@ impl NodeReport {
             s.late_entries,
             s.mac_ops,
             s.buffer_reuses,
+            s.vector_instances,
+            s.vector_dims,
         )
     }
 
@@ -93,7 +96,8 @@ impl NodeReport {
     /// one `agreements` triple array, per-shard number arrays) but
     /// order-insensitive and tolerant of whitespace. The `agreements`,
     /// `dropped_egress`, `late_entries`, `buffer_reuses`,
-    /// `shard_entries`, `egress_shard_entries`, `egress_shard_macs`, and
+    /// `vector_instances`, `vector_dims`, `shard_entries`,
+    /// `egress_shard_entries`, `egress_shard_macs`, and
     /// `dropped_egress_shard` keys are optional so reports from older
     /// node binaries still parse.
     ///
@@ -126,6 +130,8 @@ impl NodeReport {
             late_entries: json_number(text, "late_entries").unwrap_or(0.0) as u64,
             mac_ops: json_number(text, "mac_ops")? as u64,
             buffer_reuses: json_number(text, "buffer_reuses").unwrap_or(0.0) as u64,
+            vector_instances: json_number(text, "vector_instances").unwrap_or(0.0) as u64,
+            vector_dims: json_number(text, "vector_dims").unwrap_or(0.0) as u64,
             shard_entries,
             egress_shard_entries,
             egress_shard_macs,
@@ -263,6 +269,11 @@ impl ClusterOutcome {
             total.dropped_egress += r.stats.dropped_egress;
             total.late_entries += r.stats.late_entries;
             total.mac_ops += r.stats.mac_ops;
+            total.buffer_reuses += r.stats.buffer_reuses;
+            total.vector_instances += r.stats.vector_instances;
+            // Dims are a mode marker, not additive: take the max so a
+            // uniform vector cluster reports its basket size.
+            total.vector_dims = total.vector_dims.max(r.stats.vector_dims);
             for lane in 0..r.stats.shard_entries.len() {
                 total.shard_entries[lane] += r.stats.shard_entries[lane];
                 total.egress_shard_entries[lane] += r.stats.egress_shard_entries[lane];
@@ -495,6 +506,8 @@ mod tests {
                 late_entries: 2,
                 mac_ops: 40,
                 buffer_reuses: 5,
+                vector_instances: 3,
+                vector_dims: 4,
                 shard_entries: [20, 13, 0, 0, 0, 0, 0, 0],
                 egress_shard_entries: [7, 4, 0, 0, 0, 0, 0, 0],
                 egress_shard_macs: [6, 4, 0, 0, 0, 0, 0, 0],
@@ -540,7 +553,30 @@ mod tests {
         assert_eq!(r.stats.egress_shard_entries, [0; 8]);
         assert_eq!(r.stats.egress_shard_macs, [0; 8]);
         assert_eq!(r.stats.dropped_egress_shard, [0; 8]);
+        // Vector counters are optional the same way: a report from a
+        // per-asset (or older) binary parses as scalar mode.
+        assert_eq!(r.stats.vector_instances, 0);
+        assert_eq!(r.stats.vector_dims, 0);
         assert!(r.agreements.is_empty());
+    }
+
+    #[test]
+    fn vector_counters_roundtrip_and_stay_optional() {
+        // Emitted: both counters survive the JSON round-trip.
+        let r = report(5, 123.0);
+        let json = r.to_json();
+        assert!(json.contains("\"vector_instances\":3"));
+        assert!(json.contains("\"vector_dims\":4"));
+        assert_eq!(NodeReport::parse_json(&json).unwrap(), r);
+        // Absent (a scalar-mode or pre-vector report, like the egress
+        // shard keys before it): parses to zeros, nothing else changes.
+        let stripped =
+            json.replace("\"vector_instances\":3,", "").replace("\"vector_dims\":4,", "");
+        let parsed = NodeReport::parse_json(&stripped).unwrap();
+        assert_eq!(parsed.stats.vector_instances, 0);
+        assert_eq!(parsed.stats.vector_dims, 0);
+        assert_eq!(parsed.stats.mac_ops, r.stats.mac_ops);
+        assert_eq!(parsed.stats.egress_shard_entries, r.stats.egress_shard_entries);
     }
 
     #[test]
@@ -617,6 +653,9 @@ mod tests {
         assert_eq!(total.egress_shard_entries[..2], [21, 12]);
         assert_eq!(total.egress_shard_macs[..2], [18, 12]);
         assert_eq!(total.dropped_egress_shard[..2], [3, 0]);
+        // Vector instances sum; dims are a mode marker (max, not sum).
+        assert_eq!(total.vector_instances, 9);
+        assert_eq!(total.vector_dims, 4);
         assert_eq!(outcome.max_elapsed_ms(), 12.5);
     }
 

@@ -827,7 +827,13 @@ where
     // owner for any class/lane combination (extra lanes just idle).
     let send_shards = opts.send_shards.clamp(1, MAX_RECV_SHARDS);
 
+    // In vector-basket mode the wire config has one asset, so the shard
+    // clamp above collapses to a single dispatch worker — the documented
+    // trade of receive parallelism for per-message overhead.
+    let vector_dims = mux.vector_dims();
+
     let counters = Arc::new(Counters::default());
+    counters.vector_dims.store(u64::from(vector_dims), Ordering::Relaxed);
     let keychain = Arc::new(keychain);
     let listener = TcpListener::bind(addrs[me.index()]).await?;
     let (mut in_rxs, accept_task) =
@@ -913,6 +919,13 @@ where
                 Some(Some(EpochShardMsg::Events { lane, events: fresh })) => {
                     let ready_from = events.len();
                     merger.push(lane, fresh, &mut events);
+                    if vector_dims > 0 {
+                        let agreed = events[ready_from..]
+                            .iter()
+                            .filter(|ev| matches!(ev.outcome, EpochOutcome::Agreed(_)))
+                            .count() as u64;
+                        counters.vector_instances.fetch_add(agreed, Ordering::Relaxed);
+                    }
                     for ev in &events[ready_from..] {
                         // A dropped tail is fine: finish() detaches it.
                         let _ = event_tx.send(ev.clone());

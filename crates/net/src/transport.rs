@@ -74,6 +74,14 @@ pub struct NetStats {
     /// Session-layer flush buffers reused from the free-list instead of
     /// freshly allocated (see `PendingBatchesBy::recycle`).
     pub buffer_reuses: u64,
+    /// Vector (basket) agreement instances completed by this node — one
+    /// per epoch in vector mode, each covering `vector_dims` assets.
+    /// Zero in per-asset mode.
+    pub vector_instances: u64,
+    /// Basket dimension count when the run is in vector mode (0 in
+    /// per-asset mode); `vector_instances × vector_dims` recovers the
+    /// per-asset agreement count.
+    pub vector_dims: u64,
     /// Authenticated entries dispatched to each receive shard (index =
     /// shard; unsharded runs count everything on shard 0).
     pub shard_entries: [u64; MAX_RECV_SHARDS],
@@ -106,6 +114,8 @@ pub(crate) struct Counters {
     pub(crate) late_entries: AtomicU64,
     pub(crate) mac_ops: AtomicU64,
     pub(crate) buffer_reuses: AtomicU64,
+    pub(crate) vector_instances: AtomicU64,
+    pub(crate) vector_dims: AtomicU64,
     pub(crate) shard_entries: [AtomicU64; MAX_RECV_SHARDS],
     pub(crate) egress_shard_entries: [AtomicU64; MAX_RECV_SHARDS],
     pub(crate) egress_shard_macs: [AtomicU64; MAX_RECV_SHARDS],
@@ -135,6 +145,8 @@ impl Counters {
             late_entries: self.late_entries.load(Ordering::Relaxed),
             mac_ops: self.mac_ops.load(Ordering::Relaxed),
             buffer_reuses: self.buffer_reuses.load(Ordering::Relaxed),
+            vector_instances: self.vector_instances.load(Ordering::Relaxed),
+            vector_dims: self.vector_dims.load(Ordering::Relaxed),
             shard_entries,
             egress_shard_entries: load_array(&self.egress_shard_entries),
             egress_shard_macs: load_array(&self.egress_shard_macs),

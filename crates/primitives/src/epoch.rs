@@ -568,6 +568,29 @@ impl<O> EpochEvent<O> {
     }
 }
 
+/// Expands a vector-basket event stream into the per-asset shape.
+///
+/// In vector mode ([`EpochMux::new_vector`]) each agreed epoch carries one
+/// output *per instance slot* (a single slot), and that output is itself
+/// the whole basket — `EpochOutcome::Agreed(vec![vec![v0, .., vm]])`.
+/// Concatenating the slots yields `Agreed(vec![v0, .., vm])`, exactly what
+/// the per-asset pipeline emits, so everything downstream (publishers,
+/// agreement counters, convergence checks) is mode-oblivious.
+pub fn flatten_vector_events<O>(events: Vec<EpochEvent<Vec<O>>>) -> Vec<EpochEvent<O>> {
+    events
+        .into_iter()
+        .map(|event| EpochEvent {
+            epoch: event.epoch,
+            outcome: match event.outcome {
+                EpochOutcome::Agreed(slots) => {
+                    EpochOutcome::Agreed(slots.into_iter().flatten().collect())
+                }
+                EpochOutcome::Skipped => EpochOutcome::Skipped,
+            },
+        })
+        .collect()
+}
+
 /// One resident epoch: its per-asset instances and completion state.
 struct Slot<P: Protocol> {
     instances: Vec<P>,
@@ -628,6 +651,10 @@ pub struct EpochMux<P: Protocol> {
     early_bytes: usize,
     stats: EpochStats,
     started: bool,
+    /// Basket dimensions when the pipeline runs one *vector-valued*
+    /// instance per epoch (see [`EpochMux::new_vector`]); `0` in the
+    /// ordinary per-asset mode.
+    vector_dims: u16,
 }
 
 impl<P: Protocol> fmt::Debug for EpochMux<P> {
@@ -678,7 +705,14 @@ impl<P: Protocol> EpochMux<P> {
             early_bytes: 0,
             stats: EpochStats::default(),
             started: false,
+            vector_dims: 0,
         }
+    }
+
+    /// Basket dimensions in vector mode ([`EpochMux::new_vector`]); `0`
+    /// when the pipeline fans out per asset.
+    pub fn vector_dims(&self) -> u16 {
+        self.vector_dims
     }
 
     /// This node's identity.
@@ -946,6 +980,34 @@ impl<P: Protocol> EpochMux<P> {
 }
 
 impl<P: Protocol + 'static> EpochMux<P> {
+    /// Creates a *vector-basket* pipeline: one multidimensional agreement
+    /// instance per epoch instead of a per-asset fan-out.
+    ///
+    /// `cfg.assets` names the basket size the instances agree on; on the
+    /// wire the pipeline runs with a single [`InstanceId`] (asset 0) per
+    /// epoch — every frame entry of an epoch addresses the one vector
+    /// instance, which is why one bundle exchange per round covers the
+    /// whole basket. [`EpochMux::vector_dims`] reports the basket size so
+    /// drivers can expand each `P::Output` (a whole basket) back into
+    /// per-asset values (see [`flatten_vector_events`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid config (see [`EpochConfig::new`]) or `me` out
+    /// of range.
+    pub fn new_vector(
+        cfg: EpochConfig,
+        me: NodeId,
+        n: usize,
+        mut factory: Box<dyn FnMut(EpochId) -> P + Send>,
+    ) -> EpochMux<P> {
+        let dims = cfg.assets;
+        let wire_cfg = EpochConfig::new(cfg.epochs, 1, cfg.depth, cfg.window, cfg.t);
+        let mut mux = EpochMux::new(wire_cfg, me, n, Box::new(move |epoch, _| factory(epoch)));
+        mux.vector_dims = dims;
+        mux
+    }
+
     /// Splits an **unstarted** pipeline into per-receive-shard
     /// sub-pipelines, partitioning the basket by [`InstanceId::shard`].
     ///
@@ -1606,6 +1668,93 @@ mod tests {
             tag: (e.0 as u8).wrapping_mul(10).wrapping_add(a.0 as u8),
             heard: 0,
         })
+    }
+
+    /// Degenerate vector protocol: outputs the whole basket at start.
+    struct InstantBasket {
+        id: NodeId,
+        n: usize,
+        basket: Vec<u8>,
+    }
+
+    impl Protocol for InstantBasket {
+        type Output = Vec<u8>;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            Vec::new()
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            Vec::new()
+        }
+        fn output(&self) -> Option<Vec<u8>> {
+            Some(self.basket.clone())
+        }
+    }
+
+    #[test]
+    fn vector_mode_runs_one_instance_per_epoch() {
+        let n = 4;
+        let dims = 8u16;
+        let cfg = EpochConfig::new(3, dims, 1, 2, 1);
+        let spawned = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = spawned.clone();
+        let mut mux = EpochMux::new_vector(
+            cfg,
+            NodeId(0),
+            n,
+            Box::new(move |epoch| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                InstantBasket {
+                    id: NodeId(0),
+                    n,
+                    basket: (0..dims as u8).map(|d| d + epoch.0 as u8).collect(),
+                }
+            }),
+        );
+        assert_eq!(mux.vector_dims(), dims);
+        // On the wire the pipeline runs a single instance slot per epoch.
+        assert_eq!(mux.config().assets, 1);
+        let _ = mux.start();
+        assert!(mux.is_complete());
+        // One factory call (= one agreement instance) per epoch, not per
+        // asset.
+        assert_eq!(spawned.load(std::sync::atomic::Ordering::SeqCst), 3);
+        let events = mux.drain_events();
+        assert_eq!(events.len(), 3);
+        for event in &events {
+            // Each event holds one slot whose output is the whole basket.
+            assert!(matches!(&event.outcome, EpochOutcome::Agreed(slots) if slots.len() == 1
+                    && slots[0].len() == usize::from(dims)));
+        }
+        // Flattening recovers the per-asset event shape downstream code
+        // expects: `dims` agreements per agreed epoch.
+        let flat = flatten_vector_events(events);
+        for (e, event) in flat.iter().enumerate() {
+            assert_eq!(event.agreements().count(), usize::from(dims));
+            match &event.outcome {
+                EpochOutcome::Agreed(values) => {
+                    assert_eq!(values[3], 3 + e as u8);
+                }
+                EpochOutcome::Skipped => panic!("skipped"),
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_vector_events_preserves_skips_and_order() {
+        let events = vec![
+            EpochEvent { epoch: EpochId(0), outcome: EpochOutcome::Agreed(vec![vec![1u8, 2, 3]]) },
+            EpochEvent { epoch: EpochId(1), outcome: EpochOutcome::Skipped },
+        ];
+        let flat = flatten_vector_events(events);
+        assert_eq!(flat[0].outcome, EpochOutcome::Agreed(vec![1, 2, 3]));
+        assert!(matches!(flat[1].outcome, EpochOutcome::Skipped));
+        assert_eq!((flat[0].epoch, flat[1].epoch), (EpochId(0), EpochId(1)));
     }
 
     fn mesh(cfg: EpochConfig, n: usize, flush: FlushPolicy) -> Vec<EpochProtocol<Gossip>> {

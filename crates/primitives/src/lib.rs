@@ -53,9 +53,9 @@ pub mod wire;
 pub use bitset::NodeBitSet;
 pub use dyadic::{Dyadic, DyadicRangeError};
 pub use epoch::{
-    merge_epoch_shards, merge_epoch_stats, AgreementId, EpochConfig, EpochEvent, EpochId, EpochMux,
-    EpochOutcome, EpochProtocol, EpochShard, EpochStats, EpochStatsCell, FlushPolicy,
-    PendingBatches, PendingBatchesBy,
+    flatten_vector_events, merge_epoch_shards, merge_epoch_stats, AgreementId, EpochConfig,
+    EpochEvent, EpochId, EpochMux, EpochOutcome, EpochProtocol, EpochShard, EpochStats,
+    EpochStatsCell, FlushPolicy, PendingBatches, PendingBatchesBy,
 };
 pub use id::{InstanceId, NodeId, Round};
 pub use mux::Mux;

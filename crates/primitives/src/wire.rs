@@ -587,6 +587,143 @@ impl<A: Decode, B: Decode> Decode for (A, B) {
     }
 }
 
+/// Maximum dimensions a [`VectorValue`] can address (its membership mask
+/// is a single `u64`).
+pub const MAX_VECTOR_DIMS: u16 = 64;
+
+/// A sparse per-dimension value assignment for vector-valued (basket)
+/// agreement.
+///
+/// Scalar Delphi bundles carry one [`crate::Dyadic`] per echo; the
+/// vector-valued variant agrees on a whole basket at once, so each echo
+/// carries up to [`MAX_VECTOR_DIMS`] per-dimension values. The encoding is
+/// a membership mask (varint `u64`, bit `d` set iff dimension `d` has a
+/// value) followed by the values of the set bits in ascending dimension
+/// order — absent dimensions cost nothing, and the common single-dimension
+/// echo costs one mask byte over the scalar encoding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorValue {
+    /// Bit `d` set iff dimension `d` carries a value.
+    mask: u64,
+    /// Values of the set dimensions, ascending by dimension.
+    values: Vec<crate::Dyadic>,
+}
+
+impl VectorValue {
+    /// An empty assignment (no dimension has a value).
+    pub fn new() -> VectorValue {
+        VectorValue::default()
+    }
+
+    /// An assignment holding `value` for `dim` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= MAX_VECTOR_DIMS`.
+    pub fn single(dim: u16, value: crate::Dyadic) -> VectorValue {
+        let mut v = VectorValue::new();
+        v.set(dim, value);
+        v
+    }
+
+    /// Index of `dim`'s value in `values`: the number of set bits below it.
+    fn slot(&self, dim: u16) -> usize {
+        (self.mask & ((1u64 << dim) - 1)).count_ones() as usize
+    }
+
+    /// Sets (or replaces) the value for `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= MAX_VECTOR_DIMS`.
+    pub fn set(&mut self, dim: u16, value: crate::Dyadic) {
+        assert!(dim < MAX_VECTOR_DIMS, "dimension {dim} out of range");
+        let slot = self.slot(dim);
+        if self.mask & (1u64 << dim) == 0 {
+            self.mask |= 1u64 << dim;
+            self.values.insert(slot, value);
+        } else {
+            self.values[slot] = value;
+        }
+    }
+
+    /// The value for `dim`, if any.
+    pub fn get(&self, dim: u16) -> Option<crate::Dyadic> {
+        if dim >= MAX_VECTOR_DIMS || self.mask & (1u64 << dim) == 0 {
+            return None;
+        }
+        Some(self.values[self.slot(dim)])
+    }
+
+    /// Whether `dim` carries a value.
+    pub fn contains(&self, dim: u16) -> bool {
+        dim < MAX_VECTOR_DIMS && self.mask & (1u64 << dim) != 0
+    }
+
+    /// The membership mask (bit `d` set iff dimension `d` has a value).
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of dimensions carrying a value.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no dimension carries a value.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Iterates the `(dimension, value)` pairs, ascending by dimension.
+    pub fn dims(&self) -> impl Iterator<Item = (u16, crate::Dyadic)> + '_ {
+        MaskBits(self.mask).zip(self.values.iter().copied())
+    }
+
+    /// Removes every dimension (keeps the value capacity).
+    pub fn clear(&mut self) {
+        self.mask = 0;
+        self.values.clear();
+    }
+}
+
+/// Iterator over the set bit positions of a `u64`, ascending.
+struct MaskBits(u64);
+
+impl Iterator for MaskBits {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        if self.0 == 0 {
+            return None;
+        }
+        let dim = self.0.trailing_zeros() as u16;
+        self.0 &= self.0 - 1;
+        Some(dim)
+    }
+}
+
+impl Encode for VectorValue {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.mask);
+        for v in &self.values {
+            w.put(v);
+        }
+    }
+}
+
+impl Decode for VectorValue {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mask = r.get_u64()?;
+        let count = mask.count_ones() as usize;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(r.get::<crate::Dyadic>()?);
+        }
+        Ok(VectorValue { mask, values })
+    }
+}
+
 /// Encodes `value` then decodes it again; used pervasively in tests.
 ///
 /// # Errors
@@ -764,6 +901,70 @@ mod tests {
         let mut r = Reader::new(&[1, 2]);
         let _ = r.get_raw_u8().unwrap();
         assert_eq!(r.finish(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn vector_value_set_get_and_order() {
+        use crate::Dyadic;
+        let mut v = VectorValue::new();
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), None);
+        v.set(5, Dyadic::ONE);
+        v.set(0, Dyadic::ZERO);
+        v.set(63, Dyadic::new(3, 2));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.mask(), (1 << 5) | 1 | (1 << 63));
+        assert_eq!(v.get(5), Some(Dyadic::ONE));
+        assert_eq!(v.get(0), Some(Dyadic::ZERO));
+        assert_eq!(v.get(63), Some(Dyadic::new(3, 2)));
+        assert_eq!(v.get(7), None);
+        assert!(v.contains(63) && !v.contains(64));
+        // dims() ascends regardless of insertion order.
+        let pairs: Vec<_> = v.dims().collect();
+        assert_eq!(pairs, vec![(0, Dyadic::ZERO), (5, Dyadic::ONE), (63, Dyadic::new(3, 2))]);
+        // Replacement keeps the slot.
+        v.set(5, Dyadic::new(1, 2));
+        assert_eq!(v.get(5), Some(Dyadic::new(1, 2)));
+        assert_eq!(v.len(), 3);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.dims().count(), 0);
+    }
+
+    #[test]
+    fn vector_value_roundtrip() {
+        use crate::Dyadic;
+        let mut v = VectorValue::single(3, Dyadic::ONE);
+        v.set(17, Dyadic::new(5, 4));
+        assert_eq!(roundtrip(&v).unwrap(), v);
+        assert_eq!(roundtrip(&VectorValue::new()).unwrap(), VectorValue::new());
+    }
+
+    #[test]
+    fn vector_value_single_dim_costs_one_mask_byte() {
+        use crate::Dyadic;
+        let scalar = Dyadic::new(123, 7).to_bytes().len();
+        let vector = VectorValue::single(3, Dyadic::new(123, 7)).to_bytes().len();
+        assert_eq!(vector, scalar + 1);
+    }
+
+    #[test]
+    fn vector_value_truncated_and_invalid_rejected() {
+        use crate::Dyadic;
+        let bytes = VectorValue::single(2, Dyadic::ONE).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(VectorValue::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A mask promising a value with no bytes behind it.
+        let mut w = Writer::new();
+        w.put_u64(1);
+        assert_eq!(VectorValue::from_bytes(&w.into_vec()), Err(WireError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_value_dim_bound_enforced() {
+        let _ = VectorValue::single(64, crate::Dyadic::ONE);
     }
 
     #[test]

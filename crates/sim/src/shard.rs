@@ -163,6 +163,14 @@ pub struct EpochThroughput {
 
 impl EpochThroughput {
     /// Summarizes a finished epoch-stream run.
+    ///
+    /// Counting is per `(epoch, asset)` *value*, not per event: an epoch
+    /// whose `Agreed` carries `k` values contributes `k` agreements. A
+    /// vector-mode run (one multidimensional instance per epoch) hands
+    /// its events over pre-flattened — `flatten_vector_events` turns the
+    /// one basket slot into `dims` values — so its cost tags
+    /// (bytes/frames per agreement) are directly comparable with the
+    /// per-asset scalar sweep without any mode-specific plumbing here.
     pub fn from_report<O: Clone + fmt::Debug>(
         report: &RunReport<Vec<EpochEvent<O>>>,
     ) -> EpochThroughput {
@@ -319,6 +327,60 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = run_sharded(vec![gossip_job(3, 0)], 0);
+    }
+
+    /// Emits a canned flattened vector-mode event stream (the shape
+    /// `flatten_vector_events` produces: one event per epoch, all basket
+    /// dimensions as values) once every greeting arrived.
+    struct VectorStream {
+        id: NodeId,
+        n: usize,
+        heard: usize,
+    }
+
+    impl Protocol for VectorStream {
+        type Output = Vec<EpochEvent<f64>>;
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn start(&mut self) -> Vec<Envelope> {
+            vec![Envelope::to_all(Bytes::from_static(b"hi"))]
+        }
+        fn on_message(&mut self, _: NodeId, _: &[u8]) -> Vec<Envelope> {
+            self.heard += 1;
+            Vec::new()
+        }
+        fn output(&self) -> Option<Self::Output> {
+            use delphi_primitives::{EpochId, EpochOutcome};
+            (self.heard == self.n - 1).then(|| {
+                vec![
+                    EpochEvent { epoch: EpochId(0), outcome: EpochOutcome::Agreed(vec![1.0; 3]) },
+                    EpochEvent { epoch: EpochId(1), outcome: EpochOutcome::Agreed(vec![2.0; 3]) },
+                    EpochEvent { epoch: EpochId(2), outcome: EpochOutcome::Skipped },
+                ]
+            })
+        }
+    }
+
+    #[test]
+    fn throughput_counts_every_dimension_of_flattened_vector_streams() {
+        let n = 4;
+        let nodes = NodeId::all(n)
+            .map(|id| {
+                Box::new(VectorStream { id, n, heard: 0 })
+                    as Box<dyn Protocol<Output = Vec<EpochEvent<f64>>>>
+            })
+            .collect();
+        let report = Simulation::new(Topology::lan(n)).seed(1).run(nodes);
+        assert_eq!(report.stop, StopReason::AllHonestFinished);
+        let t = EpochThroughput::from_report(&report);
+        // 2 agreed epochs x 3 basket dimensions; the skipped epoch adds 0.
+        assert_eq!(t.agreements, 6);
+        assert!(t.bytes_per_agreement() > 0.0);
+        assert!(t.frames_per_agreement() > 0.0);
     }
 
     #[test]
